@@ -1,0 +1,1 @@
+bench/harness.ml: Hd_search List Printf String Unix

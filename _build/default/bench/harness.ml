@@ -1,0 +1,69 @@
+(* Table-printing and statistics helpers for the experiment harness. *)
+
+let line = String.make 78 '-'
+
+let header title =
+  Printf.printf "\n%s\n%s\n%s\n" line title line
+
+let mean xs =
+  List.fold_left ( +. ) 0.0 xs /. float_of_int (max 1 (List.length xs))
+
+let std_dev xs =
+  let m = mean xs in
+  let var =
+    List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs
+    /. float_of_int (max 1 (List.length xs - 1))
+  in
+  sqrt var
+
+let imin xs = List.fold_left min max_int xs
+let imax xs = List.fold_left max min_int xs
+let fmean xs = mean (List.map float_of_int xs)
+
+let time f =
+  let started = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. started)
+
+(* run a seeded experiment [runs] times and summarise the integer
+   results *)
+type summary = { min : int; max : int; avg : float; std : float; secs : float }
+
+let summarise ~runs f =
+  let results = ref [] and secs = ref 0.0 in
+  for r = 1 to runs do
+    let value, elapsed = time (fun () -> f ~run:r) in
+    results := value :: !results;
+    secs := !secs +. elapsed
+  done;
+  let xs = !results in
+  {
+    min = imin xs;
+    max = imax xs;
+    avg = fmean xs;
+    std = std_dev (List.map float_of_int xs);
+    secs = !secs;
+  }
+
+let outcome_string (o : Hd_search.Search_types.outcome) =
+  match o with
+  | Hd_search.Search_types.Exact w -> Printf.sprintf "%d*" w
+  | Hd_search.Search_types.Bounds { lb; ub } -> Printf.sprintf "[%d,%d]" lb ub
+
+(* scale parameters chosen on the command line *)
+type scale = {
+  time_limit : float;  (** per exact-search run *)
+  runs : int;  (** repetitions for randomised methods *)
+  population : int;
+  iterations : int;
+  full : bool;  (** paper-size instance lists *)
+}
+
+let default_scale =
+  { time_limit = 5.0; runs = 3; population = 60; iterations = 150; full = false }
+
+let budget scale =
+  {
+    Hd_search.Search_types.time_limit = Some scale.time_limit;
+    max_states = None;
+  }

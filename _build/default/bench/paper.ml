@@ -1,0 +1,107 @@
+(* Values the paper's tables report, used as the reference column of
+   every regenerated table.  "n/a" entries correspond to instances the
+   paper does not list or to pages truncated in the supplied text. *)
+
+(* Table 5.1: the value A*-tw returned (bold = treewidth fixed), plus
+   the QuickBB / BB-tw columns where given. *)
+let table_5_1 : (string * string * string * string) list =
+  [
+    (* instance, A*-tw, QuickBB, BB-tw *)
+    ("anna", "12*", "12", "12");
+    ("david", "13*", "13", "13");
+    ("huck", "10*", "10", "-");
+    ("jean", "9*", "9", "-");
+    ("queen5_5", "18*", "18", "18");
+    ("queen6_6", "25*", "25", "25");
+    ("queen7_7", "31", "35", "-");
+    ("miles250", "9*", "9", "-");
+    ("miles500", "22*", "22", "-");
+    ("miles1000", "49*", "-", "-");
+    ("myciel3", "5*", "5", "-");
+    ("myciel4", "10*", "10", "10");
+    ("myciel5", "16", "19", "19");
+    ("DSJC125.1", "24", "-", "-");
+    ("DSJC125.5", "82", "-", "-");
+    ("DSJC125.9", "119*", "119", "-");
+    ("zeroin.i.1", "50*", "-", "-");
+    ("mulsol.i.1", "50*", "50", "-");
+    ("fpsol2.i.1", "66*", "66", "-");
+  ]
+
+(* Table 5.2: grids — the treewidth of an n x n grid is n. *)
+let table_5_2 : (string * string) list =
+  [
+    ("grid2", "2*");
+    ("grid3", "3*");
+    ("grid4", "4*");
+    ("grid5", "5*");
+    ("grid6", "6*");
+    ("grid7", "5 (lb)");
+    ("grid8", "5 (lb)");
+  ]
+
+(* Table 6.1: crossover ranking the paper found (best first), per
+   instance family; POS won on every instance. *)
+let table_6_1_ranking = [ "POS"; "OX2"; "PMX"; "CX"; "OX1"; "AP" ]
+
+(* Table 6.2: mutation ranking; ISM best on most, EM close second. *)
+let table_6_2_ranking = [ "ISM"; "EM"; "SM"; "SIM"; "DM"; "IVM" ]
+
+(* Table 6.3: the winning combination. *)
+let table_6_3_winner = (1.0, 0.3) (* crossover rate, mutation rate *)
+
+(* Table 6.6: the best upper bound the paper's GA-tw reached (min
+   column), with the previously best-known ub it compared against. *)
+let table_6_6 : (string * int * int) list =
+  [
+    (* instance, known ub, GA-tw min *)
+    ("anna", 12, 12);
+    ("david", 13, 13);
+    ("huck", 10, 10);
+    ("jean", 9, 9);
+    ("games120", 33, 32);
+    ("queen5_5", 18, 18);
+    ("queen6_6", 25, 26);
+    ("queen7_7", 35, 35);
+    ("queen8_8", 46, 45);
+    ("queen9_9", 58, 58);
+    ("queen10_10", 72, 72);
+    ("myciel3", 5, 5);
+    ("myciel4", 10, 10);
+    ("myciel5", 19, 19);
+    ("myciel6", 35, 35);
+    ("myciel7", 54, 66);
+    ("miles250", 9, 10);
+    ("miles500", 22, 24);
+    ("DSJC125.1", 64, 61);
+    ("DSJC125.5", 109, 109);
+    ("DSJC125.9", 119, 119);
+  ]
+
+(* Table 7.1: GA-ghw min width (vs the best ub previously reported). *)
+let table_7_1 : (string * int * int) list =
+  [
+    (* instance, previous ub, GA-ghw min *)
+    ("adder_75", 2, 3);
+    ("adder_99", 2, 3);
+    ("b06", 5, 4);
+    ("b08", 10, 9);
+    ("b09", 10, 7);
+    ("b10", 14, 11);
+    ("bridge_50", 2, 6);
+    ("c499", 13, 11);
+    ("c880", 19, 17);
+    ("clique_20", 10, 11);
+    ("grid2d_20", 11, 10);
+    ("grid3d_8", 20, 21);
+  ]
+
+(* Table 7.2 (SAIGA-ghw) and Tables 8.1-9.2 (BB-ghw, A*-ghw) fall in
+   pages truncated in the supplied text; the abstract and chapter
+   summaries state that BB-ghw/A*-ghw fixed the exact ghw of several
+   instances and improved bounds on others, which is the shape the
+   regenerated tables check. *)
+let truncated_note =
+  "paper values for this table fall in pages truncated in the supplied\n\
+   text; the shape check is: exact methods close small instances, GAs\n\
+   match or improve the heuristic upper bound"

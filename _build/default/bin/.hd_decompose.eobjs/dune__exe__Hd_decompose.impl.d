@@ -1,0 +1,1 @@
+bin/hd_decompose.ml: Arg Array Cmd Cmdliner Format Hd_bounds Hd_core Hd_ga Hd_graph Hd_hypergraph Hd_instances Hd_search List Option Printf Random Term

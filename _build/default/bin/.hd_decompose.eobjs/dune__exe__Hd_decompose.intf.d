@@ -1,0 +1,1 @@
+bin/hd_decompose.mli:

@@ -1,0 +1,1 @@
+bin/hd_solve.ml: Arg Array Cmd Cmdliner Format Hd_csp Hd_hypergraph Hd_instances List Printf String Term Unix

@@ -1,0 +1,1 @@
+bin/hd_solve.mli:

@@ -1,0 +1,1 @@
+bin/hd_validate.ml: Arg Cmd Cmdliner Format Hd_core Hd_graph Hd_hypergraph Hd_instances Term

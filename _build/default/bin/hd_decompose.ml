@@ -1,0 +1,256 @@
+(* hd_decompose: compute tree / generalized hypertree decompositions of
+   graphs and hypergraphs with any of the library's methods. *)
+
+module Graph = Hd_graph.Graph
+module Hypergraph = Hd_hypergraph.Hypergraph
+module Td = Hd_core.Tree_decomposition
+module Ghd = Hd_core.Ghd
+module St = Hd_search.Search_types
+
+type input = G of Graph.t | H of Hypergraph.t
+
+let load ~instance ~graph_file ~hypergraph_file =
+  match (instance, graph_file, hypergraph_file) with
+  | Some name, None, None -> (
+      match Hd_instances.Graphs.by_name name with
+      | Some g -> Ok (G g)
+      | None -> (
+          match Hd_instances.Hypergraphs.by_name name with
+          | Some h -> Ok (H h)
+          | None -> Error (Printf.sprintf "unknown instance %S" name)))
+  | None, Some path, None -> Ok (G (Hd_graph.Dimacs.parse_file path))
+  | None, None, Some path -> Ok (H (Hd_hypergraph.Hg_format.parse_file path))
+  | _ -> Error "give exactly one of --instance, --graph, --hypergraph"
+
+let hypergraph_of = function G g -> Hypergraph.of_graph g | H h -> h
+let primal_of = function G g -> g | H h -> Hypergraph.primal h
+
+let budget time_limit =
+  { St.time_limit; max_states = None }
+
+let report_search label (result : St.result) =
+  Format.printf "%s: %a  (visited %d, generated %d, %.2fs)@." label
+    St.pp_outcome result.St.outcome result.St.visited result.St.generated
+    result.St.elapsed;
+  result.St.ordering
+
+let report_ga label (r : Hd_ga.Ga_engine.report) =
+  Format.printf
+    "%s: width %d  (%d iterations, %d evaluations, %.2fs)@." label
+    r.Hd_ga.Ga_engine.best r.Hd_ga.Ga_engine.iterations
+    r.Hd_ga.Ga_engine.evaluations r.Hd_ga.Ga_engine.elapsed;
+  Some r.Hd_ga.Ga_engine.best_individual
+
+let run input method_ time_limit seed population iterations print_decomposition
+    output =
+  match load ~instance:input.(0) ~graph_file:input.(1) ~hypergraph_file:input.(2)
+  with
+  | Error msg ->
+      prerr_endline ("hd_decompose: " ^ msg);
+      exit 2
+  | Ok data -> (
+      let g = primal_of data in
+      let h = hypergraph_of data in
+      Format.printf "input: %d vertices, %d hyperedges (primal: %d edges)@."
+        (Hypergraph.n_vertices h) (Hypergraph.n_edges h) (Graph.m g);
+      let ga_config =
+        {
+          (Hd_ga.Ga_engine.default_config ~population_size:population
+             ~max_iterations:iterations ~seed ())
+          with
+          Hd_ga.Ga_engine.time_limit;
+        }
+      in
+      let is_tw = ref true in
+      let ordering =
+        match method_ with
+        | `Astar_tw ->
+            report_search "A*-tw"
+              (Hd_search.Astar_tw.solve ~budget:(budget time_limit) ~seed g)
+        | `Bb_tw ->
+            report_search "BB-tw"
+              (Hd_search.Bb_tw.solve ~budget:(budget time_limit) ~seed g)
+        | `Astar_ghw ->
+            is_tw := false;
+            report_search "A*-ghw"
+              (Hd_search.Astar_ghw.solve ~budget:(budget time_limit) ~seed h)
+        | `Bb_ghw ->
+            is_tw := false;
+            report_search "BB-ghw"
+              (Hd_search.Bb_ghw.solve ~budget:(budget time_limit) ~seed h)
+        | `Ga_tw -> report_ga "GA-tw" (Hd_ga.Ga_tw.run ga_config g)
+        | `Ga_ghw ->
+            is_tw := false;
+            report_ga "GA-ghw" (Hd_ga.Ga_ghw.run ga_config h)
+        | `Saiga ->
+            is_tw := false;
+            let config =
+              {
+                (Hd_ga.Saiga_ghw.default_config ~seed ()) with
+                Hd_ga.Saiga_ghw.time_limit;
+              }
+            in
+            let r = Hd_ga.Saiga_ghw.run config h in
+            Format.printf "SAIGA-ghw: width %d  (%d epochs, %d evaluations, %.2fs)@."
+              r.Hd_ga.Saiga_ghw.best r.Hd_ga.Saiga_ghw.epochs
+              r.Hd_ga.Saiga_ghw.evaluations r.Hd_ga.Saiga_ghw.elapsed;
+            Some r.Hd_ga.Saiga_ghw.best_individual
+        | `Min_fill ->
+            let rng = Random.State.make [| seed |] in
+            let sigma = Hd_core.Ordering_heuristics.min_fill rng g in
+            let ws = Hd_core.Eval.of_graph g in
+            Format.printf "min-fill: treewidth upper bound %d@."
+              (Hd_core.Eval.tw_width ws sigma);
+            Some sigma
+        | `Sa ->
+            let config =
+              {
+                (Hd_ga.Local_search.default_config ~seed ()) with
+                Hd_ga.Local_search.time_limit;
+              }
+            in
+            let r = Hd_ga.Local_search.sa_tw config g in
+            Format.printf "SA-tw: width %d  (%d steps, %.2fs)@."
+              r.Hd_ga.Local_search.best r.Hd_ga.Local_search.steps
+              r.Hd_ga.Local_search.elapsed;
+            Some r.Hd_ga.Local_search.best_individual
+        | `Preprocess ->
+            report_search "A*-tw+preprocess"
+              (Hd_search.Preprocess.treewidth_with_preprocessing
+                 ~budget:(budget time_limit) ~seed g)
+        | `Hw ->
+            is_tw := false;
+            (try
+               let w, hd =
+                 Hd_search.Det_k_decomp.hypertree_width ?time_limit h
+               in
+               Format.printf "det-k-decomp: hypertree width %d (valid %b)@." w
+                 (Hd_search.Det_k_decomp.valid h hd);
+               if print_decomposition then Format.printf "%a@." (Ghd.pp h) hd
+             with Hd_search.Det_k_decomp.Timeout ->
+               Format.printf "det-k-decomp: time limit exceeded@.");
+            None
+        | `Analyze ->
+            is_tw := false;
+            let report =
+              Hd_search.Widths.analyze
+                ?time_limit:(Option.map (fun t -> t) time_limit)
+                ~seed h
+            in
+            Format.printf "%a@." Hd_search.Widths.pp report;
+            None
+        | `Bounds ->
+            let rng = Random.State.make [| seed |] in
+            Format.printf "treewidth lower bound: %d@."
+              (Hd_bounds.Lower_bounds.treewidth ~rng g);
+            Format.printf "ghw lower bound (tw-ksc-width): %d@."
+              (Hd_bounds.Lower_bounds.ghw ~rng h);
+            None
+      in
+      match ordering with
+      | None -> ()
+      | Some sigma ->
+          if !is_tw then begin
+            let td = Td.of_ordering g sigma in
+            Format.printf "witness tree decomposition: width %d, valid %b@."
+              (Td.width td) (Td.valid_for_graph g td);
+            if print_decomposition then Format.printf "%a@." Td.pp td;
+            match output with
+            | Some path ->
+                Hd_core.Td_io.write_file path ~n_vertices:(Graph.n g)
+                  (Td.simplify td);
+                Format.printf "wrote %s (PACE .td format)@." path
+            | None -> ()
+          end
+          else begin
+            let ghd = Ghd.of_ordering h sigma ~cover:`Exact in
+            Format.printf
+              "witness generalized hypertree decomposition: width %d, valid %b@."
+              (Ghd.width ghd) (Ghd.valid h ghd);
+            if print_decomposition then Format.printf "%a@." (Ghd.pp h) ghd
+          end)
+
+open Cmdliner
+
+let instance =
+  Arg.(value & opt (some string) None & info [ "i"; "instance" ] ~doc:"Named benchmark instance (see hd_decompose --list).")
+
+let graph_file =
+  Arg.(value & opt (some file) None & info [ "graph" ] ~doc:"DIMACS graph file.")
+
+let hypergraph_file =
+  Arg.(value & opt (some file) None & info [ "hypergraph" ] ~doc:"Hypergraph file (atom format).")
+
+let method_ =
+  let methods =
+    [
+      ("astar-tw", `Astar_tw);
+      ("bb-tw", `Bb_tw);
+      ("astar-ghw", `Astar_ghw);
+      ("bb-ghw", `Bb_ghw);
+      ("ga-tw", `Ga_tw);
+      ("ga-ghw", `Ga_ghw);
+      ("saiga", `Saiga);
+      ("min-fill", `Min_fill);
+      ("sa", `Sa);
+      ("preprocess", `Preprocess);
+      ("hw", `Hw);
+      ("analyze", `Analyze);
+      ("bounds", `Bounds);
+    ]
+  in
+  Arg.(
+    value
+    & opt (enum methods) `Bb_ghw
+    & info [ "m"; "method" ] ~doc:"Decomposition method.")
+
+let time_limit =
+  Arg.(value & opt (some float) (Some 30.0) & info [ "t"; "time-limit" ] ~doc:"Time limit in seconds.")
+
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+
+let population =
+  Arg.(value & opt int 200 & info [ "population" ] ~doc:"GA population size.")
+
+let iterations =
+  Arg.(value & opt int 500 & info [ "iterations" ] ~doc:"GA iteration count.")
+
+let print_decomposition =
+  Arg.(value & flag & info [ "p"; "print" ] ~doc:"Print the decomposition.")
+
+let list_flag =
+  Arg.(value & flag & info [ "list" ] ~doc:"List named instances and exit.")
+
+let output =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~doc:"Write the tree decomposition to a PACE .td file.")
+
+let main instance graph_file hypergraph_file method_ time_limit seed population
+    iterations print_decomposition list_flag output =
+  if list_flag then begin
+    print_endline "graphs:";
+    List.iter
+      (fun (n, v, e) -> Printf.printf "  %-12s %5d vertices %6d edges\n" n v e)
+      Hd_instances.Graphs.names;
+    print_endline "hypergraphs:";
+    List.iter
+      (fun (n, v, e) -> Printf.printf "  %-12s %5d vertices %6d edges\n" n v e)
+      Hd_instances.Hypergraphs.names
+  end
+  else
+    run
+      [| instance; graph_file; hypergraph_file |]
+      method_ time_limit seed population iterations print_decomposition output
+
+let cmd =
+  let doc = "tree and generalized hypertree decompositions" in
+  Cmd.v
+    (Cmd.info "hd_decompose" ~doc)
+    Term.(
+      const main $ instance $ graph_file $ hypergraph_file $ method_
+      $ time_limit $ seed $ population $ iterations $ print_decomposition
+      $ list_flag $ output)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,59 @@
+(* hd_validate: check a PACE-format tree decomposition (.td) against a
+   graph or hypergraph instance, reporting validity and width —
+   interoperates with external treewidth solvers and validators. *)
+
+module Graph = Hd_graph.Graph
+module Hypergraph = Hd_hypergraph.Hypergraph
+module Td = Hd_core.Tree_decomposition
+
+let run instance graph_file hypergraph_file td_file =
+  let h =
+    match (instance, graph_file, hypergraph_file) with
+    | Some name, None, None -> (
+        match Hd_instances.Graphs.by_name name with
+        | Some g -> Hypergraph.of_graph g
+        | None -> (
+            match Hd_instances.Hypergraphs.by_name name with
+            | Some h -> h
+            | None ->
+                prerr_endline ("hd_validate: unknown instance " ^ name);
+                exit 2))
+    | None, Some path, None -> Hypergraph.of_graph (Hd_graph.Dimacs.parse_file path)
+    | None, None, Some path -> Hd_hypergraph.Hg_format.parse_file path
+    | _ ->
+        prerr_endline
+          "hd_validate: give exactly one of --instance, --graph, --hypergraph";
+        exit 2
+  in
+  let td =
+    try Hd_core.Td_io.parse_file td_file
+    with Failure msg | Sys_error msg ->
+      prerr_endline ("hd_validate: " ^ msg);
+      exit 2
+  in
+  let valid = Td.valid_for_hypergraph h td in
+  Format.printf "bags: %d@.width: %d@.valid tree decomposition: %b@."
+    (Td.n_nodes td) (Td.width td) valid;
+  if not valid then exit 1
+
+open Cmdliner
+
+let instance =
+  Arg.(value & opt (some string) None & info [ "i"; "instance" ] ~doc:"Named instance.")
+
+let graph_file =
+  Arg.(value & opt (some file) None & info [ "graph" ] ~doc:"DIMACS graph file.")
+
+let hypergraph_file =
+  Arg.(value & opt (some file) None & info [ "hypergraph" ] ~doc:"Hypergraph file.")
+
+let td_file =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"TD_FILE" ~doc:"PACE .td file.")
+
+let cmd =
+  let doc = "validate a PACE-format tree decomposition against an instance" in
+  Cmd.v
+    (Cmd.info "hd_validate" ~doc)
+    Term.(const run $ instance $ graph_file $ hypergraph_file $ td_file)
+
+let () = exit (Cmd.eval cmd)

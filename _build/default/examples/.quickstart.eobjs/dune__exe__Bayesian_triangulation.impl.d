@@ -1,0 +1,1 @@
+examples/bayesian_triangulation.ml: Array Format Hd_core Hd_ga Hd_graph List Random

@@ -1,0 +1,1 @@
+examples/circuit_decomposition.ml: Format Hd_bounds Hd_core Hd_ga Hd_hypergraph Hd_instances Hd_search List Random

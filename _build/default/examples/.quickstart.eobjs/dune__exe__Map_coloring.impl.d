@@ -1,0 +1,1 @@
+examples/map_coloring.ml: Array Format Hd_core Hd_csp Hd_graph List Printf Random String Unix

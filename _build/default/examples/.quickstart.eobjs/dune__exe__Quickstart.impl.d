@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Hd_core Hd_hypergraph Hd_search

@@ -1,0 +1,1 @@
+examples/sat_solving.ml: Array Format Hd_core Hd_csp List Random

@@ -1,0 +1,1 @@
+examples/width_hierarchy.ml: Hd_instances Hd_search List Printf

@@ -1,0 +1,89 @@
+(* Triangulating the moral graph of a Bayesian network (Section 4.5):
+   the original application of Larranaga et al.'s genetic algorithm
+   that this library's GA framework reproduces.
+
+   A Bayesian network is a DAG of stochastic variables; exact inference
+   works on a junction tree of its moral graph (the DAG with parents
+   "married" and directions dropped).  The cost of inference is the
+   total table size of the junction tree, which depends on the
+   elimination ordering - NOT simply on the width, because variables
+   carry different state counts.  The GA therefore minimises
+
+       w(TD) = log2 ( sum over bags of prod of state counts )
+
+   and this example compares that weighted objective against plain
+   width minimisation on a synthetic pedigree-style network.
+
+   Run with: dune exec examples/bayesian_triangulation.exe *)
+
+module Graph = Hd_graph.Graph
+
+(* a layered "pedigree": each individual has two parents from the
+   previous layer; founders have none.  Nodes carry 2-6 states. *)
+let pedigree ~layers ~per_layer ~seed =
+  let rng = Random.State.make [| seed |] in
+  let n = layers * per_layer in
+  let dag_parents = Array.make n [] in
+  for layer = 1 to layers - 1 do
+    for i = 0 to per_layer - 1 do
+      let child = (layer * per_layer) + i in
+      let parent () =
+        ((layer - 1) * per_layer) + Random.State.int rng per_layer
+      in
+      let p1 = parent () in
+      let p2 = parent () in
+      dag_parents.(child) <- p1 :: (if p2 <> p1 then [ p2 ] else [])
+    done
+  done;
+  (* moralise: connect each node to its parents and parents pairwise *)
+  let moral = Graph.create n in
+  Array.iteri
+    (fun child parents ->
+      List.iter (fun p -> Graph.add_edge moral child p) parents;
+      List.iter
+        (fun p1 -> List.iter (fun p2 -> Graph.add_edge moral p1 p2) parents)
+        parents)
+    dag_parents;
+  let states = Array.init n (fun _ -> 2 + Random.State.int rng 5) in
+  (moral, states)
+
+let () =
+  let moral, states = pedigree ~layers:6 ~per_layer:8 ~seed:12 in
+  Format.printf "moral graph: %d vertices, %d edges, states 2-6@."
+    (Graph.n moral) (Graph.m moral);
+
+  let config =
+    Hd_ga.Ga_engine.default_config ~population_size:80 ~max_iterations:150
+      ~seed:3 ()
+  in
+  let ws = Hd_core.Eval.of_graph moral in
+
+  (* 1. plain width minimisation *)
+  let by_width = Hd_ga.Ga_tw.run config moral in
+  let width_sigma = by_width.Hd_ga.Ga_engine.best_individual in
+  Format.printf "width-minimising GA: width %d, table size 2^%.2f@."
+    by_width.Hd_ga.Ga_engine.best
+    (Hd_core.Eval.weighted_width ws ~domain_sizes:states width_sigma);
+
+  (* 2. the Section 4.5 objective: table size *)
+  let by_weight = Hd_ga.Ga_tw.run_weighted config moral ~domain_sizes:states in
+  let weight_sigma = by_weight.Hd_ga.Ga_engine.best_individual in
+  Format.printf "weight-minimising GA: width %d, table size 2^%.2f@."
+    (Hd_core.Eval.tw_width ws weight_sigma)
+    (Hd_core.Eval.weighted_width ws ~domain_sizes:states weight_sigma);
+
+  (* the weighted objective can beat the width-optimal ordering on
+     table size even when its width is no better - the reason the
+     Bayesian-network community optimises weight, not width *)
+  let w1 = Hd_core.Eval.weighted_width ws ~domain_sizes:states width_sigma in
+  let w2 = Hd_core.Eval.weighted_width ws ~domain_sizes:states weight_sigma in
+  Format.printf "weighted objective %s by %.2f bits@."
+    (if w2 <= w1 then "wins" else "loses")
+    (abs_float (w1 -. w2));
+
+  (* the decomposition behind the better ordering, validated *)
+  let td = Hd_core.Tree_decomposition.of_ordering moral weight_sigma in
+  assert (Hd_core.Tree_decomposition.valid_for_graph moral td);
+  Format.printf "junction tree: %d bags, width %d, valid@."
+    (Hd_core.Tree_decomposition.n_nodes td)
+    (Hd_core.Tree_decomposition.width td)

@@ -1,0 +1,58 @@
+(* Map coloring end to end (Example 1 + Section 2.4): model the
+   3-coloring of Australia as a CSP, decompose its constraint
+   hypergraph, and solve it through the decomposition, mirroring the
+   worked runs of Figures 2.8 and 2.9.
+
+   Run with: dune exec examples/map_coloring.exe *)
+
+module Csp = Hd_csp.Csp
+module Models = Hd_csp.Models
+module Solver = Hd_csp.Solver
+module Td = Hd_core.Tree_decomposition
+module Ghd = Hd_core.Ghd
+
+let color = function 0 -> "red" | 1 -> "green" | 2 -> "blue" | _ -> "?"
+
+let show csp assignment =
+  String.concat ", "
+    (List.init (Csp.n_variables csp) (fun v ->
+         Printf.sprintf "%s=%s" (Csp.variable_name csp v) (color assignment.(v))))
+
+let () =
+  let csp = Models.australia () in
+  let h = Csp.hypergraph csp in
+  Format.printf "Australia: %d regions, %d border constraints@."
+    (Csp.n_variables csp) (Csp.n_constraints csp);
+
+  (* decompose the constraint hypergraph *)
+  let rng = Random.State.make [| 1 |] in
+  let sigma = Hd_core.Ordering_heuristics.min_fill_hypergraph rng h in
+  let td = Td.of_ordering_hypergraph h sigma in
+  Format.printf "tree decomposition width: %d (treewidth of the map graph)@."
+    (Td.width td);
+  let ghd = Ghd.of_ordering h sigma ~cover:`Exact in
+  Format.printf "generalized hypertree width of the decomposition: %d@.@."
+    (Ghd.width ghd);
+
+  (* solve as in Figure 2.8: join tree clustering + acyclic solving *)
+  (match Solver.solve_with_td csp td with
+  | Some a -> Format.printf "via tree decomposition:@.  %s@.@." (show csp a)
+  | None -> failwith "Australia is 3-colorable");
+
+  (* solve as in Figure 2.9: project joins of the lambda labels *)
+  (match Solver.solve_with_ghd csp ghd with
+  | Some a -> Format.printf "via generalized hypertree decomposition:@.  %s@.@." (show csp a)
+  | None -> failwith "Australia is 3-colorable");
+
+  (* the decomposition approach scales beyond brute force: a 60-vertex
+     grid map has 3^60 assignments, yet its treewidth-4 decomposition
+     solves 3-coloring through bags of only 3^5 tuples *)
+  let grid = Hd_graph.Graph.grid 15 4 in
+  let big = Models.graph_coloring grid ~colors:3 in
+  let started = Unix.gettimeofday () in
+  match Solver.solve big ~strategy:`Td ~seed:7 with
+  | Some a ->
+      Format.printf "15x4 grid 3-coloring via TD: %.3fs, consistent %b@."
+        (Unix.gettimeofday () -. started)
+        (Csp.consistent big a)
+  | None -> failwith "grids are 3-colorable"

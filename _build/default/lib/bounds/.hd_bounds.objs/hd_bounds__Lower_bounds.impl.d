@@ -1,0 +1,1 @@
+lib/bounds/lower_bounds.ml: Hd_graph Hd_hypergraph Lazy List Random

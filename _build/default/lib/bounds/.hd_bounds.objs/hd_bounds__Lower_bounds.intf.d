@@ -1,0 +1,1 @@
+lib/bounds/lower_bounds.mli: Hd_graph Hd_hypergraph Random

@@ -1,0 +1,1 @@
+lib/core/eval.ml: Array Hd_graph Hd_hypergraph Hd_setcover List

@@ -1,0 +1,1 @@
+lib/core/eval.mli: Hashtbl Hd_graph Hd_hypergraph Ordering Random

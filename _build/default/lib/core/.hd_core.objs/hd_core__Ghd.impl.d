@@ -1,0 +1,1 @@
+lib/core/ghd.ml: Array Format Hd_graph Hd_hypergraph Hd_setcover List Random String Tree_decomposition

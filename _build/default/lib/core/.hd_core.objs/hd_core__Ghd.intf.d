@@ -1,0 +1,1 @@
+lib/core/ghd.mli: Format Hd_hypergraph Ordering Random Tree_decomposition

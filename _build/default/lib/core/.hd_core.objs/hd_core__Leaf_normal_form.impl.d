@@ -1,0 +1,1 @@
+lib/core/leaf_normal_form.ml: Array Ghd Hd_graph Hd_hypergraph List Tree_decomposition

@@ -1,0 +1,1 @@
+lib/core/leaf_normal_form.mli: Ghd Hd_hypergraph Ordering Tree_decomposition

@@ -1,0 +1,1 @@
+lib/core/ordering_heuristics.ml: Array Hd_graph Hd_hypergraph List Random

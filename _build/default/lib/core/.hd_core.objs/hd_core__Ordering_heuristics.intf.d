@@ -1,0 +1,1 @@
+lib/core/ordering_heuristics.mli: Hd_graph Hd_hypergraph Ordering Random

@@ -1,0 +1,1 @@
+lib/core/td_io.ml: Array Buffer Hd_graph List Printf Queue String Tree_decomposition

@@ -1,0 +1,1 @@
+lib/core/td_io.mli: Tree_decomposition

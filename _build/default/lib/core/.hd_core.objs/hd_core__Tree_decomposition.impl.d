@@ -1,0 +1,1 @@
+lib/core/tree_decomposition.ml: Array Buffer Format Hd_graph Hd_hypergraph List Ordering Printf String

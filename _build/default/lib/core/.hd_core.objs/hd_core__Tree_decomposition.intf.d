@@ -1,0 +1,1 @@
+lib/core/tree_decomposition.mli: Format Hd_graph Hd_hypergraph Ordering

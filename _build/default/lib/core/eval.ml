@@ -1,0 +1,193 @@
+module Bitset = Hd_graph.Bitset
+module Graph = Hd_graph.Graph
+module Hypergraph = Hd_hypergraph.Hypergraph
+module Set_cover = Hd_setcover.Set_cover
+
+type t = {
+  n : int;
+  base : int array array; (* original adjacency lists *)
+  hypergraph : Hypergraph.t option;
+  (* reusable buffers *)
+  adj : int array array ref; (* growable working adjacency *)
+  len : int array; (* live prefix length of each working list *)
+  pos : int array; (* vertex -> position in current sigma *)
+  stamp : int array; (* dedup marks, versioned by clock *)
+  mutable clock : int;
+  bag : Bitset.t; (* scratch bag for set covering *)
+}
+
+let make n base hypergraph =
+  {
+    n;
+    base;
+    hypergraph;
+    adj = ref (Array.map Array.copy base);
+    len = Array.make n 0;
+    pos = Array.make n 0;
+    stamp = Array.make n (-1);
+    clock = 0;
+    bag = Bitset.create (max n 1);
+  }
+
+let of_graph g =
+  let n = Graph.n g in
+  make n (Array.init n (fun v -> Array.of_list (Graph.neighbors g v))) None
+
+let of_hypergraph h =
+  let g = Hypergraph.primal h in
+  let n = Graph.n g in
+  make n
+    (Array.init n (fun v -> Array.of_list (Graph.neighbors g v)))
+    (Some h)
+
+let reset t sigma =
+  if Array.length sigma <> t.n then invalid_arg "Eval: ordering length mismatch";
+  let adj = !(t.adj) in
+  for v = 0 to t.n - 1 do
+    let b = t.base.(v) in
+    let k = Array.length b in
+    if Array.length adj.(v) < k then adj.(v) <- Array.copy b
+    else Array.blit b 0 adj.(v) 0 k;
+    t.len.(v) <- k
+  done;
+  Array.iteri (fun i v -> t.pos.(v) <- i) sigma
+
+let append t u x =
+  let adj = !(t.adj) in
+  let row = adj.(u) in
+  let k = t.len.(u) in
+  if k >= Array.length row then begin
+    let bigger = Array.make (max 8 (2 * Array.length row)) 0 in
+    Array.blit row 0 bigger 0 k;
+    adj.(u) <- bigger
+  end;
+  adj.(u).(k) <- x;
+  t.len.(u) <- k + 1
+
+(* Compute the elimination neighbourhood X of sigma.(i): the distinct
+   not-yet-eliminated entries of the working adjacency list.  Returns
+   |X| and leaves X's members stamped with the current clock; [collect]
+   receives each member once. *)
+let scan t i v ~collect =
+  t.clock <- t.clock + 1;
+  let adj = !(t.adj) in
+  let row = adj.(v) in
+  let size = ref 0 in
+  for j = 0 to t.len.(v) - 1 do
+    let x = row.(j) in
+    if t.pos.(x) < i && t.stamp.(x) <> t.clock then begin
+      t.stamp.(x) <- t.clock;
+      incr size;
+      collect x
+    end
+  done;
+  !size
+
+(* Propagate X (stamped, gathered in [members]) to the bucket of the
+   member eliminated next, i.e. with the largest position. *)
+let propagate t members =
+  match members with
+  | [] -> ()
+  | first :: _ ->
+      let u =
+        List.fold_left
+          (fun acc x -> if t.pos.(x) > t.pos.(acc) then x else acc)
+          first members
+      in
+      List.iter (fun x -> if x <> u then append t u x) members
+
+let tw_width t sigma =
+  reset t sigma;
+  let width = ref 0 in
+  let i = ref (t.n - 1) in
+  (* once width >= i, no later bag (of at most i vertices besides the
+     eliminated one... in fact at most i members) can increase it *)
+  while !width < !i do
+    let v = sigma.(!i) in
+    let members = ref [] in
+    let size = scan t !i v ~collect:(fun x -> members := x :: !members) in
+    if size > !width then width := size;
+    propagate t !members;
+    decr i
+  done;
+  !width
+
+let cover_width t cover v members =
+  Bitset.clear t.bag;
+  Bitset.add t.bag v;
+  List.iter (Bitset.add t.bag) members;
+  cover t.bag
+
+let ghw_of_sigma t sigma ~cover =
+  (match t.hypergraph with
+  | None -> invalid_arg "Eval.ghw_width: workspace lacks a hypergraph"
+  | Some _ -> ());
+  reset t sigma;
+  let width = ref 0 in
+  let i = ref (t.n - 1) in
+  (* a bag at step i has at most i + 1 vertices, hence cover size at
+     most i + 1 *)
+  while !i >= 0 && !width < !i + 1 do
+    let v = sigma.(!i) in
+    let members = ref [] in
+    let _size = scan t !i v ~collect:(fun x -> members := x :: !members) in
+    let w = cover_width t cover v !members in
+    if w > !width then width := w;
+    propagate t !members;
+    decr i
+  done;
+  !width
+
+let hypergraph_exn t =
+  match t.hypergraph with
+  | Some h -> h
+  | None -> invalid_arg "Eval: workspace lacks a hypergraph"
+
+let ghw_width ?rng t sigma =
+  let h = hypergraph_exn t in
+  ghw_of_sigma t sigma ~cover:(fun universe ->
+      Set_cover.greedy_size ?rng { universe; hypergraph = h })
+
+let ghw_width_exact ?cache t sigma =
+  let h = hypergraph_exn t in
+  ghw_of_sigma t sigma ~cover:(fun universe ->
+      Set_cover.exact_size ?cache { universe; hypergraph = h })
+
+let fhw_width t sigma =
+  let h = hypergraph_exn t in
+  reset t sigma;
+  let width = ref 0.0 in
+  for i = t.n - 1 downto 0 do
+    let v = sigma.(i) in
+    let members = ref [] in
+    let _size = scan t i v ~collect:(fun x -> members := x :: !members) in
+    Bitset.clear t.bag;
+    Bitset.add t.bag v;
+    List.iter (Bitset.add t.bag) !members;
+    let rho =
+      Hd_setcover.Fractional.cover_value
+        { Set_cover.universe = t.bag; hypergraph = h }
+    in
+    if rho > !width then width := rho;
+    propagate t !members
+  done;
+  !width
+
+let weighted_width t ~domain_sizes sigma =
+  if Array.length domain_sizes <> t.n then
+    invalid_arg "Eval.weighted_width: domain_sizes length mismatch";
+  reset t sigma;
+  let total = ref 0.0 in
+  for i = t.n - 1 downto 0 do
+    let v = sigma.(i) in
+    let product = ref (float_of_int domain_sizes.(v)) in
+    let members = ref [] in
+    let _size =
+      scan t i v ~collect:(fun x ->
+          members := x :: !members;
+          product := !product *. float_of_int domain_sizes.(x))
+    in
+    total := !total +. !product;
+    propagate t !members
+  done;
+  log !total /. log 2.0

@@ -1,0 +1,51 @@
+(** Fast evaluation of elimination orderings.
+
+    These are the evaluation functions of the genetic algorithms:
+    Figure 6.2 (width of the tree decomposition bucket elimination would
+    build — the individual's fitness in GA-tw) and Figure 7.1 (width of
+    the generalized hypertree decomposition after greedy set covering —
+    the fitness in GA-ghw).  Both run the vertex-elimination recurrence
+    on adjacency lists with an early exit once the width reached cannot
+    be exceeded by the remaining steps, and reuse per-workspace buffers
+    so that millions of evaluations allocate almost nothing. *)
+
+type t
+
+(** [of_graph g] is a reusable workspace for evaluating orderings of
+    [g]. *)
+val of_graph : Hd_graph.Graph.t -> t
+
+(** [of_hypergraph h] is a workspace over [h]'s primal graph that also
+    knows [h]'s hyperedges, enabling {!ghw_width}. *)
+val of_hypergraph : Hd_hypergraph.Hypergraph.t -> t
+
+(** [tw_width t sigma] is the width of the tree decomposition derived
+    from [sigma] — [Tree_decomposition.(width (of_ordering g sigma))],
+    computed without building the decomposition. *)
+val tw_width : t -> Ordering.t -> int
+
+(** [ghw_width ?rng t sigma] is the width of the generalized hypertree
+    decomposition derived from [sigma] with greedy set covering of every
+    bag (ties broken via [rng]).  Requires a workspace built by
+    {!of_hypergraph}. *)
+val ghw_width : ?rng:Random.State.t -> t -> Ordering.t -> int
+
+(** [ghw_width_exact ?cache t sigma] covers every bag exactly, so the
+    result is the width of [sigma] in the sense of Definition 17 —
+    the objective BB-ghw and A*-ghw optimise. *)
+val ghw_width_exact :
+  ?cache:(Hd_graph.Bitset.t, int) Hashtbl.t -> t -> Ordering.t -> int
+
+(** [fhw_width t sigma] is the width of [sigma] under fractional edge
+    covers: the largest fractional cover number rho* over the bags of
+    the ordering's tree decomposition — an upper-bound witness for the
+    fractional hypertree width, with [fhw_width <= ghw_width_exact]
+    pointwise. *)
+val fhw_width : t -> Ordering.t -> float
+
+(** [weighted_width t ~domain_sizes sigma] is the triangulation weight
+    of Section 4.5 (Larranaga et al.):
+    [log2 (sum over bags of the product of the bag variables' domain
+    sizes)] — the total table size of the junction tree the ordering
+    induces, the fitness the Bayesian-network GA minimises. *)
+val weighted_width : t -> domain_sizes:int array -> Ordering.t -> float

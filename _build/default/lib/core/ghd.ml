@@ -1,0 +1,123 @@
+module Bitset = Hd_graph.Bitset
+module Hypergraph = Hd_hypergraph.Hypergraph
+module Set_cover = Hd_setcover.Set_cover
+
+type t = { td : Tree_decomposition.t; lambda : int array array }
+
+type cover_strategy = [ `Greedy of Random.State.t option | `Exact ]
+
+let make ~td ~lambda =
+  if Array.length lambda <> Tree_decomposition.n_nodes td then
+    invalid_arg "Ghd.make: lambda length mismatch";
+  { td; lambda }
+
+let width ghd =
+  Array.fold_left (fun acc l -> max acc (Array.length l)) 0 ghd.lambda
+
+let lambda_vertices h lambda_p ~n =
+  let vars = Bitset.create n in
+  Array.iter
+    (fun e -> Array.iter (Bitset.add vars) (Hypergraph.edge h e))
+    lambda_p;
+  vars
+
+let valid h ghd =
+  Tree_decomposition.valid_for_hypergraph h ghd.td
+  && Array.for_all
+       (fun i ->
+         let vars =
+           lambda_vertices h ghd.lambda.(i) ~n:(Hypergraph.n_vertices h)
+         in
+         Bitset.subset (Tree_decomposition.bag ghd.td i) vars)
+       (Array.init (Tree_decomposition.n_nodes ghd.td) (fun i -> i))
+
+let witness_node h ghd e =
+  let edge = Hypergraph.edge h e in
+  let k = Tree_decomposition.n_nodes ghd.td in
+  let rec go i =
+    if i >= k then None
+    else
+      let bag = Tree_decomposition.bag ghd.td i in
+      if
+        Array.for_all (Bitset.mem bag) edge
+        && Array.exists (( = ) e) ghd.lambda.(i)
+      then Some i
+      else go (i + 1)
+  in
+  go 0
+
+let is_complete h ghd =
+  let rec go e =
+    e >= Hypergraph.n_edges h || (witness_node h ghd e <> None && go (e + 1))
+  in
+  go 0
+
+let complete h ghd =
+  let missing =
+    List.filter
+      (fun e -> witness_node h ghd e = None)
+      (List.init (Hypergraph.n_edges h) (fun e -> e))
+  in
+  if missing = [] then ghd
+  else begin
+    let k = Tree_decomposition.n_nodes ghd.td in
+    let extra = List.length missing in
+    let bags = Array.make (k + extra) (Bitset.create 0) in
+    let parent = Array.make (k + extra) (-1) in
+    for i = 0 to k - 1 do
+      bags.(i) <- Tree_decomposition.bag ghd.td i;
+      parent.(i) <- ghd.td.Tree_decomposition.parent.(i)
+    done;
+    let lambda = Array.make (k + extra) [||] in
+    Array.blit ghd.lambda 0 lambda 0 k;
+    List.iteri
+      (fun j e ->
+        (* hang a node labelled exactly by e under a node whose bag
+           contains e; condition 1 of the input guarantees one exists *)
+        let host =
+          let rec find i =
+            if i >= k then
+              invalid_arg "Ghd.complete: input violates condition 1"
+            else if
+              Array.for_all
+                (Bitset.mem (Tree_decomposition.bag ghd.td i))
+                (Hypergraph.edge h e)
+            then i
+            else find (i + 1)
+          in
+          find 0
+        in
+        let node = k + j in
+        bags.(node) <- Hypergraph.edge_set h e;
+        parent.(node) <- host;
+        lambda.(node) <- [| e |])
+      missing;
+    { td = Tree_decomposition.make ~bags ~parent; lambda }
+  end
+
+let cover_bag h bag ~cover =
+  let problem = { Set_cover.universe = bag; hypergraph = h } in
+  match cover with
+  | `Greedy rng -> Array.of_list (Set_cover.greedy ?rng problem)
+  | `Exact -> Array.of_list (Set_cover.exact problem)
+
+let of_tree_decomposition h td ~cover =
+  let k = Tree_decomposition.n_nodes td in
+  let lambda =
+    Array.init k (fun i -> cover_bag h (Tree_decomposition.bag td i) ~cover)
+  in
+  { td; lambda }
+
+let of_ordering h sigma ~cover =
+  of_tree_decomposition h (Tree_decomposition.of_ordering_hypergraph h sigma) ~cover
+
+let pp h ppf ghd =
+  Format.fprintf ppf "@[<v>generalized hypertree decomposition: width %d"
+    (width ghd);
+  for i = 0 to Tree_decomposition.n_nodes ghd.td - 1 do
+    Format.fprintf ppf "@,node %d: chi=%a lambda={%s}" i Bitset.pp
+      (Tree_decomposition.bag ghd.td i)
+      (String.concat ","
+         (List.map (Hypergraph.edge_name h) (Array.to_list ghd.lambda.(i))))
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,247 @@
+module Bitset = Hd_graph.Bitset
+module Hypergraph = Hd_hypergraph.Hypergraph
+
+type t = { td : Tree_decomposition.t; leaf_of_edge : int array }
+
+(* The transformation adds and deletes nodes, so it works on a mutable
+   adjacency representation and compacts into a Tree_decomposition at
+   the end. *)
+
+type work = {
+  mutable bags : Bitset.t array;
+  mutable adj : int list array; (* undirected tree adjacency *)
+  mutable deleted : bool array;
+  mutable count : int; (* number of allocated slots *)
+}
+
+let work_of_td td =
+  let k = Tree_decomposition.n_nodes td in
+  let adj = Array.make (max k 1) [] in
+  List.iter
+    (fun (c, p) ->
+      adj.(c) <- p :: adj.(c);
+      adj.(p) <- c :: adj.(p))
+    (Tree_decomposition.edges td);
+  {
+    bags = Array.init k (fun i -> Bitset.copy (Tree_decomposition.bag td i));
+    adj;
+    deleted = Array.make (max k 1) false;
+    count = k;
+  }
+
+let add_node w bag host =
+  if w.count >= Array.length w.bags then begin
+    let cap = max 8 (2 * Array.length w.bags) in
+    let bags = Array.make cap (Bitset.create 0) in
+    Array.blit w.bags 0 bags 0 w.count;
+    w.bags <- bags;
+    let adj = Array.make cap [] in
+    Array.blit w.adj 0 adj 0 w.count;
+    w.adj <- adj;
+    let deleted = Array.make cap false in
+    Array.blit w.deleted 0 deleted 0 w.count;
+    w.deleted <- deleted
+  end;
+  let id = w.count in
+  w.count <- w.count + 1;
+  w.bags.(id) <- bag;
+  w.adj.(id) <- [ host ];
+  w.adj.(host) <- id :: w.adj.(host);
+  id
+
+let live_neighbors w i = List.filter (fun j -> not (w.deleted.(j))) w.adj.(i)
+
+let degree w i = List.length (live_neighbors w i)
+
+let transform h td =
+  if not (Tree_decomposition.valid_for_hypergraph h td) then
+    invalid_arg "Leaf_normal_form.transform: not a tree decomposition of h";
+  let n = Hypergraph.n_vertices h in
+  let m = Hypergraph.n_edges h in
+  let w = work_of_td td in
+  let original = Tree_decomposition.n_nodes td in
+  (* step 2: one new leaf per hyperedge, hung off a covering node *)
+  let leaf_of_edge =
+    Array.init m (fun e ->
+        let edge = Hypergraph.edge h e in
+        let host =
+          let rec find i =
+            if i >= original then assert false
+            else if Array.for_all (Bitset.mem w.bags.(i)) edge then i
+            else find (i + 1)
+          in
+          find 0
+        in
+        add_node w (Hypergraph.edge_set h e) host)
+  in
+  let is_mapped = Array.make w.count false in
+  Array.iter (fun l -> is_mapped.(l) <- true) leaf_of_edge;
+  (* step 3: iteratively delete unmapped leaves (unrooted sense: degree
+     <= 1) *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to original - 1 do
+      if (not w.deleted.(i)) && (not is_mapped.(i)) && degree w i <= 1 then begin
+        w.deleted.(i) <- true;
+        changed := true
+      end
+    done
+  done;
+  (* Root the remaining tree to run subtree computations.  Prefer an
+     internal node as root so every mapped leaf is a tree leaf. *)
+  let live = ref [] in
+  for i = w.count - 1 downto 0 do
+    if not w.deleted.(i) then live := i :: !live
+  done;
+  let root =
+    match List.filter (fun i -> not is_mapped.(i)) !live with
+    | r :: _ -> r
+    | [] -> ( match !live with r :: _ -> r | [] -> assert false)
+  in
+  let parent = Array.make w.count (-2) in
+  let order = ref [] in
+  (* DFS from root recording a top-down order *)
+  let rec dfs i p =
+    parent.(i) <- p;
+    order := i :: !order;
+    List.iter (fun j -> if j <> p then dfs j i) (live_neighbors w i)
+  in
+  dfs root (-1);
+  let top_down = List.rev !order in
+  let bottom_up = !order in
+  (* step 4: for each vertex Y, keep Y at an internal node only if it
+     lies on a path between two leaves carrying Y.  leaf_count.(i) = how
+     many Y-leaves live in the subtree of i. *)
+  let leaf_count = Array.make w.count 0 in
+  let branching = Array.make w.count 0 in
+  for y = 0 to n - 1 do
+    let total = ref 0 in
+    List.iter
+      (fun i ->
+        leaf_count.(i) <- 0;
+        branching.(i) <- 0)
+      top_down;
+    List.iter
+      (fun i ->
+        if is_mapped.(i) && Bitset.mem w.bags.(i) y then begin
+          leaf_count.(i) <- leaf_count.(i) + 1;
+          incr total
+        end;
+        if parent.(i) >= 0 then begin
+          if leaf_count.(i) > 0 then
+            branching.(parent.(i)) <- branching.(parent.(i)) + 1;
+          leaf_count.(parent.(i)) <- leaf_count.(parent.(i)) + leaf_count.(i)
+        end)
+      bottom_up;
+    List.iter
+      (fun i ->
+        if (not is_mapped.(i)) && Bitset.mem w.bags.(i) y then
+          let c = leaf_count.(i) in
+          let on_path = (c > 0 && c < !total) || branching.(i) >= 2 in
+          if not on_path then Bitset.remove w.bags.(i) y)
+      top_down
+  done;
+  (* compact into a Tree_decomposition *)
+  let live_nodes = Array.of_list (List.filter (fun i -> not w.deleted.(i)) (List.init w.count (fun i -> i))) in
+  let new_id = Array.make w.count (-1) in
+  Array.iteri (fun fresh old -> new_id.(old) <- fresh) live_nodes;
+  let bags = Array.map (fun old -> w.bags.(old)) live_nodes in
+  let parents =
+    Array.map
+      (fun old -> if parent.(old) = -1 then -1 else new_id.(parent.(old)))
+      live_nodes
+  in
+  {
+    td = Tree_decomposition.make ~bags ~parent:parents;
+    leaf_of_edge = Array.map (fun l -> new_id.(l)) leaf_of_edge;
+  }
+
+let is_leaf_normal_form h lnf =
+  let td = lnf.td in
+  let k = Tree_decomposition.n_nodes td in
+  let m = Hypergraph.n_edges h in
+  (* condition 1: the mapped leaves are exactly the leaves, bijectively,
+     and each is labelled by its hyperedge *)
+  let is_mapped = Array.make k false in
+  let cond1 =
+    Array.length lnf.leaf_of_edge = m
+    && Array.for_all (fun l -> l >= 0 && l < k) lnf.leaf_of_edge
+    &&
+    (Array.iter (fun l -> is_mapped.(l) <- true) lnf.leaf_of_edge;
+     let rec distinct seen = function
+       | [] -> true
+       | l :: rest -> (not (List.mem l seen)) && distinct (l :: seen) rest
+     in
+     distinct [] (Array.to_list lnf.leaf_of_edge))
+    && Array.for_all
+         (fun e ->
+           let l = lnf.leaf_of_edge.(e) in
+           Bitset.equal (Tree_decomposition.bag td l) (Hypergraph.edge_set h e))
+         (Array.init m (fun e -> e))
+    (* every unrooted leaf is mapped *)
+    && Array.for_all
+         (fun i ->
+           let deg =
+             List.length (Tree_decomposition.children td i)
+             + if Tree_decomposition.root td = i then 0 else 1
+           in
+           deg > 1 || is_mapped.(i))
+         (Array.init k (fun i -> i))
+  in
+  cond1 && Tree_decomposition.valid_for_hypergraph h td
+
+let depth_array td =
+  let k = Tree_decomposition.n_nodes td in
+  let depth = Array.make k (-1) in
+  let rec compute i =
+    if depth.(i) >= 0 then depth.(i)
+    else begin
+      let p = td.Tree_decomposition.parent.(i) in
+      let d = if p = -1 then 0 else compute p + 1 in
+      depth.(i) <- d;
+      d
+    end
+  in
+  for i = 0 to k - 1 do
+    ignore (compute i)
+  done;
+  depth
+
+let lca td depth a b =
+  let parent = td.Tree_decomposition.parent in
+  let a = ref a and b = ref b in
+  while depth.(!a) > depth.(!b) do
+    a := parent.(!a)
+  done;
+  while depth.(!b) > depth.(!a) do
+    b := parent.(!b)
+  done;
+  while !a <> !b do
+    a := parent.(!a);
+    b := parent.(!b)
+  done;
+  !a
+
+let ordering_of h lnf =
+  let n = Hypergraph.n_vertices h in
+  let depth = depth_array lnf.td in
+  let dca_depth =
+    Array.init n (fun v ->
+        match Hypergraph.incident h v with
+        | [] ->
+            invalid_arg
+              "Leaf_normal_form.ordering_of: vertex in no hyperedge"
+        | e :: rest ->
+            let node =
+              List.fold_left
+                (fun acc e' -> lca lnf.td depth acc lnf.leaf_of_edge.(e'))
+                lnf.leaf_of_edge.(e) rest
+            in
+            depth.(node))
+  in
+  let sigma = Array.init n (fun v -> v) in
+  Array.sort (fun a b -> compare dca_depth.(a) dca_depth.(b)) sigma;
+  sigma
+
+let ordering_for_ghd h ghd = ordering_of h (transform h ghd.Ghd.td)

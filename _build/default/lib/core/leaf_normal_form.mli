@@ -1,0 +1,45 @@
+(** The leaf normal form of tree decompositions (Chapter 3).
+
+    A tree decomposition of a hypergraph H is in leaf normal form when
+    (1) its leaves are in one-to-one correspondence with H's hyperedges,
+    the leaf of hyperedge [e] labelled exactly by [e], and (2) an
+    internal node carries a vertex Y iff it lies on a path between two
+    leaves carrying Y (Definition 18).
+
+    [transform] implements algorithm Transform Leaf Normal Form
+    (Figure 3.1); by Theorem 1 every bag of the result is contained in
+    some bag of the input.  [ordering_of] then extracts an elimination
+    ordering sorted by deepest-common-ancestor depth (Lemma 13); by
+    Theorem 2 the width of the hypergraph under that ordering — with
+    exact set covering — is at most the width of any GHD whose tree
+    decomposition was transformed.  Together these give the paper's
+    central search-space result: elimination orderings suffice for
+    generalized hypertree width. *)
+
+type t = {
+  td : Tree_decomposition.t;
+  leaf_of_edge : int array;  (** node id of each hyperedge's leaf *)
+}
+
+(** [transform h td] rewrites [td] into leaf normal form.
+    @raise Invalid_argument when [td] is not a tree decomposition of
+    [h]. *)
+val transform : Hd_hypergraph.Hypergraph.t -> Tree_decomposition.t -> t
+
+(** [is_leaf_normal_form h lnf] checks both conditions of
+    Definition 18. *)
+val is_leaf_normal_form : Hd_hypergraph.Hypergraph.t -> t -> bool
+
+(** [ordering_of h lnf] is an elimination ordering sorted by ascending
+    depth of each vertex's deepest common ancestor of its leaves
+    (shallower vertices are eliminated later, matching Lemma 13's
+    premise).
+    @raise Invalid_argument when some vertex of [h] lies in no
+    hyperedge. *)
+val ordering_of : Hd_hypergraph.Hypergraph.t -> t -> Ordering.t
+
+(** [ordering_for_ghd h ghd] composes the pipeline of Theorem 2: view
+    the GHD's tree decomposition, transform to leaf normal form, extract
+    the ordering.  Bucket elimination with exact covers along the result
+    has width at most [Ghd.width ghd]. *)
+val ordering_for_ghd : Hd_hypergraph.Hypergraph.t -> Ghd.t -> Ordering.t

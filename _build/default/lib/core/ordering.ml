@@ -1,0 +1,40 @@
+type t = int array
+
+let is_permutation sigma =
+  let n = Array.length sigma in
+  let seen = Array.make n false in
+  let rec go i =
+    i >= n
+    || sigma.(i) >= 0
+       && sigma.(i) < n
+       && (not seen.(sigma.(i)))
+       &&
+       (seen.(sigma.(i)) <- true;
+        go (i + 1))
+  in
+  go 0
+
+let identity n = Array.init n (fun i -> i)
+
+let random rng n =
+  let sigma = identity n in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = sigma.(i) in
+    sigma.(i) <- sigma.(j);
+    sigma.(j) <- t
+  done;
+  sigma
+
+let positions sigma =
+  let pos = Array.make (Array.length sigma) 0 in
+  Array.iteri (fun i v -> pos.(v) <- i) sigma;
+  pos
+
+let reverse sigma =
+  let n = Array.length sigma in
+  Array.init n (fun i -> sigma.(n - 1 - i))
+
+let pp ppf sigma =
+  Format.fprintf ppf "(%s)"
+    (String.concat "," (Array.to_list (Array.map string_of_int sigma)))

@@ -1,0 +1,29 @@
+(** Elimination orderings (Definition 15).
+
+    An elimination ordering of an n-vertex (hyper)graph is a permutation
+    [sigma] of [0 .. n - 1], stored as an array: [sigma.(i)] is the i-th
+    vertex of the ordering.  Following the paper's bucket-elimination
+    convention, vertices are {e eliminated from the back}: [sigma.(n-1)]
+    is eliminated first and [sigma.(0)] last, so [sigma.(0)] labels the
+    root bag of the derived decomposition. *)
+
+type t = int array
+
+(** [is_permutation sigma] checks that [sigma] is a permutation of
+    [0 .. length - 1]. *)
+val is_permutation : t -> bool
+
+(** [identity n] is [(0, 1, ..., n - 1)]. *)
+val identity : int -> t
+
+(** [random rng n] is a uniformly random permutation (Fisher-Yates). *)
+val random : Random.State.t -> int -> t
+
+(** [positions sigma] is the inverse permutation: [positions sigma].(v)
+    is the index of vertex [v] in [sigma]. *)
+val positions : t -> int array
+
+(** [reverse sigma] is the reversed ordering. *)
+val reverse : t -> t
+
+val pp : Format.formatter -> t -> unit

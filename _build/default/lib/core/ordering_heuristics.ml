@@ -1,0 +1,70 @@
+module Graph = Hd_graph.Graph
+module Elim_graph = Hd_graph.Elim_graph
+module Hypergraph = Hd_hypergraph.Hypergraph
+
+let random_argmin rng xs ~key =
+  let best = ref max_int and ties = ref 0 and pick = ref (-1) in
+  List.iter
+    (fun v ->
+      let k = key v in
+      if k < !best then begin
+        best := k;
+        ties := 1;
+        pick := v
+      end
+      else if k = !best then begin
+        incr ties;
+        if Random.State.int rng !ties = 0 then pick := v
+      end)
+    xs;
+  !pick
+
+let greedy_elimination rng g ~key =
+  let n = Graph.n g in
+  let eg = Elim_graph.of_graph g in
+  let sigma = Array.make n 0 in
+  for i = n - 1 downto 0 do
+    let v = random_argmin rng (Elim_graph.alive_list eg) ~key:(key eg) in
+    sigma.(i) <- v;
+    Elim_graph.eliminate eg v
+  done;
+  sigma
+
+let min_fill rng g = greedy_elimination rng g ~key:Elim_graph.fill_count
+let min_degree rng g = greedy_elimination rng g ~key:Elim_graph.degree
+
+let max_cardinality rng g =
+  let n = Graph.n g in
+  let numbered = Array.make n false in
+  let weight = Array.make n 0 in
+  let sigma = Array.make n 0 in
+  let remaining = ref (List.init n (fun v -> v)) in
+  for i = 0 to n - 1 do
+    (* maximise numbered-neighbour count = minimise its negation *)
+    let v = random_argmin rng !remaining ~key:(fun v -> -weight.(v)) in
+    sigma.(i) <- v;
+    numbered.(v) <- true;
+    List.iter
+      (fun u -> if not numbered.(u) then weight.(u) <- weight.(u) + 1)
+      (Graph.neighbors g v);
+    remaining := List.filter (( <> ) v) !remaining
+  done;
+  sigma
+
+let min_fill_hypergraph rng h = min_fill rng (Hypergraph.primal h)
+
+let best_of rng g ~trials ~eval =
+  assert (trials > 0);
+  let candidates =
+    List.concat_map
+      (fun heuristic -> List.init trials (fun _ -> heuristic rng g))
+      [ min_fill; min_degree ]
+  in
+  match candidates with
+  | [] -> assert false
+  | first :: rest ->
+      List.fold_left
+        (fun (best_sigma, best_w) sigma ->
+          let w = eval sigma in
+          if w < best_w then (sigma, w) else (best_sigma, best_w))
+        (first, eval first) rest

@@ -1,0 +1,35 @@
+(** Greedy elimination-ordering heuristics (Section 4.4.2).
+
+    Each heuristic grows the ordering from the back — position [n-1] is
+    chosen and eliminated first, matching the paper's description of
+    min-fill ("place it at position n") and this library's convention
+    that [sigma.(n-1)] is eliminated first.  Ties are broken uniformly
+    at random with the supplied state, as the paper's implementations
+    do. *)
+
+(** [min_fill rng g] repeatedly eliminates a vertex adding the fewest
+    fill edges — the upper-bound heuristic of A*-tw and QuickBB. *)
+val min_fill : Random.State.t -> Hd_graph.Graph.t -> Ordering.t
+
+(** [min_degree rng g] repeatedly eliminates a vertex of minimum current
+    degree. *)
+val min_degree : Random.State.t -> Hd_graph.Graph.t -> Ordering.t
+
+(** [max_cardinality rng g] is maximum cardinality search: vertices are
+    numbered from position [0] upwards, each maximising the number of
+    already-numbered neighbours; on chordal graphs the result is a
+    perfect elimination ordering. *)
+val max_cardinality : Random.State.t -> Hd_graph.Graph.t -> Ordering.t
+
+(** [min_fill_hypergraph rng h] is {!min_fill} on [h]'s primal graph. *)
+val min_fill_hypergraph : Random.State.t -> Hd_hypergraph.Hypergraph.t -> Ordering.t
+
+(** [best_of rng g ~trials ~eval] runs [min_fill] and [min_degree]
+    [trials] times each and returns the ordering with the smallest
+    [eval] value together with that value. *)
+val best_of :
+  Random.State.t ->
+  Hd_graph.Graph.t ->
+  trials:int ->
+  eval:(Ordering.t -> int) ->
+  Ordering.t * int

@@ -1,0 +1,102 @@
+module Bitset = Hd_graph.Bitset
+
+let to_string ~n_vertices td =
+  let buf = Buffer.create 1024 in
+  let k = Tree_decomposition.n_nodes td in
+  let width_plus_one =
+    Array.fold_left
+      (fun acc b -> max acc (Bitset.cardinal b))
+      0 td.Tree_decomposition.bags
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "s td %d %d %d\n" k width_plus_one n_vertices);
+  Array.iteri
+    (fun i b ->
+      Buffer.add_string buf (Printf.sprintf "b %d" (i + 1));
+      Bitset.iter (fun v -> Buffer.add_string buf (Printf.sprintf " %d" (v + 1))) b;
+      Buffer.add_char buf '\n')
+    td.Tree_decomposition.bags;
+  List.iter
+    (fun (child, parent) ->
+      Buffer.add_string buf (Printf.sprintf "%d %d\n" (child + 1) (parent + 1)))
+    (Tree_decomposition.edges td);
+  Buffer.contents buf
+
+let parse_string text =
+  let n_bags = ref (-1) and n_vertices = ref 0 in
+  let bags = ref [] and tree_edges = ref [] in
+  let handle lineno line =
+    let line = String.trim line in
+    if line = "" then ()
+    else
+      match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+      | "c" :: _ -> ()
+      | [ "s"; "td"; bags'; _width; vertices ] ->
+          if !n_bags >= 0 then failwith "Td_io: duplicate solution line";
+          n_bags := int_of_string bags';
+          n_vertices := int_of_string vertices
+      | "b" :: id :: vs ->
+          bags :=
+            (int_of_string id - 1, List.map (fun v -> int_of_string v - 1) vs)
+            :: !bags
+      | [ a; b ] -> tree_edges := (int_of_string a - 1, int_of_string b - 1) :: !tree_edges
+      | _ -> failwith (Printf.sprintf "Td_io: bad line %d: %s" lineno line)
+  in
+  String.split_on_char '\n' text |> List.iteri handle;
+  if !n_bags < 0 then failwith "Td_io: missing solution line";
+  let k = !n_bags in
+  let bag_sets = Array.init (max k 1) (fun _ -> Bitset.create (max !n_vertices 1)) in
+  List.iter
+    (fun (id, vs) ->
+      if id < 0 || id >= k then failwith "Td_io: bag id out of range";
+      List.iter
+        (fun v ->
+          if v < 0 || v >= !n_vertices then failwith "Td_io: vertex out of range";
+          Bitset.add bag_sets.(id) v)
+        vs)
+    !bags;
+  (* root at bag 0 and orient the undirected tree edges by BFS *)
+  let adjacency = Array.make (max k 1) [] in
+  List.iter
+    (fun (a, b) ->
+      if a < 0 || a >= k || b < 0 || b >= k then
+        failwith "Td_io: edge endpoint out of range";
+      adjacency.(a) <- b :: adjacency.(a);
+      adjacency.(b) <- a :: adjacency.(b))
+    !tree_edges;
+  let parent = Array.make (max k 1) (-2) in
+  if k > 0 then begin
+    let queue = Queue.create () in
+    Queue.push 0 queue;
+    parent.(0) <- -1;
+    while not (Queue.is_empty queue) do
+      let i = Queue.pop queue in
+      List.iter
+        (fun j ->
+          if parent.(j) = -2 then begin
+            parent.(j) <- i;
+            Queue.push j queue
+          end)
+        adjacency.(i)
+    done;
+    Array.iteri
+      (fun i p ->
+        if i < k && p = -2 then
+          failwith "Td_io: tree edges do not connect all bags")
+      parent
+  end;
+  Tree_decomposition.make
+    ~bags:(Array.sub bag_sets 0 k)
+    ~parent:(Array.sub parent 0 k)
+
+let write_file path ~n_vertices td =
+  let oc = open_out path in
+  output_string oc (to_string ~n_vertices td);
+  close_out oc
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse_string text

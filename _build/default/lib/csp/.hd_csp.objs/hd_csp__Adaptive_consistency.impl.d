@@ -1,0 +1,1 @@
+lib/csp/adaptive_consistency.ml: Array Csp Hd_core List Random Relation

@@ -1,0 +1,1 @@
+lib/csp/adaptive_consistency.mli: Csp

@@ -1,0 +1,1 @@
+lib/csp/csp.ml: Array Fun Hd_hypergraph List Relation

@@ -1,0 +1,1 @@
+lib/csp/join_tree.mli: Relation

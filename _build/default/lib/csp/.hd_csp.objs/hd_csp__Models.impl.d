@@ -1,0 +1,1 @@
+lib/csp/models.ml: Array Csp Fun Hd_graph List Random Relation

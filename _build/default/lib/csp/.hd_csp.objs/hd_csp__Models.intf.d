@@ -1,0 +1,1 @@
+lib/csp/models.mli: Csp Hd_graph

@@ -1,0 +1,1 @@
+lib/csp/relation.ml: Array Format Fun Hashtbl List String

@@ -1,0 +1,1 @@
+lib/csp/relation.mli: Format

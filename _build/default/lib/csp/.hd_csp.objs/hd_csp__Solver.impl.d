@@ -1,0 +1,1 @@
+lib/csp/solver.ml: Array Csp Hd_core Hd_graph Hd_hypergraph Join_tree List Random Relation

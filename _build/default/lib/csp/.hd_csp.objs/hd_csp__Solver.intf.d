@@ -1,0 +1,1 @@
+lib/csp/solver.mli: Csp Hd_core Hd_hypergraph Relation

@@ -1,0 +1,88 @@
+let solve csp sigma =
+  let n = Csp.n_variables csp in
+  if not (Hd_core.Ordering.is_permutation sigma) || Array.length sigma <> n
+  then invalid_arg "Adaptive_consistency.solve: not a permutation";
+  if n = 0 then Some [||]
+  else begin
+    let pos = Hd_core.Ordering.positions sigma in
+    (* bucket of a relation: the position of its first-eliminated
+       (largest-position) variable *)
+    let buckets = Array.make n [] in
+    let place r =
+      let scope = Relation.scope r in
+      if Array.length scope > 0 then begin
+        let p = Array.fold_left (fun acc v -> max acc pos.(v)) 0 scope in
+        buckets.(p) <- r :: buckets.(p)
+      end
+    in
+    List.iter place (Csp.constraints csp);
+    (* forward phase: join each bucket, project the variable away *)
+    let processed = Array.make n None in
+    let rec forward i =
+      if i < 0 then true
+      else begin
+        let v = sigma.(i) in
+        let domain_rel =
+          Relation.make ~scope:[| v |]
+            (Array.to_list (Array.map (fun x -> [| x |]) (Csp.domain csp v)))
+        in
+        let joined =
+          List.fold_left Relation.join domain_rel buckets.(i)
+        in
+        processed.(i) <- Some joined;
+        if Relation.is_empty joined then false
+        else begin
+          let rest =
+            Array.of_list
+              (List.filter (( <> ) v) (Array.to_list (Relation.scope joined)))
+          in
+          if Array.length rest > 0 then place (Relation.project joined rest);
+          forward (i - 1)
+        end
+      end
+    in
+    if not (forward (n - 1)) then None
+    else begin
+      (* backward phase: assign variables in reverse elimination order
+         (position 0 first), each consistent with its bucket's join *)
+      let assignment = Array.make n min_int in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        if !ok then begin
+          let v = sigma.(i) in
+          match processed.(i) with
+          | None -> ok := false
+          | Some joined ->
+              let scope = Relation.scope joined in
+              let consistent tuple =
+                let fine = ref true in
+                Array.iteri
+                  (fun k u ->
+                    if u <> v && assignment.(u) = min_int then
+                      (* variables later in elimination order are
+                         already assigned; others cannot occur *)
+                      fine := false
+                    else if u <> v && tuple.(k) <> assignment.(u) then
+                      fine := false)
+                  scope;
+                !fine
+              in
+              (match
+                 List.find_opt consistent (Relation.tuples joined)
+               with
+              | Some tuple ->
+                  Array.iteri
+                    (fun k u -> if assignment.(u) = min_int then assignment.(u) <- tuple.(k))
+                    scope
+              | None -> ok := false)
+        end
+      done;
+      if !ok && Csp.consistent csp assignment then Some assignment else None
+    end
+  end
+
+let solve_auto ?(seed = 0) csp =
+  let h = Csp.hypergraph csp in
+  let rng = Random.State.make [| seed |] in
+  let sigma = Hd_core.Ordering_heuristics.min_fill_hypergraph rng h in
+  solve csp sigma

@@ -1,0 +1,21 @@
+(** Adaptive consistency — bucket elimination as a CSP solver
+    (Section 2.5, after Dechter).
+
+    Constraints are partitioned into buckets along an elimination
+    ordering (each constraint in the bucket of its first-eliminated
+    variable).  Processing buckets in elimination order joins each
+    bucket's relations and projects the bucket variable away, passing
+    the result down; a backward pass then reads off a solution.  Time
+    and space are exponential only in the width of the ordering —
+    bucket elimination is "solving the CSP on the tree decomposition
+    the ordering induces". *)
+
+(** [solve csp sigma] decides [csp] along the elimination ordering
+    [sigma] (a permutation of the variables; [sigma.(n-1)] is processed
+    first) and returns a solution if one exists.
+    @raise Invalid_argument when [sigma] is not a permutation. *)
+val solve : Csp.t -> int array -> int array option
+
+(** [solve_auto ?seed csp] picks a min-fill ordering of the constraint
+    hypergraph and runs {!solve}. *)
+val solve_auto : ?seed:int -> Csp.t -> int array option

@@ -1,0 +1,145 @@
+type t = { relations : Relation.t array; parent : int array }
+
+(* children-before-parents order (reverse BFS from the root) *)
+let bottom_up_order t =
+  let m = Array.length t.relations in
+  let order = Array.make m 0 in
+  let depth = Array.make m (-1) in
+  let rec depth_of i =
+    if depth.(i) >= 0 then depth.(i)
+    else begin
+      let d = if t.parent.(i) = -1 then 0 else depth_of t.parent.(i) + 1 in
+      depth.(i) <- d;
+      d
+    end
+  in
+  for i = 0 to m - 1 do
+    ignore (depth_of i);
+    order.(i) <- i
+  done;
+  Array.sort (fun a b -> compare depth.(b) depth.(a)) order;
+  order
+
+let acyclic_solve t ~n_vars =
+  let m = Array.length t.relations in
+  if m = 0 then Some (Array.make n_vars min_int)
+  else begin
+    let rel = Array.copy t.relations in
+    let order = bottom_up_order t in
+    (* bottom-up: eliminate parent tuples with no support below *)
+    let failed = ref false in
+    Array.iter
+      (fun i ->
+        if (not !failed) && t.parent.(i) <> -1 then begin
+          let p = t.parent.(i) in
+          rel.(p) <- Relation.semijoin rel.(p) rel.(i);
+          if Relation.is_empty rel.(p) then failed := true
+        end)
+      order;
+    if !failed || Array.exists Relation.is_empty rel then None
+    else begin
+      (* top-down: pick tuples consistent with what is already fixed *)
+      let assignment = Array.make n_vars min_int in
+      let assign_from i =
+        let scope = Relation.scope rel.(i) in
+        let consistent tuple =
+          let ok = ref true in
+          Array.iteri
+            (fun k v ->
+              if assignment.(v) <> min_int && tuple.(k) <> assignment.(v) then
+                ok := false)
+            scope;
+          !ok
+        in
+        match List.find_opt consistent (Relation.tuples rel.(i)) with
+        | None ->
+            (* cannot happen on a correctly reduced join tree *)
+            assert false
+        | Some tuple -> Array.iteri (fun k v -> assignment.(v) <- tuple.(k)) scope
+      in
+      let top_down = Array.of_list (List.rev (Array.to_list order)) in
+      Array.iter assign_from top_down;
+      Some assignment
+    end
+  end
+
+let count_solutions t =
+  let m = Array.length t.relations in
+  if m = 0 then 1
+  else begin
+    let order = bottom_up_order t in
+    (* weight table per node: tuple -> number of consistent extensions
+       into the node's subtree *)
+    let weights = Array.make m [] in
+    Array.iter
+      (fun i ->
+        let scope = Relation.scope t.relations.(i) in
+        let children =
+          List.filter (fun j -> t.parent.(j) = i) (List.init m Fun.id)
+        in
+        let weight_of tuple =
+          List.fold_left
+            (fun acc c ->
+              if acc = 0 then 0
+              else begin
+                (* shared variables with the child, and their positions *)
+                let child_scope = Relation.scope t.relations.(c) in
+                let shared =
+                  Array.to_list scope
+                  |> List.filter (fun v -> Array.exists (( = ) v) child_scope)
+                in
+                let key_of sc tup =
+                  List.map
+                    (fun v ->
+                      let rec index k = if sc.(k) = v then k else index (k + 1) in
+                      tup.(index 0))
+                    shared
+                in
+                let matching =
+                  List.fold_left
+                    (fun sum (child_tuple, w) ->
+                      if key_of child_scope child_tuple = key_of scope tuple
+                      then sum + w
+                      else sum)
+                    0 weights.(c)
+                in
+                acc * matching
+              end)
+            1 children
+        in
+        weights.(i) <-
+          List.map (fun tuple -> (tuple, weight_of tuple)) (Relation.tuples t.relations.(i)))
+      order;
+    (* sum over the root(s); a forest multiplies across components *)
+    let total = ref 1 in
+    for i = 0 to m - 1 do
+      if t.parent.(i) = -1 then
+        total := !total * List.fold_left (fun acc (_, w) -> acc + w) 0 weights.(i)
+    done;
+    !total
+  end
+
+let is_join_tree t =
+  let m = Array.length t.relations in
+  let vars =
+    Array.fold_left
+      (fun acc r -> Array.fold_left (fun acc v -> max acc v) acc (Relation.scope r))
+      (-1)
+      t.relations
+  in
+  let rec check v =
+    if v > vars then true
+    else begin
+      let has i = Array.exists (( = ) v) (Relation.scope t.relations.(i)) in
+      let occurrences = List.filter has (List.init m Fun.id) in
+      let internal_edges =
+        List.filter
+          (fun i -> t.parent.(i) <> -1 && has i && has t.parent.(i))
+          (List.init m Fun.id)
+      in
+      (occurrences = []
+      || List.length internal_edges = List.length occurrences - 1)
+      && check (v + 1)
+    end
+  in
+  check 0

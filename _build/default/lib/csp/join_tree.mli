@@ -1,0 +1,33 @@
+(** Join trees and algorithm Acyclic Solving (Figure 2.4).
+
+    A join tree here is a rooted tree whose nodes carry relations; the
+    connectedness condition for join trees (Definition 8) is assumed,
+    which holds by construction for trees derived from tree
+    decompositions or generalized hypertree decompositions. *)
+
+type t = {
+  relations : Relation.t array;
+  parent : int array;  (** [-1] for the root *)
+}
+
+(** [acyclic_solve t ~n_vars] runs the bottom-up semijoin phase and, on
+    success, the top-down assignment phase.  Returns an assignment
+    array of length [n_vars] where variables not occurring in any scope
+    stay [min_int]; [None] when the CSP has no solution.
+
+    Running time is O(m . n log n) with [m] nodes and [n] the largest
+    relation, as the paper states. *)
+val acyclic_solve : t -> n_vars:int -> int array option
+
+(** [count_solutions t] counts the complete consistent assignments to
+    the variables occurring in [t]'s scopes, by sum-product dynamic
+    programming over the tree: each node tuple's weight is the product
+    over children of the summed weights of matching child tuples.
+    Correct whenever [t] satisfies the join tree connectedness
+    condition. *)
+val count_solutions : t -> int
+
+(** [is_join_tree t] checks the connectedness condition: nodes whose
+    scopes share a variable must form a connected subtree for that
+    variable. *)
+val is_join_tree : t -> bool

@@ -1,0 +1,39 @@
+(** Ready-made CSP instances: the paper's worked examples and standard
+    benchmark families. *)
+
+(** [australia ()] is Example 1: 3-colouring the states and territories
+    of Australia.  Variables in order WA, NT, Q, SA, NSW, V, TAS;
+    values 0 = red, 1 = green, 2 = blue. *)
+val australia : unit -> Csp.t
+
+(** [example5 ()] is the CSP of the paper's Example 5 (Figure 2.6),
+    whose constraint hypergraph has the width-2 decompositions of
+    Figures 2.6/2.7.  Domains: x1 in {a, b} = {0, 1}; x2..x6 in
+    {b, c} = {1, 2}. *)
+val example5 : unit -> Csp.t
+
+(** [graph_coloring g ~colors] is the [colors]-coloring CSP of graph
+    [g] (Example 1 generalised): one constraint per edge. *)
+val graph_coloring : Hd_graph.Graph.t -> colors:int -> Csp.t
+
+(** [sat clauses ~n_vars] is Example 2 generalised: boolean
+    satisfiability as a CSP.  A clause is a list of non-zero DIMACS
+    literals ([+v] positive, [-v] negative, variables 1-based);
+    one constraint per clause listing its satisfying assignments. *)
+val sat : int list list -> n_vars:int -> Csp.t
+
+(** [n_queens n] places [n] queens: variable = column of the queen in
+    each row, constraints between every row pair. *)
+val n_queens : int -> Csp.t
+
+(** [random_csp ~seed ~n_vars ~domain_size ~n_constraints ~arity
+    ~tightness] draws scopes and allowed-tuple sets uniformly;
+    [tightness] is the fraction of forbidden tuples. *)
+val random_csp :
+  seed:int ->
+  n_vars:int ->
+  domain_size:int ->
+  n_constraints:int ->
+  arity:int ->
+  tightness:float ->
+  Csp.t

@@ -1,0 +1,145 @@
+type t = { scope : int array; tuples : int array list }
+
+let check_scope scope =
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun v ->
+      if Hashtbl.mem seen v then
+        invalid_arg "Relation.make: duplicate variable in scope";
+      Hashtbl.add seen v ())
+    scope
+
+let make ~scope tuples =
+  check_scope scope;
+  let arity = Array.length scope in
+  List.iter
+    (fun t ->
+      if Array.length t <> arity then
+        invalid_arg "Relation.make: tuple arity mismatch")
+    tuples;
+  let seen = Hashtbl.create (List.length tuples) in
+  let deduped =
+    List.filter
+      (fun t ->
+        if Hashtbl.mem seen t then false
+        else begin
+          Hashtbl.add seen t ();
+          true
+        end)
+      tuples
+  in
+  { scope; tuples = deduped }
+
+let scope r = r.scope
+let arity r = Array.length r.scope
+let cardinality r = List.length r.tuples
+let tuples r = r.tuples
+let is_empty r = r.tuples = []
+
+let mem r tuple = List.exists (fun t -> t = tuple) r.tuples
+
+let index_of scope var =
+  let rec go i =
+    if i >= Array.length scope then raise Not_found
+    else if scope.(i) = var then i
+    else go (i + 1)
+  in
+  go 0
+
+let value r tuple ~var = tuple.(index_of r.scope var)
+
+(* positions of the shared variables in both scopes *)
+let shared_positions a b =
+  let pairs = ref [] in
+  Array.iteri
+    (fun i v ->
+      match index_of b.scope v with
+      | j -> pairs := (i, j) :: !pairs
+      | exception Not_found -> ())
+    a.scope;
+  List.rev !pairs
+
+let key_of positions tuple = List.map (fun i -> tuple.(i)) positions
+
+let join a b =
+  let shared = shared_positions a b in
+  let a_pos = List.map fst shared and b_pos = List.map snd shared in
+  (* positions of b's private variables *)
+  let b_private_pos =
+    List.filter
+      (fun j -> not (List.mem j b_pos))
+      (List.init (Array.length b.scope) Fun.id)
+  in
+  let out_scope =
+    Array.append a.scope
+      (Array.of_list (List.map (fun j -> b.scope.(j)) b_private_pos))
+  in
+  (* hash join on the shared key *)
+  let table = Hashtbl.create (List.length b.tuples) in
+  List.iter
+    (fun t -> Hashtbl.add table (key_of b_pos t) t)
+    b.tuples;
+  let out = ref [] in
+  List.iter
+    (fun ta ->
+      let key = key_of a_pos ta in
+      List.iter
+        (fun tb ->
+          let extension = List.map (fun j -> tb.(j)) b_private_pos in
+          out := Array.append ta (Array.of_list extension) :: !out)
+        (Hashtbl.find_all table key))
+    a.tuples;
+  make ~scope:out_scope (List.rev !out)
+
+let semijoin a b =
+  let shared = shared_positions a b in
+  let a_pos = List.map fst shared and b_pos = List.map snd shared in
+  let keys = Hashtbl.create (List.length b.tuples) in
+  List.iter (fun t -> Hashtbl.replace keys (key_of b_pos t) ()) b.tuples;
+  { a with tuples = List.filter (fun t -> Hashtbl.mem keys (key_of a_pos t)) a.tuples }
+
+let project r vars =
+  let positions = Array.map (fun v -> index_of r.scope v) vars in
+  make ~scope:vars
+    (List.map (fun t -> Array.map (fun i -> t.(i)) positions) r.tuples)
+
+let select r ~var ~value =
+  let i = index_of r.scope var in
+  { r with tuples = List.filter (fun t -> t.(i) = value) r.tuples }
+
+let full ~scope ~domains =
+  check_scope scope;
+  let doms = Array.map (fun v -> domains.(v)) scope in
+  let k = Array.length scope in
+  let out = ref [] in
+  let tuple = Array.make k 0 in
+  let rec fill i =
+    if i = k then out := Array.copy tuple :: !out
+    else
+      Array.iter
+        (fun value ->
+          tuple.(i) <- value;
+          fill (i + 1))
+        doms.(i)
+  in
+  if k = 0 then make ~scope []
+  else begin
+    fill 0;
+    make ~scope (List.rev !out)
+  end
+
+let equal a b =
+  a.scope = b.scope
+  && List.sort compare a.tuples = List.sort compare b.tuples
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>scope(%s): %d tuples"
+    (String.concat ","
+       (Array.to_list (Array.map string_of_int r.scope)))
+    (cardinality r);
+  List.iter
+    (fun t ->
+      Format.fprintf ppf "@,(%s)"
+        (String.concat "," (Array.to_list (Array.map string_of_int t))))
+    r.tuples;
+  Format.fprintf ppf "@]"

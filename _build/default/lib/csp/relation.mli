@@ -1,0 +1,54 @@
+(** Finite relations over CSP variables.
+
+    A relation pairs a scope — an array of distinct variable ids — with
+    a set of tuples of the same arity; tuple component [i] is the value
+    of variable [scope.(i)].  The operations here are the relational
+    algebra that acyclic solving and decomposition-based solving need:
+    natural join, semijoin and projection (Sections 2.2.3 and 2.4). *)
+
+type t
+
+(** [make ~scope tuples] deduplicates [tuples].
+    @raise Invalid_argument on arity mismatch or duplicate scope
+    variables. *)
+val make : scope:int array -> int array list -> t
+
+val scope : t -> int array
+val arity : t -> int
+val cardinality : t -> int
+
+(** [tuples r] lists the tuples in an unspecified but stable order. *)
+val tuples : t -> int array list
+
+val is_empty : t -> bool
+
+(** [mem r tuple] tests membership. *)
+val mem : t -> int array -> bool
+
+(** [value tuple r ~var] extracts variable [var]'s value from a tuple of
+    [r].
+    @raise Not_found when [var] is outside the scope. *)
+val value : t -> int array -> var:int -> int
+
+(** [join a b] is the natural join [a ⋈ b]; its scope is the union of
+    scopes (a's variables first). *)
+val join : t -> t -> t
+
+(** [semijoin a b] is [a ⋉ b]: the tuples of [a] that match at least one
+    tuple of [b] on the shared variables.  With disjoint scopes this is
+    [a] itself (or empty when [b] is empty). *)
+val semijoin : t -> t -> t
+
+(** [project r vars] is the projection of [r] onto [vars] (which must be
+    a subset of the scope). *)
+val project : t -> int array -> t
+
+(** [select r ~var ~value] keeps tuples assigning [value] to [var]. *)
+val select : t -> var:int -> value:int -> t
+
+(** [full ~scope ~domains] is the cartesian product of the variables'
+    domains — the unconstrained relation. *)
+val full : scope:int array -> domains:int array array -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,167 @@
+module Bitset = Hd_graph.Bitset
+module Hypergraph = Hd_hypergraph.Hypergraph
+module Td = Hd_core.Tree_decomposition
+module Ghd = Hd_core.Ghd
+
+let domains_of csp =
+  Array.init (Csp.n_variables csp) (fun v -> Csp.domain csp v)
+
+let relation_of_edge csp h e =
+  let cs = Array.of_list (Csp.constraints csp) in
+  if e < Array.length cs then cs.(e)
+  else begin
+    (* a singleton hyperedge covering an unconstrained variable *)
+    let scope = Array.map (fun v -> v) (Hypergraph.edge h e) in
+    Relation.full ~scope ~domains:(domains_of csp)
+  end
+
+(* fill variables the join tree left untouched (none when the
+   decomposition covers all variables, but stay total anyway) *)
+let finalize csp = function
+  | None -> None
+  | Some assignment ->
+      Array.iteri
+        (fun v value ->
+          if value = min_int then assignment.(v) <- (Csp.domain csp v).(0))
+        assignment;
+      if Csp.consistent csp assignment then Some assignment else None
+
+let solve_with_td csp td =
+  let h = Csp.hypergraph csp in
+  if not (Td.valid_for_hypergraph h td) then
+    invalid_arg "Solver.solve_with_td: not a tree decomposition of the CSP";
+  let n_nodes = Td.n_nodes td in
+  let domains = domains_of csp in
+  (* step 1 of JTC: place each constraint in one covering bag *)
+  let placed = Array.make n_nodes [] in
+  List.iteri
+    (fun _i r ->
+      let scope = Relation.scope r in
+      let node =
+        let rec find p =
+          if p >= n_nodes then assert false
+          else if Array.for_all (Bitset.mem (Td.bag td p)) scope then p
+          else find (p + 1)
+        in
+        find 0
+      in
+      placed.(node) <- r :: placed.(node))
+    (Csp.constraints csp);
+  (* step 2: solve each bag subproblem — join the placed constraints,
+     then extend with the bag variables not yet in the scope *)
+  let relations =
+    Array.init n_nodes (fun p ->
+        let base =
+          match placed.(p) with
+          | [] -> Relation.make ~scope:[||] [ [||] ]
+          | r :: rest -> List.fold_left Relation.join r rest
+        in
+        let scope_vars = Relation.scope base in
+        let missing =
+          List.filter
+            (fun v -> not (Array.exists (( = ) v) scope_vars))
+            (Bitset.elements (Td.bag td p))
+        in
+        List.fold_left
+          (fun acc v ->
+            Relation.join acc (Relation.full ~scope:[| v |] ~domains))
+          base missing)
+  in
+  let jt = { Join_tree.relations; parent = td.Td.parent } in
+  finalize csp
+    (Join_tree.acyclic_solve jt ~n_vars:(Csp.n_variables csp))
+
+(* the join tree built by [solve_with_td]'s clustering, reused for
+   counting *)
+let join_tree_of_td csp td =
+  let h = Csp.hypergraph csp in
+  if not (Td.valid_for_hypergraph h td) then
+    invalid_arg "Solver: not a tree decomposition of the CSP";
+  let n_nodes = Td.n_nodes td in
+  let domains = domains_of csp in
+  let placed = Array.make n_nodes [] in
+  List.iter
+    (fun r ->
+      let scope = Relation.scope r in
+      let node =
+        let rec find p =
+          if p >= n_nodes then assert false
+          else if Array.for_all (Bitset.mem (Td.bag td p)) scope then p
+          else find (p + 1)
+        in
+        find 0
+      in
+      placed.(node) <- r :: placed.(node))
+    (Csp.constraints csp);
+  let relations =
+    Array.init n_nodes (fun p ->
+        let base =
+          match placed.(p) with
+          | [] -> Relation.make ~scope:[||] [ [||] ]
+          | r :: rest -> List.fold_left Relation.join r rest
+        in
+        let scope_vars = Relation.scope base in
+        let missing =
+          List.filter
+            (fun v -> not (Array.exists (( = ) v) scope_vars))
+            (Bitset.elements (Td.bag td p))
+        in
+        List.fold_left
+          (fun acc v ->
+            Relation.join acc (Relation.full ~scope:[| v |] ~domains))
+          base missing)
+  in
+  { Join_tree.relations; parent = td.Td.parent }
+
+let count_with_td csp td =
+  (* every variable occurs in some bag (singleton hyperedges are added
+     for unconstrained variables), so bag-variable counting is total *)
+  Join_tree.count_solutions (join_tree_of_td csp td)
+
+let solve_with_ghd csp ghd =
+  let h = Csp.hypergraph csp in
+  if not (Ghd.valid h ghd) then
+    invalid_arg "Solver.solve_with_ghd: not a GHD of the CSP";
+  let ghd = Ghd.complete h ghd in
+  let n_nodes = Td.n_nodes ghd.Ghd.td in
+  let relations =
+    Array.init n_nodes (fun p ->
+        let lambda = ghd.Ghd.lambda.(p) in
+        let joined =
+          match Array.to_list lambda with
+          | [] -> Relation.make ~scope:[||] [ [||] ]
+          | e :: rest ->
+              List.fold_left
+                (fun acc e' -> Relation.join acc (relation_of_edge csp h e'))
+                (relation_of_edge csp h e)
+                rest
+        in
+        (* project onto chi(p) *)
+        let chi = Array.of_list (Bitset.elements (Td.bag ghd.Ghd.td p)) in
+        Relation.project joined chi)
+  in
+  let jt = { Join_tree.relations; parent = ghd.Ghd.td.Td.parent } in
+  finalize csp
+    (Join_tree.acyclic_solve jt ~n_vars:(Csp.n_variables csp))
+
+let solve csp ~strategy ~seed =
+  let h = Csp.hypergraph csp in
+  let rng = Random.State.make [| seed |] in
+  let sigma = Hd_core.Ordering_heuristics.min_fill_hypergraph rng h in
+  match strategy with
+  | `Td -> solve_with_td csp (Td.of_ordering_hypergraph h sigma)
+  | `Ghd ->
+      solve_with_ghd csp (Ghd.of_ordering h sigma ~cover:(`Greedy (Some rng)))
+
+let solve_if_acyclic csp =
+  let h = Csp.hypergraph csp in
+  match Hd_hypergraph.Acyclicity.join_tree h with
+  | None -> None
+  | Some parent ->
+      let relations =
+        Array.init (Hypergraph.n_edges h) (fun e -> relation_of_edge csp h e)
+      in
+      let jt = { Join_tree.relations; parent } in
+      Some
+        (finalize csp
+           (Join_tree.acyclic_solve jt ~n_vars:(Csp.n_variables csp)))

@@ -1,0 +1,52 @@
+(** Solving CSPs from decompositions (Section 2.4).
+
+    Both solvers transform the CSP into a solution-equivalent acyclic
+    instance — a join tree — and run {!Join_tree.acyclic_solve}:
+
+    - {!solve_with_td} is steps 4-5 of Join Tree Clustering: place each
+      constraint in a bag containing its scope, solve each bag
+      subproblem by join + cartesian extension (cost O(d^(w+1))).
+    - {!solve_with_ghd} completes the GHD (Lemma 2) and computes each
+      node's relation as the projection onto chi(p) of the join of the
+      lambda(p) constraint relations (cost O(|I|^(k+1) log |I|) for
+      width k — this is where small ghw pays off).
+
+    Variables outside every bag (impossible for decompositions of the
+    CSP's own hypergraph) would be left at their first domain value. *)
+
+(** [solve_with_td csp td] returns a solution or [None].
+    @raise Invalid_argument when [td] is not a tree decomposition of
+    the CSP's constraint hypergraph. *)
+val solve_with_td :
+  Csp.t -> Hd_core.Tree_decomposition.t -> int array option
+
+(** [solve_with_ghd csp ghd] returns a solution or [None].
+    @raise Invalid_argument when [ghd] is not a GHD of the CSP's
+    constraint hypergraph. *)
+val solve_with_ghd : Csp.t -> Hd_core.Ghd.t -> int array option
+
+(** [solve csp ~strategy] decomposes the CSP's hypergraph with a greedy
+    ordering heuristic and solves.  [`Td] solves via a tree
+    decomposition, [`Ghd] via a generalized hypertree decomposition. *)
+val solve : Csp.t -> strategy:[ `Td | `Ghd ] -> seed:int -> int array option
+
+(** [solve_if_acyclic csp] detects alpha-acyclicity by GYO reduction
+    and, when the CSP is acyclic, solves it directly on the join tree
+    of its constraint relations — the fast path of Section 2.2.3,
+    with no decomposition step at all.  [None] when the CSP is cyclic;
+    [Some None] when acyclic but unsatisfiable. *)
+val solve_if_acyclic : Csp.t -> int array option option
+
+(** [count_with_td csp td] counts the complete consistent assignments
+    of [csp] by sum-product message passing over the join tree derived
+    from [td] — model counting in time exponential only in the width.
+    @raise Invalid_argument when [td] is not a tree decomposition of
+    the CSP's constraint hypergraph. *)
+val count_with_td : Csp.t -> Hd_core.Tree_decomposition.t -> int
+
+(** [relation_of_edge csp h e] is the relation attached to hyperedge
+    [e] of the CSP's hypergraph [h]: constraint [e]'s relation for real
+    constraints, the full unary relation for the singleton hyperedges
+    added to cover constraint-free variables. *)
+val relation_of_edge :
+  Csp.t -> Hd_hypergraph.Hypergraph.t -> int -> Relation.t

@@ -1,0 +1,1 @@
+lib/ga/crossover.ml: Array Random String

@@ -1,0 +1,1 @@
+lib/ga/crossover.mli: Random

@@ -1,0 +1,1 @@
+lib/ga/ga_engine.ml: Array Crossover Hd_core List Mutation Random Unix

@@ -1,0 +1,1 @@
+lib/ga/ga_engine.mli: Crossover Mutation Random

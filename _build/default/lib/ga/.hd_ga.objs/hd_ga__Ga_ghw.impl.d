@@ -1,0 +1,1 @@
+lib/ga/ga_ghw.ml: Ga_engine Hd_core Hd_hypergraph Random

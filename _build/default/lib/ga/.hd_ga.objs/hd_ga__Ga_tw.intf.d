@@ -1,0 +1,1 @@
+lib/ga/ga_tw.mli: Ga_engine Hd_core Hd_graph Hd_hypergraph

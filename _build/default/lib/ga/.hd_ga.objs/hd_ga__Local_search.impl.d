@@ -1,0 +1,1 @@
+lib/ga/local_search.ml: Array Hd_core Hd_graph Hd_hypergraph Mutation Random Unix

@@ -1,0 +1,1 @@
+lib/ga/local_search.mli: Hd_graph Hd_hypergraph Mutation

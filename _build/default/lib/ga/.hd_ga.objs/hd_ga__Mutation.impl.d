@@ -1,0 +1,1 @@
+lib/ga/mutation.ml: Array Random String

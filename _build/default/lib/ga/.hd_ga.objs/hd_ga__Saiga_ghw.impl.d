@@ -1,0 +1,1 @@
+lib/ga/saiga_ghw.ml: Array Crossover Float Ga_engine Hd_core Hd_hypergraph Mutation Random Unix

@@ -1,0 +1,1 @@
+lib/ga/saiga_ghw.mli: Crossover Ga_engine Hd_hypergraph Mutation

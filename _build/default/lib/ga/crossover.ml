@@ -1,0 +1,181 @@
+type t = PMX | CX | OX1 | OX2 | POS | AP
+
+let all = [ PMX; CX; OX1; OX2; POS; AP ]
+
+let name = function
+  | PMX -> "PMX"
+  | CX -> "CX"
+  | OX1 -> "OX1"
+  | OX2 -> "OX2"
+  | POS -> "POS"
+  | AP -> "AP"
+
+let of_name s =
+  match String.uppercase_ascii s with
+  | "PMX" -> Some PMX
+  | "CX" -> Some CX
+  | "OX1" -> Some OX1
+  | "OX2" -> Some OX2
+  | "POS" -> Some POS
+  | "AP" -> Some AP
+  | _ -> None
+
+(* two distinct cut points a <= b *)
+let cut_points rng n =
+  let a = Random.State.int rng n and b = Random.State.int rng n in
+  if a <= b then (a, b) else (b, a)
+
+(* a random subset of positions (coin toss per position), never empty
+   nor full so the operator actually mixes *)
+let random_positions rng n =
+  let s = Array.init n (fun _ -> Random.State.bool rng) in
+  s.(Random.State.int rng n) <- true;
+  s.(Random.State.int rng n) <- false;
+  s
+
+let positions_of parent =
+  let pos = Array.make (Array.length parent) 0 in
+  Array.iteri (fun i v -> pos.(v) <- i) parent;
+  pos
+
+let pmx rng p1 p2 =
+  let n = Array.length p1 in
+  let a, b = cut_points rng n in
+  let child = Array.copy p2 in
+  Array.blit p1 a child a (b - a + 1);
+  let pos1 = positions_of p1 in
+  let in_segment v =
+    let i = pos1.(v) in
+    i >= a && i <= b
+  in
+  for i = 0 to n - 1 do
+    if i < a || i > b then begin
+      (* follow the mapping p1[j] -> p2[j] out of the segment *)
+      let v = ref p2.(i) in
+      while in_segment !v do
+        v := p2.(pos1.(!v))
+      done;
+      child.(i) <- !v
+    end
+  done;
+  child
+
+let cx _rng p1 p2 =
+  let pos1 = positions_of p1 in
+  let child = Array.copy p2 in
+  let i = ref 0 in
+  (* the first cycle: positions reachable from 0 via i -> pos1(p2(i)) *)
+  let continue = ref true in
+  while !continue do
+    child.(!i) <- p1.(!i);
+    i := pos1.(p2.(!i));
+    if !i = 0 then continue := false
+  done;
+  child
+
+let ox1 rng p1 p2 =
+  let n = Array.length p1 in
+  let a, b = cut_points rng n in
+  let child = Array.make n (-1) in
+  Array.blit p1 a child a (b - a + 1);
+  let used = Array.make n false in
+  for i = a to b do
+    used.(p1.(i)) <- true
+  done;
+  (* walk p2 starting after the segment, filling positions after the
+     segment first, wrapping around *)
+  let fill_at = ref ((b + 1) mod n) in
+  for k = 0 to n - 1 do
+    let v = p2.((b + 1 + k) mod n) in
+    if not used.(v) then begin
+      child.(!fill_at) <- v;
+      used.(v) <- true;
+      fill_at := (!fill_at + 1) mod n;
+      while !fill_at >= a && !fill_at <= b do
+        fill_at := (!fill_at + 1) mod n
+      done
+    end
+  done;
+  child
+
+let ox2 rng p1 p2 =
+  let n = Array.length p1 in
+  let selected = random_positions rng n in
+  (* values of p2 at the selected positions, kept in p2's order *)
+  let chosen = Array.make n false in
+  for i = 0 to n - 1 do
+    if selected.(i) then chosen.(p2.(i)) <- true
+  done;
+  let replacement = ref [] in
+  for i = n - 1 downto 0 do
+    if selected.(i) then replacement := p2.(i) :: !replacement
+  done;
+  (* rewrite those values inside p1, in p2's order *)
+  let child = Array.copy p1 in
+  let queue = ref !replacement in
+  for i = 0 to n - 1 do
+    if chosen.(p1.(i)) then begin
+      match !queue with
+      | v :: rest ->
+          child.(i) <- v;
+          queue := rest
+      | [] -> assert false
+    end
+  done;
+  child
+
+let pos_xover rng p1 p2 =
+  let n = Array.length p1 in
+  let selected = random_positions rng n in
+  let child = Array.make n (-1) in
+  let used = Array.make n false in
+  for i = 0 to n - 1 do
+    if selected.(i) then begin
+      child.(i) <- p2.(i);
+      used.(p2.(i)) <- true
+    end
+  done;
+  let fill = ref 0 in
+  for i = 0 to n - 1 do
+    let v = p1.(i) in
+    if not used.(v) then begin
+      while child.(!fill) >= 0 do
+        incr fill
+      done;
+      child.(!fill) <- v;
+      used.(v) <- true
+    end
+  done;
+  child
+
+let ap rng p1 p2 =
+  let n = Array.length p1 in
+  let child = Array.make n (-1) in
+  let used = Array.make n false in
+  let k = ref 0 in
+  let take v =
+    if not used.(v) then begin
+      child.(!k) <- v;
+      used.(v) <- true;
+      incr k
+    end
+  in
+  (* the coin decides which parent leads; then strictly alternate *)
+  let first, second = if Random.State.bool rng then (p1, p2) else (p2, p1) in
+  for i = 0 to n - 1 do
+    take first.(i);
+    take second.(i)
+  done;
+  child
+
+let apply op rng p1 p2 =
+  assert (Array.length p1 = Array.length p2);
+  if Array.length p1 <= 1 then Array.copy p1
+  else
+    match op with
+    | PMX -> pmx rng p1 p2
+    | CX -> cx rng p1 p2
+    | OX1 -> ox1 rng p1 p2
+    | OX2 -> ox2 rng p1 p2
+    | POS -> pos_xover rng p1 p2
+    | AP -> ap rng p1 p2

@@ -1,0 +1,21 @@
+(** The six permutation crossover operators of Section 4.3.2, after
+    Larranaga et al.
+
+    Every operator maps two parent permutations of equal length to one
+    offspring permutation (the paper's pairwise recombination applies
+    each operator twice with the parents swapped to fill both slots). *)
+
+type t =
+  | PMX  (** partially-mapped crossover *)
+  | CX  (** cycle crossover *)
+  | OX1  (** order crossover *)
+  | OX2  (** order-based crossover *)
+  | POS  (** position-based crossover — the paper's winner (Table 6.1) *)
+  | AP  (** alternating-position crossover *)
+
+val all : t list
+val name : t -> string
+val of_name : string -> t option
+
+(** [apply op rng parent1 parent2] is one offspring permutation. *)
+val apply : t -> Random.State.t -> int array -> int array -> int array

@@ -1,0 +1,9 @@
+let run config h =
+  let ws = Hd_core.Eval.of_hypergraph h in
+  let rng = Random.State.make [| config.Ga_engine.seed lxor 0x5c |] in
+  Ga_engine.run config
+    ~n_genes:(Hd_hypergraph.Hypergraph.n_vertices h)
+    ~eval:(Hd_core.Eval.ghw_width ~rng ws)
+
+let decomposition ?(cover = `Exact) h (report : Ga_engine.report) =
+  Hd_core.Ghd.of_ordering h report.Ga_engine.best_individual ~cover

@@ -1,0 +1,49 @@
+(** Local search over elimination orderings: simulated annealing and
+    iterated local search.
+
+    Section 4.5 notes that on Larranaga et al.'s triangulation
+    benchmarks only simulated annealing matched the genetic algorithm's
+    results — these implementations provide that comparator for the
+    width objectives, plus a simple iterated-local-search baseline.
+    Moves are the paper's mutation operators (ISM by default), so the
+    neighbourhood matches the GA's. *)
+
+type config = {
+  max_steps : int;
+  initial_temperature : float;
+  cooling : float;  (** geometric factor per step, e.g. 0.999 *)
+  move : Mutation.t;
+  restarts : int;  (** for iterated local search *)
+  seed : int;
+  time_limit : float option;
+  target : int option;
+}
+
+val default_config : ?max_steps:int -> ?seed:int -> unit -> config
+
+type report = {
+  best : int;
+  best_individual : int array;
+  steps : int;
+  evaluations : int;
+  elapsed : float;
+}
+
+(** [simulated_annealing config ~n_genes ~eval] minimises [eval] by
+    Metropolis acceptance over mutation moves with geometric cooling. *)
+val simulated_annealing :
+  config -> n_genes:int -> eval:(int array -> int) -> report
+
+(** [iterated_local_search config ~n_genes ~eval] runs first-improvement
+    hill climbing to a local optimum, then perturbs (3 random moves)
+    and repeats, keeping the best of [restarts] descents. *)
+val iterated_local_search :
+  config -> n_genes:int -> eval:(int array -> int) -> report
+
+(** [sa_tw config g] is simulated annealing on the treewidth objective
+    (Figure 6.2). *)
+val sa_tw : config -> Hd_graph.Graph.t -> report
+
+(** [sa_ghw config h] is simulated annealing on the greedy-cover ghw
+    objective (Figure 7.1). *)
+val sa_ghw : config -> Hd_hypergraph.Hypergraph.t -> report

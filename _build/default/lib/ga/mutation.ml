@@ -1,0 +1,95 @@
+type t = DM | EM | ISM | SIM | IVM | SM
+
+let all = [ DM; EM; ISM; SIM; IVM; SM ]
+
+let name = function
+  | DM -> "DM"
+  | EM -> "EM"
+  | ISM -> "ISM"
+  | SIM -> "SIM"
+  | IVM -> "IVM"
+  | SM -> "SM"
+
+let of_name s =
+  match String.uppercase_ascii s with
+  | "DM" -> Some DM
+  | "EM" -> Some EM
+  | "ISM" -> Some ISM
+  | "SIM" -> Some SIM
+  | "IVM" -> Some IVM
+  | "SM" -> Some SM
+  | _ -> None
+
+let cut_points rng n =
+  let a = Random.State.int rng n and b = Random.State.int rng n in
+  if a <= b then (a, b) else (b, a)
+
+(* remove sigma.[a..b], insert it (possibly reversed) so that it starts
+   at a random position of the shortened string *)
+let displace rng sigma ~reversed =
+  let n = Array.length sigma in
+  let a, b = cut_points rng n in
+  let len = b - a + 1 in
+  let segment = Array.sub sigma a len in
+  if reversed then begin
+    let k = Array.length segment in
+    for i = 0 to (k / 2) - 1 do
+      let t = segment.(i) in
+      segment.(i) <- segment.(k - 1 - i);
+      segment.(k - 1 - i) <- t
+    done
+  end;
+  let rest = Array.make (n - len) 0 in
+  Array.blit sigma 0 rest 0 a;
+  Array.blit sigma (b + 1) rest a (n - b - 1);
+  let at = Random.State.int rng (n - len + 1) in
+  Array.blit rest 0 sigma 0 at;
+  Array.blit segment 0 sigma at len;
+  Array.blit rest at sigma (at + len) (n - len - at)
+
+let exchange rng sigma =
+  let n = Array.length sigma in
+  let i = Random.State.int rng n and j = Random.State.int rng n in
+  let t = sigma.(i) in
+  sigma.(i) <- sigma.(j);
+  sigma.(j) <- t
+
+let insertion rng sigma =
+  let n = Array.length sigma in
+  let i = Random.State.int rng n in
+  let v = sigma.(i) in
+  let j = Random.State.int rng n in
+  if i < j then Array.blit sigma (i + 1) sigma i (j - i)
+  else if j < i then Array.blit sigma j sigma (j + 1) (i - j);
+  sigma.(j) <- v
+
+let simple_inversion rng sigma =
+  let n = Array.length sigma in
+  let a, b = cut_points rng n in
+  let i = ref a and j = ref b in
+  while !i < !j do
+    let t = sigma.(!i) in
+    sigma.(!i) <- sigma.(!j);
+    sigma.(!j) <- t;
+    incr i;
+    decr j
+  done
+
+let scramble rng sigma =
+  let a, b = cut_points rng (Array.length sigma) in
+  for i = b downto a + 1 do
+    let j = a + Random.State.int rng (i - a + 1) in
+    let t = sigma.(i) in
+    sigma.(i) <- sigma.(j);
+    sigma.(j) <- t
+  done
+
+let apply op rng sigma =
+  if Array.length sigma > 1 then
+    match op with
+    | DM -> displace rng sigma ~reversed:false
+    | EM -> exchange rng sigma
+    | ISM -> insertion rng sigma
+    | SIM -> simple_inversion rng sigma
+    | IVM -> displace rng sigma ~reversed:true
+    | SM -> scramble rng sigma

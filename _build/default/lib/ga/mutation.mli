@@ -1,0 +1,19 @@
+(** The six permutation mutation operators of Section 4.3.3.
+
+    Every operator rewrites a permutation in place into another
+    permutation of the same elements. *)
+
+type t =
+  | DM  (** displacement: move a random substring elsewhere *)
+  | EM  (** exchange: swap two random elements *)
+  | ISM  (** insertion: move one element — the paper's winner (Table 6.2) *)
+  | SIM  (** simple inversion: reverse a random substring in place *)
+  | IVM  (** inversion: move a random substring elsewhere, reversed *)
+  | SM  (** scramble: shuffle a random substring *)
+
+val all : t list
+val name : t -> string
+val of_name : string -> t option
+
+(** [apply op rng sigma] mutates [sigma] in place. *)
+val apply : t -> Random.State.t -> int array -> unit

@@ -1,0 +1,155 @@
+type config = {
+  n_islands : int;
+  island_population : int;
+  epoch_length : int;
+  max_epochs : int;
+  crossover : Crossover.t;
+  mutation : Mutation.t;
+  tau : float;
+  time_limit : float option;
+  target : int option;
+  seed : int;
+}
+
+let default_config ?(n_islands = 4) ?(island_population = 100)
+    ?(epoch_length = 25) ?(max_epochs = 40) ?(seed = 0x5a16a) () =
+  {
+    n_islands;
+    island_population;
+    epoch_length;
+    max_epochs;
+    crossover = Crossover.POS;
+    mutation = Mutation.ISM;
+    tau = 0.3;
+    time_limit = None;
+    target = None;
+    seed;
+  }
+
+type report = {
+  best : int;
+  best_individual : int array;
+  epochs : int;
+  evaluations : int;
+  elapsed : float;
+  final_params : Ga_engine.params array;
+}
+
+let clamp lo hi x = max lo (min hi x)
+
+let gaussian rng =
+  (* Box-Muller *)
+  let u1 = max 1e-12 (Random.State.float rng 1.0) in
+  let u2 = Random.State.float rng 1.0 in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let mutate_params rng tau (p : Ga_engine.params) : Ga_engine.params =
+  let scale x = x *. exp (tau *. gaussian rng) in
+  {
+    Ga_engine.mutation_rate = clamp 0.01 1.0 (scale p.Ga_engine.mutation_rate);
+    crossover_rate = clamp 0.1 1.0 (scale p.Ga_engine.crossover_rate);
+    tournament_size =
+      clamp 2 8
+        (int_of_float
+           (Float.round (float_of_int p.Ga_engine.tournament_size
+                        *. exp (tau *. gaussian rng))));
+  }
+
+let orient (own : Ga_engine.params) (better : Ga_engine.params) :
+    Ga_engine.params =
+  (* move halfway toward the better neighbour's vector *)
+  {
+    Ga_engine.mutation_rate =
+      (own.Ga_engine.mutation_rate +. better.Ga_engine.mutation_rate) /. 2.0;
+    crossover_rate =
+      (own.Ga_engine.crossover_rate +. better.Ga_engine.crossover_rate) /. 2.0;
+    tournament_size =
+      (own.Ga_engine.tournament_size + better.Ga_engine.tournament_size + 1) / 2;
+  }
+
+let run config h =
+  let started = Unix.gettimeofday () in
+  let n_genes = Hd_hypergraph.Hypergraph.n_vertices h in
+  let ws = Hd_core.Eval.of_hypergraph h in
+  let k = max 1 config.n_islands in
+  let rngs =
+    Array.init k (fun i -> Random.State.make [| config.seed; i |])
+  in
+  let eval_rng = Random.State.make [| config.seed lxor 0x717 |] in
+  let eval sigma = Hd_core.Eval.ghw_width ~rng:eval_rng ws sigma in
+  (* random initial parameter vectors (Section 7.2.3) *)
+  let params =
+    Array.init k (fun i ->
+        let rng = rngs.(i) in
+        {
+          Ga_engine.mutation_rate = 0.05 +. Random.State.float rng 0.5;
+          crossover_rate = 0.5 +. Random.State.float rng 0.5;
+          tournament_size = 2 + Random.State.int rng 3;
+        })
+  in
+  let islands =
+    Array.init k (fun i ->
+        Ga_engine.Population.init rngs.(i) ~n_genes
+          ~size:(max 2 config.island_population)
+          ~eval)
+  in
+  let out_of_time () =
+    match config.time_limit with
+    | Some limit -> Unix.gettimeofday () -. started > limit
+    | None -> false
+  in
+  let global_best () =
+    Array.fold_left
+      (fun (bf, bi) island ->
+        let f, ind = Ga_engine.Population.best island in
+        if f < bf then (f, ind) else (bf, bi))
+      (max_int, [||])
+      islands
+  in
+  let reached_target () =
+    match config.target with
+    | Some t -> fst (global_best ()) <= t
+    | None -> false
+  in
+  let epoch = ref 0 in
+  while !epoch < config.max_epochs && (not (out_of_time ())) && not (reached_target ()) do
+    incr epoch;
+    (* evolve every island for one epoch *)
+    Array.iteri
+      (fun i island ->
+        for _ = 1 to config.epoch_length do
+          if not (out_of_time ()) then
+            Ga_engine.Population.step island ~params:params.(i)
+              ~crossover:config.crossover ~mutation:config.mutation ~eval
+              rngs.(i)
+        done)
+      islands;
+    (* neighbour orientation and migration on the ring *)
+    let fitness = Array.map (fun isl -> fst (Ga_engine.Population.best isl)) islands in
+    let next_params = Array.copy params in
+    for i = 0 to k - 1 do
+      let left = (i + k - 1) mod k and right = (i + 1) mod k in
+      let best_nbr = if fitness.(left) <= fitness.(right) then left else right in
+      if fitness.(best_nbr) < fitness.(i) then begin
+        next_params.(i) <- orient params.(i) params.(best_nbr);
+        let _, migrant = Ga_engine.Population.best islands.(best_nbr) in
+        Ga_engine.Population.inject islands.(i) migrant ~eval
+      end
+    done;
+    (* self-adaptation: log-normal mutation of every vector *)
+    for i = 0 to k - 1 do
+      params.(i) <- mutate_params rngs.(i) config.tau next_params.(i)
+    done
+  done;
+  let best, best_individual = global_best () in
+  {
+    best;
+    best_individual;
+    epochs = !epoch;
+    evaluations =
+      Array.fold_left
+        (fun acc isl -> acc + Ga_engine.Population.evaluations isl)
+        0 islands;
+    elapsed = Unix.gettimeofday () -. started;
+    final_params = params;
+  }

@@ -1,0 +1,53 @@
+(** SAIGA-ghw (Section 7.2): a self-adaptive island genetic algorithm
+    for generalized hypertree width upper bounds.
+
+    Several GA-ghw populations (islands) evolve in parallel on a ring.
+    Each island owns a control-parameter vector (mutation rate,
+    crossover rate, tournament group size).  After every epoch an
+    island compares its best fitness with its ring neighbours'; if a
+    neighbour is strictly better the island {e orients} its parameters
+    toward the neighbour's (Section 7.2.5) and receives the neighbour's
+    best individual as a migrant.  All parameter vectors then undergo
+    log-normal mutation (Section 7.2.4), so good settings spread and
+    keep exploring — no hand tuning required, the property Table 7.2
+    demonstrates.
+
+    The paper's pages describing the exact orientation arithmetic are
+    not in the supplied text; the reconstruction here (documented in
+    DESIGN.md) moves each parameter halfway toward the better
+    neighbour's and perturbs multiplicatively with
+    [exp (tau * gaussian)]. *)
+
+type config = {
+  n_islands : int;
+  island_population : int;
+  epoch_length : int;  (** generations between adaptation steps *)
+  max_epochs : int;
+  crossover : Crossover.t;
+  mutation : Mutation.t;
+  tau : float;  (** log-normal parameter mutation strength *)
+  time_limit : float option;
+  target : int option;
+  seed : int;
+}
+
+val default_config :
+  ?n_islands:int ->
+  ?island_population:int ->
+  ?epoch_length:int ->
+  ?max_epochs:int ->
+  ?seed:int ->
+  unit ->
+  config
+
+type report = {
+  best : int;
+  best_individual : int array;
+  epochs : int;
+  evaluations : int;
+  elapsed : float;
+  final_params : Ga_engine.params array;
+      (** the self-adapted parameter vector of every island *)
+}
+
+val run : config -> Hd_hypergraph.Hypergraph.t -> report

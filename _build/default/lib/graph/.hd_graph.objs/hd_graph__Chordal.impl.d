@@ -1,0 +1,1 @@
+lib/graph/chordal.ml: Array Elim_graph Graph List Random

@@ -1,0 +1,1 @@
+lib/graph/chordal.mli: Graph Random

@@ -1,0 +1,1 @@
+lib/graph/contract_graph.ml: Array Bitset Elim_graph Graph List Random

@@ -1,0 +1,1 @@
+lib/graph/contract_graph.mli: Elim_graph Graph Random

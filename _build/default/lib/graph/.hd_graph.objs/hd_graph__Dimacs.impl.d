@@ -1,0 +1,1 @@
+lib/graph/dimacs.ml: Buffer Graph List Printf String

@@ -1,0 +1,1 @@
+lib/graph/elim_graph.ml: Array Bitset Graph List

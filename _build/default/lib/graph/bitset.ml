@@ -1,0 +1,144 @@
+let bits_per_word = Sys.int_size (* 63 on 64-bit systems *)
+
+type t = { words : int array; capacity : int }
+
+let words_for n = (n + bits_per_word - 1) / bits_per_word
+
+let create n =
+  assert (n >= 0);
+  { words = Array.make (max 1 (words_for n)) 0; capacity = n }
+
+let capacity s = s.capacity
+
+let check s i = assert (i >= 0 && i < s.capacity)
+
+let mem s i =
+  check s i;
+  s.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let add s i =
+  check s i;
+  let w = i / bits_per_word in
+  s.words.(w) <- s.words.(w) lor (1 lsl (i mod bits_per_word))
+
+let remove s i =
+  check s i;
+  let w = i / bits_per_word in
+  s.words.(w) <- s.words.(w) land lnot (1 lsl (i mod bits_per_word))
+
+let clear s = Array.fill s.words 0 (Array.length s.words) 0
+
+let full n =
+  let s = create n in
+  for i = 0 to n - 1 do
+    add s i
+  done;
+  s
+
+let copy s = { words = Array.copy s.words; capacity = s.capacity }
+
+let blit ~src ~dst =
+  assert (src.capacity = dst.capacity);
+  Array.blit src.words 0 dst.words 0 (Array.length src.words)
+
+(* Kernighan-style popcount is fast enough here: adjacency rows are
+   sparse in the instances we handle. *)
+let popcount_word w =
+  let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
+  go w 0
+
+let cardinal s = Array.fold_left (fun acc w -> acc + popcount_word w) 0 s.words
+
+let is_empty s = Array.for_all (fun w -> w = 0) s.words
+
+let equal a b =
+  assert (a.capacity = b.capacity);
+  let rec go i =
+    i >= Array.length a.words || (a.words.(i) = b.words.(i) && go (i + 1))
+  in
+  go 0
+
+let subset a b =
+  assert (a.capacity = b.capacity);
+  let rec go i =
+    i >= Array.length a.words
+    || (a.words.(i) land lnot b.words.(i) = 0 && go (i + 1))
+  in
+  go 0
+
+let union_into ~src ~dst =
+  assert (src.capacity = dst.capacity);
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- dst.words.(i) lor src.words.(i)
+  done
+
+let diff_into ~src ~dst =
+  assert (src.capacity = dst.capacity);
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- dst.words.(i) land lnot src.words.(i)
+  done
+
+let inter_into ~src ~dst =
+  assert (src.capacity = dst.capacity);
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- dst.words.(i) land src.words.(i)
+  done
+
+let inter_cardinal a b =
+  assert (a.capacity = b.capacity);
+  let acc = ref 0 in
+  for i = 0 to Array.length a.words - 1 do
+    acc := !acc + popcount_word (a.words.(i) land b.words.(i))
+  done;
+  !acc
+
+let iter f s =
+  for wi = 0 to Array.length s.words - 1 do
+    let w = ref s.words.(wi) in
+    let base = wi * bits_per_word in
+    while !w <> 0 do
+      let lsb = !w land - !w in
+      (* log2 of an isolated bit via successive halving; the standard
+         trick avoiding Float conversions. *)
+      let rec bit_index b i = if b = 1 then i else bit_index (b lsr 1) (i + 1) in
+      f (base + bit_index lsb 0);
+      w := !w land (!w - 1)
+    done
+  done
+
+let fold f s init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) s;
+  !acc
+
+let elements s = List.rev (fold (fun i acc -> i :: acc) s [])
+
+exception Found of int
+
+let choose s =
+  try
+    iter (fun i -> raise (Found i)) s;
+    raise Not_found
+  with Found i -> i
+
+let exists p s =
+  try
+    iter (fun i -> if p i then raise (Found i)) s;
+    false
+  with Found _ -> true
+
+let for_all p s = not (exists (fun i -> not (p i)) s)
+
+let hash s = Hashtbl.hash s.words
+
+let of_list n xs =
+  let s = create n in
+  List.iter (add s) xs;
+  s
+
+let pp ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    (elements s)

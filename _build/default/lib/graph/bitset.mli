@@ -1,0 +1,82 @@
+(** Fixed-capacity sets of small integers backed by an [int array] bit
+    vector.
+
+    All operations assume their integer arguments lie in
+    [0 .. capacity - 1]; this is enforced with assertions.  Bitsets are the
+    workhorse representation for vertex sets, adjacency rows and
+    decomposition bags throughout the library, so the interface favours
+    cheap in-place mutation plus explicit {!copy}. *)
+
+type t
+
+(** [create n] is the empty set with capacity [n]. *)
+val create : int -> t
+
+(** [capacity s] is the capacity [s] was created with. *)
+val capacity : t -> int
+
+(** [full n] is the set [{0, ..., n - 1}] with capacity [n]. *)
+val full : int -> t
+
+(** [copy s] is a fresh set with the same elements and capacity as [s]. *)
+val copy : t -> t
+
+(** [blit ~src ~dst] overwrites [dst] with the contents of [src].  Both
+    sets must have the same capacity. *)
+val blit : src:t -> dst:t -> unit
+
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val clear : t -> unit
+
+(** [cardinal s] is the number of elements of [s] (population count). *)
+val cardinal : t -> int
+
+val is_empty : t -> bool
+
+(** [equal a b] holds when [a] and [b] contain the same elements.  The
+    sets must have the same capacity. *)
+val equal : t -> t -> bool
+
+(** [subset a b] holds when every element of [a] belongs to [b]. *)
+val subset : t -> t -> bool
+
+(** [union_into ~src ~dst] adds every element of [src] to [dst]. *)
+val union_into : src:t -> dst:t -> unit
+
+(** [diff_into ~src ~dst] removes every element of [src] from [dst]. *)
+val diff_into : src:t -> dst:t -> unit
+
+(** [inter_into ~src ~dst] keeps in [dst] only elements also in [src]. *)
+val inter_into : src:t -> dst:t -> unit
+
+(** [inter_cardinal a b] is [cardinal (a intersect b)] without
+    materialising the intersection. *)
+val inter_cardinal : t -> t -> int
+
+(** [iter f s] applies [f] to the elements of [s] in increasing order. *)
+val iter : (int -> unit) -> t -> unit
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** [elements s] lists the elements of [s] in increasing order. *)
+val elements : t -> int list
+
+(** [choose s] is the smallest element of [s].
+    @raise Not_found when [s] is empty. *)
+val choose : t -> int
+
+(** [exists p s] holds when some element of [s] satisfies [p]. *)
+val exists : (int -> bool) -> t -> bool
+
+(** [for_all p s] holds when every element of [s] satisfies [p]. *)
+val for_all : (int -> bool) -> t -> bool
+
+(** [hash s] is a content hash, suitable for use with [Hashtbl]. *)
+val hash : t -> int
+
+(** [of_list n xs] is the set with capacity [n] containing [xs]. *)
+val of_list : int -> int list -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,86 @@
+let is_perfect_elimination_ordering g sigma =
+  let n = Graph.n g in
+  if Array.length sigma <> n then false
+  else begin
+    let eg = Elim_graph.of_graph g in
+    let rec go i =
+      i < 0
+      ||
+      let v = sigma.(i) in
+      Elim_graph.fill_count eg v = 0
+      &&
+      (Elim_graph.eliminate eg v;
+       go (i - 1))
+    in
+    go (n - 1)
+  end
+
+let mcs_ordering g =
+  let n = Graph.n g in
+  let weight = Array.make n 0 in
+  let numbered = Array.make n false in
+  let sigma = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let best = ref (-1) in
+    for v = 0 to n - 1 do
+      if
+        (not numbered.(v))
+        && (!best < 0 || weight.(v) > weight.(!best))
+      then best := v
+    done;
+    sigma.(i) <- !best;
+    numbered.(!best) <- true;
+    List.iter
+      (fun u -> if not numbered.(u) then weight.(u) <- weight.(u) + 1)
+      (Graph.neighbors g !best)
+  done;
+  sigma
+
+let is_chordal g = is_perfect_elimination_ordering g (mcs_ordering g)
+
+let max_clique_size_if_chordal g =
+  let sigma = mcs_ordering g in
+  if not (is_perfect_elimination_ordering g sigma) then None
+  else begin
+    (* along a perfect elimination ordering every bag {v} u N(v) is a
+       clique; the largest is a maximum clique *)
+    let eg = Elim_graph.of_graph g in
+    let best = ref (min 1 (Graph.n g)) in
+    for i = Graph.n g - 1 downto 0 do
+      let v = sigma.(i) in
+      best := max !best (Elim_graph.degree eg v + 1);
+      Elim_graph.eliminate eg v
+    done;
+    Some !best
+  end
+
+let triangulate rng g =
+  let n = Graph.n g in
+  let eg = Elim_graph.of_graph g in
+  let sigma = Array.make n 0 in
+  let fill = ref [] in
+  for i = n - 1 downto 0 do
+    (* min-fill choice with random tie-breaks *)
+    let best = ref max_int and ties = ref 0 and pick = ref (-1) in
+    List.iter
+      (fun v ->
+        let f = Elim_graph.fill_count eg v in
+        if f < !best then begin
+          best := f;
+          ties := 1;
+          pick := v
+        end
+        else if f = !best then begin
+          incr ties;
+          if Random.State.int rng !ties = 0 then pick := v
+        end)
+      (Elim_graph.alive_list eg);
+    sigma.(i) <- !pick;
+    Elim_graph.eliminate eg !pick;
+    match Elim_graph.last_step eg with
+    | Some step -> fill := step.Elim_graph.fill @ !fill
+    | None -> assert false
+  done;
+  let chordal = Graph.copy g in
+  List.iter (fun (a, b) -> Graph.add_edge chordal a b) !fill;
+  (chordal, sigma)

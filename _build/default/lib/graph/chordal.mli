@@ -1,0 +1,32 @@
+(** Chordal graphs and perfect elimination orderings.
+
+    Chordal (triangulated) graphs are where elimination orderings
+    originate (Section 2.5.3): a graph is chordal iff some ordering
+    eliminates every vertex without fill, and on chordal graphs the
+    treewidth equals the largest clique size minus one.  These
+    utilities verify orderings, recognise chordality via maximum
+    cardinality search, and read off cliques — the oracle half of
+    several property tests. *)
+
+(** [is_perfect_elimination_ordering g sigma] holds when eliminating
+    [sigma.(n-1), ..., sigma.(0)] (this library's convention) never
+    adds a fill edge. *)
+val is_perfect_elimination_ordering : Graph.t -> int array -> bool
+
+(** [mcs_ordering g] is the maximum-cardinality-search ordering; it is
+    a perfect elimination ordering iff [g] is chordal.  Deterministic
+    (smallest-index tie-breaks). *)
+val mcs_ordering : Graph.t -> int array
+
+(** [is_chordal g] recognises chordal graphs in O(n . m). *)
+val is_chordal : Graph.t -> bool
+
+(** [max_clique_size_if_chordal g] is the clique number of a chordal
+    graph, [None] on non-chordal input.  On chordal graphs the
+    treewidth is this minus one. *)
+val max_clique_size_if_chordal : Graph.t -> int option
+
+(** [triangulate rng g] returns a chordal supergraph of [g] via
+    min-fill elimination, together with the ordering used, which is a
+    perfect elimination ordering of the result. *)
+val triangulate : Random.State.t -> Graph.t -> Graph.t * int array

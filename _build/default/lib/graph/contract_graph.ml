@@ -1,0 +1,72 @@
+type t = {
+  size : int;
+  adj : Bitset.t array;
+  live : Bitset.t;
+  mutable live_count : int;
+}
+
+let of_graph g =
+  let size = Graph.n g in
+  {
+    size;
+    adj = Array.init size (fun v -> Bitset.copy (Graph.adjacency g v));
+    live = Bitset.full size;
+    live_count = size;
+  }
+
+let of_elim_graph ~t_elim =
+  let size = Elim_graph.capacity t_elim in
+  {
+    size;
+    adj = Array.init size (fun v -> Bitset.copy (Elim_graph.adjacency t_elim v));
+    live = Bitset.copy (Elim_graph.alive t_elim);
+    live_count = Elim_graph.n_alive t_elim;
+  }
+
+let n_alive t = t.live_count
+let alive_list t = Bitset.elements t.live
+let degree t v = Bitset.cardinal t.adj.(v)
+let neighbors t v = Bitset.elements t.adj.(v)
+let mem_edge t u v = u <> v && Bitset.mem t.adj.(u) v
+
+let random_min vs ~key ~rng =
+  let best_key = ref max_int and count = ref 0 and pick = ref (-1) in
+  List.iter
+    (fun v ->
+      let k = key v in
+      if k < !best_key then begin
+        best_key := k;
+        count := 1;
+        pick := v
+      end
+      else if k = !best_key then begin
+        (* reservoir sampling gives a uniform choice among ties *)
+        incr count;
+        if Random.State.int rng !count = 0 then pick := v
+      end)
+    vs;
+  if !pick < 0 then raise Not_found;
+  !pick
+
+let min_degree_vertex t ~rng =
+  random_min (alive_list t) ~key:(degree t) ~rng
+
+let min_degree_neighbor t v ~rng = random_min (neighbors t v) ~key:(degree t) ~rng
+
+let remove t v =
+  assert (Bitset.mem t.live v);
+  Bitset.iter (fun u -> Bitset.remove t.adj.(u) v) t.adj.(v);
+  Bitset.clear t.adj.(v);
+  Bitset.remove t.live v;
+  t.live_count <- t.live_count - 1
+
+let contract t u v =
+  assert (u <> v && Bitset.mem t.live u && Bitset.mem t.live v);
+  let merged = t.adj.(v) in
+  Bitset.iter (fun w -> Bitset.remove t.adj.(w) v) merged;
+  Bitset.remove t.live v;
+  t.live_count <- t.live_count - 1;
+  Bitset.remove merged u;
+  Bitset.union_into ~src:merged ~dst:t.adj.(u);
+  Bitset.iter (fun w -> Bitset.add t.adj.(w) u) merged;
+  Bitset.clear merged

@@ -1,0 +1,37 @@
+(** Destructive edge contraction, the primitive behind the minor-based
+    treewidth lower bounds (minor-min-width, minor-gamma_R).
+
+    A contract graph is consumed by the bound computation: there is no
+    undo.  Build a fresh one per bound evaluation with {!of_graph} or
+    {!of_elim_graph}. *)
+
+type t
+
+val of_graph : Graph.t -> t
+
+(** [of_elim_graph eg] snapshots the live part of the elimination graph
+    [eg]. *)
+val of_elim_graph : t_elim:Elim_graph.t -> t
+
+val n_alive : t -> int
+val alive_list : t -> int list
+val degree : t -> int -> int
+val neighbors : t -> int -> int list
+val mem_edge : t -> int -> int -> bool
+
+(** [min_degree_vertex t ~rng] is a live vertex of minimum degree; ties
+    are broken uniformly at random using [rng], as the paper's
+    heuristics prescribe. *)
+val min_degree_vertex : t -> rng:Random.State.t -> int
+
+(** [min_degree_neighbor t v ~rng] is a neighbour of [v] of minimum
+    degree, ties broken at random.
+    @raise Not_found when [v] has no neighbour. *)
+val min_degree_neighbor : t -> int -> rng:Random.State.t -> int
+
+(** [contract t u v] contracts the edge [{u, v}]: [v]'s neighbours are
+    merged into [u] and [v] disappears. *)
+val contract : t -> int -> int -> unit
+
+(** [remove t v] deletes the live vertex [v] and its incident edges. *)
+val remove : t -> int -> unit

@@ -1,0 +1,44 @@
+let parse_string text =
+  let graph = ref None in
+  let pending = ref [] in
+  let handle_line lineno line =
+    let line = String.trim line in
+    if line = "" then ()
+    else
+      match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+      | "c" :: _ -> ()
+      | [ "p"; ("edge" | "edges" | "col"); n; _m ] -> (
+          match !graph with
+          | Some _ -> failwith "Dimacs: duplicate problem line"
+          | None ->
+              let g = Graph.create (int_of_string n) in
+              List.iter (fun (u, v) -> Graph.add_edge g u v) !pending;
+              pending := [];
+              graph := Some g)
+      | [ "e"; u; v ] -> (
+          let u = int_of_string u - 1 and v = int_of_string v - 1 in
+          match !graph with
+          | Some g -> Graph.add_edge g u v
+          | None -> pending := (u, v) :: !pending)
+      | _ -> failwith (Printf.sprintf "Dimacs: bad line %d: %s" lineno line)
+  in
+  String.split_on_char '\n' text |> List.iteri handle_line;
+  match !graph with
+  | Some g -> g
+  | None -> failwith "Dimacs: missing problem line"
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse_string text
+
+let to_string g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "p edge %d %d\n" (Graph.n g) (Graph.m g));
+  List.iter
+    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "e %d %d\n" (u + 1) (v + 1)))
+    (Graph.edges g);
+  Buffer.contents buf

@@ -1,0 +1,153 @@
+type step = { vertex : int; nbrs : int list; fill : (int * int) list }
+
+type t = {
+  size : int;
+  adj : Bitset.t array;
+  live : Bitset.t;
+  mutable live_count : int;
+  mutable undo : step list;
+  mutable undo_len : int;
+}
+
+let of_graph g =
+  let size = Graph.n g in
+  {
+    size;
+    adj = Array.init size (fun v -> Bitset.copy (Graph.adjacency g v));
+    live = Bitset.full size;
+    live_count = size;
+    undo = [];
+    undo_len = 0;
+  }
+
+let capacity t = t.size
+let n_alive t = t.live_count
+let is_alive t v = Bitset.mem t.live v
+let alive t = t.live
+let alive_list t = Bitset.elements t.live
+let degree t v = Bitset.cardinal t.adj.(v)
+let neighbors t v = Bitset.elements t.adj.(v)
+let adjacency t v = t.adj.(v)
+let mem_edge t u v = u <> v && Bitset.mem t.adj.(u) v
+
+let fill_count t v =
+  let nbrs = t.adj.(v) in
+  let missing = ref 0 in
+  Bitset.iter
+    (fun u ->
+      (* count neighbours of [v] that are not adjacent to [u]
+         (excluding [u] itself and discounting [v]) *)
+      let common = Bitset.inter_cardinal t.adj.(u) nbrs in
+      let deg_in_nbrs = Bitset.cardinal nbrs - 1 in
+      missing := !missing + (deg_in_nbrs - common))
+    nbrs;
+  !missing / 2
+
+let eliminate t v =
+  assert (is_alive t v);
+  let nbrs = neighbors t v in
+  (* connect neighbours pairwise, remembering the fill edges *)
+  let fill = ref [] in
+  let rec connect = function
+    | [] -> ()
+    | a :: rest ->
+        List.iter
+          (fun b ->
+            if not (Bitset.mem t.adj.(a) b) then begin
+              Bitset.add t.adj.(a) b;
+              Bitset.add t.adj.(b) a;
+              fill := (a, b) :: !fill
+            end)
+          rest;
+        connect rest
+  in
+  connect nbrs;
+  (* detach [v] *)
+  List.iter (fun u -> Bitset.remove t.adj.(u) v) nbrs;
+  Bitset.clear t.adj.(v);
+  Bitset.remove t.live v;
+  t.live_count <- t.live_count - 1;
+  t.undo <- { vertex = v; nbrs; fill = !fill } :: t.undo;
+  t.undo_len <- t.undo_len + 1
+
+let restore_last t =
+  match t.undo with
+  | [] -> invalid_arg "Elim_graph.restore_last: nothing to restore"
+  | { vertex = v; nbrs; fill } :: rest ->
+      List.iter
+        (fun (a, b) ->
+          Bitset.remove t.adj.(a) b;
+          Bitset.remove t.adj.(b) a)
+        fill;
+      List.iter
+        (fun u ->
+          Bitset.add t.adj.(u) v;
+          Bitset.add t.adj.(v) u)
+        nbrs;
+      Bitset.add t.live v;
+      t.live_count <- t.live_count + 1;
+      t.undo <- rest;
+      t.undo_len <- t.undo_len - 1
+
+let depth t = t.undo_len
+
+let last_step t = match t.undo with [] -> None | s :: _ -> Some s
+let trail t = t.undo
+
+let restore_all t =
+  while t.undo <> [] do
+    restore_last t
+  done
+
+let is_simplicial t v =
+  let nbrs = t.adj.(v) in
+  Bitset.for_all
+    (fun u ->
+      (* [u] must see every other neighbour of [v] *)
+      Bitset.inter_cardinal t.adj.(u) nbrs = Bitset.cardinal nbrs - 1)
+    nbrs
+
+let is_almost_simplicial t v =
+  let nbrs = neighbors t v in
+  let d = List.length nbrs in
+  if d < 2 || is_simplicial t v then false
+  else
+    (* all but one neighbour induce a clique: dropping some neighbour w
+       must leave the remaining neighbours pairwise adjacent *)
+    let clique_without w =
+      List.for_all
+        (fun u ->
+          u = w
+          || List.for_all
+               (fun x -> x = w || x = u || Bitset.mem t.adj.(u) x)
+               nbrs)
+        nbrs
+    in
+    List.exists clique_without nbrs
+
+let find_reducible t ~lb =
+  let result = ref None in
+  (try
+     Bitset.iter
+       (fun v ->
+         if is_simplicial t v then begin
+           result := Some v;
+           raise Exit
+         end)
+       t.live;
+     Bitset.iter
+       (fun v ->
+         if degree t v <= lb && is_almost_simplicial t v then begin
+           result := Some v;
+           raise Exit
+         end)
+       t.live
+   with Exit -> ());
+  !result
+
+let to_graph t =
+  let g = Graph.create t.size in
+  Bitset.iter
+    (fun v -> Bitset.iter (fun u -> Graph.add_edge g v u) t.adj.(v))
+    t.live;
+  g

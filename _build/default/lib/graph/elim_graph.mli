@@ -1,0 +1,86 @@
+(** Mutable elimination graphs with undo.
+
+    This is the data structure of Section 5.2.1 of the paper: a single
+    graph object that all search states of the branch-and-bound / A*
+    algorithms share.  Eliminating a vertex [v] connects all of [v]'s
+    current neighbours pairwise (the {e fill} edges) and removes [v];
+    {!restore_last} undoes the most recent elimination exactly.  The
+    sequence of {!eliminate}/{!restore_last} calls therefore moves the
+    object along the branch-and-bound tree without ever copying the
+    graph. *)
+
+type t
+
+(** One undo record: the eliminated vertex, its neighbourhood at
+    elimination time, and the fill edges the elimination introduced. *)
+type step = { vertex : int; nbrs : int list; fill : (int * int) list }
+
+(** [of_graph g] is a fresh elimination graph over a copy of [g]. *)
+val of_graph : Graph.t -> t
+
+(** [capacity t] is the vertex count of the original graph. *)
+val capacity : t -> int
+
+(** [n_alive t] is the number of not-yet-eliminated vertices. *)
+val n_alive : t -> int
+
+val is_alive : t -> int -> bool
+
+(** [alive t] is the set of live vertices (internal set: do not
+    mutate). *)
+val alive : t -> Bitset.t
+
+(** [alive_list t] lists live vertices in increasing order. *)
+val alive_list : t -> int list
+
+val degree : t -> int -> int
+val neighbors : t -> int -> int list
+
+(** [adjacency t v] is the internal adjacency row of the live vertex
+    [v] (do not mutate). *)
+val adjacency : t -> int -> Bitset.t
+
+val mem_edge : t -> int -> int -> bool
+
+(** [fill_count t v] is the number of edges elimination of [v] would
+    add, i.e. the number of non-adjacent pairs among [v]'s neighbours. *)
+val fill_count : t -> int -> int
+
+(** [eliminate t v] removes live vertex [v], making its neighbourhood a
+    clique, and pushes an undo record. *)
+val eliminate : t -> int -> unit
+
+(** [restore_last t] undoes the most recent {!eliminate}.
+    @raise Invalid_argument when no elimination is outstanding. *)
+val restore_last : t -> unit
+
+(** [depth t] is the number of outstanding eliminations. *)
+val depth : t -> int
+
+(** [last_step t] is the undo record of the most recent elimination, if
+    any. *)
+val last_step : t -> step option
+
+(** [trail t] lists all outstanding undo records, most recent first. *)
+val trail : t -> step list
+
+(** [restore_all t] undoes every outstanding elimination. *)
+val restore_all : t -> unit
+
+(** [is_simplicial t v] holds when the live neighbours of [v] are
+    pairwise adjacent. *)
+val is_simplicial : t -> int -> bool
+
+(** [is_almost_simplicial t v] holds when all but one neighbour of [v]
+    induce a clique (and [v] is not simplicial). *)
+val is_almost_simplicial : t -> int -> bool
+
+(** [find_reducible t ~lb] searches for a vertex the reduction rules of
+    Section 4.4.3 allow to eliminate next without loss: a simplicial
+    vertex, or an almost simplicial vertex of degree [<= lb]. *)
+val find_reducible : t -> lb:int -> int option
+
+(** [to_graph t] materialises the current live graph, with the original
+    vertex numbering ([Graph.n] equals {!capacity}; eliminated vertices
+    are isolated). *)
+val to_graph : t -> Graph.t

@@ -1,0 +1,1 @@
+lib/hypergraph/acyclicity.ml: Array Fun Hd_graph Hypergraph List

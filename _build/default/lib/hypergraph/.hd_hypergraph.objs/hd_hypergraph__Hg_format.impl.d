@@ -1,0 +1,1 @@
+lib/hypergraph/hg_format.ml: Array Buffer Hashtbl Hypergraph List Printf String

@@ -1,0 +1,1 @@
+lib/hypergraph/hg_format.mli: Hypergraph

@@ -1,0 +1,1 @@
+lib/hypergraph/hypergraph.ml: Array Format Fun Hd_graph List Printf String

@@ -1,0 +1,106 @@
+module Bitset = Hd_graph.Bitset
+
+(* GYO reduction.  Working edge sets shrink as isolated vertices
+   disappear; an edge contained in another (alive) edge is removed and,
+   for the join tree, attached to its container. *)
+let reduce h =
+  let m = Hypergraph.n_edges h in
+  let n = Hypergraph.n_vertices h in
+  let sets = Array.init m (fun i -> Hypergraph.edge_set h i) in
+  let alive = Array.make m true in
+  let alive_count = ref m in
+  let parent = Array.make m (-1) in
+  let occurrences = Array.make n 0 in
+  Array.iteri
+    (fun i set -> if alive.(i) then Bitset.iter (fun v -> occurrences.(v) <- occurrences.(v) + 1) set)
+    sets;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* rule 1: drop vertices occurring in at most one alive edge *)
+    for i = 0 to m - 1 do
+      if alive.(i) then
+        Bitset.iter
+          (fun v ->
+            if occurrences.(v) <= 1 then begin
+              Bitset.remove sets.(i) v;
+              occurrences.(v) <- 0;
+              changed := true
+            end)
+          sets.(i)
+    done;
+    (* rule 2: drop edges contained in another alive edge *)
+    for i = 0 to m - 1 do
+      if alive.(i) then begin
+        let container = ref (-1) in
+        (try
+           for j = 0 to m - 1 do
+             if j <> i && alive.(j) && Bitset.subset sets.(i) sets.(j) then begin
+               container := j;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        if !container >= 0 then begin
+          alive.(i) <- false;
+          decr alive_count;
+          parent.(i) <- !container;
+          Bitset.iter
+            (fun v -> occurrences.(v) <- occurrences.(v) - 1)
+            sets.(i);
+          changed := true
+        end
+        else if Bitset.is_empty sets.(i) then begin
+          (* last edge of its component: a root *)
+          alive.(i) <- false;
+          decr alive_count;
+          parent.(i) <- -1;
+          changed := true
+        end
+      end
+    done
+  done;
+  (!alive_count, parent)
+
+let is_acyclic h =
+  let remaining, _ = reduce h in
+  remaining = 0
+
+let join_tree h =
+  let remaining, parent = reduce h in
+  if remaining = 0 then Some parent else None
+
+let is_join_tree h parent =
+  let m = Hypergraph.n_edges h in
+  Array.length parent = m
+  && Array.for_all (fun p -> p >= -1 && p < m) parent
+  &&
+  (* acyclic parent structure *)
+  (try
+     Array.iteri
+       (fun i _ ->
+         let steps = ref 0 and cur = ref i in
+         while !cur <> -1 do
+           incr steps;
+           if !steps > m then raise Exit;
+           cur := parent.(!cur)
+         done)
+       parent;
+     true
+   with Exit -> false)
+  &&
+  (* connectedness: for each vertex, occurrences form one subtree *)
+  let n = Hypergraph.n_vertices h in
+  let rec check v =
+    if v >= n then true
+    else begin
+      let has i = Array.exists (( = ) v) (Hypergraph.edge h i) in
+      let occurrences = List.filter has (List.init m Fun.id) in
+      let internal =
+        List.filter (fun i -> parent.(i) <> -1 && has parent.(i)) occurrences
+      in
+      (occurrences = [] || List.length internal = List.length occurrences - 1)
+      && check (v + 1)
+    end
+  in
+  check 0

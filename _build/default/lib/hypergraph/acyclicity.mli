@@ -1,0 +1,30 @@
+(** Alpha-acyclicity and join trees (Definitions 8 and 9).
+
+    A CSP is acyclic when its constraint hypergraph has a join tree: a
+    tree over the hyperedges in which, for every vertex, the hyperedges
+    containing it form a connected subtree.  The classical GYO
+    (Graham / Yu-Ozsoyoglu) reduction decides this in polynomial time:
+    repeatedly remove isolated vertices (vertices in at most one
+    hyperedge) and hyperedges contained in other hyperedges; the
+    hypergraph is acyclic iff everything vanishes.
+
+    Acyclicity characterises width 1: a hypergraph with at least one
+    edge has a generalized hypertree decomposition of width 1 iff it is
+    alpha-acyclic — the property the test suite cross-checks against
+    BB-ghw. *)
+
+(** [is_acyclic h] decides alpha-acyclicity by GYO reduction. *)
+val is_acyclic : Hypergraph.t -> bool
+
+(** [join_tree h] is a join tree of [h] — [parent.(i)] gives hyperedge
+    [i]'s parent, [-1] for roots (one per connected component) — or
+    [None] when [h] is cyclic.
+
+    The tree is built from the GYO elimination order: each eliminated
+    hyperedge attaches to a surviving hyperedge containing its
+    remaining vertices. *)
+val join_tree : Hypergraph.t -> int array option
+
+(** [is_join_tree h parent] checks the join tree conditions for the
+    given parent structure over [h]'s hyperedges. *)
+val is_join_tree : Hypergraph.t -> int array -> bool

@@ -1,0 +1,106 @@
+(* A small hand-rolled scanner: atoms "name(v1,...,vk)" separated by
+   commas; '%' comments to end of line. *)
+
+type token = Ident of string | Lparen | Rparen | Comma | Period
+
+let tokenize text =
+  let n = String.length text in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let is_ident_char c =
+    match c with
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | ':' | '\'' -> true
+    | _ -> false
+  in
+  while !i < n do
+    let c = text.[!i] in
+    if c = '%' then begin
+      while !i < n && text.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '(' then begin
+      tokens := Lparen :: !tokens;
+      incr i
+    end
+    else if c = ')' then begin
+      tokens := Rparen :: !tokens;
+      incr i
+    end
+    else if c = ',' then begin
+      tokens := Comma :: !tokens;
+      incr i
+    end
+    else if c = '.' then begin
+      tokens := Period :: !tokens;
+      incr i
+    end
+    else if is_ident_char c then begin
+      let start = !i in
+      while !i < n && is_ident_char text.[!i] do
+        incr i
+      done;
+      tokens := Ident (String.sub text start (!i - start)) :: !tokens
+    end
+    else failwith (Printf.sprintf "Hg_format: unexpected character %C" c)
+  done;
+  List.rev !tokens
+
+let parse_string text =
+  let vars = Hashtbl.create 64 in
+  let var_order = ref [] in
+  let intern name =
+    match Hashtbl.find_opt vars name with
+    | Some id -> id
+    | None ->
+        let id = Hashtbl.length vars in
+        Hashtbl.add vars name id;
+        var_order := name :: !var_order;
+        id
+  in
+  let rec parse_atoms tokens acc =
+    match tokens with
+    | [] -> List.rev acc
+    | (Comma | Period) :: rest -> parse_atoms rest acc
+    | Ident name :: Lparen :: rest ->
+        let rec parse_vars tokens vs =
+          match tokens with
+          | Ident v :: rest -> parse_vars rest (intern v :: vs)
+          | Comma :: rest -> parse_vars rest vs
+          | Rparen :: rest -> (List.rev vs, rest)
+          | _ -> failwith "Hg_format: unterminated atom"
+        in
+        let vs, rest = parse_vars rest [] in
+        parse_atoms rest ((name, vs) :: acc)
+    | _ -> failwith "Hg_format: expected atom"
+  in
+  let atoms = parse_atoms (tokenize text) [] in
+  if atoms = [] then failwith "Hg_format: no atoms";
+  let n = Hashtbl.length vars in
+  let vertex_names = Array.make n "" in
+  List.iteri
+    (fun i name -> vertex_names.(n - 1 - i) <- name)
+    !var_order;
+  let edge_names = Array.of_list (List.map fst atoms) in
+  Hypergraph.create ~vertex_names ~edge_names ~n (List.map snd atoms)
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse_string text
+
+let to_string h =
+  let buf = Buffer.create 1024 in
+  let m = Hypergraph.n_edges h in
+  for i = 0 to m - 1 do
+    Buffer.add_string buf (Hypergraph.edge_name h i);
+    Buffer.add_char buf '(';
+    Buffer.add_string buf
+      (String.concat ","
+         (List.map (Hypergraph.vertex_name h) (Hypergraph.edge_list h i)));
+    Buffer.add_string buf (if i = m - 1 then ").\n" else "),\n")
+  done;
+  Buffer.contents buf

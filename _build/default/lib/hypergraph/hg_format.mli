@@ -1,0 +1,18 @@
+(** Reading and writing hypergraphs in the HyperBench / DaimlerChrysler
+    text format used by the CSP hypergraph library the paper evaluates
+    on: a list of atoms
+
+    {[ edge_name(var1, var2, ...), ]}
+
+    separated by commas (a trailing comma or period is tolerated),
+    percent-sign comments, arbitrary whitespace.  Variable names are
+    interned in order of first appearance. *)
+
+(** [parse_string text] parses hypergraph text.
+    @raise Failure on malformed input. *)
+val parse_string : string -> Hypergraph.t
+
+val parse_file : string -> Hypergraph.t
+
+(** [to_string h] renders [h] in the same format, one atom per line. *)
+val to_string : Hypergraph.t -> string

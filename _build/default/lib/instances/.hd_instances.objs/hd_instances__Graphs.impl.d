@@ -1,0 +1,1 @@
+lib/instances/graphs.ml: Array Hashtbl Hd_graph List Printf Random

@@ -1,0 +1,1 @@
+lib/instances/graphs.mli: Hd_graph

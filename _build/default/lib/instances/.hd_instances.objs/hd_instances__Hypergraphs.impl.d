@@ -1,0 +1,1 @@
+lib/instances/hypergraphs.ml: Array Fun Hashtbl Hd_hypergraph List Printf Random

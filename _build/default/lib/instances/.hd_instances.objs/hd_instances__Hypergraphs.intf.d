@@ -1,0 +1,1 @@
+lib/instances/hypergraphs.mli: Hd_hypergraph

@@ -1,0 +1,57 @@
+(** Benchmark graph families of the paper's evaluation (Tables 5.1-6.6).
+
+    Exactly constructible families (queen, myciel, grid) are identical
+    to their DIMACS counterparts; the remaining DIMACS instances are
+    single fixed graphs that cannot be shipped, so seeded structural
+    analogues with matching vertex/edge counts stand in (see the
+    substitution table in DESIGN.md). *)
+
+(** [queen n] is the n x n queen graph: squares adjacent when a queen
+    moves between them.  Matches DIMACS queenN_N exactly. *)
+val queen : int -> Hd_graph.Graph.t
+
+(** [mycielski k] is the DIMACS myciel[k] graph: the Mycielski
+    construction iterated from K2 ([k = 2]); myciel3 is the Groetzsch
+    graph (11 vertices, 20 edges).  Treewidth grows while the graph
+    stays triangle-free. *)
+val mycielski : int -> Hd_graph.Graph.t
+
+(** [grid n] is the n x n grid, treewidth n. *)
+val grid : int -> Hd_graph.Graph.t
+
+(** [random_gnp ~seed ~n ~p] is an Erdos-Renyi graph — the DSJC family's
+    distribution. *)
+val random_gnp : seed:int -> n:int -> p:float -> Hd_graph.Graph.t
+
+(** [geometric ~seed ~n ~target_m] places [n] points uniformly in the
+    unit square and connects pairs closer than a radius tuned to reach
+    roughly [target_m] edges — the miles family's regime. *)
+val geometric : seed:int -> n:int -> target_m:int -> Hd_graph.Graph.t
+
+(** [book_like ~seed ~n ~target_m] is a random interval graph with the
+    interval length tuned to reach roughly [target_m] edges.  Book
+    character co-occurrence graphs (anna, david, homer, huck, jean)
+    are interval-like — characters live in contiguous narrative
+    stretches — which is what gives them their small treewidths. *)
+val book_like : seed:int -> n:int -> target_m:int -> Hd_graph.Graph.t
+
+(** [leighton_like ~seed ~n ~target_m ~clique_size] unions random
+    cliques until close to [target_m] edges — the le450 regime. *)
+val leighton_like :
+  seed:int -> n:int -> target_m:int -> clique_size:int -> Hd_graph.Graph.t
+
+(** [register_like ~seed ~n ~target_m] is a random interval graph:
+    register-interference graphs (fpsol2, inithx, mulsol, zeroin) are
+    interval graphs of live ranges, with treewidth equal to the
+    register pressure (clique number minus one). *)
+val register_like : seed:int -> n:int -> target_m:int -> Hd_graph.Graph.t
+
+(** [by_name name] resolves a Table 5.1/6.6 instance name — e.g.
+    "queen5_5", "myciel4", "grid6", "DSJC125.1", "anna", "miles250",
+    "le450_15a", "mulsol.i.1" — to the exact construction or its
+    documented stand-in. *)
+val by_name : string -> Hd_graph.Graph.t option
+
+(** [names] lists every instance [by_name] accepts, with the vertex and
+    edge counts of the DIMACS original it mirrors. *)
+val names : (string * int * int) list

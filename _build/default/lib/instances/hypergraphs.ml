@@ -1,0 +1,223 @@
+module Hypergraph = Hd_hypergraph.Hypergraph
+
+let adder k =
+  if k < 1 then invalid_arg "Hypergraphs.adder: k >= 1 required";
+  (* per bit: a, b, t, s, c at offsets 0..4; carry-in is the extra
+     vertex n - 1 for bit 0 and c of the previous bit otherwise *)
+  let n = (5 * k) + 1 in
+  let cin0 = n - 1 in
+  let a i = 5 * i
+  and b i = (5 * i) + 1
+  and t i = (5 * i) + 2
+  and s i = (5 * i) + 3
+  and c i = (5 * i) + 4 in
+  let edges = ref [ [ cin0 ] ] in
+  for i = k - 1 downto 0 do
+    let cin = if i = 0 then cin0 else c (i - 1) in
+    edges :=
+      [ a i; b i; t i ]
+      :: [ t i; cin; s i ]
+      :: [ a i; b i; c i ]
+      :: [ t i; cin; c i ]
+      :: [ a i; cin; c i ]
+      :: [ b i; cin; c i ]
+      :: [ s i; c i ]
+      :: !edges
+  done;
+  let names =
+    Array.init n (fun v ->
+        if v = cin0 then "cin"
+        else
+          let bit = v / 5 in
+          let kind = [| "a"; "b"; "t"; "s"; "c" |].(v mod 5) in
+          Printf.sprintf "%s%d" kind bit)
+  in
+  Hypergraph.create ~vertex_names:names ~n !edges
+
+let bridge k =
+  if k < 1 then invalid_arg "Hypergraphs.bridge: k >= 1 required";
+  (* k blocks of 9 vertices on two rails; 9 hyperedges per block plus
+     one rail tap at each end: 9k + 2 vertices, 9k + 2 hyperedges *)
+  let n = (9 * k) + 2 in
+  let r0 = n - 2 and r1 = n - 1 in
+  let v i j = (9 * i) + j in
+  let edges = ref [] in
+  for i = k - 1 downto 0 do
+    for j = 8 downto 0 do
+      let members =
+        if j = 0 && i > 0 then
+          (* chain to the previous block *)
+          [ v (i - 1) 8; v i 0; v i 3 ]
+        else [ v i j; v i ((j + 1) mod 9); v i ((j + 3) mod 9) ]
+      in
+      edges := members :: !edges
+    done
+  done;
+  edges := [ r0; v 0 0 ] :: !edges @ [ [ r1; v (k - 1) 8 ] ];
+  Hypergraph.create ~n !edges
+
+let clique k =
+  let edges = ref [] in
+  for u = k - 1 downto 0 do
+    for v = k - 1 downto u + 1 do
+      edges := [ u; v ] :: !edges
+    done
+  done;
+  Hypergraph.create ~n:k !edges
+
+let grid2d k =
+  if k < 2 || k mod 2 <> 0 then
+    invalid_arg "Hypergraphs.grid2d: even k >= 2 required";
+  let w = k and h = k / 2 in
+  let id x y = (y * w) + x in
+  let edges = ref [] in
+  for y = h - 1 downto 0 do
+    for x = w - 1 downto 0 do
+      edges := [ id x y; id ((x + 1) mod w) y; id x ((y + 1) mod h) ] :: !edges
+    done
+  done;
+  Hypergraph.create ~n:(w * h) !edges
+
+let grid3d k =
+  if k < 2 || k mod 2 <> 0 then
+    invalid_arg "Hypergraphs.grid3d: even k >= 2 required";
+  let w = k and h = k and d = k / 2 in
+  let id x y z = (((z * h) + y) * w) + x in
+  let edges = ref [] in
+  for z = d - 1 downto 0 do
+    for y = h - 1 downto 0 do
+      for x = w - 1 downto 0 do
+        edges :=
+          [
+            id x y z;
+            id ((x + 1) mod w) y z;
+            id x ((y + 1) mod h) z;
+            id x y ((z + 1) mod d);
+          ]
+          :: !edges
+      done
+    done
+  done;
+  Hypergraph.create ~n:(w * h * d) !edges
+
+let circuit ~seed ~n_vars ~n_gates =
+  if n_vars < 4 then invalid_arg "Hypergraphs.circuit: n_vars >= 4 required";
+  if n_gates < (n_vars + 2) / 3 then
+    invalid_arg "Hypergraphs.circuit: too few gates to cover all variables";
+  let rng = Random.State.make [| seed |] in
+  (* the last [gate_count] vertices are gate outputs; the rest are
+     primary inputs.  Keep at least a quarter of the vertices as
+     inputs. *)
+  let gate_count = min n_gates (n_vars - max 2 (n_vars / 4)) in
+  let first_output = n_vars - gate_count in
+  let covered = Array.make n_vars false in
+  (* fan-ins come from strictly earlier vertices, draining
+     still-uncovered ones first so every input feeds some gate *)
+  let next_uncovered = ref 0 in
+  let pop_uncovered below =
+    while !next_uncovered < below && covered.(!next_uncovered) do
+      incr next_uncovered
+    done;
+    if !next_uncovered < below then Some !next_uncovered else None
+  in
+  let edges = ref [] in
+  for g = gate_count - 1 downto 0 do
+    let out = first_output + g in
+    covered.(out) <- true;
+    let fanin = min out (2 + Random.State.int rng 2) in
+    let rec draw acc remaining =
+      if remaining = 0 then acc
+      else
+        let candidate =
+          match pop_uncovered out with
+          | Some v -> v
+          | None -> Random.State.int rng out
+        in
+        if List.mem candidate acc then draw acc remaining
+        else begin
+          covered.(candidate) <- true;
+          draw (candidate :: acc) (remaining - 1)
+        end
+    in
+    edges := (out :: draw [] fanin) :: !edges
+  done;
+  (* extra observation constraints up to the requested edge count *)
+  for _ = 1 to n_gates - gate_count do
+    let size = 2 + Random.State.int rng 2 in
+    let rec draw acc remaining =
+      if remaining = 0 then acc
+      else
+        let candidate =
+          match pop_uncovered n_vars with
+          | Some v -> v
+          | None -> Random.State.int rng n_vars
+        in
+        if List.mem candidate acc then draw acc remaining
+        else begin
+          covered.(candidate) <- true;
+          draw (candidate :: acc) (remaining - 1)
+        end
+    in
+    edges := draw [] size :: !edges
+  done;
+  (* gates drain one uncovered vertex per fan-in slot, so everything
+     before the last gate's output is covered; assert and absorb any
+     straggler into the first edge *)
+  let stragglers =
+    List.filter (fun v -> not covered.(v)) (List.init n_vars Fun.id)
+  in
+  let edges =
+    match (stragglers, !edges) with
+    | [], es -> es
+    | vs, e :: rest -> (vs @ e) :: rest
+    | vs, [] -> [ vs ]
+  in
+  Hypergraph.create ~n:n_vars edges
+
+let catalogue : (string * int * int * (unit -> Hypergraph.t)) list =
+  let seed_of name = Hashtbl.hash name land 0xffff in
+  let circuit_entry name v e =
+    (name, v, e, fun () -> circuit ~seed:(seed_of name) ~n_vars:v ~n_gates:e)
+  in
+  [
+    ("adder_15", 76, 106, fun () -> adder 15);
+    ("adder_25", 126, 176, fun () -> adder 25);
+    ("adder_50", 251, 351, fun () -> adder 50);
+    ("adder_75", 376, 526, fun () -> adder 75);
+    ("adder_99", 496, 694, fun () -> adder 99);
+    ("bridge_15", 137, 137, fun () -> bridge 15);
+    ("bridge_25", 227, 227, fun () -> bridge 25);
+    ("bridge_50", 452, 452, fun () -> bridge 50);
+    ("bridge_75", 677, 677, fun () -> bridge 75);
+    ("bridge_99", 893, 893, fun () -> bridge 99);
+    ("clique_10", 10, 45, fun () -> clique 10);
+    ("clique_15", 15, 105, fun () -> clique 15);
+    ("clique_20", 20, 190, fun () -> clique 20);
+    ("grid2d_10", 50, 50, fun () -> grid2d 10);
+    ("grid2d_14", 98, 98, fun () -> grid2d 14);
+    ("grid2d_16", 128, 128, fun () -> grid2d 16);
+    ("grid2d_20", 200, 200, fun () -> grid2d 20);
+    ("grid3d_4", 32, 32, fun () -> grid3d 4);
+    ("grid3d_6", 108, 108, fun () -> grid3d 6);
+    ("grid3d_8", 256, 256, fun () -> grid3d 8);
+    circuit_entry "b06" 48 50;
+    circuit_entry "b08" 170 179;
+    circuit_entry "b09" 168 169;
+    circuit_entry "b10" 189 200;
+    circuit_entry "c499" 202 243;
+    circuit_entry "c880" 383 443;
+    circuit_entry "NewSystem1" 142 84;
+    circuit_entry "NewSystem2" 345 200;
+    circuit_entry "NewSystem3" 474 278;
+    circuit_entry "NewSystem4" 718 418;
+    circuit_entry "s444" 205 202;
+    circuit_entry "s510" 236 217;
+    circuit_entry "s641" 433 398;
+  ]
+
+let by_name name =
+  List.find_map
+    (fun (n, _, _, build) -> if n = name then Some (build ()) else None)
+    catalogue
+
+let names = List.map (fun (n, v, e, _) -> (n, v, e)) catalogue

@@ -1,0 +1,45 @@
+(** Benchmark hypergraph families of the CSP hypergraph library used in
+    Tables 7.1-9.2 (adder, bridge, clique, grid2d/3d, circuits).
+
+    adder, bridge, clique and the grid tori are parametric
+    constructions matching the reported instance sizes; the ISCAS-style
+    circuits (the b and c families) are seeded random circuit DAGs of the same size
+    and fan-in regime — see the substitution table in DESIGN.md. *)
+
+(** [adder k] is the k-bit ripple-carry adder hypergraph: per bit the
+    variables a, b, t (= a xor b), s (sum) and c (carry out), one
+    initial carry, and seven gate hyperedges per bit.  Sizes match the
+    library's adder_k: 5k + 1 vertices, 7k + 1 hyperedges; ghw stays
+    small (the paper reports 2-3) for every k. *)
+val adder : int -> Hd_hypergraph.Hypergraph.t
+
+(** [bridge k] chains [k] 9-variable bridge-circuit blocks sharing one
+    rail: 9k + 2 vertices and 9k + 2 hyperedges, matching bridge_k. *)
+val bridge : int -> Hd_hypergraph.Hypergraph.t
+
+(** [clique k] is K_k as a hypergraph of binary edges: ghw = ceil(k/2). *)
+val clique : int -> Hd_hypergraph.Hypergraph.t
+
+(** [grid2d k] is a k x (k/2) torus with one ternary hyperedge per
+    vertex ({v, right v, down v}): |V| = |H| = k^2 / 2, matching
+    grid2d_k (200/200 at k = 20). *)
+val grid2d : int -> Hd_hypergraph.Hypergraph.t
+
+(** [grid3d k] is a k x k x (k/2) torus with one 4-ary hyperedge per
+    vertex: |V| = |H| = k^3 / 2, matching grid3d_k (256/256 at
+    k = 8). *)
+val grid3d : int -> Hd_hypergraph.Hypergraph.t
+
+(** [circuit ~seed ~n_vars ~n_gates] is a random combinational circuit:
+    a DAG of 2-3-input gates, one hyperedge {inputs, output} per gate —
+    the ISCAS b*/c* regime. *)
+val circuit : seed:int -> n_vars:int -> n_gates:int -> Hd_hypergraph.Hypergraph.t
+
+(** [by_name name] resolves a Table 7.1/8.1/9.1 instance name
+    ("adder_75", "bridge_50", "clique_20", "grid2d_20", "grid3d_8",
+    "b06", "c499", "NewSystem1", ...). *)
+val by_name : string -> Hd_hypergraph.Hypergraph.t option
+
+(** [names] lists every instance with the vertex and hyperedge counts
+    of the library original it mirrors. *)
+val names : (string * int * int) list

@@ -1,0 +1,1 @@
+lib/search/astar_ghw.ml: Array Ghw_common Hashtbl Hd_bounds Hd_graph Hd_hypergraph List Option Pq Random Search_types Search_util

@@ -1,0 +1,1 @@
+lib/search/astar_ghw.mli: Hd_hypergraph Search_types

@@ -1,0 +1,1 @@
+lib/search/astar_tw.ml: Array Hashtbl Hd_bounds Hd_core Hd_graph Hd_hypergraph List Option Pq Random Search_types Search_util

@@ -1,0 +1,1 @@
+lib/search/astar_tw.mli: Hd_graph Hd_hypergraph Search_types

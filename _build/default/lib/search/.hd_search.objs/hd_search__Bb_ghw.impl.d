@@ -1,0 +1,1 @@
+lib/search/bb_ghw.ml: Ghw_common Hd_bounds Hd_graph Hd_hypergraph List Option Random Search_types Search_util

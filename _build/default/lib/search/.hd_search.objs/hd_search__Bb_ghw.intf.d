@@ -1,0 +1,1 @@
+lib/search/bb_ghw.mli: Hd_hypergraph Search_types

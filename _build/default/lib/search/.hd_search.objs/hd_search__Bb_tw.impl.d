@@ -1,0 +1,1 @@
+lib/search/bb_tw.ml: Array Hd_bounds Hd_core Hd_graph Hd_hypergraph List Option Random Search_types Search_util

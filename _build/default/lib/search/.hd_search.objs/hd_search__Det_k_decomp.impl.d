@@ -1,0 +1,1 @@
+lib/search/det_k_decomp.ml: Array Hashtbl Hd_bounds Hd_core Hd_graph Hd_hypergraph List Option Queue Unix

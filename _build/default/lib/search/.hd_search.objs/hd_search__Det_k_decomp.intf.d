@@ -1,0 +1,1 @@
+lib/search/det_k_decomp.mli: Hd_core Hd_hypergraph

@@ -1,0 +1,1 @@
+lib/search/ghw_common.ml: Array Hashtbl Hd_bounds Hd_core Hd_graph Hd_hypergraph Hd_setcover List Random

@@ -1,0 +1,1 @@
+lib/search/preprocess.ml: Array Astar_tw Hd_bounds Hd_graph List Option Random Search_types

@@ -1,0 +1,1 @@
+lib/search/preprocess.mli: Hd_graph Search_types

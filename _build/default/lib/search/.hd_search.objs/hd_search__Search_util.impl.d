@@ -1,0 +1,1 @@
+lib/search/search_util.ml: Hd_graph List Search_types Unix

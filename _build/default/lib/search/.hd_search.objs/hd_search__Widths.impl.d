@@ -1,0 +1,1 @@
+lib/search/widths.ml: Astar_tw Bb_ghw Det_k_decomp Format Hd_core Hd_graph Hd_hypergraph Random Search_types

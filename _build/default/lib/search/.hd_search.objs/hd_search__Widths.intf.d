@@ -1,0 +1,1 @@
+lib/search/widths.mli: Format Hd_hypergraph Search_types

@@ -1,0 +1,191 @@
+module Bitset = Hd_graph.Bitset
+module Elim_graph = Hd_graph.Elim_graph
+module Hypergraph = Hd_hypergraph.Hypergraph
+module Lower_bounds = Hd_bounds.Lower_bounds
+open Search_types
+
+type state = {
+  parent : state option;
+  vertex : int;
+  g : int;
+  h : int;
+  f : int;
+  depth : int;
+  mutable children : int list;
+  reduced : bool;
+}
+
+let compare_states a b =
+  let c = compare a.f b.f in
+  if c <> 0 then c else compare b.depth a.depth
+
+let path_of s =
+  let rec go s acc =
+    match s.parent with None -> acc | Some p -> go p (s.vertex :: acc)
+  in
+  go s []
+
+let sync eg current_path s =
+  let target = path_of s in
+  let rec split xs ys =
+    match (xs, ys) with
+    | x :: xs', y :: ys' when x = y -> split xs' ys'
+    | _ -> (xs, ys)
+  in
+  let to_undo, to_do = split !current_path target in
+  List.iter (fun _ -> Elim_graph.restore_last eg) to_undo;
+  List.iter (Elim_graph.eliminate eg) to_do;
+  current_path := target
+
+let ordering_of_path ~n path eg =
+  let sigma = Array.make n (-1) in
+  let i = ref (n - 1) in
+  List.iter
+    (fun v ->
+      sigma.(!i) <- v;
+      decr i)
+    path;
+  List.iter
+    (fun v ->
+      sigma.(!i) <- v;
+      decr i)
+    (Elim_graph.alive_list eg);
+  sigma
+
+let children_of eg ~parent_reduced ~last =
+  match Elim_graph.find_reducible eg ~lb:(-1) with
+  | Some w -> ([ w ], true)
+  | None ->
+      let all = Elim_graph.alive_list eg in
+      let kept =
+        if parent_reduced || last < 0 then all
+        else
+          List.filter
+            (fun u ->
+              not
+                (Search_util.prune_child ~adjacent_case:false eg ~last
+                   ~candidate:u))
+            all
+      in
+      (kept, false)
+
+let solve ?(budget = no_budget) ?(dedup = false) ?seed h =
+  Ghw_common.check_input h;
+  (* subsumed hyperedges never matter for covers or coverage: searching
+     the reduced instance is free speedup (same vertices, same primal,
+     same ghw) *)
+  let h = Hypergraph.remove_subsumed h in
+  let n = Hypergraph.n_vertices h in
+  let ticker = Search_util.make_ticker budget in
+  let finish outcome ordering =
+    {
+      outcome;
+      visited = ticker.Search_util.visited;
+      generated = ticker.Search_util.generated;
+      elapsed = Search_util.elapsed ticker;
+      ordering;
+    }
+  in
+  if n = 0 then finish (Exact 0) (Some [||])
+  else begin
+    let rng = Random.State.make [| Option.value seed ~default:0xa5a |] in
+    let ub_sigma, ub0, lb0 = Ghw_common.initial_bounds h rng in
+    if lb0 >= ub0 then finish (Exact ub0) (Some ub_sigma)
+    else begin
+      let covers = Ghw_common.Cover.make h `Exact rng in
+      let k = Hypergraph.max_edge_size h in
+      let ub = ref ub0 and best_sigma = ref ub_sigma in
+      let best_lb = ref lb0 in
+      let eg = Elim_graph.of_graph (Hypergraph.primal h) in
+      let current_path = ref [] in
+      let queue = Pq.create ~compare:compare_states in
+      let seen : (Bitset.t, int) Hashtbl.t = Hashtbl.create 4096 in
+      let root_children, root_reduced = children_of eg ~parent_reduced:true ~last:(-1) in
+      Pq.push queue
+        {
+          parent = None;
+          vertex = -1;
+          g = 0;
+          h = lb0;
+          f = lb0;
+          depth = 0;
+          children = root_children;
+          reduced = root_reduced;
+        };
+      let rec search () =
+        if Pq.is_empty queue then finish (Exact !ub) (Some !best_sigma)
+        else if Search_util.out_of_budget ticker then
+          finish (Bounds { lb = min !best_lb !ub; ub = !ub }) (Some !best_sigma)
+        else begin
+          let s = Pq.pop queue in
+          if s.f >= !ub then search ()
+          else begin
+            ticker.Search_util.visited <- ticker.Search_util.visited + 1;
+            sync eg current_path s;
+            if s.f > !best_lb then best_lb := s.f;
+            let completion = Ghw_common.Cover.completion_width covers eg in
+            if completion <= s.g then
+              finish (Exact s.g) (Some (ordering_of_path ~n (path_of s) eg))
+            else begin
+              expand s completion;
+              s.children <- [];
+              search ()
+            end
+          end
+        end
+      and expand s completion_here =
+        (* anytime upper bound from this state *)
+        let total = max s.g completion_here in
+        if total < !ub then begin
+          ub := total;
+          best_sigma := ordering_of_path ~n (path_of s) eg
+        end;
+        List.iter
+          (fun v ->
+            if not (Search_util.out_of_budget ticker) then begin
+              ticker.Search_util.generated <- ticker.Search_util.generated + 1;
+              let c = Ghw_common.Cover.bag_width covers eg v in
+              let g' = max s.g c in
+              if g' < !ub then begin
+                Elim_graph.eliminate eg v;
+                let h' =
+                  if Elim_graph.n_alive eg <= 1 then 0
+                  else Lower_bounds.ghw_of_elim ~rng ~trials:1 ~max_edge_size:k eg
+                in
+                let f' = max (max g' h') s.f in
+                if f' < !ub then begin
+                  let dominated =
+                    dedup
+                    &&
+                    let key = Elim_graph.alive eg in
+                    match Hashtbl.find_opt seen key with
+                    | Some g_seen when g_seen <= g' -> true
+                    | _ ->
+                        Hashtbl.replace seen (Bitset.copy key) g';
+                        false
+                  in
+                  if not dominated then begin
+                    let children, reduced =
+                      children_of eg ~parent_reduced:s.reduced ~last:v
+                    in
+                    Pq.push queue
+                      {
+                        parent = Some s;
+                        vertex = v;
+                        g = g';
+                        h = h';
+                        f = f';
+                        depth = s.depth + 1;
+                        children;
+                        reduced;
+                      }
+                  end
+                end;
+                Elim_graph.restore_last eg
+              end
+            end)
+          s.children
+      in
+      search ()
+    end
+  end

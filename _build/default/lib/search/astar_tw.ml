@@ -1,0 +1,200 @@
+module Graph = Hd_graph.Graph
+module Elim_graph = Hd_graph.Elim_graph
+module Bitset = Hd_graph.Bitset
+module Lower_bounds = Hd_bounds.Lower_bounds
+open Search_types
+
+type state = {
+  parent : state option;
+  vertex : int; (* eliminated on entering this state; -1 at the root *)
+  g : int;
+  h : int;
+  f : int;
+  depth : int;
+  mutable children : int list;
+  reduced : bool;
+}
+
+let compare_states a b =
+  (* smallest f first; among equal f prefer deeper states, which reach
+     goals sooner once the frontier sits at the optimum (Section 5.3) *)
+  let c = compare a.f b.f in
+  if c <> 0 then c else compare b.depth a.depth
+
+(* The elimination path from the root to [s], in elimination order. *)
+let path_of s =
+  let rec go s acc =
+    match s.parent with None -> acc | Some p -> go p (s.vertex :: acc)
+  in
+  go s []
+
+(* Move the shared elimination graph from the state it is currently at
+   to state [s]: restore back to the deepest common ancestor, then
+   eliminate along [s]'s remaining path.  [current_path] is kept in
+   elimination order. *)
+let sync eg current_path s =
+  let target = path_of s in
+  let rec split xs ys =
+    match (xs, ys) with
+    | x :: xs', y :: ys' when x = y -> split xs' ys'
+    | _ -> (xs, ys)
+  in
+  let to_undo, to_do = split !current_path target in
+  List.iter (fun _ -> Elim_graph.restore_last eg) to_undo;
+  List.iter (Elim_graph.eliminate eg) to_do;
+  current_path := target
+
+(* sigma places the first-eliminated vertex last (library convention) *)
+let ordering_of_path ~n path eg =
+  let sigma = Array.make n (-1) in
+  let i = ref (n - 1) in
+  List.iter
+    (fun v ->
+      sigma.(!i) <- v;
+      decr i)
+    path;
+  List.iter
+    (fun v ->
+      sigma.(!i) <- v;
+      decr i)
+    (Elim_graph.alive_list eg);
+  sigma
+
+let children_of eg ~lb ~parent_reduced ~last =
+  match Elim_graph.find_reducible eg ~lb with
+  | Some w -> ([ w ], true)
+  | None ->
+      let all = Elim_graph.alive_list eg in
+      let kept =
+        if parent_reduced || last < 0 then all
+        else
+          List.filter
+            (fun u -> not (Search_util.prune_child eg ~last ~candidate:u))
+            all
+      in
+      (kept, false)
+
+let solve ?(budget = no_budget) ?(dedup = false) ?seed g =
+  let n = Graph.n g in
+  let ticker = Search_util.make_ticker budget in
+  let finish outcome ordering =
+    {
+      outcome;
+      visited = ticker.Search_util.visited;
+      generated = ticker.Search_util.generated;
+      elapsed = Search_util.elapsed ticker;
+      ordering;
+    }
+  in
+  if n <= 1 then finish (Exact (n - 1)) (Some (Array.init n (fun i -> i)))
+  else begin
+    let rng = Random.State.make [| Option.value seed ~default:0x7ea |] in
+    let eval = Hd_core.Eval.of_graph g in
+    let ub_sigma, ub =
+      Hd_core.Ordering_heuristics.best_of rng g ~trials:3
+        ~eval:(Hd_core.Eval.tw_width eval)
+    in
+    let lb = Lower_bounds.treewidth ~rng g in
+    if lb >= ub then finish (Exact ub) (Some ub_sigma)
+    else begin
+      let ub = ref ub and best_sigma = ref ub_sigma in
+      let best_lb = ref lb in
+      let eg = Elim_graph.of_graph g in
+      let current_path = ref [] in
+      let queue = Pq.create ~compare:compare_states in
+      let seen : (Bitset.t, int) Hashtbl.t = Hashtbl.create 4096 in
+      let root_children, root_reduced =
+        children_of eg ~lb ~parent_reduced:true ~last:(-1)
+      in
+      Pq.push queue
+        {
+          parent = None;
+          vertex = -1;
+          g = 0;
+          h = lb;
+          f = lb;
+          depth = 0;
+          children = root_children;
+          reduced = root_reduced;
+        };
+      let rec search () =
+        if Pq.is_empty queue then finish (Exact !ub) (Some !best_sigma)
+        else if Search_util.out_of_budget ticker then
+          finish (Bounds { lb = min !best_lb !ub; ub = !ub }) (Some !best_sigma)
+        else begin
+          let s = Pq.pop queue in
+          if s.f >= !ub then
+            (* stale entry: the upper bound improved since the push *)
+            search ()
+          else begin
+            ticker.Search_util.visited <- ticker.Search_util.visited + 1;
+            sync eg current_path s;
+            if s.f > !best_lb then best_lb := s.f;
+            if s.g >= Elim_graph.n_alive eg - 1 then
+              finish (Exact s.g)
+                (Some (ordering_of_path ~n (path_of s) eg))
+            else begin
+              expand s;
+              s.children <- [];
+              search ()
+            end
+          end
+        end
+      and expand s =
+        List.iter
+          (fun v ->
+            if not (Search_util.out_of_budget ticker) then begin
+              ticker.Search_util.generated <- ticker.Search_util.generated + 1;
+              let d = Elim_graph.degree eg v in
+              let g' = max s.g d in
+              Elim_graph.eliminate eg v;
+              (* PR 1: completing in any order costs at most
+                 max (g', n' - 1) *)
+              let n' = Elim_graph.n_alive eg in
+              let completion = max g' (n' - 1) in
+              if completion < !ub then begin
+                ub := completion;
+                best_sigma := ordering_of_path ~n (path_of s @ [ v ]) eg
+              end;
+              let h' =
+                if n' <= 1 then 0 else Lower_bounds.treewidth_of_elim ~rng ~trials:1 eg
+              in
+              let f' = max (max g' h') s.f in
+              if f' < !ub then begin
+                let dominated =
+                  dedup
+                  &&
+                  let key = Elim_graph.alive eg in
+                  match Hashtbl.find_opt seen key with
+                  | Some g_seen when g_seen <= g' -> true
+                  | _ ->
+                      Hashtbl.replace seen (Bitset.copy key) g';
+                      false
+                in
+                if not dominated then begin
+                  let children, reduced =
+                    children_of eg ~lb:f' ~parent_reduced:s.reduced ~last:v
+                  in
+                  Pq.push queue
+                    {
+                      parent = Some s;
+                      vertex = v;
+                      g = g';
+                      h = h';
+                      f = f';
+                      depth = s.depth + 1;
+                      children;
+                      reduced;
+                    }
+                end
+              end;
+              Elim_graph.restore_last eg
+            end)
+          s.children
+      in
+      search ()
+    end
+  end
+
+let solve_hypergraph ?budget ?dedup ?seed h =
+  solve ?budget ?dedup ?seed (Hd_hypergraph.Hypergraph.primal h)

@@ -1,0 +1,103 @@
+module Elim_graph = Hd_graph.Elim_graph
+module Hypergraph = Hd_hypergraph.Hypergraph
+module Lower_bounds = Hd_bounds.Lower_bounds
+open Search_types
+
+type cover_mode = Ghw_common.cover_mode
+
+exception Out_of_budget
+
+let solve ?(budget = no_budget) ?seed ?(cover = `Exact) h =
+  Ghw_common.check_input h;
+  (* subsumed hyperedges never matter for covers or coverage: searching
+     the reduced instance is free speedup (same vertices, same primal,
+     same ghw) *)
+  let h = Hypergraph.remove_subsumed h in
+  let n = Hypergraph.n_vertices h in
+  let ticker = Search_util.make_ticker budget in
+  let finish outcome ordering =
+    {
+      outcome;
+      visited = ticker.Search_util.visited;
+      generated = ticker.Search_util.generated;
+      elapsed = Search_util.elapsed ticker;
+      ordering;
+    }
+  in
+  if n = 0 then finish (Exact 0) (Some [||])
+  else begin
+    let rng = Random.State.make [| Option.value seed ~default:0x6b6 |] in
+    let ub_sigma, ub0, lb0 = Ghw_common.initial_bounds h rng in
+    if lb0 >= ub0 then finish (Exact ub0) (Some ub_sigma)
+    else begin
+      let covers = Ghw_common.Cover.make h cover rng in
+      let k = Hypergraph.max_edge_size h in
+      let ub = ref ub0 and best_sigma = ref ub_sigma in
+      let eg = Elim_graph.of_graph (Hypergraph.primal h) in
+      let path = ref [] in
+      let rec branch ~g_val ~f_floor ~reduced =
+        if Search_util.out_of_budget ticker then raise Out_of_budget;
+        ticker.Search_util.visited <- ticker.Search_util.visited + 1;
+        let completion = max g_val (Ghw_common.Cover.completion_width covers eg) in
+        if completion < !ub then begin
+          ub := completion;
+          best_sigma := Ghw_common.record_ordering ~n eg !path
+        end;
+        (* a completion no better than g exists iff covering the rest
+           at once already fits in g: then nothing below can improve *)
+        if completion > g_val && f_floor < !ub then begin
+          let candidates =
+            (* simplicial reduction only: the almost-simplicial rule is
+               degree-based and specific to treewidth *)
+            match Elim_graph.find_reducible eg ~lb:(-1) with
+            | Some w -> [ (w, true) ]
+            | None ->
+                let last = match !path with v :: _ -> v | [] -> -1 in
+                Elim_graph.alive_list eg
+                |> List.filter (fun u ->
+                       reduced || last < 0
+                       || not
+                            (Search_util.prune_child ~adjacent_case:false eg
+                               ~last ~candidate:u))
+                |> List.map (fun u -> (u, false))
+          in
+          let candidates =
+            List.sort
+              (fun (a, _) (b, _) ->
+                compare (Elim_graph.degree eg a) (Elim_graph.degree eg b))
+              candidates
+          in
+          List.iter
+            (fun (v, via_reduction) ->
+              ticker.Search_util.generated <- ticker.Search_util.generated + 1;
+              let c = Ghw_common.Cover.bag_width covers eg v in
+              let g'' = max g_val c in
+              if g'' < !ub then begin
+                Elim_graph.eliminate eg v;
+                path := v :: !path;
+                let h_val =
+                  if Elim_graph.n_alive eg <= 1 then 0
+                  else
+                    Lower_bounds.ghw_of_elim ~rng ~trials:1 ~max_edge_size:k eg
+                in
+                let f = max (max g'' h_val) f_floor in
+                if f < !ub then
+                  branch ~g_val:g'' ~f_floor:f ~reduced:via_reduction;
+                path := List.tl !path;
+                Elim_graph.restore_last eg
+              end)
+            candidates
+        end
+      in
+      match branch ~g_val:0 ~f_floor:lb0 ~reduced:false with
+      | () ->
+          let outcome =
+            match cover with
+            | `Exact -> Exact !ub
+            | `Greedy -> Bounds { lb = lb0; ub = !ub }
+          in
+          finish outcome (Some !best_sigma)
+      | exception Out_of_budget ->
+          finish (Bounds { lb = lb0; ub = !ub }) (Some !best_sigma)
+    end
+  end

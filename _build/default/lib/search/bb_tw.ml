@@ -1,0 +1,118 @@
+module Graph = Hd_graph.Graph
+module Elim_graph = Hd_graph.Elim_graph
+module Lower_bounds = Hd_bounds.Lower_bounds
+open Search_types
+
+exception Out_of_budget
+
+let solve ?(budget = no_budget) ?seed ?(use_pr2 = true) ?(use_reductions = true) g =
+  let n = Graph.n g in
+  let ticker = Search_util.make_ticker budget in
+  let finish outcome ordering =
+    {
+      outcome;
+      visited = ticker.Search_util.visited;
+      generated = ticker.Search_util.generated;
+      elapsed = Search_util.elapsed ticker;
+      ordering;
+    }
+  in
+  if n <= 1 then finish (Exact (n - 1)) (Some (Array.init n (fun i -> i)))
+  else begin
+    let rng = Random.State.make [| Option.value seed ~default:0xb0b |] in
+    let eval = Hd_core.Eval.of_graph g in
+    let ub_sigma, ub0 =
+      Hd_core.Ordering_heuristics.best_of rng g ~trials:3
+        ~eval:(Hd_core.Eval.tw_width eval)
+    in
+    let lb0 = Lower_bounds.treewidth ~rng g in
+    if lb0 >= ub0 then finish (Exact ub0) (Some ub_sigma)
+    else begin
+      let ub = ref ub0 and best_sigma = ref ub_sigma in
+      let eg = Elim_graph.of_graph g in
+      let path = ref [] in
+      (* vertices eliminated so far, most recent first *)
+      let record_solution width =
+        if width < !ub then begin
+          ub := width;
+          (* sigma's back is eliminated first: live vertices fill the
+             front (eliminated last, in any order), then the path in
+             most-recent-first order puts the first elimination at the
+             very back *)
+          let sigma = Array.make n (-1) in
+          let i = ref 0 in
+          List.iter
+            (fun v ->
+              sigma.(!i) <- v;
+              incr i)
+            (Elim_graph.alive_list eg);
+          List.iter
+            (fun v ->
+              sigma.(!i) <- v;
+              incr i)
+            !path;
+          best_sigma := sigma
+        end
+      in
+      (* depth-first over elimination choices; [g_val] is the width of
+         the partial ordering, [f_floor] the inherited f of the parent *)
+      let rec branch ~g_val ~f_floor ~reduced =
+        if Search_util.out_of_budget ticker then raise Out_of_budget;
+        ticker.Search_util.visited <- ticker.Search_util.visited + 1;
+        let n' = Elim_graph.n_alive eg in
+        (* PR 1 *)
+        let completion = max g_val (n' - 1) in
+        if completion < !ub then record_solution completion;
+        if n' - 1 > g_val && f_floor < !ub then begin
+          let reducible =
+            if use_reductions then Elim_graph.find_reducible eg ~lb:f_floor
+            else None
+          in
+          let candidates =
+            match reducible with
+            | Some w -> [ (w, true) ]
+            | None ->
+                let last = match !path with v :: _ -> v | [] -> -1 in
+                Elim_graph.alive_list eg
+                |> List.filter (fun u ->
+                       (not use_pr2) || reduced || last < 0
+                       || not (Search_util.prune_child eg ~last ~candidate:u))
+                |> List.map (fun u -> (u, false))
+          in
+          (* explore low-degree vertices first: they concentrate good
+             orderings early, tightening ub for later siblings *)
+          let candidates =
+            List.sort
+              (fun (a, _) (b, _) ->
+                compare (Elim_graph.degree eg a) (Elim_graph.degree eg b))
+              candidates
+          in
+          List.iter
+            (fun (v, via_reduction) ->
+              ticker.Search_util.generated <- ticker.Search_util.generated + 1;
+              let d = Elim_graph.degree eg v in
+              let g'' = max g_val d in
+              if g'' < !ub then begin
+                Elim_graph.eliminate eg v;
+                path := v :: !path;
+                let h =
+                  if Elim_graph.n_alive eg <= 1 then 0
+                  else Lower_bounds.treewidth_of_elim ~rng ~trials:1 eg
+                in
+                let f = max (max g'' h) f_floor in
+                if f < !ub then branch ~g_val:g'' ~f_floor:f ~reduced:via_reduction;
+                path := List.tl !path;
+                Elim_graph.restore_last eg
+              end)
+            candidates
+        end
+      in
+      match branch ~g_val:0 ~f_floor:lb0 ~reduced:false with
+      | () -> finish (Exact !ub) (Some !best_sigma)
+      | exception Out_of_budget ->
+          finish (Bounds { lb = lb0; ub = !ub }) (Some !best_sigma)
+    end
+  end
+
+let solve_hypergraph ?budget ?seed h =
+  solve ?budget ?seed (Hd_hypergraph.Hypergraph.primal h)

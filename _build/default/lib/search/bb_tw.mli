@@ -1,0 +1,23 @@
+(** BB-tw: depth-first branch and bound for treewidth (Section 4.4).
+
+    The same ingredients as {!Astar_tw} — elimination-ordering search
+    space, min-fill upper bound, minor-based lower bounds, simplicial /
+    strongly-almost-simplicial reductions, pruning rules PR1 and PR2 —
+    explored depth-first with an anytime upper bound, as in the
+    algorithms QuickBB and BB-tw the paper compares against. *)
+
+(** [use_pr2] and [use_reductions] (both on by default) exist for the
+    pruning ablation bench. *)
+val solve :
+  ?budget:Search_types.budget ->
+  ?seed:int ->
+  ?use_pr2:bool ->
+  ?use_reductions:bool ->
+  Hd_graph.Graph.t ->
+  Search_types.result
+
+val solve_hypergraph :
+  ?budget:Search_types.budget ->
+  ?seed:int ->
+  Hd_hypergraph.Hypergraph.t ->
+  Search_types.result

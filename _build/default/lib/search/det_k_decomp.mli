@@ -1,0 +1,52 @@
+(** det-k-decomp: hypertree decompositions of width at most k
+    (Gottlob--Leone--Scarcello's opt-k-decomp line, in the
+    deterministic formulation of Gottlob & Samer).
+
+    A {e hypertree decomposition} is a generalized hypertree
+    decomposition that additionally satisfies the descendant condition
+    (condition 4 of Definition 5.x in the literature): for every node
+    [p], the vertices of [lambda(p)] that occur anywhere in the subtree
+    rooted at [p] must already belong to [chi(p)].  That condition is
+    what makes "hw(H) <= k" decidable in polynomial time for fixed [k],
+    whereas the same question for ghw is NP-complete — the
+    computational gap the paper's Section 2.3.2 describes.
+
+    The algorithm searches top-down: pick a separator [S] of at most
+    [k] hyperedges covering the connector vertices shared with the
+    parent, split the remaining hyperedges into [var(S)]-connected
+    components, and recurse, memoising failed (component, connector)
+    pairs.
+
+    Widths relate as [ghw(H) <= hw(H) <= tw(H) + 1], both
+    property-tested in the suite. *)
+
+(** A hypertree decomposition, as a GHD whose descendant condition
+    holds. *)
+type t = Hd_core.Ghd.t
+
+(** Raised when [deadline] passes mid-search: the question "hw <= k?"
+    is then unanswered (a [None] would wrongly claim hw > k). *)
+exception Timeout
+
+(** [decide ?deadline h ~k] finds a hypertree decomposition of width at
+    most [k], or [None] when [hw h > k].  [deadline] is an absolute
+    [Unix.gettimeofday] time.
+    @raise Timeout when the deadline passes.
+    @raise Invalid_argument when some vertex of [h] lies in no
+    hyperedge or [k < 1]. *)
+val decide : ?deadline:float -> Hd_hypergraph.Hypergraph.t -> k:int -> t option
+
+(** [hypertree_width ?upper ?time_limit h] is [hw h] with a witness,
+    found by trying k upward from the tw-ksc lower bound; [upper]
+    (default: number of hyperedges) caps the search.
+    @raise Timeout when [time_limit] seconds pass. *)
+val hypertree_width :
+  ?upper:int -> ?time_limit:float -> Hd_hypergraph.Hypergraph.t -> int * t
+
+(** [descendant_condition_holds h ghd] checks condition 4 alone: for
+    every node [p], [var(lambda p)] intersected with the vertices
+    occurring in [p]'s subtree is contained in [chi p]. *)
+val descendant_condition_holds : Hd_hypergraph.Hypergraph.t -> Hd_core.Ghd.t -> bool
+
+(** [valid h hd] checks all four hypertree decomposition conditions. *)
+val valid : Hd_hypergraph.Hypergraph.t -> t -> bool

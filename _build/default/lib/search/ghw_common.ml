@@ -1,0 +1,78 @@
+module Bitset = Hd_graph.Bitset
+module Elim_graph = Hd_graph.Elim_graph
+module Hypergraph = Hd_hypergraph.Hypergraph
+module Set_cover = Hd_setcover.Set_cover
+module Lower_bounds = Hd_bounds.Lower_bounds
+
+type cover_mode = [ `Exact | `Greedy ]
+
+(* Cover machinery shared with A*-ghw. *)
+module Cover = struct
+  type t = {
+    hypergraph : Hypergraph.t;
+    cache : (Bitset.t, int) Hashtbl.t;
+    mode : cover_mode;
+    rng : Random.State.t;
+    scratch : Bitset.t;
+  }
+
+  let make h mode rng =
+    {
+      hypergraph = h;
+      cache = Hashtbl.create 4096;
+      mode;
+      rng;
+      scratch = Bitset.create (max 1 (Hypergraph.n_vertices h));
+    }
+
+  (* cover size of the elimination bag {v} u N(v) *)
+  let bag_width t eg v =
+    Bitset.blit ~src:(Elim_graph.adjacency eg v) ~dst:t.scratch;
+    Bitset.add t.scratch v;
+    let problem = { Set_cover.universe = t.scratch; hypergraph = t.hypergraph } in
+    match t.mode with
+    | `Exact -> Set_cover.exact_size ~cache:t.cache problem
+    | `Greedy -> Set_cover.greedy_size ~rng:t.rng problem
+
+  (* greedy cover of all live vertices: a valid width for any
+     completion of the current partial ordering *)
+  let completion_width t eg =
+    if Elim_graph.n_alive eg = 0 then 0
+    else begin
+      Bitset.blit ~src:(Elim_graph.alive eg) ~dst:t.scratch;
+      Set_cover.greedy_size ~rng:t.rng
+        { Set_cover.universe = t.scratch; hypergraph = t.hypergraph }
+    end
+end
+
+let initial_bounds h rng =
+  let eval = Hd_core.Eval.of_hypergraph h in
+  let g = Hypergraph.primal h in
+  let ub_sigma, ub =
+    Hd_core.Ordering_heuristics.best_of rng g ~trials:3
+      ~eval:(Hd_core.Eval.ghw_width ~rng eval)
+  in
+  let lb = Lower_bounds.ghw ~rng h in
+  (ub_sigma, ub, lb)
+
+let check_input h =
+  if not (Hypergraph.all_vertices_covered h) then
+    invalid_arg "Ghw search: every vertex must lie in some hyperedge"
+
+let record_ordering ~n eg path =
+  (* live vertices fill the front (eliminated last); the path,
+     most-recent-first, ends with the first elimination at the back *)
+  let sigma = Array.make n (-1) in
+  let i = ref 0 in
+  List.iter
+    (fun v ->
+      sigma.(!i) <- v;
+      incr i)
+    (Elim_graph.alive_list eg);
+  List.iter
+    (fun v ->
+      sigma.(!i) <- v;
+      incr i)
+    path;
+  sigma
+

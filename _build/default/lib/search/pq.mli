@@ -1,0 +1,20 @@
+(** A mutable binary-heap priority queue.
+
+    [Pq.create ~compare] orders elements so that {!pop} returns a
+    minimal element under [compare] — the best-first frontier of the A*
+    algorithms. *)
+
+type 'a t
+
+val create : compare:('a -> 'a -> int) -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+val push : 'a t -> 'a -> unit
+
+(** [pop q] removes and returns a minimal element.
+    @raise Not_found when [q] is empty. *)
+val pop : 'a t -> 'a
+
+(** [peek q] returns a minimal element without removing it.
+    @raise Not_found when [q] is empty. *)
+val peek : 'a t -> 'a

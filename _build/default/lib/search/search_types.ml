@@ -1,0 +1,20 @@
+type outcome = Exact of int | Bounds of { lb : int; ub : int }
+
+type result = {
+  outcome : outcome;
+  visited : int;
+  generated : int;
+  elapsed : float;
+  ordering : int array option;
+}
+
+type budget = { time_limit : float option; max_states : int option }
+
+let no_budget = { time_limit = None; max_states = None }
+let with_time seconds = { time_limit = Some seconds; max_states = None }
+
+let value = function Exact w -> w | Bounds { ub; _ } -> ub
+
+let pp_outcome ppf = function
+  | Exact w -> Format.fprintf ppf "%d (exact)" w
+  | Bounds { lb; ub } -> Format.fprintf ppf "[%d,%d]" lb ub

@@ -1,0 +1,31 @@
+(** Shared result and budget types of the exact-search algorithms. *)
+
+(** How a search ended. *)
+type outcome =
+  | Exact of int  (** the optimum was proved *)
+  | Bounds of { lb : int; ub : int }
+      (** the budget expired; the optimum lies in [lb, ub] *)
+
+type result = {
+  outcome : outcome;
+  visited : int;  (** search states visited (expanded) *)
+  generated : int;  (** search states evaluated *)
+  elapsed : float;  (** wall-clock seconds *)
+  ordering : int array option;
+      (** an elimination ordering realising the best width found, when
+          one was reached *)
+}
+
+(** Resource limits for a search run. *)
+type budget = {
+  time_limit : float option;  (** wall-clock seconds *)
+  max_states : int option;  (** cap on generated states *)
+}
+
+val no_budget : budget
+val with_time : float -> budget
+
+(** [value outcome] is the proved optimum or the upper bound. *)
+val value : outcome -> int
+
+val pp_outcome : Format.formatter -> outcome -> unit

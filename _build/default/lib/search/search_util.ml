@@ -1,0 +1,72 @@
+(* Internal helpers shared by the four exact-search algorithms. *)
+
+module Elim_graph = Hd_graph.Elim_graph
+
+(* Pruning rule PR 2 (Section 4.4.5).  The graph [eg] is positioned
+   just after eliminating some vertex [v]; [swap_equivalent eg u] holds
+   when eliminating [u] before [v] would have produced an ordering of
+   identical width, so that only one of the two branches needs
+   exploring.  With [v] and [u] non-adjacent (before [v]'s elimination)
+   this is always so; with them adjacent it requires each to own a
+   still-alive neighbour that the other lacked. *)
+let swap_equivalent ?(adjacent_case = true) eg u =
+  match Elim_graph.last_step eg with
+  | None -> false
+  | Some { Elim_graph.vertex = _; nbrs; fill } ->
+      if not (List.mem u nbrs) then true
+      else if not adjacent_case then
+        (* the adjacent-vertex case preserves bag sizes (sound for
+           treewidth) but permutes bag contents, which can change exact
+           set-cover widths — callers optimising ghw disable it *)
+        false
+      else
+        let fill_partners =
+          List.filter_map
+            (fun (a, b) ->
+              if a = u then Some b else if b = u then Some a else None)
+            fill
+        in
+        (* v's private neighbour: a fill partner of u was a neighbour of
+           v but not of u before the elimination *)
+        let v_has_private = fill_partners <> [] in
+        (* u's private neighbour: a current neighbour of u outside v's
+           old neighbourhood that did not arrive via fill *)
+        let u_has_private =
+          List.exists
+            (fun b -> (not (List.mem b nbrs)) && not (List.mem b fill_partners))
+            (Elim_graph.neighbors eg u)
+        in
+        v_has_private && u_has_private
+
+(* [prune_child eg ~last ~candidate] decides whether the branch
+   eliminating [candidate] immediately after [last] is PR2-redundant;
+   the kept branch is the one eliminating the smaller vertex first. *)
+let prune_child ?adjacent_case eg ~last ~candidate =
+  last > candidate && swap_equivalent ?adjacent_case eg candidate
+
+(* Deterministic per-run clock for budget checks. *)
+type ticker = {
+  started : float;
+  time_limit : float option;
+  max_states : int option;
+  mutable generated : int;
+  mutable visited : int;
+}
+
+let make_ticker (budget : Search_types.budget) =
+  {
+    started = Unix.gettimeofday ();
+    time_limit = budget.Search_types.time_limit;
+    max_states = budget.Search_types.max_states;
+    generated = 0;
+    visited = 0;
+  }
+
+let elapsed t = Unix.gettimeofday () -. t.started
+
+let out_of_budget t =
+  (match t.time_limit with
+  | Some limit -> elapsed t > limit
+  | None -> false)
+  ||
+  match t.max_states with Some m -> t.generated > m | None -> false

@@ -1,0 +1,54 @@
+module Hypergraph = Hd_hypergraph.Hypergraph
+open Search_types
+
+type report = {
+  n_vertices : int;
+  n_hyperedges : int;
+  primal_edges : int;
+  acyclic : bool;
+  tw : outcome;
+  ghw : outcome;
+  hw : int option;
+  fhw_upper : float;
+}
+
+let analyze ?(time_limit = 10.0) ?(seed = 1) h =
+  let share = time_limit /. 3.0 in
+  let budget = { time_limit = Some share; max_states = None } in
+  let primal = Hypergraph.primal h in
+  let acyclic = Hd_hypergraph.Acyclicity.is_acyclic h in
+  let tw = (Astar_tw.solve ~budget ~seed primal).outcome in
+  let ghw = (Bb_ghw.solve ~budget ~seed h).outcome in
+  let hw =
+    try Some (fst (Det_k_decomp.hypertree_width ~time_limit:share h))
+    with Det_k_decomp.Timeout -> None
+  in
+  let fhw_upper =
+    let rng = Random.State.make [| seed |] in
+    let sigma = Hd_core.Ordering_heuristics.min_fill_hypergraph rng h in
+    let ws = Hd_core.Eval.of_hypergraph h in
+    Hd_core.Eval.fhw_width ws sigma
+  in
+  {
+    n_vertices = Hypergraph.n_vertices h;
+    n_hyperedges = Hypergraph.n_edges h;
+    primal_edges = Hd_graph.Graph.m primal;
+    acyclic;
+    tw;
+    ghw;
+    hw;
+    fhw_upper;
+  }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>%d vertices, %d hyperedges (%d primal edges)@,\
+     alpha-acyclic: %b@,\
+     treewidth:     %a@,\
+     ghw:           %a@,\
+     hw:            %s@,\
+     fhw:           <= %.3f@]"
+    r.n_vertices r.n_hyperedges r.primal_edges r.acyclic pp_outcome r.tw
+    pp_outcome r.ghw
+    (match r.hw with Some w -> string_of_int w | None -> "(timeout)")
+    r.fhw_upper

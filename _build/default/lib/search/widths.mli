@@ -1,0 +1,28 @@
+(** One-call width analysis of a hypergraph.
+
+    Runs the whole ladder — acyclicity, treewidth, generalized
+    hypertree width, hypertree width, fractional cover upper bound —
+    each under a share of a common time budget, and reports every
+    number with its certainty.  This is the "question and answer"
+    entry point: which width notions make this instance tractable, and
+    at what cost. *)
+
+type report = {
+  n_vertices : int;
+  n_hyperedges : int;
+  primal_edges : int;
+  acyclic : bool;  (** alpha-acyclic (GYO) — equivalent to ghw = 1 *)
+  tw : Search_types.outcome;  (** treewidth via A*-tw *)
+  ghw : Search_types.outcome;  (** generalized hypertree width via BB-ghw *)
+  hw : int option;  (** hypertree width via det-k-decomp, [None] on timeout *)
+  fhw_upper : float;
+      (** fractional-cover width of a min-fill ordering: an fhw upper
+          bound *)
+}
+
+(** [analyze ?time_limit ?seed h] computes the report; [time_limit]
+    (default 10s) is split across the exact searches. *)
+val analyze :
+  ?time_limit:float -> ?seed:int -> Hd_hypergraph.Hypergraph.t -> report
+
+val pp : Format.formatter -> report -> unit

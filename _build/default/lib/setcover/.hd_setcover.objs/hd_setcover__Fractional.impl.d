@@ -1,0 +1,1 @@
+lib/setcover/fractional.ml: Array Hashtbl Hd_graph Hd_hypergraph List Set_cover Simplex

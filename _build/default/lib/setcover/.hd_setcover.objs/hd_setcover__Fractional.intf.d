@@ -1,0 +1,1 @@
+lib/setcover/fractional.mli: Set_cover

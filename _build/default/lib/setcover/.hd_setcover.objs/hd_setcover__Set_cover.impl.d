@@ -1,0 +1,1 @@
+lib/setcover/set_cover.ml: Array Hashtbl Hd_graph Hd_hypergraph List Printf Random

@@ -1,0 +1,1 @@
+lib/setcover/set_cover.mli: Hashtbl Hd_graph Hd_hypergraph Random

@@ -1,0 +1,1 @@
+lib/setcover/simplex.ml: Array

@@ -1,0 +1,57 @@
+module Bitset = Hd_graph.Bitset
+module Hypergraph = Hd_hypergraph.Hypergraph
+
+let cover problem =
+  let { Set_cover.universe; hypergraph } = problem in
+  Bitset.iter
+    (fun v ->
+      if Hypergraph.incident hypergraph v = [] then
+        invalid_arg "Fractional.cover: vertex lies in no hyperedge")
+    universe;
+  let vertices = Bitset.elements universe in
+  if vertices = [] then (0.0, [])
+  else begin
+    (* candidate edges: those meeting the bag *)
+    let seen = Hashtbl.create 16 in
+    let candidates =
+      List.concat_map (fun v -> Hypergraph.incident hypergraph v) vertices
+      |> List.filter (fun e ->
+             if Hashtbl.mem seen e then false
+             else begin
+               Hashtbl.add seen e ();
+               true
+             end)
+      |> Array.of_list
+    in
+    let n = Array.length candidates in
+    let m = List.length vertices in
+    let constraints =
+      Array.of_list
+        (List.map
+           (fun v ->
+             Array.map
+               (fun e ->
+                 if Array.exists (( = ) v) (Hypergraph.edge hypergraph e) then
+                   1.0
+                 else 0.0)
+               candidates)
+           vertices)
+    in
+    match
+      Simplex.minimize ~objective:(Array.make n 1.0) ~constraints
+        ~bounds:(Array.make m 1.0)
+    with
+    | Simplex.Optimal { value; solution } ->
+        let weights =
+          Array.to_list
+            (Array.mapi (fun j e -> (e, solution.(j))) candidates)
+          |> List.filter (fun (_, w) -> w > 1e-9)
+        in
+        (value, weights)
+    | Simplex.Infeasible | Simplex.Unbounded ->
+        (* cannot happen: weight 1 on every candidate is feasible and
+           the objective is bounded below by 0 *)
+        assert false
+  end
+
+let cover_value problem = fst (cover problem)

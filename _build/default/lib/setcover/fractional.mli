@@ -1,0 +1,19 @@
+(** Fractional edge covers.
+
+    Relaxing the set cover integrality gives the fractional cover
+    number rho*(bag): assign a weight in [0, 1] to every hyperedge so
+    each bag vertex receives total weight at least 1, minimising the
+    weight sum.  Replacing exact covers with rho* in the width of an
+    ordering yields the fractional hypertree width, the third width
+    measure of the hypertree decomposition literature, with
+    fhw <= ghw <= hw. *)
+
+(** [cover_value problem] is rho* of the bag, computed by the simplex
+    method on the covering LP.
+    @raise Invalid_argument when some bag vertex lies in no
+    hyperedge. *)
+val cover_value : Set_cover.problem -> float
+
+(** [cover problem] also returns the per-hyperedge weights (paired
+    with hyperedge indices; only candidates touching the bag appear). *)
+val cover : Set_cover.problem -> float * (int * float) list

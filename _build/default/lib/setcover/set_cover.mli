@@ -1,0 +1,49 @@
+(** Set covering of decomposition bags by hyperedges.
+
+    Bucket elimination for generalized hypertree decompositions
+    (Section 2.5.2) turns every bag chi(p) into a set cover instance:
+    pick the fewest hyperedges whose union contains the bag.  The paper
+    uses the classical greedy heuristic (Figure 7.2) inside the genetic
+    algorithms and an exact solver (an IP solver in the thesis; a
+    branch-and-bound here) inside BB-ghw / A*-ghw, where exactness makes
+    the search an exact method for generalized hypertree width. *)
+
+type problem = {
+  universe : Hd_graph.Bitset.t;  (** the vertices to cover *)
+  hypergraph : Hd_hypergraph.Hypergraph.t;
+      (** the hyperedges available for covering *)
+}
+
+(** [greedy ?rng problem] covers the universe by repeatedly choosing a
+    hyperedge containing the most still-uncovered vertices, ties broken
+    uniformly at random when [rng] is given (first index otherwise).
+    Returns the chosen hyperedge indices.
+    @raise Invalid_argument when some universe vertex lies in no
+    hyperedge. *)
+val greedy : ?rng:Random.State.t -> problem -> int list
+
+(** [exact ?ub problem] is an optimal cover, found by branch and bound
+    seeded with the greedy solution.  [ub] prunes: if no cover smaller
+    than [ub] exists the greedy cover (possibly of size [>= ub]) is
+    returned.
+    @raise Invalid_argument when some universe vertex lies in no
+    hyperedge. *)
+val exact : ?ub:int -> problem -> int list
+
+(** [exact_size ?cache ?ub problem] is [List.length (exact problem)],
+    with optional memoisation keyed on the universe — bags recur
+    massively across branch-and-bound states. *)
+val exact_size :
+  ?cache:(Hd_graph.Bitset.t, int) Hashtbl.t -> ?ub:int -> problem -> int
+
+(** [greedy_size ?rng problem] is [List.length (greedy problem)]. *)
+val greedy_size : ?rng:Random.State.t -> problem -> int
+
+(** [cover_size_lower_bound ~universe_size ~max_set_size] is the trivial
+    k-set-cover lower bound [ceil(universe_size / max_set_size)]: no set
+    covers more than [max_set_size] elements. *)
+val cover_size_lower_bound : universe_size:int -> max_set_size:int -> int
+
+(** [is_cover problem chosen] checks that the union of the chosen
+    hyperedges contains the universe. *)
+val is_cover : problem -> int list -> bool

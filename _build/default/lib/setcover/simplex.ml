@@ -1,0 +1,161 @@
+type outcome =
+  | Optimal of { value : float; solution : float array }
+  | Infeasible
+  | Unbounded
+
+let epsilon = 1e-9
+
+(* Tableau layout: [m] constraint rows and one objective row (last);
+   columns are the structural variables, surplus variables, artificial
+   variables, and the right-hand side (last).  [basis.(row)] is the
+   variable currently basic in that row. *)
+type tableau = {
+  rows : float array array;
+  basis : int array;
+  m : int;
+  cols : int; (* total variable columns, excluding the rhs *)
+}
+
+let pivot t ~row ~col =
+  let width = t.cols + 1 in
+  let scale = t.rows.(row).(col) in
+  for j = 0 to width - 1 do
+    t.rows.(row).(j) <- t.rows.(row).(j) /. scale
+  done;
+  for i = 0 to t.m do
+    if i <> row then begin
+      let factor = t.rows.(i).(col) in
+      if abs_float factor > epsilon then
+        for j = 0 to width - 1 do
+          t.rows.(i).(j) <- t.rows.(i).(j) -. (factor *. t.rows.(row).(j))
+        done
+    end
+  done;
+  t.basis.(row) <- col
+
+(* Bland's rule: entering variable = smallest index with negative
+   reduced cost; leaving row = min ratio, ties by smallest basis
+   index.  Guarantees termination. *)
+let rec iterate t ~allowed =
+  let objective = t.rows.(t.m) in
+  let entering = ref (-1) in
+  (try
+     for j = 0 to t.cols - 1 do
+       if allowed j && objective.(j) < -.epsilon then begin
+         entering := j;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  if !entering < 0 then `Optimal
+  else begin
+    let col = !entering in
+    let best_row = ref (-1) and best_ratio = ref infinity in
+    for i = 0 to t.m - 1 do
+      let coeff = t.rows.(i).(col) in
+      if coeff > epsilon then begin
+        let ratio = t.rows.(i).(t.cols) /. coeff in
+        if
+          ratio < !best_ratio -. epsilon
+          || (ratio < !best_ratio +. epsilon
+             && (!best_row < 0 || t.basis.(i) < t.basis.(!best_row)))
+        then begin
+          best_ratio := ratio;
+          best_row := i
+        end
+      end
+    done;
+    if !best_row < 0 then `Unbounded
+    else begin
+      pivot t ~row:!best_row ~col;
+      iterate t ~allowed
+    end
+  end
+
+let minimize ~objective ~constraints ~bounds =
+  let m = Array.length constraints in
+  let n = Array.length objective in
+  if Array.length bounds <> m then
+    invalid_arg "Simplex.minimize: bounds length mismatch";
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then
+        invalid_arg "Simplex.minimize: constraint arity mismatch")
+    constraints;
+  Array.iter
+    (fun b -> if b < 0.0 then invalid_arg "Simplex.minimize: negative bound")
+    bounds;
+  (* columns: n structural, m surplus, m artificial *)
+  let cols = n + m + m in
+  let rows = Array.make_matrix (m + 1) (cols + 1) 0.0 in
+  let basis = Array.make m 0 in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      rows.(i).(j) <- constraints.(i).(j)
+    done;
+    rows.(i).(n + i) <- -1.0;
+    (* surplus *)
+    rows.(i).(n + m + i) <- 1.0;
+    (* artificial *)
+    rows.(i).(cols) <- bounds.(i);
+    basis.(i) <- n + m + i
+  done;
+  let t = { rows; basis; m; cols } in
+  (* phase 1: minimise the sum of artificials.  The objective row must
+     be expressed over the current (artificial) basis: subtract each
+     constraint row. *)
+  for j = 0 to cols do
+    let s = ref 0.0 in
+    for i = 0 to m - 1 do
+      s := !s +. rows.(i).(j)
+    done;
+    rows.(m).(j) <- (if j >= n + m && j < cols then 1.0 -. !s else -. !s)
+  done;
+  (match iterate t ~allowed:(fun _ -> true) with
+  | `Unbounded -> assert false (* phase 1 is bounded below by 0 *)
+  | `Optimal -> ());
+  let phase1_value = -.rows.(m).(cols) in
+  if phase1_value > 1e-6 then Infeasible
+  else begin
+    (* drive any residual artificial variables out of the basis *)
+    for i = 0 to m - 1 do
+      if t.basis.(i) >= n + m then begin
+        let found = ref false in
+        for j = 0 to n + m - 1 do
+          if (not !found) && abs_float rows.(i).(j) > epsilon then begin
+            pivot t ~row:i ~col:j;
+            found := true
+          end
+        done
+        (* a row with no pivotable column is all-zero: redundant *)
+      end
+    done;
+    (* phase 2 objective over the current basis *)
+    for j = 0 to cols do
+      rows.(m).(j) <- (if j < n then objective.(j) else 0.0)
+    done;
+    rows.(m).(cols) <- 0.0;
+    for i = 0 to m - 1 do
+      let b = t.basis.(i) in
+      if b < n then begin
+        let factor = rows.(m).(b) in
+        if abs_float factor > epsilon then
+          for j = 0 to cols do
+            rows.(m).(j) <- rows.(m).(j) -. (factor *. rows.(i).(j))
+          done
+      end
+    done;
+    let artificial_banned j = j < n + m in
+    match iterate t ~allowed:artificial_banned with
+    | `Unbounded -> Unbounded
+    | `Optimal ->
+        let solution = Array.make n 0.0 in
+        for i = 0 to m - 1 do
+          if t.basis.(i) < n then solution.(t.basis.(i)) <- rows.(i).(cols)
+        done;
+        let value =
+          Array.fold_left ( +. ) 0.0
+            (Array.mapi (fun j c -> c *. solution.(j)) objective)
+        in
+        Optimal { value; solution }
+  end

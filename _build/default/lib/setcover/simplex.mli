@@ -1,0 +1,28 @@
+(** A small dense two-phase simplex solver.
+
+    Solves linear programs of the form
+
+    {[ minimize    c . x
+       subject to  A x >= b,   x >= 0 ]}
+
+    with [b >= 0], via surplus + artificial variables and Bland's
+    anti-cycling pivot rule.  Problem sizes here are tiny — one
+    constraint per bag vertex, one variable per candidate hyperedge —
+    so a dense tableau is the right tool.  This stands in for the
+    LP/IP solver the literature uses for fractional edge covers. *)
+
+type outcome =
+  | Optimal of { value : float; solution : float array }
+  | Infeasible
+  | Unbounded
+
+(** [minimize ~objective ~constraints ~bounds] solves
+    [min objective . x] subject to [constraints.(i) . x >= bounds.(i)]
+    and [x >= 0].
+    @raise Invalid_argument on dimension mismatch or negative
+    bounds. *)
+val minimize :
+  objective:float array ->
+  constraints:float array array ->
+  bounds:float array ->
+  outcome

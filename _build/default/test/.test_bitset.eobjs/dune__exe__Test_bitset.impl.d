@@ -1,0 +1,1 @@
+test/test_bitset.ml: Alcotest Hd_graph List QCheck QCheck_alcotest

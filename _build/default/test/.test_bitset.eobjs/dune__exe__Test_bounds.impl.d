@@ -1,0 +1,1 @@
+test/test_bounds.ml: Alcotest Fun Hd_bounds Hd_core Hd_graph Hd_hypergraph List QCheck QCheck_alcotest Random

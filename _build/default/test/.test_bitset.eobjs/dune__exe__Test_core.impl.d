@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Fun Hd_core Hd_graph Hd_hypergraph List QCheck QCheck_alcotest Random String

@@ -1,0 +1,1 @@
+test/test_csp.ml: Alcotest Array Hd_core Hd_csp Hd_graph List QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_ga.ml: Alcotest Array Hd_core Hd_ga Hd_graph Hd_hypergraph Hd_search List Printf QCheck QCheck_alcotest Random Unix

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Hd_graph Hd_search List QCheck QCheck_alcotest Random

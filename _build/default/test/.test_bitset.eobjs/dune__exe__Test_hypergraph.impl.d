@@ -1,0 +1,1 @@
+test/test_hypergraph.ml: Alcotest Fun Hd_graph Hd_hypergraph List QCheck QCheck_alcotest Random

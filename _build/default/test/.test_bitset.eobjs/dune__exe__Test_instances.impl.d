@@ -1,0 +1,1 @@
+test/test_instances.ml: Alcotest Hd_core Hd_graph Hd_hypergraph Hd_instances Hd_search List Printf Random String

@@ -1,0 +1,1 @@
+test/test_lnf.ml: Alcotest Array Fun Hd_core Hd_graph Hd_hypergraph List QCheck QCheck_alcotest Random

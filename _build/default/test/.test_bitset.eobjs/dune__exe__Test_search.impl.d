@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Array Format Fun Hd_core Hd_graph Hd_hypergraph Hd_search List QCheck QCheck_alcotest Random Unix

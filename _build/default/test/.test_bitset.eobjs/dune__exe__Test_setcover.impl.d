@@ -1,0 +1,1 @@
+test/test_setcover.ml: Alcotest Array Fun Hashtbl Hd_graph Hd_hypergraph Hd_setcover List QCheck QCheck_alcotest Random

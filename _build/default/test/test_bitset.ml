@@ -1,0 +1,122 @@
+module Bitset = Hd_graph.Bitset
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_list = Alcotest.(check (list int))
+
+let test_empty () =
+  let s = Bitset.create 10 in
+  check_int "cardinal" 0 (Bitset.cardinal s);
+  check "is_empty" true (Bitset.is_empty s);
+  check "mem" false (Bitset.mem s 3);
+  check_list "elements" [] (Bitset.elements s)
+
+let test_add_remove () =
+  let s = Bitset.create 100 in
+  Bitset.add s 0;
+  Bitset.add s 63;
+  Bitset.add s 64;
+  Bitset.add s 99;
+  check_int "cardinal" 4 (Bitset.cardinal s);
+  check_list "elements" [ 0; 63; 64; 99 ] (Bitset.elements s);
+  Bitset.remove s 63;
+  check "removed" false (Bitset.mem s 63);
+  check "kept" true (Bitset.mem s 64);
+  check_int "cardinal after remove" 3 (Bitset.cardinal s)
+
+let test_add_idempotent () =
+  let s = Bitset.create 5 in
+  Bitset.add s 2;
+  Bitset.add s 2;
+  check_int "cardinal" 1 (Bitset.cardinal s)
+
+let test_full () =
+  let s = Bitset.full 70 in
+  check_int "cardinal" 70 (Bitset.cardinal s);
+  check "mem 69" true (Bitset.mem s 69)
+
+let test_set_ops () =
+  let a = Bitset.of_list 10 [ 1; 2; 3 ] in
+  let b = Bitset.of_list 10 [ 2; 3; 4 ] in
+  check_int "inter_cardinal" 2 (Bitset.inter_cardinal a b);
+  let u = Bitset.copy a in
+  Bitset.union_into ~src:b ~dst:u;
+  check_list "union" [ 1; 2; 3; 4 ] (Bitset.elements u);
+  let d = Bitset.copy a in
+  Bitset.diff_into ~src:b ~dst:d;
+  check_list "diff" [ 1 ] (Bitset.elements d);
+  let i = Bitset.copy a in
+  Bitset.inter_into ~src:b ~dst:i;
+  check_list "inter" [ 2; 3 ] (Bitset.elements i)
+
+let test_subset_equal () =
+  let a = Bitset.of_list 10 [ 1; 2 ] in
+  let b = Bitset.of_list 10 [ 1; 2; 3 ] in
+  check "subset" true (Bitset.subset a b);
+  check "not subset" false (Bitset.subset b a);
+  check "not equal" false (Bitset.equal a b);
+  check "equal copy" true (Bitset.equal a (Bitset.copy a))
+
+let test_choose_fold () =
+  let a = Bitset.of_list 10 [ 7; 3; 9 ] in
+  check_int "choose = min" 3 (Bitset.choose a);
+  check_int "fold sum" 19 (Bitset.fold ( + ) a 0);
+  check "exists" true (Bitset.exists (fun x -> x = 9) a);
+  check "for_all" true (Bitset.for_all (fun x -> x >= 3) a);
+  Alcotest.check_raises "choose empty" Not_found (fun () ->
+      ignore (Bitset.choose (Bitset.create 4)))
+
+let test_blit () =
+  let a = Bitset.of_list 10 [ 1; 5 ] in
+  let b = Bitset.of_list 10 [ 2 ] in
+  Bitset.blit ~src:a ~dst:b;
+  check "blit copies" true (Bitset.equal a b)
+
+(* properties *)
+
+let int_list_gen n = QCheck.Gen.(list_size (0 -- 30) (0 -- (n - 1)))
+
+let prop_elements_sorted_unique =
+  QCheck.Test.make ~count:200 ~name:"elements sorted, unique, match cardinal"
+    QCheck.(make (int_list_gen 64))
+    (fun xs ->
+      let s = Bitset.of_list 64 xs in
+      let es = Bitset.elements s in
+      es = List.sort_uniq compare xs && List.length es = Bitset.cardinal s)
+
+let prop_mem_matches_list =
+  QCheck.Test.make ~count:200 ~name:"mem agrees with membership"
+    QCheck.(pair (make (int_list_gen 64)) (make QCheck.Gen.(0 -- 63)))
+    (fun (xs, probe) ->
+      let s = Bitset.of_list 64 xs in
+      Bitset.mem s probe = List.mem probe xs)
+
+let prop_inter_cardinal =
+  QCheck.Test.make ~count:200 ~name:"inter_cardinal = |a ∩ b|"
+    QCheck.(pair (make (int_list_gen 64)) (make (int_list_gen 64)))
+    (fun (xs, ys) ->
+      let a = Bitset.of_list 64 xs and b = Bitset.of_list 64 ys in
+      let inter =
+        List.sort_uniq compare (List.filter (fun x -> List.mem x ys) xs)
+      in
+      Bitset.inter_cardinal a b = List.length inter)
+
+let () =
+  Alcotest.run "bitset"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "add/remove across words" `Quick test_add_remove;
+          Alcotest.test_case "add idempotent" `Quick test_add_idempotent;
+          Alcotest.test_case "full" `Quick test_full;
+          Alcotest.test_case "union/diff/inter" `Quick test_set_ops;
+          Alcotest.test_case "subset/equal" `Quick test_subset_equal;
+          Alcotest.test_case "choose/fold/exists" `Quick test_choose_fold;
+          Alcotest.test_case "blit" `Quick test_blit;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_elements_sorted_unique; prop_mem_matches_list; prop_inter_cardinal ]
+      );
+    ]

@@ -1,0 +1,143 @@
+module Graph = Hd_graph.Graph
+module Hypergraph = Hd_hypergraph.Hypergraph
+module Lb = Hd_bounds.Lower_bounds
+module Eval = Hd_core.Eval
+module Ordering = Hd_core.Ordering
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_degeneracy () =
+  check_int "K5" 4 (Lb.degeneracy (Graph.complete 5));
+  check_int "C6" 2 (Lb.degeneracy (Graph.cycle 6));
+  check_int "P5" 1 (Lb.degeneracy (Graph.path 5));
+  check_int "grid4" 2 (Lb.degeneracy (Graph.grid 4 4))
+
+let test_minor_min_width () =
+  check_int "K5" 4 (Lb.minor_min_width (Graph.complete 5));
+  check "C6 >= 2" true (Lb.minor_min_width (Graph.cycle 6) >= 2);
+  check "tree <= 1" true (Lb.minor_min_width (Graph.path 7) <= 1);
+  (* mmw dominates degeneracy on grids *)
+  let g = Graph.grid 5 5 in
+  check "grid5 mmw >= 3" true (Lb.minor_min_width g >= 3)
+
+let test_minor_gamma_r () =
+  check_int "K4" 3 (Lb.minor_gamma_r (Graph.complete 4));
+  check "C5 >= 2" true (Lb.minor_gamma_r (Graph.cycle 5) >= 2)
+
+let test_combined_le_treewidth () =
+  (* known treewidths: K_n -> n-1, C_n -> 2, P_n -> 1, grid n -> n *)
+  let cases =
+    [
+      (Graph.complete 6, 5);
+      (Graph.cycle 8, 2);
+      (Graph.path 9, 1);
+      (Graph.grid 3 3, 3);
+      (Graph.grid 4 4, 4);
+    ]
+  in
+  List.iter
+    (fun (g, tw) ->
+      let lb = Lb.treewidth g in
+      check "lb <= tw" true (lb <= tw);
+      check "lb >= 1" true (lb >= 1))
+    cases
+
+let test_ghw_bound () =
+  (* clique K6 as binary hypergraph: ghw = 3, k = 2, tw lb = 5 ->
+     bound = ceil(6/2) = 3: tight here *)
+  let h = Hypergraph.of_graph (Graph.complete 6) in
+  check_int "K6 ghw lb" 3 (Lb.ghw h);
+  (* one big hyperedge: ghw = 1, bound must not exceed it *)
+  let h2 = Hypergraph.create ~n:5 [ [ 0; 1; 2; 3; 4 ] ] in
+  check_int "single edge ghw lb" 1 (Lb.ghw h2)
+
+let prop_lb_le_ub =
+  QCheck.Test.make ~count:100 ~name:"treewidth lb <= min-fill ub"
+    QCheck.(make QCheck.Gen.(pair (2 -- 12) int))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let g = Graph.create n in
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          if Random.State.float rng 1.0 < 0.4 then Graph.add_edge g u v
+        done
+      done;
+      let lb = Lb.treewidth ~rng g in
+      let ws = Eval.of_graph g in
+      let ub =
+        Eval.tw_width ws (Hd_core.Ordering_heuristics.min_fill rng g)
+      in
+      lb <= ub)
+
+let prop_ghw_lb_le_exact_eval =
+  QCheck.Test.make ~count:60 ~name:"ghw lb <= exact width of any ordering"
+    QCheck.(make QCheck.Gen.(pair (2 -- 7) int))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let m = 1 + Random.State.int rng 5 in
+      let edges =
+        List.init m (fun _ ->
+            List.init (1 + Random.State.int rng 3) (fun _ -> Random.State.int rng n))
+        @ [ List.init n Fun.id ]
+      in
+      let h = Hypergraph.create ~n edges in
+      let lb = Lb.ghw ~rng h in
+      let ws = Eval.of_hypergraph h in
+      (* lb must not exceed the width of the best of a few orderings *)
+      let best = ref max_int in
+      for _ = 1 to 10 do
+        best := min !best (Eval.ghw_width_exact ws (Ordering.random rng n))
+      done;
+      lb <= !best)
+
+
+let prop_degeneracy_le_mmw =
+  QCheck.Test.make ~count:100 ~name:"degeneracy <= minor-min-width"
+    QCheck.(make QCheck.Gen.(pair (2 -- 12) int))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let g = Graph.create n in
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          if Random.State.float rng 1.0 < 0.4 then Graph.add_edge g u v
+        done
+      done;
+      (* contraction dominates deletion step-by-step; empirically mmw
+         never drops below MMD on these families (both are valid lbs
+         regardless) *)
+      Lb.degeneracy g <= Lb.minor_min_width ~rng g)
+
+let test_elim_snapshot_bound () =
+  (* the bound computed on an elimination-graph snapshot must match the
+     bound on the materialised remaining graph *)
+  let g = Graph.grid 4 4 in
+  let eg = Hd_graph.Elim_graph.of_graph g in
+  Hd_graph.Elim_graph.eliminate eg 0;
+  Hd_graph.Elim_graph.eliminate eg 5;
+  let rng1 = Random.State.make [| 9 |] in
+  let via_elim = Lb.treewidth_of_elim ~rng:rng1 ~trials:2 eg in
+  let rng2 = Random.State.make [| 9 |] in
+  let via_graph =
+    Lb.treewidth ~rng:rng2 ~trials:2 (Hd_graph.Elim_graph.to_graph eg)
+  in
+  check_int "snapshot = materialised" via_graph via_elim
+
+let () =
+  Alcotest.run "bounds"
+    [
+      ( "treewidth",
+        [
+          Alcotest.test_case "degeneracy" `Quick test_degeneracy;
+          Alcotest.test_case "minor-min-width" `Quick test_minor_min_width;
+          Alcotest.test_case "minor-gamma_R" `Quick test_minor_gamma_r;
+          Alcotest.test_case "combined vs known tw" `Quick test_combined_le_treewidth;
+        ] );
+      ("ghw", [ Alcotest.test_case "tw-ksc-width" `Quick test_ghw_bound ]);
+      ( "elim snapshot",
+        [ Alcotest.test_case "matches materialised graph" `Quick test_elim_snapshot_bound ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_lb_le_ub; prop_ghw_lb_le_exact_eval; prop_degeneracy_le_mmw ]
+      );
+    ]

@@ -1,0 +1,394 @@
+module Graph = Hd_graph.Graph
+module Bitset = Hd_graph.Bitset
+module Hypergraph = Hd_hypergraph.Hypergraph
+module Ordering = Hd_core.Ordering
+module Td = Hd_core.Tree_decomposition
+module Ghd = Hd_core.Ghd
+module Eval = Hd_core.Eval
+module Heur = Hd_core.Ordering_heuristics
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let random_graph rng n p =
+  let g = Graph.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Random.State.float rng 1.0 < p then Graph.add_edge g u v
+    done
+  done;
+  g
+
+let example5 () =
+  Hypergraph.create ~n:6 [ [ 0; 1; 2 ]; [ 0; 4; 5 ]; [ 2; 3; 4 ] ]
+
+(* --- orderings --- *)
+
+let test_ordering () =
+  check "identity" true (Ordering.is_permutation (Ordering.identity 5));
+  check "not perm (dup)" false (Ordering.is_permutation [| 0; 0; 2 |]);
+  check "not perm (range)" false (Ordering.is_permutation [| 0; 3 |]);
+  let rng = Random.State.make [| 1 |] in
+  for _ = 1 to 20 do
+    check "random perm" true (Ordering.is_permutation (Ordering.random rng 9))
+  done;
+  let sigma = [| 2; 0; 1 |] in
+  Alcotest.(check (array int)) "positions" [| 1; 2; 0 |] (Ordering.positions sigma);
+  Alcotest.(check (array int)) "reverse" [| 1; 0; 2 |] (Ordering.reverse sigma)
+
+(* --- tree decompositions --- *)
+
+let test_td_path () =
+  (* eliminating a path in identity order gives width 1 *)
+  let g = Graph.path 5 in
+  let td = Td.of_ordering g (Ordering.identity 5) in
+  check_int "path width" 1 (Td.width td);
+  check "valid" true (Td.valid_for_graph g td)
+
+let test_td_clique () =
+  let g = Graph.complete 4 in
+  let td = Td.of_ordering g (Ordering.identity 4) in
+  check_int "K4 width" 3 (Td.width td);
+  check "valid" true (Td.valid_for_graph g td)
+
+let test_td_cycle_orderings () =
+  let g = Graph.cycle 6 in
+  let td = Td.of_ordering g (Ordering.identity 6) in
+  check_int "C6 width 2" 2 (Td.width td);
+  check "valid" true (Td.valid_for_graph g td)
+
+let test_td_structure_checks () =
+  let b = Bitset.of_list 3 [ 0 ] in
+  check "two roots rejected" true
+    (try
+       ignore (Td.make ~bags:[| b; b |] ~parent:[| -1; -1 |]);
+       false
+     with Invalid_argument _ -> true);
+  check "cycle rejected" true
+    (try
+       ignore (Td.make ~bags:[| b; b; b |] ~parent:[| -1; 2; 1 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_td_invalid_decomposition () =
+  let g = Graph.path 3 in
+  (* bags violate connectedness: vertex 0 appears in two disconnected
+     nodes *)
+  let bags = [| Bitset.of_list 3 [ 0; 1 ]; Bitset.of_list 3 [ 1; 2 ]; Bitset.of_list 3 [ 0 ] |] in
+  let td = Td.make ~bags ~parent:[| -1; 0; 1 |] in
+  check "connectedness violated" false (Td.valid_for_graph g td);
+  (* missing edge coverage *)
+  let bags2 = [| Bitset.of_list 3 [ 0; 1 ]; Bitset.of_list 3 [ 2 ] |] in
+  let td2 = Td.make ~bags:bags2 ~parent:[| -1; 0 |] in
+  check "edge uncovered" false (Td.valid_for_graph g td2)
+
+let test_td_disconnected_graph () =
+  let g = Graph.create 6 in
+  Graph.add_edge g 0 1;
+  Graph.add_edge g 3 4;
+  (* vertices 2 and 5 isolated *)
+  let rng = Random.State.make [| 7 |] in
+  for _ = 1 to 20 do
+    let sigma = Ordering.random rng 6 in
+    let td = Td.of_ordering g sigma in
+    check "valid on disconnected" true (Td.valid_for_graph g td)
+  done
+
+let prop_td_of_ordering_valid =
+  QCheck.Test.make ~count:200 ~name:"of_ordering yields valid TD"
+    QCheck.(make QCheck.Gen.(triple (1 -- 10) int int))
+    (fun (n, seed, pseed) ->
+      let rng = Random.State.make [| seed; pseed |] in
+      let g = random_graph rng n (Random.State.float rng 1.0) in
+      let sigma = Ordering.random rng n in
+      let td = Td.of_ordering g sigma in
+      Td.valid_for_graph g td)
+
+let prop_eval_matches_td =
+  QCheck.Test.make ~count:200 ~name:"Eval.tw_width = width of built TD"
+    QCheck.(make QCheck.Gen.(triple (1 -- 10) int int))
+    (fun (n, seed, pseed) ->
+      let rng = Random.State.make [| seed; pseed |] in
+      let g = random_graph rng n (Random.State.float rng 1.0) in
+      let ws = Eval.of_graph g in
+      let ok = ref true in
+      for _ = 1 to 5 do
+        let sigma = Ordering.random rng n in
+        let td = Td.of_ordering g sigma in
+        if Eval.tw_width ws sigma <> Td.width td then ok := false
+      done;
+      !ok)
+
+(* --- generalized hypertree decompositions --- *)
+
+let test_ghd_example5 () =
+  (* Figure 2.7 exhibits a width-2 GHD for example 5; exact covering of
+     a good ordering must reach 2 *)
+  let h = example5 () in
+  let best = ref max_int in
+  let rng = Random.State.make [| 3 |] in
+  for _ = 1 to 50 do
+    let sigma = Ordering.random rng 6 in
+    let ghd = Ghd.of_ordering h sigma ~cover:`Exact in
+    check "ghd valid" true (Ghd.valid h ghd);
+    best := min !best (Ghd.width ghd)
+  done;
+  check_int "width 2 reachable" 2 !best
+
+let test_ghd_completion () =
+  let h = example5 () in
+  let sigma = Ordering.identity 6 in
+  let ghd = Ghd.of_ordering h sigma ~cover:`Exact in
+  let complete = Ghd.complete h ghd in
+  check "complete flag" true (Ghd.is_complete h complete);
+  check "still valid" true (Ghd.valid h complete);
+  check_int "width preserved" (Ghd.width ghd) (Ghd.width complete);
+  (* completion is idempotent *)
+  let again = Ghd.complete h complete in
+  check_int "idempotent" (Td.n_nodes complete.Ghd.td) (Td.n_nodes again.Ghd.td)
+
+let test_ghd_acyclic_width_1 () =
+  (* an acyclic hypergraph (a join tree exists) has ghw 1; a path of
+     overlapping hyperedges is acyclic *)
+  let h = Hypergraph.create ~n:5 [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ]; [ 3; 4 ] ] in
+  let best = ref max_int in
+  let rng = Random.State.make [| 5 |] in
+  for _ = 1 to 30 do
+    let sigma = Ordering.random rng 5 in
+    let ghd = Ghd.of_ordering h sigma ~cover:`Exact in
+    best := min !best (Ghd.width ghd)
+  done;
+  check_int "acyclic ghw 1" 1 !best
+
+let prop_ghd_valid =
+  QCheck.Test.make ~count:100 ~name:"of_ordering yields valid GHD"
+    QCheck.(make QCheck.Gen.(pair (2 -- 8) int))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let m = 1 + Random.State.int rng 6 in
+      let edges =
+        List.init m (fun _ ->
+            List.init (1 + Random.State.int rng 3) (fun _ -> Random.State.int rng n))
+      in
+      (* ensure coverage *)
+      let edges = edges @ [ List.init n Fun.id ] in
+      let h = Hypergraph.create ~n edges in
+      let sigma = Ordering.random rng n in
+      let greedy = Ghd.of_ordering h sigma ~cover:(`Greedy (Some rng)) in
+      let exact = Ghd.of_ordering h sigma ~cover:`Exact in
+      Ghd.valid h greedy && Ghd.valid h exact
+      && Ghd.width exact <= Ghd.width greedy)
+
+let prop_eval_ghw_matches =
+  QCheck.Test.make ~count:100 ~name:"Eval.ghw_width_exact = width of exact GHD"
+    QCheck.(make QCheck.Gen.(pair (2 -- 8) int))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let m = 1 + Random.State.int rng 5 in
+      let edges =
+        List.init m (fun _ ->
+            List.init (1 + Random.State.int rng 3) (fun _ -> Random.State.int rng n))
+        @ [ List.init n Fun.id ]
+      in
+      let h = Hypergraph.create ~n edges in
+      let ws = Eval.of_hypergraph h in
+      let sigma = Ordering.random rng n in
+      let ghd = Ghd.of_ordering h sigma ~cover:`Exact in
+      Eval.ghw_width_exact ws sigma = Ghd.width ghd)
+
+(* --- heuristics --- *)
+
+let test_heuristics_tree () =
+  (* min-degree and min-fill find width 1 on trees *)
+  let g = Graph.create 7 in
+  List.iter
+    (fun (u, v) -> Graph.add_edge g u v)
+    [ (0, 1); (0, 2); (1, 3); (1, 4); (2, 5); (2, 6) ];
+  let rng = Random.State.make [| 11 |] in
+  let ws = Eval.of_graph g in
+  check_int "min_fill tree" 1 (Eval.tw_width ws (Heur.min_fill rng g));
+  check_int "min_degree tree" 1 (Eval.tw_width ws (Heur.min_degree rng g))
+
+let test_mcs_chordal () =
+  (* on a chordal graph MCS yields a perfect elimination ordering:
+     width = clique number - 1.  Build two triangles sharing an edge. *)
+  let g = Graph.create 4 in
+  List.iter
+    (fun (u, v) -> Graph.add_edge g u v)
+    [ (0, 1); (1, 2); (0, 2); (1, 3); (2, 3) ];
+  let rng = Random.State.make [| 13 |] in
+  let ws = Eval.of_graph g in
+  check_int "mcs chordal exact" 2 (Eval.tw_width ws (Heur.max_cardinality rng g))
+
+let test_best_of () =
+  let g = Graph.grid 3 3 in
+  let rng = Random.State.make [| 17 |] in
+  let ws = Eval.of_graph g in
+  let sigma, w = Heur.best_of rng g ~trials:3 ~eval:(Eval.tw_width ws) in
+  check "perm" true (Ordering.is_permutation sigma);
+  check_int "3x3 grid min-fill reaches 3" 3 w
+
+
+let test_fhw_clique () =
+  (* fhw of K6 via any ordering: the largest bag is all 6 vertices,
+     rho* = 3; smaller bags stay below *)
+  let h = Hypergraph.of_graph (Graph.complete 6) in
+  let ws = Eval.of_hypergraph h in
+  let fhw = Eval.fhw_width ws (Ordering.identity 6) in
+  Alcotest.(check (float 1e-6)) "K6 fhw" 3.0 fhw
+
+let prop_fhw_le_ghw =
+  QCheck.Test.make ~count:60 ~name:"fhw_width <= ghw_width_exact"
+    QCheck.(make QCheck.Gen.(pair (2 -- 7) int))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let m = 1 + Random.State.int rng 5 in
+      let edges =
+        List.init m (fun _ ->
+            List.init (1 + Random.State.int rng 3) (fun _ -> Random.State.int rng n))
+        @ [ List.init n Fun.id ]
+      in
+      let h = Hypergraph.create ~n edges in
+      let ws = Eval.of_hypergraph h in
+      let sigma = Ordering.random rng n in
+      Eval.fhw_width ws sigma
+      <= float_of_int (Eval.ghw_width_exact ws sigma) +. 1e-6)
+
+
+
+let prop_heuristics_permutations =
+  QCheck.Test.make ~count:100 ~name:"heuristic orderings are permutations"
+    QCheck.(make QCheck.Gen.(pair (1 -- 12) int))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let g = random_graph rng n 0.4 in
+      Ordering.is_permutation (Heur.min_fill rng g)
+      && Ordering.is_permutation (Heur.min_degree rng g)
+      && Ordering.is_permutation (Heur.max_cardinality rng g))
+
+
+let test_td_io_roundtrip () =
+  let g = Graph.grid 3 3 in
+  let td = Td.of_ordering g (Ordering.identity 9) in
+  let text = Hd_core.Td_io.to_string ~n_vertices:9 td in
+  let td2 = Hd_core.Td_io.parse_string text in
+  check "roundtrip valid" true (Td.valid_for_graph g td2);
+  check_int "roundtrip width" (Td.width td) (Td.width td2);
+  check_int "roundtrip nodes" (Td.n_nodes td) (Td.n_nodes td2)
+
+let test_td_io_parse_errors () =
+  check "missing header" true
+    (try
+       ignore (Hd_core.Td_io.parse_string "b 1 1 2\n");
+       false
+     with Failure _ -> true);
+  check "disconnected" true
+    (try
+       ignore (Hd_core.Td_io.parse_string "s td 2 1 2\nb 1 1\nb 2 2\n");
+       false
+     with Failure _ -> true)
+
+let prop_td_io_roundtrip =
+  QCheck.Test.make ~count:80 ~name:"PACE roundtrip preserves the decomposition"
+    QCheck.(make QCheck.Gen.(triple (1 -- 10) int int))
+    (fun (n, seed, pseed) ->
+      let rng = Random.State.make [| seed; pseed |] in
+      let g = random_graph rng n (Random.State.float rng 1.0) in
+      let td = Td.of_ordering g (Ordering.random rng n) in
+      let td2 = Hd_core.Td_io.parse_string (Hd_core.Td_io.to_string ~n_vertices:n td) in
+      Td.valid_for_graph g td2 && Td.width td2 = Td.width td)
+
+(* --- simplification and export --- *)
+
+let test_simplify_path () =
+  (* bucket elimination on a path makes one bag per vertex; half are
+     subsets of their neighbour and vanish *)
+  let g = Graph.path 6 in
+  let td = Td.of_ordering g (Ordering.identity 6) in
+  let small = Td.simplify td in
+  check "still valid" true (Td.valid_for_graph g small);
+  check_int "width preserved" (Td.width td) (Td.width small);
+  check "fewer nodes" true (Td.n_nodes small < Td.n_nodes td);
+  (* idempotent *)
+  check_int "idempotent" (Td.n_nodes small) (Td.n_nodes (Td.simplify small))
+
+let prop_simplify_sound =
+  QCheck.Test.make ~count:150 ~name:"simplify preserves validity and width"
+    QCheck.(make QCheck.Gen.(triple (1 -- 10) int int))
+    (fun (n, seed, pseed) ->
+      let rng = Random.State.make [| seed; pseed |] in
+      let g = random_graph rng n (Random.State.float rng 1.0) in
+      let td = Td.of_ordering g (Ordering.random rng n) in
+      let small = Td.simplify td in
+      Td.valid_for_graph g small
+      && Td.width small = Td.width td
+      && Td.n_nodes small <= Td.n_nodes td)
+
+let test_to_dot () =
+  let g = Graph.path 3 in
+  let td = Td.of_ordering g (Ordering.identity 3) in
+  let dot = Td.to_dot ~name:"p3" td in
+  check "has graph decl" true
+    (String.length dot > 10 && String.sub dot 0 8 = "graph p3");
+  (* one node line per bag, one edge line per tree edge *)
+  let count_substring needle =
+    let rec go i acc =
+      if i + String.length needle > String.length dot then acc
+      else if String.sub dot i (String.length needle) = needle then
+        go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  check_int "edges" (Td.n_nodes td - 1) (count_substring " -- ")
+
+let () =
+  Alcotest.run "core"
+    [
+      ("ordering", [ Alcotest.test_case "permutations" `Quick test_ordering ]);
+      ( "tree decomposition",
+        [
+          Alcotest.test_case "path" `Quick test_td_path;
+          Alcotest.test_case "clique" `Quick test_td_clique;
+          Alcotest.test_case "cycle" `Quick test_td_cycle_orderings;
+          Alcotest.test_case "structure checks" `Quick test_td_structure_checks;
+          Alcotest.test_case "invalid decompositions" `Quick test_td_invalid_decomposition;
+          Alcotest.test_case "disconnected graphs" `Quick test_td_disconnected_graph;
+        ] );
+      ( "ghd",
+        [
+          Alcotest.test_case "example 5 width 2" `Quick test_ghd_example5;
+          Alcotest.test_case "completion" `Quick test_ghd_completion;
+          Alcotest.test_case "acyclic width 1" `Quick test_ghd_acyclic_width_1;
+        ] );
+      ( "heuristics",
+        [
+          Alcotest.test_case "trees" `Quick test_heuristics_tree;
+          Alcotest.test_case "mcs on chordal" `Quick test_mcs_chordal;
+          Alcotest.test_case "best_of" `Quick test_best_of;
+        ] );
+      ( "fractional",
+        [ Alcotest.test_case "K6 fhw" `Quick test_fhw_clique ] );
+      ( "simplify",
+        [
+          Alcotest.test_case "path" `Quick test_simplify_path;
+          Alcotest.test_case "to_dot" `Quick test_to_dot;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_simplify_sound ] );
+      ( "pace io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_td_io_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_td_io_parse_errors;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_td_io_roundtrip ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_td_of_ordering_valid;
+            prop_eval_matches_td;
+            prop_ghd_valid;
+            prop_eval_ghw_matches;
+            prop_fhw_le_ghw;
+            prop_heuristics_permutations;
+          ] );
+    ]

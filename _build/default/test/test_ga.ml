@@ -1,0 +1,345 @@
+module Graph = Hd_graph.Graph
+module Hypergraph = Hd_hypergraph.Hypergraph
+module Ordering = Hd_core.Ordering
+module Crossover = Hd_ga.Crossover
+module Mutation = Hd_ga.Mutation
+module Ga_engine = Hd_ga.Ga_engine
+module Ga_tw = Hd_ga.Ga_tw
+module Ga_ghw = Hd_ga.Ga_ghw
+module Saiga_ghw = Hd_ga.Saiga_ghw
+module Local_search = Hd_ga.Local_search
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- operators preserve permutations --- *)
+
+let perm_gen = QCheck.Gen.(pair (2 -- 20) int)
+
+let prop_crossover_permutation op =
+  QCheck.Test.make ~count:300
+    ~name:(Printf.sprintf "%s yields a permutation" (Crossover.name op))
+    (QCheck.make perm_gen)
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let p1 = Ordering.random rng n and p2 = Ordering.random rng n in
+      let child = Crossover.apply op rng p1 p2 in
+      Ordering.is_permutation child)
+
+let prop_mutation_permutation op =
+  QCheck.Test.make ~count:300
+    ~name:(Printf.sprintf "%s yields a permutation" (Mutation.name op))
+    (QCheck.make perm_gen)
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let sigma = Ordering.random rng n in
+      Mutation.apply op rng sigma;
+      Ordering.is_permutation sigma)
+
+let test_crossover_identical_parents () =
+  (* crossing a permutation with itself must reproduce it *)
+  let rng = Random.State.make [| 5 |] in
+  List.iter
+    (fun op ->
+      for _ = 1 to 20 do
+        let p = Ordering.random rng 12 in
+        let child = Crossover.apply op rng p p in
+        Alcotest.(check (array int))
+          (Crossover.name op ^ " self-cross")
+          p child
+      done)
+    Crossover.all
+
+let test_names_roundtrip () =
+  List.iter
+    (fun op ->
+      check "crossover name roundtrip" true
+        (Crossover.of_name (Crossover.name op) = Some op))
+    Crossover.all;
+  List.iter
+    (fun op ->
+      check "mutation name roundtrip" true
+        (Mutation.of_name (Mutation.name op) = Some op))
+    Mutation.all;
+  check "unknown crossover" true (Crossover.of_name "nope" = None);
+  check "unknown mutation" true (Mutation.of_name "nope" = None)
+
+(* --- engine behaviour --- *)
+
+let small_config ?(population_size = 30) ?(max_iterations = 60) () =
+  Ga_engine.default_config ~population_size ~max_iterations ~seed:7 ()
+
+let test_engine_finds_sorted_minimum () =
+  (* fitness = number of inversions: minimum 0 at the identity *)
+  let inversions sigma =
+    let n = Array.length sigma in
+    let count = ref 0 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if sigma.(i) > sigma.(j) then incr count
+      done
+    done;
+    !count
+  in
+  let config =
+    { (small_config ~max_iterations:150 ()) with Ga_engine.target = Some 0 }
+  in
+  let report = Ga_engine.run config ~n_genes:8 ~eval:inversions in
+  check_int "inversion minimum found" 0 report.Ga_engine.best;
+  check "witness is identity" true
+    (report.Ga_engine.best_individual = Ordering.identity 8)
+
+let test_engine_improvements_monotone () =
+  let config = small_config () in
+  let g = Graph.grid 4 4 in
+  let report = Ga_tw.run config g in
+  let fits = List.map snd report.Ga_engine.improvements in
+  let rec decreasing = function
+    | a :: (b :: _ as rest) -> a > b && decreasing rest
+    | _ -> true
+  in
+  check "improvements strictly decrease" true (decreasing fits);
+  check "evaluations counted" true (report.Ga_engine.evaluations > 0)
+
+let test_ga_tw_known () =
+  (* GA fitness is an upper bound and small instances are solved
+     exactly *)
+  let config = small_config () in
+  check_int "path tw 1" 1 (Ga_tw.run config (Graph.path 8)).Ga_engine.best;
+  check_int "cycle tw 2" 2 (Ga_tw.run config (Graph.cycle 8)).Ga_engine.best;
+  check_int "K5 tw 4" 4 (Ga_tw.run config (Graph.complete 5)).Ga_engine.best;
+  check_int "grid3 tw 3" 3 (Ga_tw.run config (Graph.grid 3 3)).Ga_engine.best
+
+let test_ga_tw_decomposition () =
+  let config = small_config () in
+  let g = Graph.grid 3 3 in
+  let report = Ga_tw.run config g in
+  let td = Ga_tw.decomposition g report in
+  check "decomposition valid" true
+    (Hd_core.Tree_decomposition.valid_for_graph g td);
+  check_int "decomposition width = fitness" report.Ga_engine.best
+    (Hd_core.Tree_decomposition.width td)
+
+let test_ga_ghw_known () =
+  let config = small_config () in
+  let h = Hypergraph.of_graph (Graph.complete 6) in
+  check_int "K6 ghw 3" 3 (Ga_ghw.run config h).Ga_engine.best;
+  let acyclic = Hypergraph.create ~n:6 [ [ 0; 1; 2 ]; [ 2; 3 ]; [ 3; 4; 5 ] ] in
+  check_int "acyclic ghw 1" 1 (Ga_ghw.run config acyclic).Ga_engine.best
+
+let test_ga_ghw_decomposition () =
+  let config = small_config () in
+  let h = Hypergraph.of_graph (Graph.cycle 6) in
+  let report = Ga_ghw.run config h in
+  let ghd = Ga_ghw.decomposition h report in
+  check "ghd valid" true (Hd_core.Ghd.valid h ghd);
+  check "exact cover no worse than greedy fitness" true
+    (Hd_core.Ghd.width ghd <= report.Ga_engine.best)
+
+let prop_ga_tw_ge_astar =
+  QCheck.Test.make ~count:15 ~name:"GA-tw >= exact treewidth"
+    QCheck.(make QCheck.Gen.(pair (3 -- 7) int))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let g = Graph.create n in
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          if Random.State.float rng 1.0 < 0.5 then Graph.add_edge g u v
+        done
+      done;
+      let exact =
+        match (Hd_search.Astar_tw.solve g).Hd_search.Search_types.outcome with
+        | Hd_search.Search_types.Exact w -> w
+        | Hd_search.Search_types.Bounds _ -> -1
+      in
+      let ga = (Ga_tw.run (small_config ()) g).Ga_engine.best in
+      ga >= exact)
+
+let test_saiga () =
+  let h = Hypergraph.of_graph (Graph.complete 6) in
+  let config =
+    Saiga_ghw.default_config ~n_islands:3 ~island_population:20 ~epoch_length:5
+      ~max_epochs:8 ()
+  in
+  let report = Saiga_ghw.run config h in
+  check_int "SAIGA K6 ghw 3" 3 report.Saiga_ghw.best;
+  check "params adapted in range" true
+    (Array.for_all
+       (fun p ->
+         p.Ga_engine.mutation_rate >= 0.01
+         && p.Ga_engine.mutation_rate <= 1.0
+         && p.Ga_engine.crossover_rate >= 0.1
+         && p.Ga_engine.crossover_rate <= 1.0
+         && p.Ga_engine.tournament_size >= 2
+         && p.Ga_engine.tournament_size <= 8)
+       report.Saiga_ghw.final_params);
+  check "witness is permutation" true
+    (Ordering.is_permutation report.Saiga_ghw.best_individual)
+
+let test_saiga_target_stops () =
+  let h = Hypergraph.create ~n:4 [ [ 0; 1; 2; 3 ] ] in
+  let config =
+    {
+      (Saiga_ghw.default_config ~n_islands:2 ~island_population:10
+         ~epoch_length:2 ~max_epochs:50 ())
+      with
+      Saiga_ghw.target = Some 1;
+    }
+  in
+  let report = Saiga_ghw.run config h in
+  check_int "hits width 1" 1 report.Saiga_ghw.best;
+  check "stops early" true (report.Saiga_ghw.epochs <= 2)
+
+
+
+let test_engine_time_limit () =
+  let config =
+    { (small_config ~max_iterations:1_000_000 ()) with
+      Ga_engine.time_limit = Some 0.2 }
+  in
+  let slow_eval sigma =
+    ignore (Array.fold_left ( + ) 0 sigma);
+    Array.length sigma
+  in
+  let started = Unix.gettimeofday () in
+  let report = Ga_engine.run config ~n_genes:30 ~eval:slow_eval in
+  check "stopped by time" true (Unix.gettimeofday () -. started < 5.0);
+  check "ran some iterations" true (report.Ga_engine.iterations > 0)
+
+let test_engine_deterministic () =
+  let g = Graph.grid 4 4 in
+  let r1 = Ga_tw.run (small_config ()) g in
+  let r2 = Ga_tw.run (small_config ()) g in
+  check_int "same best" r1.Ga_engine.best r2.Ga_engine.best;
+  Alcotest.(check (array int)) "same witness" r1.Ga_engine.best_individual
+    r2.Ga_engine.best_individual
+
+let test_operators_tiny () =
+  (* size-1 and size-2 permutations never break *)
+  let rng = Random.State.make [| 1 |] in
+  List.iter
+    (fun op ->
+      Alcotest.(check (array int))
+        (Crossover.name op ^ " singleton")
+        [| 0 |]
+        (Crossover.apply op rng [| 0 |] [| 0 |]);
+      for _ = 1 to 20 do
+        let c = Crossover.apply op rng [| 0; 1 |] [| 1; 0 |] in
+        check "pair perm" true (Ordering.is_permutation c)
+      done)
+    Crossover.all;
+  List.iter
+    (fun op ->
+      let s = [| 0 |] in
+      Mutation.apply op rng s;
+      Alcotest.(check (array int)) (Mutation.name op ^ " singleton") [| 0 |] s)
+    Mutation.all
+
+(* --- local search --- *)
+
+let test_sa_known () =
+  let config = Local_search.default_config ~max_steps:8000 () in
+  check_int "SA path tw 1" 1 (Local_search.sa_tw config (Graph.path 8)).Local_search.best;
+  check_int "SA K5 tw 4" 4 (Local_search.sa_tw config (Graph.complete 5)).Local_search.best;
+  check_int "SA grid3 tw 3" 3 (Local_search.sa_tw config (Graph.grid 3 3)).Local_search.best;
+  let h = Hypergraph.of_graph (Graph.complete 6) in
+  check_int "SA K6 ghw 3" 3 (Local_search.sa_ghw config h).Local_search.best
+
+let test_ils () =
+  let config = Local_search.default_config ~max_steps:8000 () in
+  let g = Graph.grid 4 4 in
+  let ws = Hd_core.Eval.of_graph g in
+  let report =
+    Local_search.iterated_local_search config ~n_genes:16
+      ~eval:(Hd_core.Eval.tw_width ws)
+  in
+  check "ILS finds grid4 tw <= 5" true (report.Local_search.best <= 5);
+  check "witness is permutation" true
+    (Ordering.is_permutation report.Local_search.best_individual);
+  check_int "witness width matches" report.Local_search.best
+    (Hd_core.Eval.tw_width ws report.Local_search.best_individual)
+
+let test_sa_target_stops () =
+  (* on K5 every ordering has width 4, so the target is met at the
+     initial evaluation and no step runs *)
+  let config =
+    { (Local_search.default_config ~max_steps:1_000_000 ()) with
+      Local_search.target = Some 4 }
+  in
+  let report = Local_search.sa_tw config (Graph.complete 5) in
+  check_int "target reached" 4 report.Local_search.best;
+  check_int "stopped immediately" 0 report.Local_search.steps
+
+(* --- weighted triangulation objective (Section 4.5) --- *)
+
+let test_weighted_width () =
+  let g = Graph.path 3 in
+  let ws = Hd_core.Eval.of_graph g in
+  (* ordering (1,2,0): bags {0},{2,1},{1,0}...  all domains 2 =>
+     weight = log2(sum of 2^|bag|) *)
+  let w = Hd_core.Eval.weighted_width ws ~domain_sizes:[| 2; 2; 2 |] [| 1; 2; 0 |] in
+  (* bags when eliminating 0 then 2 then 1: {0,1}, {2,1}, {1}:
+     4 + 4 + 2 = 10 *)
+  Alcotest.(check (float 1e-9)) "weight" (log (float_of_int 10) /. log 2.0) w;
+  (* a bad ordering has heavier tables *)
+  let bad = Hd_core.Eval.weighted_width ws ~domain_sizes:[| 2; 2; 2 |] [| 0; 2; 1 |] in
+  check "middle-first ordering heavier" true (bad > w)
+
+let test_ga_weighted () =
+  let g = Graph.grid 3 3 in
+  let domain_sizes = Array.make 9 2 in
+  let config = small_config () in
+  let report = Hd_ga.Ga_tw.run_weighted config g ~domain_sizes in
+  check "weighted GA returns permutation" true
+    (Ordering.is_permutation report.Ga_engine.best_individual);
+  (* optimal width-3 decompositions of grid3 have total table size
+     well under 2^7 *)
+  check "weight sane" true (report.Ga_engine.best <= 64 * 7)
+
+let () =
+  Alcotest.run "ga"
+    [
+      ( "operators",
+        [
+          Alcotest.test_case "self-crossover" `Quick test_crossover_identical_parents;
+          Alcotest.test_case "names" `Quick test_names_roundtrip;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            (List.map prop_crossover_permutation Crossover.all
+            @ List.map prop_mutation_permutation Mutation.all) );
+      ( "engine",
+        [
+          Alcotest.test_case "sorts permutations" `Quick test_engine_finds_sorted_minimum;
+          Alcotest.test_case "monotone improvements" `Quick test_engine_improvements_monotone;
+          Alcotest.test_case "time limit" `Quick test_engine_time_limit;
+          Alcotest.test_case "deterministic per seed" `Quick test_engine_deterministic;
+          Alcotest.test_case "tiny permutations" `Quick test_operators_tiny;
+        ] );
+      ( "ga-tw",
+        [
+          Alcotest.test_case "known treewidths" `Quick test_ga_tw_known;
+          Alcotest.test_case "decomposition witness" `Quick test_ga_tw_decomposition;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_ga_tw_ge_astar ] );
+      ( "ga-ghw",
+        [
+          Alcotest.test_case "known widths" `Quick test_ga_ghw_known;
+          Alcotest.test_case "decomposition witness" `Quick test_ga_ghw_decomposition;
+        ] );
+      ( "local search",
+        [
+          Alcotest.test_case "SA known widths" `Quick test_sa_known;
+          Alcotest.test_case "ILS" `Quick test_ils;
+          Alcotest.test_case "SA target stop" `Quick test_sa_target_stops;
+        ] );
+      ( "weighted objective",
+        [
+          Alcotest.test_case "weighted width" `Quick test_weighted_width;
+          Alcotest.test_case "weighted GA" `Quick test_ga_weighted;
+        ] );
+      ( "saiga",
+        [
+          Alcotest.test_case "self-adaptive islands" `Quick test_saiga;
+          Alcotest.test_case "target stop" `Quick test_saiga_target_stops;
+        ] );
+    ]

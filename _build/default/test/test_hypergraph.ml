@@ -1,0 +1,239 @@
+module Hypergraph = Hd_hypergraph.Hypergraph
+module Hg_format = Hd_hypergraph.Hg_format
+module Acyclicity = Hd_hypergraph.Acyclicity
+module Graph = Hd_graph.Graph
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_list = Alcotest.(check (list int))
+
+(* the hypergraph of the paper's Example 5 / Figure 2.6:
+   h1 = {x1,x2,x3}, h2 = {x1,x5,x6}, h3 = {x3,x4,x5} *)
+let example5 () =
+  Hypergraph.create ~n:6 [ [ 0; 1; 2 ]; [ 0; 4; 5 ]; [ 2; 3; 4 ] ]
+
+let test_basics () =
+  let h = example5 () in
+  check_int "n" 6 (Hypergraph.n_vertices h);
+  check_int "m" 3 (Hypergraph.n_edges h);
+  check_int "max edge size" 3 (Hypergraph.max_edge_size h);
+  check_list "edge 0" [ 0; 1; 2 ] (Hypergraph.edge_list h 0);
+  check_list "incident x1" [ 0; 1 ] (Hypergraph.incident h 0);
+  check_list "incident x4" [ 2 ] (Hypergraph.incident h 3);
+  check "covered" true (Hypergraph.all_vertices_covered h)
+
+let test_dedup_sort () =
+  let h = Hypergraph.create ~n:4 [ [ 3; 1; 1; 0 ] ] in
+  check_list "sorted deduped" [ 0; 1; 3 ] (Hypergraph.edge_list h 0)
+
+let test_invalid () =
+  Alcotest.check_raises "empty edge"
+    (Invalid_argument "Hypergraph.create: empty hyperedge") (fun () ->
+      ignore (Hypergraph.create ~n:3 [ [] ]));
+  check "out of range rejected" true
+    (try
+       ignore (Hypergraph.create ~n:3 [ [ 5 ] ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_primal () =
+  let h = example5 () in
+  let g = Hypergraph.primal h in
+  check_int "primal n" 6 (Graph.n g);
+  (* each 3-edge contributes a triangle; they overlap in single
+     vertices, so 9 distinct edges *)
+  check_int "primal m" 9 (Graph.m g);
+  check "x1-x2" true (Graph.mem_edge g 0 1);
+  check "x1-x5" true (Graph.mem_edge g 0 4);
+  check "x1 and x4 not adjacent" false (Graph.mem_edge g 0 3)
+
+let test_dual () =
+  let h = example5 () in
+  let d = Hypergraph.dual h in
+  check_int "dual n" 3 (Graph.n d);
+  (* h1-h2 share x1, h1-h3 share x3, h2-h3 share x5 *)
+  check_int "dual m" 3 (Graph.m d)
+
+let test_of_graph () =
+  let g = Graph.cycle 4 in
+  let h = Hypergraph.of_graph g in
+  check_int "edges" 4 (Hypergraph.n_edges h);
+  check_int "max size" 2 (Hypergraph.max_edge_size h)
+
+let test_isolated_vertex () =
+  let h = Hypergraph.create ~n:3 [ [ 0; 1 ] ] in
+  check "vertex 2 uncovered" false (Hypergraph.covers_vertex h 2);
+  check "not all covered" false (Hypergraph.all_vertices_covered h)
+
+let test_format_roundtrip () =
+  let h = example5 () in
+  let text = Hg_format.to_string h in
+  let h' = Hg_format.parse_string text in
+  check_int "n" (Hypergraph.n_vertices h) (Hypergraph.n_vertices h');
+  check_int "m" (Hypergraph.n_edges h) (Hypergraph.n_edges h');
+  (* parsing renumbers vertices by first appearance; compare edges by
+     vertex NAME, which survives the roundtrip *)
+  let named hg =
+    List.init (Hypergraph.n_edges hg) (fun e ->
+        List.sort compare
+          (List.map (Hypergraph.vertex_name hg) (Hypergraph.edge_list hg e)))
+  in
+  Alcotest.(check (list (list string))) "edges survive" (named h) (named h')
+
+let test_format_parse () =
+  let h =
+    Hg_format.parse_string
+      "% a comment\n adder(x, y, z),\n and_1(x, u),\n or(u, y , z)."
+  in
+  check_int "vars" 4 (Hypergraph.n_vertices h);
+  check_int "edges" 3 (Hypergraph.n_edges h);
+  Alcotest.(check string) "edge name" "and_1" (Hypergraph.edge_name h 1);
+  Alcotest.(check string) "vertex name" "x" (Hypergraph.vertex_name h 0);
+  check_list "and_1 scope" [ 0; 3 ] (Hypergraph.edge_list h 1)
+
+(* property: primal graph adjacency iff two vertices share an edge *)
+let prop_primal =
+  QCheck.Test.make ~count:100 ~name:"primal adjacency iff shared hyperedge"
+    QCheck.(make QCheck.Gen.(pair (2 -- 8) int))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let edges =
+        List.init
+          (1 + Random.State.int rng 6)
+          (fun _ ->
+            List.init (1 + Random.State.int rng 4) (fun _ ->
+                Random.State.int rng n))
+      in
+      let edges = List.filter (fun e -> e <> []) edges in
+      QCheck.assume (edges <> []);
+      let h = Hypergraph.create ~n edges in
+      let g = Hypergraph.primal h in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          let share =
+            List.exists (fun e -> List.mem u e && List.mem v e) edges
+          in
+          if Graph.mem_edge g u v <> share then ok := false
+        done
+      done;
+      !ok)
+
+
+
+let test_remove_subsumed () =
+  let h =
+    Hypergraph.create ~n:4
+      [ [ 0; 1 ]; [ 0; 1; 2 ]; [ 0; 1 ]; [ 2; 3 ]; [ 2 ] ]
+  in
+  let r = Hypergraph.remove_subsumed h in
+  (* [0;1] twice and [2] are subsumed; [0;1;2] and [2;3] survive *)
+  check_int "edges after" 2 (Hypergraph.n_edges r);
+  check "covered still" true (Hypergraph.all_vertices_covered r);
+  Alcotest.(check (list (list int)))
+    "surviving edges"
+    [ [ 0; 1; 2 ]; [ 2; 3 ] ]
+    (Hypergraph.edges r);
+  (* no subsumption: identity *)
+  let h2 = example5 () in
+  check_int "identity" 3 (Hypergraph.n_edges (Hypergraph.remove_subsumed h2))
+
+let prop_remove_subsumed_preserves =
+  QCheck.Test.make ~count:80 ~name:"remove_subsumed keeps primal and coverage"
+    QCheck.(make QCheck.Gen.(pair (2 -- 8) int))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let edges =
+        List.init
+          (1 + Random.State.int rng 8)
+          (fun _ ->
+            List.init (1 + Random.State.int rng 4) (fun _ ->
+                Random.State.int rng n))
+      in
+      let h = Hypergraph.create ~n edges in
+      let r = Hypergraph.remove_subsumed h in
+      Hypergraph.n_edges r <= Hypergraph.n_edges h
+      && Graph.edges (Hypergraph.primal r) = Graph.edges (Hypergraph.primal h)
+      && List.for_all
+           (fun v -> Hypergraph.covers_vertex r v = Hypergraph.covers_vertex h v)
+           (List.init n Fun.id))
+
+(* --- acyclicity / join trees (GYO) --- *)
+
+let test_acyclic_path () =
+  (* a chain of overlapping hyperedges is the textbook acyclic case *)
+  let h = Hypergraph.create ~n:5 [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ]; [ 3; 4 ] ] in
+  check "acyclic" true (Acyclicity.is_acyclic h);
+  match Acyclicity.join_tree h with
+  | None -> Alcotest.fail "join tree must exist"
+  | Some parent -> check "join tree valid" true (Acyclicity.is_join_tree h parent)
+
+let test_cyclic_triangle () =
+  (* three pairwise-overlapping binary edges: the classic cycle *)
+  let h = Hypergraph.create ~n:3 [ [ 0; 1 ]; [ 1; 2 ]; [ 0; 2 ] ] in
+  check "cyclic" false (Acyclicity.is_acyclic h);
+  check "no join tree" true (Acyclicity.join_tree h = None);
+  (* adding a covering edge makes it acyclic again *)
+  let h2 = Hypergraph.create ~n:3 [ [ 0; 1 ]; [ 1; 2 ]; [ 0; 2 ]; [ 0; 1; 2 ] ] in
+  check "covered triangle acyclic" true (Acyclicity.is_acyclic h2)
+
+let test_figure_2_3 () =
+  (* Figure 2.3's hypergraph has a join tree *)
+  let h =
+    Hypergraph.create ~n:8
+      [ [ 0; 1; 2 ]; [ 2; 3 ]; [ 2; 4; 5 ]; [ 5; 6 ]; [ 2; 5; 7 ] ]
+  in
+  check "figure 2.3 acyclic" true (Acyclicity.is_acyclic h)
+
+let test_duplicate_edges_acyclic () =
+  let h = Hypergraph.create ~n:2 [ [ 0; 1 ]; [ 0; 1 ] ] in
+  check "duplicates reduce" true (Acyclicity.is_acyclic h)
+
+let prop_join_tree_valid =
+  QCheck.Test.make ~count:200 ~name:"GYO join tree satisfies connectedness"
+    QCheck.(make QCheck.Gen.(pair (2 -- 8) int))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let edges =
+        List.init
+          (1 + Random.State.int rng 6)
+          (fun _ ->
+            List.init (1 + Random.State.int rng 4) (fun _ ->
+                Random.State.int rng n))
+      in
+      let h = Hypergraph.create ~n edges in
+      match Acyclicity.join_tree h with
+      | None -> true (* cyclicity is checked against ghw elsewhere *)
+      | Some parent -> Acyclicity.is_join_tree h parent)
+
+let () =
+  Alcotest.run "hypergraph"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "basics" `Quick test_basics;
+          Alcotest.test_case "dedup and sort" `Quick test_dedup_sort;
+          Alcotest.test_case "invalid input" `Quick test_invalid;
+          Alcotest.test_case "primal" `Quick test_primal;
+          Alcotest.test_case "dual" `Quick test_dual;
+          Alcotest.test_case "of_graph" `Quick test_of_graph;
+          Alcotest.test_case "isolated vertex" `Quick test_isolated_vertex;
+          Alcotest.test_case "remove subsumed" `Quick test_remove_subsumed;
+        ] );
+      ( "format",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_format_roundtrip;
+          Alcotest.test_case "parse" `Quick test_format_parse;
+        ] );
+      ( "acyclicity",
+        [
+          Alcotest.test_case "acyclic path" `Quick test_acyclic_path;
+          Alcotest.test_case "cyclic triangle" `Quick test_cyclic_triangle;
+          Alcotest.test_case "figure 2.3" `Quick test_figure_2_3;
+          Alcotest.test_case "duplicate edges" `Quick test_duplicate_edges_acyclic;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_primal; prop_join_tree_valid; prop_remove_subsumed_preserves ]
+      );
+    ]

@@ -1,0 +1,166 @@
+(* Tests for Chapter 3: leaf normal form and the
+   elimination-ordering search-space theorem. *)
+
+module Bitset = Hd_graph.Bitset
+module Hypergraph = Hd_hypergraph.Hypergraph
+module Ordering = Hd_core.Ordering
+module Td = Hd_core.Tree_decomposition
+module Ghd = Hd_core.Ghd
+module Eval = Hd_core.Eval
+module Lnf = Hd_core.Leaf_normal_form
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let example5 () =
+  Hypergraph.create ~n:6 [ [ 0; 1; 2 ]; [ 0; 4; 5 ]; [ 2; 3; 4 ] ]
+
+let random_hypergraph rng ~n =
+  let m = 1 + Random.State.int rng 6 in
+  let edges =
+    List.init m (fun _ ->
+        List.init (1 + Random.State.int rng 3) (fun _ -> Random.State.int rng n))
+  in
+  (* connect everything through one covering edge so all vertices are
+     covered (required by ordering extraction) *)
+  Hypergraph.create ~n (edges @ [ List.init n Fun.id ])
+
+let test_transform_example () =
+  let h = example5 () in
+  let td = Td.of_ordering_hypergraph h (Ordering.identity 6) in
+  let lnf = Lnf.transform h td in
+  check "is lnf" true (Lnf.is_leaf_normal_form h lnf);
+  check "still a TD" true (Td.valid_for_hypergraph h lnf.Lnf.td);
+  (* Theorem 1: every bag of the result is contained in a bag of the
+     input *)
+  let contained =
+    Array.for_all
+      (fun i ->
+        let b = Td.bag lnf.Lnf.td i in
+        Array.exists
+          (fun j -> Bitset.subset b (Td.bag td j))
+          (Array.init (Td.n_nodes td) Fun.id))
+      (Array.init (Td.n_nodes lnf.Lnf.td) Fun.id)
+  in
+  check "bags contained (Theorem 1)" true contained
+
+let test_single_edge () =
+  let h = Hypergraph.create ~n:3 [ [ 0; 1; 2 ] ] in
+  let td = Td.of_ordering_hypergraph h (Ordering.identity 3) in
+  let lnf = Lnf.transform h td in
+  check "single edge lnf" true (Lnf.is_leaf_normal_form h lnf);
+  let sigma = Lnf.ordering_of h lnf in
+  check "sigma perm" true (Ordering.is_permutation sigma)
+
+let prop_transform_sound =
+  QCheck.Test.make ~count:150 ~name:"transform: LNF, valid, bags contained"
+    QCheck.(make QCheck.Gen.(pair (2 -- 9) int))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let h = random_hypergraph rng ~n in
+      let td = Td.of_ordering_hypergraph h (Ordering.random rng n) in
+      let lnf = Lnf.transform h td in
+      Lnf.is_leaf_normal_form h lnf
+      && Td.valid_for_hypergraph h lnf.Lnf.td
+      && Array.for_all
+           (fun i ->
+             let b = Td.bag lnf.Lnf.td i in
+             Array.exists
+               (fun j -> Bitset.subset b (Td.bag td j))
+               (Array.init (Td.n_nodes td) Fun.id))
+           (Array.init (Td.n_nodes lnf.Lnf.td) Fun.id))
+
+(* Theorem 2, executable: for any GHD, the ordering extracted via leaf
+   normal form has width (exact covers) at most the GHD's width. *)
+let prop_theorem2 =
+  QCheck.Test.make ~count:150 ~name:"Theorem 2: extracted ordering beats GHD"
+    QCheck.(make QCheck.Gen.(triple (2 -- 9) int int))
+    (fun (n, seed, oseed) ->
+      let rng = Random.State.make [| seed; oseed |] in
+      let h = random_hypergraph rng ~n in
+      (* an arbitrary GHD via a random ordering and exact covers *)
+      let ghd = Ghd.of_ordering h (Ordering.random rng n) ~cover:`Exact in
+      let sigma = Lnf.ordering_for_ghd h ghd in
+      Ordering.is_permutation sigma
+      &&
+      let ws = Eval.of_hypergraph h in
+      Eval.ghw_width_exact ws sigma <= Ghd.width ghd)
+
+(* Lemma 13, executable: every clique produced by eliminating along the
+   extracted ordering is contained in some bag of the LNF decomposition. *)
+let prop_lemma13 =
+  QCheck.Test.make ~count:100 ~name:"Lemma 13: cliques inside LNF bags"
+    QCheck.(make QCheck.Gen.(pair (2 -- 8) int))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let h = random_hypergraph rng ~n in
+      let td0 = Td.of_ordering_hypergraph h (Ordering.random rng n) in
+      let lnf = Lnf.transform h td0 in
+      let sigma = Lnf.ordering_of h lnf in
+      let td = Td.of_ordering_hypergraph h sigma in
+      (* the bags of td are exactly cliques(sigma, H) *)
+      Array.for_all
+        (fun i ->
+          let b = Td.bag td i in
+          Array.exists
+            (fun j -> Bitset.subset b (Td.bag lnf.Lnf.td j))
+            (Array.init (Td.n_nodes lnf.Lnf.td) Fun.id))
+        (Array.init (Td.n_nodes td) Fun.id))
+
+let test_figure_3_example () =
+  (* The Figure 3.2 hypergraph: h1(x1,x2), h2(x2,x3,x4), h3(x4,x5),
+     h4(x5,x6), h5(x1,x6).  A 6-cycle-like structure with ghw 2. *)
+  let h =
+    Hypergraph.create ~n:6 [ [ 0; 1 ]; [ 1; 2; 3 ]; [ 3; 4 ]; [ 4; 5 ]; [ 0; 5 ] ]
+  in
+  let rng = Random.State.make [| 23 |] in
+  let td = Td.of_ordering_hypergraph h (Ordering.random rng 6) in
+  let lnf = Lnf.transform h td in
+  check "figure 3 lnf" true (Lnf.is_leaf_normal_form h lnf);
+  check_int "leaves = hyperedges" 5
+    (Array.length lnf.Lnf.leaf_of_edge)
+
+
+let test_uncovered_vertex_rejected () =
+  (* vertex 2 lies in no hyperedge: no ordering can be extracted *)
+  let h = Hypergraph.create ~n:3 [ [ 0; 1 ] ] in
+  let td =
+    Td.make
+      ~bags:
+        [| Hd_graph.Bitset.of_list 3 [ 0; 1; 2 ] |]
+      ~parent:[| -1 |]
+  in
+  let lnf = Lnf.transform h td in
+  check "lnf fine" true (Lnf.is_leaf_normal_form h lnf);
+  check "uncovered rejected" true
+    (try
+       ignore (Lnf.ordering_of h lnf);
+       false
+     with Invalid_argument _ -> true)
+
+let test_not_a_decomposition_rejected () =
+  let h = example5 () in
+  let bogus =
+    Td.make ~bags:[| Hd_graph.Bitset.of_list 6 [ 0; 1 ] |] ~parent:[| -1 |]
+  in
+  check "transform rejects" true
+    (try
+       ignore (Lnf.transform h bogus);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "leaf normal form"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "example 5" `Quick test_transform_example;
+          Alcotest.test_case "single edge" `Quick test_single_edge;
+          Alcotest.test_case "figure 3 hypergraph" `Quick test_figure_3_example;
+          Alcotest.test_case "uncovered vertex" `Quick test_uncovered_vertex_rejected;
+          Alcotest.test_case "bogus decomposition" `Quick test_not_a_decomposition_rejected;
+        ] );
+      ( "theorems",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_transform_sound; prop_theorem2; prop_lemma13 ] );
+    ]

@@ -1,0 +1,263 @@
+module Hypergraph = Hd_hypergraph.Hypergraph
+module Set_cover = Hd_setcover.Set_cover
+module Bitset = Hd_graph.Bitset
+module Simplex = Hd_setcover.Simplex
+module Fractional = Hd_setcover.Fractional
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let problem ~n ~edges ~universe =
+  {
+    Set_cover.universe = Bitset.of_list n universe;
+    hypergraph = Hypergraph.create ~n edges;
+  }
+
+let test_greedy_simple () =
+  let p =
+    problem ~n:6
+      ~edges:[ [ 0; 1; 2 ]; [ 2; 3 ]; [ 3; 4; 5 ]; [ 0; 5 ] ]
+      ~universe:[ 0; 1; 2; 3; 4; 5 ]
+  in
+  let chosen = Set_cover.greedy p in
+  check "covers" true (Set_cover.is_cover p chosen);
+  check_int "greedy optimal here" 2 (List.length chosen)
+
+let test_exact_beats_greedy () =
+  (* the classical greedy trap: greedy picks the big middle set and
+     needs 3, the optimum is 2 *)
+  let p =
+    problem ~n:8
+      ~edges:[ [ 0; 1; 2; 3 ]; [ 4; 5; 6; 7 ]; [ 2; 3; 4; 5; 6 ] ]
+      ~universe:[ 0; 1; 2; 3; 4; 5; 6; 7 ]
+  in
+  let exact = Set_cover.exact p in
+  check "exact covers" true (Set_cover.is_cover p exact);
+  check_int "exact size" 2 (List.length exact)
+
+let test_empty_universe () =
+  let p = problem ~n:3 ~edges:[ [ 0; 1 ] ] ~universe:[] in
+  check_int "greedy empty" 0 (List.length (Set_cover.greedy p));
+  check_int "exact empty" 0 (List.length (Set_cover.exact p))
+
+let test_uncoverable () =
+  let p = problem ~n:3 ~edges:[ [ 0 ] ] ~universe:[ 0; 2 ] in
+  check "greedy raises" true
+    (try
+       ignore (Set_cover.greedy p);
+       false
+     with Invalid_argument _ -> true)
+
+let test_lower_bound () =
+  check_int "ceil(7/3)" 3
+    (Set_cover.cover_size_lower_bound ~universe_size:7 ~max_set_size:3);
+  check_int "exact fit" 2
+    (Set_cover.cover_size_lower_bound ~universe_size:6 ~max_set_size:3);
+  check_int "empty" 0
+    (Set_cover.cover_size_lower_bound ~universe_size:0 ~max_set_size:3)
+
+let test_cache () =
+  let cache = Hashtbl.create 8 in
+  let p =
+    problem ~n:4 ~edges:[ [ 0; 1 ]; [ 2; 3 ]; [ 1; 2 ] ] ~universe:[ 0; 1; 2; 3 ]
+  in
+  let s1 = Set_cover.exact_size ~cache p in
+  let s2 = Set_cover.exact_size ~cache p in
+  check_int "stable" s1 s2;
+  check_int "cached entries" 1 (Hashtbl.length cache)
+
+(* brute force optimum for small instances *)
+let brute_force p m =
+  let best = ref max_int in
+  for mask = 0 to (1 lsl m) - 1 do
+    let chosen = List.filter (fun i -> mask land (1 lsl i) <> 0) (List.init m Fun.id) in
+    if Set_cover.is_cover p chosen then
+      best := min !best (List.length chosen)
+  done;
+  !best
+
+let prop_exact_optimal =
+  QCheck.Test.make ~count:150 ~name:"exact matches brute force"
+    QCheck.(make QCheck.Gen.(pair (1 -- 7) int))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let m = 1 + Random.State.int rng 6 in
+      let edges =
+        List.init m (fun _ ->
+            let size = 1 + Random.State.int rng 3 in
+            List.init size (fun _ -> Random.State.int rng n))
+      in
+      let h = Hypergraph.create ~n edges in
+      (* universe: only coverable vertices *)
+      let universe =
+        List.filter (fun v -> Hypergraph.incident h v <> []) (List.init n Fun.id)
+      in
+      let p = { Set_cover.universe = Bitset.of_list n universe; hypergraph = h } in
+      let exact = Set_cover.exact p in
+      Set_cover.is_cover p exact
+      && List.length exact = brute_force p m
+      && List.length exact <= List.length (Set_cover.greedy p))
+
+let prop_greedy_covers =
+  QCheck.Test.make ~count:150 ~name:"greedy always covers"
+    QCheck.(make QCheck.Gen.(pair (1 -- 10) int))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let m = 1 + Random.State.int rng 8 in
+      let edges =
+        List.init m (fun _ ->
+            let size = 1 + Random.State.int rng 4 in
+            List.init size (fun _ -> Random.State.int rng n))
+      in
+      let h = Hypergraph.create ~n edges in
+      let universe =
+        List.filter (fun v -> Hypergraph.incident h v <> []) (List.init n Fun.id)
+      in
+      let p = { Set_cover.universe = Bitset.of_list n universe; hypergraph = h } in
+      Set_cover.is_cover p (Set_cover.greedy ~rng p))
+
+
+(* --- simplex --- *)
+
+let optimal_value = function
+  | Simplex.Optimal { value; _ } -> value
+  | Simplex.Infeasible -> Alcotest.fail "unexpected infeasible"
+  | Simplex.Unbounded -> Alcotest.fail "unexpected unbounded"
+
+let test_simplex_basic () =
+  (* min x + y subject to x + y >= 2, x >= 0.5 *)
+  let outcome =
+    Simplex.minimize ~objective:[| 1.0; 1.0 |]
+      ~constraints:[| [| 1.0; 1.0 |]; [| 1.0; 0.0 |] |]
+      ~bounds:[| 2.0; 0.5 |]
+  in
+  Alcotest.(check (float 1e-6)) "value" 2.0 (optimal_value outcome)
+
+let test_simplex_fractional_optimum () =
+  (* min x1 + x2 + x3 with pairwise-sum constraints: the triangle LP,
+     optimum 1.5 at x = (0.5, 0.5, 0.5) *)
+  let outcome =
+    Simplex.minimize ~objective:[| 1.0; 1.0; 1.0 |]
+      ~constraints:
+        [| [| 1.0; 1.0; 0.0 |]; [| 0.0; 1.0; 1.0 |]; [| 1.0; 0.0; 1.0 |] |]
+      ~bounds:[| 1.0; 1.0; 1.0 |]
+  in
+  Alcotest.(check (float 1e-6)) "triangle LP" 1.5 (optimal_value outcome)
+
+let test_simplex_infeasible_unbounded () =
+  (* 0x >= 1 is infeasible *)
+  (match
+     Simplex.minimize ~objective:[| 1.0 |] ~constraints:[| [| 0.0 |] |]
+       ~bounds:[| 1.0 |]
+   with
+  | Simplex.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible");
+  (* min -x with x >= 1 is unbounded below *)
+  match
+    Simplex.minimize ~objective:[| -1.0 |] ~constraints:[| [| 1.0 |] |]
+      ~bounds:[| 1.0 |]
+  with
+  | Simplex.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_simplex_redundant_rows () =
+  let outcome =
+    Simplex.minimize ~objective:[| 2.0; 3.0 |]
+      ~constraints:[| [| 1.0; 1.0 |]; [| 2.0; 2.0 |] |]
+      ~bounds:[| 1.0; 2.0 |]
+  in
+  Alcotest.(check (float 1e-6)) "redundant" 2.0 (optimal_value outcome)
+
+(* --- fractional covers --- *)
+
+let test_fractional_triangle_gap () =
+  (* the triangle: integral cover 2, fractional 1.5 *)
+  let p =
+    problem ~n:3 ~edges:[ [ 0; 1 ]; [ 1; 2 ]; [ 0; 2 ] ] ~universe:[ 0; 1; 2 ]
+  in
+  Alcotest.(check (float 1e-6)) "rho*" 1.5 (Fractional.cover_value p);
+  check_int "integral" 2 (List.length (Set_cover.exact p))
+
+let test_fractional_clique () =
+  (* K6 as binary edges: rho* of all six vertices = 3 *)
+  let edges = ref [] in
+  for u = 0 to 5 do
+    for v = u + 1 to 5 do
+      edges := [ u; v ] :: !edges
+    done
+  done;
+  let p = problem ~n:6 ~edges:!edges ~universe:[ 0; 1; 2; 3; 4; 5 ] in
+  Alcotest.(check (float 1e-6)) "K6 rho*" 3.0 (Fractional.cover_value p)
+
+let test_fractional_single_edge () =
+  let p = problem ~n:4 ~edges:[ [ 0; 1; 2; 3 ] ] ~universe:[ 0; 1; 2; 3 ] in
+  Alcotest.(check (float 1e-6)) "one edge" 1.0 (Fractional.cover_value p);
+  let p0 = problem ~n:4 ~edges:[ [ 0 ] ] ~universe:[] in
+  Alcotest.(check (float 1e-6)) "empty bag" 0.0 (Fractional.cover_value p0)
+
+let prop_fractional_bounds =
+  QCheck.Test.make ~count:120
+    ~name:"|U|/k <= rho* <= exact integral cover, weights feasible"
+    QCheck.(make QCheck.Gen.(pair (1 -- 7) int))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let m = 1 + Random.State.int rng 6 in
+      let edges =
+        List.init m (fun _ ->
+            let size = 1 + Random.State.int rng 3 in
+            List.init size (fun _ -> Random.State.int rng n))
+      in
+      let h = Hypergraph.create ~n edges in
+      let universe =
+        List.filter (fun v -> Hypergraph.incident h v <> []) (List.init n Fun.id)
+      in
+      let p = { Set_cover.universe = Bitset.of_list n universe; hypergraph = h } in
+      let rho, weights = Fractional.cover p in
+      let integral = float_of_int (List.length (Set_cover.exact p)) in
+      let k = float_of_int (Hypergraph.max_edge_size h) in
+      let lower = float_of_int (List.length universe) /. k in
+      (* feasibility: every universe vertex receives total weight 1 *)
+      let feasible =
+        List.for_all
+          (fun v ->
+            let total =
+              List.fold_left
+                (fun acc (e, w) ->
+                  if Array.exists (( = ) v) (Hypergraph.edge h e) then acc +. w
+                  else acc)
+                0.0 weights
+            in
+            total >= 1.0 -. 1e-6)
+          universe
+      in
+      rho <= integral +. 1e-6 && rho >= lower -. 1e-6 && feasible)
+
+let () =
+  Alcotest.run "setcover"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "greedy simple" `Quick test_greedy_simple;
+          Alcotest.test_case "exact beats greedy" `Quick test_exact_beats_greedy;
+          Alcotest.test_case "empty universe" `Quick test_empty_universe;
+          Alcotest.test_case "uncoverable" `Quick test_uncoverable;
+          Alcotest.test_case "k-set-cover bound" `Quick test_lower_bound;
+          Alcotest.test_case "cache" `Quick test_cache;
+        ] );
+      ( "simplex",
+        [
+          Alcotest.test_case "basic" `Quick test_simplex_basic;
+          Alcotest.test_case "triangle LP" `Quick test_simplex_fractional_optimum;
+          Alcotest.test_case "infeasible/unbounded" `Quick test_simplex_infeasible_unbounded;
+          Alcotest.test_case "redundant rows" `Quick test_simplex_redundant_rows;
+        ] );
+      ( "fractional",
+        [
+          Alcotest.test_case "triangle gap" `Quick test_fractional_triangle_gap;
+          Alcotest.test_case "clique" `Quick test_fractional_clique;
+          Alcotest.test_case "single edge" `Quick test_fractional_single_edge;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_exact_optimal; prop_greedy_covers; prop_fractional_bounds ] );
+    ]
