@@ -1,5 +1,7 @@
 (* Table-printing and statistics helpers for the experiment harness. *)
 
+module Obs = Hd_obs.Obs
+
 let line = String.make 78 '-'
 
 let header title =
@@ -67,3 +69,44 @@ let budget scale =
     Hd_search.Search_types.time_limit = Some scale.time_limit;
     max_states = None;
   }
+
+(* per-experiment hd_obs snapshots, collected by [record_table] and
+   written out as one BENCH_report.json at the end of the run *)
+let table_reports : (string * Obs.Json.t) list ref = ref []
+
+let record_table name f =
+  Obs.enable ();
+  Obs.reset ();
+  let started = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      let elapsed = Unix.gettimeofday () -. started in
+      let snapshot =
+        Obs.Json.Obj
+          [
+            ("experiment", Obs.Json.String name);
+            ("wall_seconds", Obs.Json.Float elapsed);
+            ("report", Obs.report ());
+          ]
+      in
+      table_reports := (name, snapshot) :: !table_reports;
+      Obs.disable ())
+    f
+
+let write_bench_report ?(path = "BENCH_report.json") () =
+  let doc =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.String "hd_obs/bench/1");
+        ( "experiments",
+          Obs.Json.List (List.rev_map (fun (_, s) -> s) !table_reports) );
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Obs.Json.to_string doc);
+      output_char oc '\n');
+  Printf.printf "\nwrote %s (%d experiments)\n" path
+    (List.length !table_reports)

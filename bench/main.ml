@@ -754,9 +754,10 @@ let () =
   List.iter
     (fun name ->
       match List.assoc_opt name table with
-      | Some f -> f ()
+      | Some f -> record_table name f
       | None ->
           Printf.eprintf "unknown experiment %S; available: %s\n" name
             (String.concat ", " (List.map fst table));
           exit 2)
-    to_run
+    to_run;
+  write_bench_report ()

@@ -175,6 +175,12 @@ open Cmdliner
 let instance =
   Arg.(value & opt (some string) None & info [ "i"; "instance" ] ~doc:"Named benchmark instance (see hd_decompose --list).")
 
+let instance_pos =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"INSTANCE" ~doc:"Named benchmark instance (same as $(b,--instance)).")
+
 let graph_file =
   Arg.(value & opt (some file) None & info [ "graph" ] ~doc:"DIMACS graph file.")
 
@@ -227,8 +233,17 @@ let output =
     & opt (some string) None
     & info [ "o"; "output" ] ~doc:"Write the tree decomposition to a PACE .td file.")
 
-let main instance graph_file hypergraph_file method_ time_limit seed population
-    iterations print_decomposition list_flag output =
+let stats =
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "stats" ] ~docv:"FILE"
+        ~doc:
+          "Collect hd_obs counters and spans during the run and write the \
+           JSON report to $(docv) ($(b,-) or no value: stdout).")
+
+let main instance instance_pos graph_file hypergraph_file method_ time_limit
+    seed population iterations print_decomposition list_flag output stats =
   if list_flag then begin
     print_endline "graphs:";
     List.iter
@@ -239,18 +254,40 @@ let main instance graph_file hypergraph_file method_ time_limit seed population
       (fun (n, v, e) -> Printf.printf "  %-12s %5d vertices %6d edges\n" n v e)
       Hd_instances.Hypergraphs.names
   end
-  else
+  else begin
+    let instance = match instance with Some _ -> instance | None -> instance_pos in
+    (* convenience: `--stats queen5_5` — cmdliner binds the instance name
+       to --stats's optional FILE value; if that value names a known
+       instance and no instance was given otherwise, reinterpret it and
+       send the report to stdout *)
+    let instance, stats =
+      match (instance, graph_file, hypergraph_file, stats) with
+      | None, None, None, Some s
+        when Hd_instances.Graphs.by_name s <> None
+             || Hd_instances.Hypergraphs.by_name s <> None ->
+          (Some s, Some "-")
+      | _ -> (instance, stats)
+    in
+    if stats <> None then Hd_obs.Obs.enable ();
     run
       [| instance; graph_file; hypergraph_file |]
-      method_ time_limit seed population iterations print_decomposition output
+      method_ time_limit seed population iterations print_decomposition output;
+    match stats with
+    | Some path -> (
+        try Hd_obs.Obs.write_report path
+        with Sys_error msg ->
+          prerr_endline ("hd_decompose: --stats: " ^ msg);
+          exit 2)
+    | None -> ()
+  end
 
 let cmd =
   let doc = "tree and generalized hypertree decompositions" in
   Cmd.v
     (Cmd.info "hd_decompose" ~doc)
     Term.(
-      const main $ instance $ graph_file $ hypergraph_file $ method_
-      $ time_limit $ seed $ population $ iterations $ print_decomposition
-      $ list_flag $ output)
+      const main $ instance $ instance_pos $ graph_file $ hypergraph_file
+      $ method_ $ time_limit $ seed $ population $ iterations
+      $ print_decomposition $ list_flag $ output $ stats)
 
 let () = exit (Cmd.eval cmd)

@@ -24,7 +24,8 @@ let describe csp assignment =
   in
   String.concat " " parts
 
-let run problem strategy seed =
+let run problem strategy seed stats =
+  if stats <> None then Hd_obs.Obs.enable ();
   let csp = build_problem problem in
   Format.printf "CSP: %d variables, %d constraints@." (Csp.n_variables csp)
     (Csp.n_constraints csp);
@@ -62,11 +63,18 @@ let run problem strategy seed =
             Hd_csp.Adaptive_consistency.solve_auto ~seed csp)
   in
   let oracle = solve "backtracking oracle" (fun () -> Csp.solve_backtracking csp) in
-  match (from_decomposition, oracle) with
+  (match (from_decomposition, oracle) with
   | Some _, Some _ | None, None -> Format.printf "agreement: ok@."
   | _ ->
       Format.printf "agreement: MISMATCH@.";
-      exit 1
+      exit 1);
+  match stats with
+  | Some path -> (
+      try Hd_obs.Obs.write_report path
+      with Sys_error msg ->
+        prerr_endline ("hd_solve: --stats: " ^ msg);
+        exit 2)
+  | None -> ()
 
 open Cmdliner
 
@@ -100,8 +108,19 @@ let strategy =
 
 let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
 
+let stats =
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "stats" ] ~docv:"FILE"
+        ~doc:
+          "Collect hd_obs counters and spans during the run and write the \
+           JSON report to $(docv) ($(b,-) or no value: stdout).")
+
 let cmd =
   let doc = "solve CSPs from tree and generalized hypertree decompositions" in
-  Cmd.v (Cmd.info "hd_solve" ~doc) Term.(const run $ problem $ strategy $ seed)
+  Cmd.v
+    (Cmd.info "hd_solve" ~doc)
+    Term.(const run $ problem $ strategy $ seed $ stats)
 
 let () = exit (Cmd.eval cmd)

@@ -6,7 +6,8 @@ module Graph = Hd_graph.Graph
 module Hypergraph = Hd_hypergraph.Hypergraph
 module Td = Hd_core.Tree_decomposition
 
-let run instance graph_file hypergraph_file td_file =
+let run instance graph_file hypergraph_file td_file stats =
+  if stats <> None then Hd_obs.Obs.enable ();
   let h =
     match (instance, graph_file, hypergraph_file) with
     | Some name, None, None -> (
@@ -31,9 +32,19 @@ let run instance graph_file hypergraph_file td_file =
       prerr_endline ("hd_validate: " ^ msg);
       exit 2
   in
-  let valid = Td.valid_for_hypergraph h td in
+  let valid =
+    Hd_obs.Obs.with_span "validate.check" @@ fun () ->
+    Td.valid_for_hypergraph h td
+  in
   Format.printf "bags: %d@.width: %d@.valid tree decomposition: %b@."
     (Td.n_nodes td) (Td.width td) valid;
+  (match stats with
+  | Some path -> (
+      try Hd_obs.Obs.write_report path
+      with Sys_error msg ->
+        prerr_endline ("hd_validate: --stats: " ^ msg);
+        exit 2)
+  | None -> ());
   if not valid then exit 1
 
 open Cmdliner
@@ -50,10 +61,19 @@ let hypergraph_file =
 let td_file =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"TD_FILE" ~doc:"PACE .td file.")
 
+let stats =
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "stats" ] ~docv:"FILE"
+        ~doc:
+          "Collect hd_obs counters and spans during the run and write the \
+           JSON report to $(docv) ($(b,-) or no value: stdout).")
+
 let cmd =
   let doc = "validate a PACE-format tree decomposition against an instance" in
   Cmd.v
     (Cmd.info "hd_validate" ~doc)
-    Term.(const run $ instance $ graph_file $ hypergraph_file $ td_file)
+    Term.(const run $ instance $ graph_file $ hypergraph_file $ td_file $ stats)
 
 let () = exit (Cmd.eval cmd)

@@ -1,3 +1,12 @@
+module Obs = Hd_obs.Obs
+
+(* Observability: semijoin work during acyclic solving, and the sizes
+   of the intermediate relations it produces.  Join-side counters live
+   in Solver, which materialises the bag relations. *)
+let c_semijoins = Obs.Counter.make "csp.semijoins"
+let c_semijoin_tuples = Obs.Counter.make "csp.semijoin_tuples"
+let h_relation_size = Obs.Histogram.make "csp.intermediate_relation_size"
+
 type t = { relations : Relation.t array; parent : int array }
 
 (* children-before-parents order (reverse BFS from the root) *)
@@ -21,6 +30,7 @@ let bottom_up_order t =
   order
 
 let acyclic_solve t ~n_vars =
+  Obs.with_span "csp.acyclic_solve" @@ fun () ->
   let m = Array.length t.relations in
   if m = 0 then Some (Array.make n_vars min_int)
   else begin
@@ -33,6 +43,10 @@ let acyclic_solve t ~n_vars =
         if (not !failed) && t.parent.(i) <> -1 then begin
           let p = t.parent.(i) in
           rel.(p) <- Relation.semijoin rel.(p) rel.(i);
+          Obs.Counter.incr c_semijoins;
+          let size = Relation.cardinality rel.(p) in
+          Obs.Counter.add c_semijoin_tuples size;
+          Obs.Histogram.observe h_relation_size size;
           if Relation.is_empty rel.(p) then failed := true
         end)
       order;
@@ -64,6 +78,7 @@ let acyclic_solve t ~n_vars =
   end
 
 let count_solutions t =
+  Obs.with_span "csp.count_solutions" @@ fun () ->
   let m = Array.length t.relations in
   if m = 0 then 1
   else begin

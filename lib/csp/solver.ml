@@ -2,6 +2,22 @@ module Bitset = Hd_graph.Bitset
 module Hypergraph = Hd_hypergraph.Hypergraph
 module Td = Hd_core.Tree_decomposition
 module Ghd = Hd_core.Ghd
+module Obs = Hd_obs.Obs
+
+(* Observability: join work while materialising bag relations.  The
+   semijoin side is counted in Join_tree.acyclic_solve. *)
+let c_joins = Obs.Counter.make "csp.joins"
+let c_join_tuples = Obs.Counter.make "csp.join_tuples"
+let h_relation_size = Obs.Histogram.make "csp.intermediate_relation_size"
+
+(* [Relation.join] with its output size recorded *)
+let join_counted a b =
+  let r = Relation.join a b in
+  Obs.Counter.incr c_joins;
+  let size = Relation.cardinality r in
+  Obs.Counter.add c_join_tuples size;
+  Obs.Histogram.observe h_relation_size size;
+  r
 
 let domains_of csp =
   Array.init (Csp.n_variables csp) (fun v -> Csp.domain csp v)
@@ -27,6 +43,7 @@ let finalize csp = function
       if Csp.consistent csp assignment then Some assignment else None
 
 let solve_with_td csp td =
+  Obs.with_span "csp.solve_with_td" @@ fun () ->
   let h = Csp.hypergraph csp in
   if not (Td.valid_for_hypergraph h td) then
     invalid_arg "Solver.solve_with_td: not a tree decomposition of the CSP";
@@ -54,7 +71,7 @@ let solve_with_td csp td =
         let base =
           match placed.(p) with
           | [] -> Relation.make ~scope:[||] [ [||] ]
-          | r :: rest -> List.fold_left Relation.join r rest
+          | r :: rest -> List.fold_left join_counted r rest
         in
         let scope_vars = Relation.scope base in
         let missing =
@@ -64,7 +81,7 @@ let solve_with_td csp td =
         in
         List.fold_left
           (fun acc v ->
-            Relation.join acc (Relation.full ~scope:[| v |] ~domains))
+            join_counted acc (Relation.full ~scope:[| v |] ~domains))
           base missing)
   in
   let jt = { Join_tree.relations; parent = td.Td.parent } in
@@ -98,7 +115,7 @@ let join_tree_of_td csp td =
         let base =
           match placed.(p) with
           | [] -> Relation.make ~scope:[||] [ [||] ]
-          | r :: rest -> List.fold_left Relation.join r rest
+          | r :: rest -> List.fold_left join_counted r rest
         in
         let scope_vars = Relation.scope base in
         let missing =
@@ -108,17 +125,19 @@ let join_tree_of_td csp td =
         in
         List.fold_left
           (fun acc v ->
-            Relation.join acc (Relation.full ~scope:[| v |] ~domains))
+            join_counted acc (Relation.full ~scope:[| v |] ~domains))
           base missing)
   in
   { Join_tree.relations; parent = td.Td.parent }
 
 let count_with_td csp td =
+  Obs.with_span "csp.count_with_td" @@ fun () ->
   (* every variable occurs in some bag (singleton hyperedges are added
      for unconstrained variables), so bag-variable counting is total *)
   Join_tree.count_solutions (join_tree_of_td csp td)
 
 let solve_with_ghd csp ghd =
+  Obs.with_span "csp.solve_with_ghd" @@ fun () ->
   let h = Csp.hypergraph csp in
   if not (Ghd.valid h ghd) then
     invalid_arg "Solver.solve_with_ghd: not a GHD of the CSP";
@@ -132,7 +151,7 @@ let solve_with_ghd csp ghd =
           | [] -> Relation.make ~scope:[||] [ [||] ]
           | e :: rest ->
               List.fold_left
-                (fun acc e' -> Relation.join acc (relation_of_edge csp h e'))
+                (fun acc e' -> join_counted acc (relation_of_edge csp h e'))
                 (relation_of_edge csp h e)
                 rest
         in

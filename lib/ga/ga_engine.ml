@@ -1,3 +1,12 @@
+module Obs = Hd_obs.Obs
+
+(* Observability counters shared by every engine instance (GA-tw,
+   GA-ghw, and the SAIGA islands).  Naming: docs/OBSERVABILITY.md. *)
+let c_generations = Obs.Counter.make "ga.generations"
+let c_evaluations = Obs.Counter.make "ga.evaluations"
+let c_crossovers = Obs.Counter.make "ga.crossovers"
+let c_mutations = Obs.Counter.make "ga.mutations"
+
 type params = {
   mutation_rate : float;
   crossover_rate : float;
@@ -48,6 +57,7 @@ module Population = struct
   }
 
   let evaluate pop eval =
+    Obs.Counter.add c_evaluations (Array.length pop.members);
     Array.iteri
       (fun i member ->
         let f = eval member in
@@ -87,6 +97,7 @@ module Population = struct
     !winner
 
   let step pop ~params ~crossover ~mutation ~eval rng =
+    Obs.Counter.incr c_generations;
     let size = Array.length pop.members in
     (* selection *)
     let selected =
@@ -96,6 +107,7 @@ module Population = struct
     (* recombination of a crossover_rate fraction, in random pairs *)
     let order = Hd_core.Ordering.random rng size in
     let pairs = int_of_float (params.crossover_rate *. float_of_int size) / 2 in
+    Obs.Counter.add c_crossovers (2 * pairs);
     for p = 0 to pairs - 1 do
       let i = order.(2 * p) and j = order.((2 * p) + 1) in
       let a = selected.(i) and b = selected.(j) in
@@ -105,8 +117,10 @@ module Population = struct
     (* mutation *)
     Array.iter
       (fun member ->
-        if Random.State.float rng 1.0 < params.mutation_rate then
-          Mutation.apply mutation rng member)
+        if Random.State.float rng 1.0 < params.mutation_rate then begin
+          Obs.Counter.incr c_mutations;
+          Mutation.apply mutation rng member
+        end)
       selected;
     pop.members <- selected;
     evaluate pop eval
@@ -115,6 +129,7 @@ module Population = struct
   let evaluations pop = pop.evaluations
 
   let inject pop individual ~eval =
+    Obs.Counter.add c_evaluations 1;
     let size = Array.length pop.members in
     let worst = ref 0 in
     for i = 1 to size - 1 do
@@ -131,6 +146,7 @@ module Population = struct
 end
 
 let run config ~n_genes ~eval =
+  Obs.with_span "ga.run" @@ fun () ->
   let started = Unix.gettimeofday () in
   let rng = Random.State.make [| config.seed |] in
   let pop =

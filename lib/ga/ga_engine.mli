@@ -18,14 +18,14 @@ type params = {
 }
 
 type config = {
-  population_size : int;
+  population_size : int;  (** individuals per generation (>= 2) *)
   params : params;
-  crossover : Crossover.t;
-  mutation : Mutation.t;
-  max_iterations : int;
+  crossover : Crossover.t;  (** recombination operator (Section 6.1.2) *)
+  mutation : Mutation.t;  (** mutation operator (Section 6.1.3) *)
+  max_iterations : int;  (** generation cap *)
   time_limit : float option;  (** wall-clock seconds *)
   target : int option;  (** stop as soon as this fitness is reached *)
-  seed : int;
+  seed : int;  (** PRNG seed; equal seeds give equal runs *)
 }
 
 (** The paper's tuned configuration (Tables 6.3-6.5): POS crossover, ISM
@@ -34,11 +34,11 @@ val default_config :
   ?population_size:int -> ?max_iterations:int -> ?seed:int -> unit -> config
 
 type report = {
-  best : int;
-  best_individual : int array;
-  iterations : int;
-  evaluations : int;
-  elapsed : float;
+  best : int;  (** best fitness ever evaluated *)
+  best_individual : int array;  (** a permutation achieving [best] *)
+  iterations : int;  (** generations actually run *)
+  evaluations : int;  (** total fitness evaluations *)
+  elapsed : float;  (** wall-clock seconds *)
   improvements : (int * int) list;
       (** (iteration, fitness) at each improvement, earliest first *)
 }
@@ -52,6 +52,8 @@ val run : config -> n_genes:int -> eval:(int array -> int) -> report
 module Population : sig
   type t
 
+  (** [init rng ~n_genes ~size ~eval] creates [size] random permutations
+      of [0 .. n_genes - 1] and evaluates them all. *)
   val init :
     Random.State.t -> n_genes:int -> size:int -> eval:(int array -> int) -> t
 
@@ -69,6 +71,8 @@ module Population : sig
   (** [best pop] is the best (fitness, individual) ever seen. *)
   val best : t -> int * int array
 
+  (** [evaluations pop] is the number of fitness evaluations spent on
+      this population so far. *)
   val evaluations : t -> int
 
   (** [inject pop individual ~eval] replaces the currently worst member

@@ -1,3 +1,8 @@
+module Obs = Hd_obs.Obs
+
+let c_epochs = Obs.Counter.make "ga.epochs"
+let c_migrations = Obs.Counter.make "ga.migrations"
+
 type config = {
   n_islands : int;
   island_population : int;
@@ -68,6 +73,7 @@ let orient (own : Ga_engine.params) (better : Ga_engine.params) :
   }
 
 let run config h =
+  Obs.with_span "saiga_ghw.run" @@ fun () ->
   let started = Unix.gettimeofday () in
   let n_genes = Hd_hypergraph.Hypergraph.n_vertices h in
   let ws = Hd_core.Eval.of_hypergraph h in
@@ -114,6 +120,7 @@ let run config h =
   let epoch = ref 0 in
   while !epoch < config.max_epochs && (not (out_of_time ())) && not (reached_target ()) do
     incr epoch;
+    Obs.Counter.incr c_epochs;
     (* evolve every island for one epoch *)
     Array.iteri
       (fun i island ->
@@ -133,6 +140,7 @@ let run config h =
       if fitness.(best_nbr) < fitness.(i) then begin
         next_params.(i) <- orient params.(i) params.(best_nbr);
         let _, migrant = Ga_engine.Population.best islands.(best_nbr) in
+        Obs.Counter.incr c_migrations;
         Ga_engine.Population.inject islands.(i) migrant ~eval
       end
     done;

@@ -1,0 +1,467 @@
+(* Observability: counters, histograms, hierarchical timed spans, and a
+   structured JSON run report.
+
+   Design constraints (docs/OBSERVABILITY.md):
+   - near-zero overhead when disabled: every recording entry point
+     checks the [enabled] flag before doing any work, so a disabled
+     counter increment costs one load and one branch;
+   - no dependencies beyond unix (wall-clock); the JSON printer and the
+     minimal parser are hand-rolled;
+   - instruments register at module-initialisation time, so every
+     counter linked into a program appears in the report even at 0. *)
+
+let enabled = ref false
+let enable () = enabled := true
+let disable () = enabled := false
+let is_enabled () = !enabled
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  (* fixed six-decimal precision: small enough magnitudes (span times,
+     histogram means) re-parse to a float that prints identically, so
+     print/parse round-trips are stable *)
+  let float_literal f =
+    if Float.is_finite f then Printf.sprintf "%.6f" f else "null"
+
+  let rec write buf ~level t =
+    let pad n = Buffer.add_string buf (String.make (2 * n) ' ') in
+    match t with
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (float_literal f)
+    | String s -> escape buf s
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+        Buffer.add_string buf "[\n";
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            pad (level + 1);
+            write buf ~level:(level + 1) item)
+          items;
+        Buffer.add_char buf '\n';
+        pad level;
+        Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+        Buffer.add_string buf "{\n";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            pad (level + 1);
+            escape buf k;
+            Buffer.add_string buf ": ";
+            write buf ~level:(level + 1) v)
+          fields;
+        Buffer.add_char buf '\n';
+        pad level;
+        Buffer.add_char buf '}'
+
+  let to_string t =
+    let buf = Buffer.create 1024 in
+    write buf ~level:0 t;
+    Buffer.contents buf
+
+  exception Parse_error of string
+
+  (* A minimal recursive-descent parser, sufficient for the reports this
+     module prints (and standard JSON in general).  Used by the tests to
+     check that reports round-trip; not a hardened general parser. *)
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected %C" c)
+    in
+    let literal word value =
+      if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+      then begin
+        pos := !pos + String.length word;
+        value
+      end
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' -> (
+            advance ();
+            match peek () with
+            | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
+            | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
+            | Some 'r' -> Buffer.add_char buf '\r'; advance (); go ()
+            | Some 'b' -> Buffer.add_char buf '\b'; advance (); go ()
+            | Some 'f' -> Buffer.add_char buf '\012'; advance (); go ()
+            | Some ('"' | '\\' | '/') ->
+                Buffer.add_char buf (Option.get (peek ()));
+                advance ();
+                go ()
+            | Some 'u' ->
+                advance ();
+                if !pos + 4 > n then fail "truncated \\u escape";
+                let hex = String.sub s !pos 4 in
+                pos := !pos + 4;
+                let code =
+                  try int_of_string ("0x" ^ hex)
+                  with _ -> fail "bad \\u escape"
+                in
+                (* the printer only emits \u00XX for control bytes *)
+                if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                else Buffer.add_char buf '?';
+                go ()
+            | _ -> fail "bad escape")
+        | Some c ->
+            Buffer.add_char buf c;
+            advance ();
+            go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_number_char = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while (match peek () with Some c -> is_number_char c | None -> false) do
+        advance ()
+      done;
+      let text = String.sub s start (!pos - start) in
+      if String.exists (function '.' | 'e' | 'E' -> true | _ -> false) text
+      then
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> fail "bad number"
+      else
+        match int_of_string_opt text with
+        | Some i -> Int i
+        | None -> fail "bad number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some 'n' -> literal "null" Null
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some '"' -> String (parse_string ())
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            List []
+          end
+          else begin
+            let items = ref [ parse_value () ] in
+            skip_ws ();
+            while peek () = Some ',' do
+              advance ();
+              items := parse_value () :: !items;
+              skip_ws ()
+            done;
+            expect ']';
+            List (List.rev !items)
+          end
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let field () =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              (k, v)
+            in
+            let fields = ref [ field () ] in
+            skip_ws ();
+            while peek () = Some ',' do
+              advance ();
+              fields := field () :: !fields;
+              skip_ws ()
+            done;
+            expect '}';
+            Obj (List.rev !fields)
+          end
+      | Some _ -> parse_number ()
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing input";
+    v
+
+  let parse_opt s = try Some (parse s) with Parse_error _ -> None
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Counter = struct
+  type t = { name : string; mutable value : int }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+
+  let make name =
+    match Hashtbl.find_opt registry name with
+    | Some c -> c
+    | None ->
+        let c = { name; value = 0 } in
+        Hashtbl.add registry name c;
+        c
+
+  let incr c = if !enabled then c.value <- c.value + 1
+
+  let add c n =
+    if n < 0 then invalid_arg "Obs.Counter.add: counters are monotonic";
+    if !enabled then c.value <- c.value + n
+
+  let value c = c.value
+  let name c = c.name
+  let all () = Hashtbl.fold (fun _ c acc -> c :: acc) registry []
+end
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Histogram = struct
+  (* power-of-two buckets: bucket 0 holds value 0, bucket i >= 1 holds
+     values v with 2^(i-1) <= v < 2^i, the last bucket everything
+     larger.  Enough resolution to see join-size blowups without
+     per-value storage. *)
+  let n_buckets = 32
+
+  type t = {
+    name : string;
+    mutable count : int;
+    mutable sum : int;
+    mutable min_value : int;
+    mutable max_value : int;
+    buckets : int array;
+  }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+
+  let make name =
+    match Hashtbl.find_opt registry name with
+    | Some h -> h
+    | None ->
+        let h =
+          {
+            name;
+            count = 0;
+            sum = 0;
+            min_value = max_int;
+            max_value = min_int;
+            buckets = Array.make n_buckets 0;
+          }
+        in
+        Hashtbl.add registry name h;
+        h
+
+  let bucket_of v =
+    if v <= 0 then 0
+    else begin
+      let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+      min (n_buckets - 1) (bits 0 v)
+    end
+
+  let observe h v =
+    if !enabled then begin
+      h.count <- h.count + 1;
+      h.sum <- h.sum + v;
+      if v < h.min_value then h.min_value <- v;
+      if v > h.max_value then h.max_value <- v;
+      let b = bucket_of v in
+      h.buckets.(b) <- h.buckets.(b) + 1
+    end
+
+  let count h = h.count
+  let sum h = h.sum
+  let mean h = if h.count = 0 then 0.0 else float_of_int h.sum /. float_of_int h.count
+  let name h = h.name
+  let all () = Hashtbl.fold (fun _ h acc -> h :: acc) registry []
+
+  let reset h =
+    h.count <- 0;
+    h.sum <- 0;
+    h.min_value <- max_int;
+    h.max_value <- min_int;
+    Array.fill h.buckets 0 n_buckets 0
+end
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Span = struct
+  type node = {
+    name : string;
+    mutable calls : int;
+    mutable seconds : float;
+    mutable children : node list; (* reverse creation order *)
+  }
+
+  let fresh_root () = { name = "root"; calls = 0; seconds = 0.0; children = [] }
+  let root = ref (fresh_root ())
+  let stack = ref []
+
+  let current () = match !stack with node :: _ -> node | [] -> !root
+
+  let find_child parent name =
+    match List.find_opt (fun n -> n.name = name) parent.children with
+    | Some n -> n
+    | None ->
+        let n = { name; calls = 0; seconds = 0.0; children = [] } in
+        parent.children <- n :: parent.children;
+        n
+end
+
+let with_span name f =
+  if not !enabled then f ()
+  else begin
+    let node = Span.find_child (Span.current ()) name in
+    Span.stack := node :: !Span.stack;
+    let started = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        node.Span.calls <- node.Span.calls + 1;
+        node.Span.seconds <-
+          node.Span.seconds +. (Unix.gettimeofday () -. started);
+        match !Span.stack with
+        | _ :: rest -> Span.stack := rest
+        | [] -> ())
+      f
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reset and report                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.Counter.value <- 0) Counter.registry;
+  Hashtbl.iter (fun _ h -> Histogram.reset h) Histogram.registry;
+  Span.root := Span.fresh_root ();
+  Span.stack := []
+
+let sorted_names to_name xs =
+  List.sort (fun a b -> compare (to_name a) (to_name b)) xs
+
+let histogram_json (h : Histogram.t) =
+  let open Json in
+  Obj
+    [
+      ("count", Int h.Histogram.count);
+      ("sum", Int h.Histogram.sum);
+      ("min", if h.Histogram.count = 0 then Null else Int h.Histogram.min_value);
+      ("max", if h.Histogram.count = 0 then Null else Int h.Histogram.max_value);
+      ("mean", Float (Histogram.mean h));
+      ( "pow2_buckets",
+        (* trailing empty buckets elided to keep reports short *)
+        let last =
+          let rec go i = if i < 0 then -1 else if h.Histogram.buckets.(i) > 0 then i else go (i - 1) in
+          go (Histogram.n_buckets - 1)
+        in
+        List (List.init (last + 1) (fun i -> Int h.Histogram.buckets.(i))) );
+    ]
+
+let rec span_json (node : Span.node) =
+  let open Json in
+  Obj
+    [
+      ("name", String node.Span.name);
+      ("calls", Int node.Span.calls);
+      ("seconds", Float node.Span.seconds);
+      ("children", List (List.rev_map span_json node.Span.children));
+    ]
+
+let report () =
+  let open Json in
+  let counters =
+    sorted_names Counter.name (Counter.all ())
+    |> List.map (fun c -> (Counter.name c, Int (Counter.value c)))
+  in
+  let histograms =
+    sorted_names Histogram.name (Histogram.all ())
+    |> List.map (fun h -> (Histogram.name h, histogram_json h))
+  in
+  Obj
+    [
+      ("schema", String "hd_obs/1");
+      ("generated_at_unix", Int (int_of_float (Unix.time ())));
+      ("enabled", Bool !enabled);
+      ("counters", Obj counters);
+      ("histograms", Obj histograms);
+      ("spans", List (List.rev_map span_json !Span.root.Span.children));
+    ]
+
+let report_string () = Json.to_string (report ())
+
+let write_report path =
+  let text = report_string () in
+  if path = "-" then print_endline text
+  else begin
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc text;
+        output_char oc '\n')
+  end

@@ -2,6 +2,7 @@ module Bitset = Hd_graph.Bitset
 module Elim_graph = Hd_graph.Elim_graph
 module Hypergraph = Hd_hypergraph.Hypergraph
 module Lower_bounds = Hd_bounds.Lower_bounds
+module Obs = Hd_obs.Obs
 open Search_types
 
 type state = {
@@ -54,7 +55,9 @@ let ordering_of_path ~n path eg =
 
 let children_of eg ~parent_reduced ~last =
   match Elim_graph.find_reducible eg ~lb:(-1) with
-  | Some w -> ([ w ], true)
+  | Some w ->
+      Obs.Counter.incr Search_util.c_reductions;
+      ([ w ], true)
   | None ->
       let all = Elim_graph.alive_list eg in
       let kept =
@@ -70,6 +73,7 @@ let children_of eg ~parent_reduced ~last =
       (kept, false)
 
 let solve ?(budget = no_budget) ?(dedup = false) ?seed h =
+  Obs.with_span "astar_ghw.solve" @@ fun () ->
   Ghw_common.check_input h;
   (* subsumed hyperedges never matter for covers or coverage: searching
      the reduced instance is free speedup (same vertices, same primal,
@@ -118,11 +122,18 @@ let solve ?(budget = no_budget) ?(dedup = false) ?seed h =
           finish (Bounds { lb = min !best_lb !ub; ub = !ub }) (Some !best_sigma)
         else begin
           let s = Pq.pop queue in
-          if s.f >= !ub then search ()
+          if s.f >= !ub then begin
+            Obs.Counter.incr Search_util.c_stale;
+            search ()
+          end
           else begin
             ticker.Search_util.visited <- ticker.Search_util.visited + 1;
+            Obs.Counter.incr Search_util.c_expanded;
             sync eg current_path s;
-            if s.f > !best_lb then best_lb := s.f;
+            if s.f > !best_lb then begin
+              best_lb := s.f;
+              Obs.Counter.incr Search_util.c_lb_improved
+            end;
             let completion = Ghw_common.Cover.completion_width covers eg in
             if completion <= s.g then
               finish (Exact s.g) (Some (ordering_of_path ~n (path_of s) eg))
@@ -138,12 +149,14 @@ let solve ?(budget = no_budget) ?(dedup = false) ?seed h =
         let total = max s.g completion_here in
         if total < !ub then begin
           ub := total;
+          Obs.Counter.incr Search_util.c_ub_improved;
           best_sigma := ordering_of_path ~n (path_of s) eg
         end;
         List.iter
           (fun v ->
             if not (Search_util.out_of_budget ticker) then begin
               ticker.Search_util.generated <- ticker.Search_util.generated + 1;
+              Obs.Counter.incr Search_util.c_generated;
               let c = Ghw_common.Cover.bag_width covers eg v in
               let g' = max s.g c in
               if g' < !ub then begin
@@ -159,7 +172,9 @@ let solve ?(budget = no_budget) ?(dedup = false) ?seed h =
                     &&
                     let key = Elim_graph.alive eg in
                     match Hashtbl.find_opt seen key with
-                    | Some g_seen when g_seen <= g' -> true
+                    | Some g_seen when g_seen <= g' ->
+                        Obs.Counter.incr Search_util.c_duplicates;
+                        true
                     | _ ->
                         Hashtbl.replace seen (Bitset.copy key) g';
                         false

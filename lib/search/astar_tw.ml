@@ -2,6 +2,7 @@ module Graph = Hd_graph.Graph
 module Elim_graph = Hd_graph.Elim_graph
 module Bitset = Hd_graph.Bitset
 module Lower_bounds = Hd_bounds.Lower_bounds
+module Obs = Hd_obs.Obs
 open Search_types
 
 type state = {
@@ -62,7 +63,9 @@ let ordering_of_path ~n path eg =
 
 let children_of eg ~lb ~parent_reduced ~last =
   match Elim_graph.find_reducible eg ~lb with
-  | Some w -> ([ w ], true)
+  | Some w ->
+      Obs.Counter.incr Search_util.c_reductions;
+      ([ w ], true)
   | None ->
       let all = Elim_graph.alive_list eg in
       let kept =
@@ -75,6 +78,7 @@ let children_of eg ~lb ~parent_reduced ~last =
       (kept, false)
 
 let solve ?(budget = no_budget) ?(dedup = false) ?seed g =
+  Obs.with_span "astar_tw.solve" @@ fun () ->
   let n = Graph.n g in
   let ticker = Search_util.make_ticker budget in
   let finish outcome ordering =
@@ -123,13 +127,19 @@ let solve ?(budget = no_budget) ?(dedup = false) ?seed g =
           finish (Bounds { lb = min !best_lb !ub; ub = !ub }) (Some !best_sigma)
         else begin
           let s = Pq.pop queue in
-          if s.f >= !ub then
+          if s.f >= !ub then begin
             (* stale entry: the upper bound improved since the push *)
+            Obs.Counter.incr Search_util.c_stale;
             search ()
+          end
           else begin
             ticker.Search_util.visited <- ticker.Search_util.visited + 1;
+            Obs.Counter.incr Search_util.c_expanded;
             sync eg current_path s;
-            if s.f > !best_lb then best_lb := s.f;
+            if s.f > !best_lb then begin
+              best_lb := s.f;
+              Obs.Counter.incr Search_util.c_lb_improved
+            end;
             if s.g >= Elim_graph.n_alive eg - 1 then
               finish (Exact s.g)
                 (Some (ordering_of_path ~n (path_of s) eg))
@@ -145,6 +155,7 @@ let solve ?(budget = no_budget) ?(dedup = false) ?seed g =
           (fun v ->
             if not (Search_util.out_of_budget ticker) then begin
               ticker.Search_util.generated <- ticker.Search_util.generated + 1;
+              Obs.Counter.incr Search_util.c_generated;
               let d = Elim_graph.degree eg v in
               let g' = max s.g d in
               Elim_graph.eliminate eg v;
@@ -154,6 +165,8 @@ let solve ?(budget = no_budget) ?(dedup = false) ?seed g =
               let completion = max g' (n' - 1) in
               if completion < !ub then begin
                 ub := completion;
+                Obs.Counter.incr Search_util.c_pr1;
+                Obs.Counter.incr Search_util.c_ub_improved;
                 best_sigma := ordering_of_path ~n (path_of s @ [ v ]) eg
               end;
               let h' =
@@ -166,7 +179,9 @@ let solve ?(budget = no_budget) ?(dedup = false) ?seed g =
                   &&
                   let key = Elim_graph.alive eg in
                   match Hashtbl.find_opt seen key with
-                  | Some g_seen when g_seen <= g' -> true
+                  | Some g_seen when g_seen <= g' ->
+                      Obs.Counter.incr Search_util.c_duplicates;
+                      true
                   | _ ->
                       Hashtbl.replace seen (Bitset.copy key) g';
                       false

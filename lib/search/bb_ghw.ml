@@ -1,6 +1,7 @@
 module Elim_graph = Hd_graph.Elim_graph
 module Hypergraph = Hd_hypergraph.Hypergraph
 module Lower_bounds = Hd_bounds.Lower_bounds
+module Obs = Hd_obs.Obs
 open Search_types
 
 type cover_mode = Ghw_common.cover_mode
@@ -8,6 +9,7 @@ type cover_mode = Ghw_common.cover_mode
 exception Out_of_budget
 
 let solve ?(budget = no_budget) ?seed ?(cover = `Exact) h =
+  Obs.with_span "bb_ghw.solve" @@ fun () ->
   Ghw_common.check_input h;
   (* subsumed hyperedges never matter for covers or coverage: searching
      the reduced instance is free speedup (same vertices, same primal,
@@ -38,9 +40,11 @@ let solve ?(budget = no_budget) ?seed ?(cover = `Exact) h =
       let rec branch ~g_val ~f_floor ~reduced =
         if Search_util.out_of_budget ticker then raise Out_of_budget;
         ticker.Search_util.visited <- ticker.Search_util.visited + 1;
+        Obs.Counter.incr Search_util.c_expanded;
         let completion = max g_val (Ghw_common.Cover.completion_width covers eg) in
         if completion < !ub then begin
           ub := completion;
+          Obs.Counter.incr Search_util.c_ub_improved;
           best_sigma := Ghw_common.record_ordering ~n eg !path
         end;
         (* a completion no better than g exists iff covering the rest
@@ -50,7 +54,9 @@ let solve ?(budget = no_budget) ?seed ?(cover = `Exact) h =
             (* simplicial reduction only: the almost-simplicial rule is
                degree-based and specific to treewidth *)
             match Elim_graph.find_reducible eg ~lb:(-1) with
-            | Some w -> [ (w, true) ]
+            | Some w ->
+                Obs.Counter.incr Search_util.c_reductions;
+                [ (w, true) ]
             | None ->
                 let last = match !path with v :: _ -> v | [] -> -1 in
                 Elim_graph.alive_list eg
@@ -70,6 +76,7 @@ let solve ?(budget = no_budget) ?seed ?(cover = `Exact) h =
           List.iter
             (fun (v, via_reduction) ->
               ticker.Search_util.generated <- ticker.Search_util.generated + 1;
+              Obs.Counter.incr Search_util.c_generated;
               let c = Ghw_common.Cover.bag_width covers eg v in
               let g'' = max g_val c in
               if g'' < !ub then begin

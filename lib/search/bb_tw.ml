@@ -1,11 +1,13 @@
 module Graph = Hd_graph.Graph
 module Elim_graph = Hd_graph.Elim_graph
 module Lower_bounds = Hd_bounds.Lower_bounds
+module Obs = Hd_obs.Obs
 open Search_types
 
 exception Out_of_budget
 
 let solve ?(budget = no_budget) ?seed ?(use_pr2 = true) ?(use_reductions = true) g =
+  Obs.with_span "bb_tw.solve" @@ fun () ->
   let n = Graph.n g in
   let ticker = Search_util.make_ticker budget in
   let finish outcome ordering =
@@ -35,6 +37,7 @@ let solve ?(budget = no_budget) ?seed ?(use_pr2 = true) ?(use_reductions = true)
       let record_solution width =
         if width < !ub then begin
           ub := width;
+          Obs.Counter.incr Search_util.c_ub_improved;
           (* sigma's back is eliminated first: live vertices fill the
              front (eliminated last, in any order), then the path in
              most-recent-first order puts the first elimination at the
@@ -59,10 +62,14 @@ let solve ?(budget = no_budget) ?seed ?(use_pr2 = true) ?(use_reductions = true)
       let rec branch ~g_val ~f_floor ~reduced =
         if Search_util.out_of_budget ticker then raise Out_of_budget;
         ticker.Search_util.visited <- ticker.Search_util.visited + 1;
+        Obs.Counter.incr Search_util.c_expanded;
         let n' = Elim_graph.n_alive eg in
         (* PR 1 *)
         let completion = max g_val (n' - 1) in
-        if completion < !ub then record_solution completion;
+        if completion < !ub then begin
+          Obs.Counter.incr Search_util.c_pr1;
+          record_solution completion
+        end;
         if n' - 1 > g_val && f_floor < !ub then begin
           let reducible =
             if use_reductions then Elim_graph.find_reducible eg ~lb:f_floor
@@ -70,7 +77,9 @@ let solve ?(budget = no_budget) ?seed ?(use_pr2 = true) ?(use_reductions = true)
           in
           let candidates =
             match reducible with
-            | Some w -> [ (w, true) ]
+            | Some w ->
+                Obs.Counter.incr Search_util.c_reductions;
+                [ (w, true) ]
             | None ->
                 let last = match !path with v :: _ -> v | [] -> -1 in
                 Elim_graph.alive_list eg
@@ -90,6 +99,7 @@ let solve ?(budget = no_budget) ?seed ?(use_pr2 = true) ?(use_reductions = true)
           List.iter
             (fun (v, via_reduction) ->
               ticker.Search_util.generated <- ticker.Search_util.generated + 1;
+              Obs.Counter.incr Search_util.c_generated;
               let d = Elim_graph.degree eg v in
               let g'' = max g_val d in
               if g'' < !ub then begin

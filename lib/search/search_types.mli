@@ -22,10 +22,14 @@ type budget = {
   max_states : int option;  (** cap on generated states *)
 }
 
+(** No limits: the search runs to completion. *)
 val no_budget : budget
+
+(** [with_time seconds] is a budget limited only by wall-clock time. *)
 val with_time : float -> budget
 
 (** [value outcome] is the proved optimum or the upper bound. *)
 val value : outcome -> int
 
+(** [pp_outcome ppf o] prints ["w (exact)"] or ["[lb,ub]"]. *)
 val pp_outcome : Format.formatter -> outcome -> unit

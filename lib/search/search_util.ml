@@ -1,6 +1,21 @@
 (* Internal helpers shared by the four exact-search algorithms. *)
 
 module Elim_graph = Hd_graph.Elim_graph
+module Obs = Hd_obs.Obs
+
+(* Observability counters shared by A*-tw, BB-tw, BB-ghw and A*-ghw;
+   the per-algorithm spans (e.g. "astar_tw.solve") tell the runs apart.
+   Registered here at module-init time so they appear in every report,
+   even at 0.  Naming scheme: docs/OBSERVABILITY.md. *)
+let c_expanded = Obs.Counter.make "search.nodes_expanded"
+let c_generated = Obs.Counter.make "search.nodes_generated"
+let c_duplicates = Obs.Counter.make "search.duplicates_pruned"
+let c_stale = Obs.Counter.make "search.stale_pops"
+let c_pr1 = Obs.Counter.make "search.pr1_fires"
+let c_pr2 = Obs.Counter.make "search.pr2_fires"
+let c_reductions = Obs.Counter.make "search.reductions_applied"
+let c_ub_improved = Obs.Counter.make "search.ub_improvements"
+let c_lb_improved = Obs.Counter.make "search.lb_improvements"
 
 (* Pruning rule PR 2 (Section 4.4.5).  The graph [eg] is positioned
    just after eliminating some vertex [v]; [swap_equivalent eg u] holds
@@ -42,7 +57,9 @@ let swap_equivalent ?(adjacent_case = true) eg u =
    eliminating [candidate] immediately after [last] is PR2-redundant;
    the kept branch is the one eliminating the smaller vertex first. *)
 let prune_child ?adjacent_case eg ~last ~candidate =
-  last > candidate && swap_equivalent ?adjacent_case eg candidate
+  let pruned = last > candidate && swap_equivalent ?adjacent_case eg candidate in
+  if pruned then Obs.Counter.incr c_pr2;
+  pruned
 
 (* Deterministic per-run clock for budget checks. *)
 type ticker = {

@@ -1,5 +1,13 @@
 module Bitset = Hd_graph.Bitset
 module Hypergraph = Hd_hypergraph.Hypergraph
+module Obs = Hd_obs.Obs
+
+(* Observability: set-cover calls dominate the cost of the ghw
+   searches, and the memo table is their main accelerator. *)
+let c_greedy_calls = Obs.Counter.make "setcover.greedy_calls"
+let c_exact_calls = Obs.Counter.make "setcover.exact_calls"
+let c_memo_hits = Obs.Counter.make "setcover.memo_hits"
+let c_memo_misses = Obs.Counter.make "setcover.memo_misses"
 
 type problem = { universe : Bitset.t; hypergraph : Hypergraph.t }
 
@@ -37,6 +45,7 @@ let covered_count problem edge uncovered =
   !count
 
 let greedy ?rng problem =
+  Obs.Counter.incr c_greedy_calls;
   check_coverable problem;
   let uncovered = Bitset.copy problem.universe in
   let candidates = candidate_edges problem in
@@ -84,6 +93,7 @@ let is_cover problem chosen =
    vertex contained in the fewest candidate hyperedges (fail-first), try
    each hyperedge containing it, prune with the k-set-cover bound. *)
 let exact ?ub problem =
+  Obs.Counter.incr c_exact_calls;
   check_coverable problem;
   let h = problem.hypergraph in
   let greedy_cover = greedy problem in
@@ -157,8 +167,11 @@ let exact_size ?cache ?ub problem =
   | None -> List.length (exact ?ub problem)
   | Some table -> (
       match Hashtbl.find_opt table problem.universe with
-      | Some size -> size
+      | Some size ->
+          Obs.Counter.incr c_memo_hits;
+          size
       | None ->
+          Obs.Counter.incr c_memo_misses;
           (* only unbounded results are true optima; caching a
              [ub]-truncated result would poison later queries *)
           let size = List.length (exact problem) in

@@ -1,0 +1,224 @@
+module Obs = Hd_obs.Obs
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* every test starts from a clean, enabled registry and leaves the
+   process-wide singleton disabled again *)
+let with_obs f () =
+  Obs.enable ();
+  Obs.reset ();
+  Fun.protect ~finally:(fun () -> Obs.disable ()) f
+
+(* --- counters --- *)
+
+let test_counter_monotonic () =
+  let c = Obs.Counter.make "test.monotonic" in
+  check_int "starts at zero" 0 (Obs.Counter.value c);
+  Obs.Counter.incr c;
+  Obs.Counter.incr c;
+  check_int "incr" 2 (Obs.Counter.value c);
+  Obs.Counter.add c 40;
+  check_int "add" 42 (Obs.Counter.value c);
+  Obs.Counter.add c 0;
+  check_int "add zero is a no-op" 42 (Obs.Counter.value c);
+  Alcotest.check_raises "negative add rejected"
+    (Invalid_argument "Obs.Counter.add: counters are monotonic") (fun () ->
+      Obs.Counter.add c (-1))
+
+let test_counter_registry () =
+  let a = Obs.Counter.make "test.shared" in
+  let b = Obs.Counter.make "test.shared" in
+  Obs.Counter.incr a;
+  Obs.Counter.incr b;
+  check_int "same name, same counter" 2 (Obs.Counter.value a);
+  check "listed once" true
+    (List.length
+       (List.filter
+          (fun c -> Obs.Counter.name c = "test.shared")
+          (Obs.Counter.all ()))
+    = 1)
+
+let test_histogram () =
+  let h = Obs.Histogram.make "test.hist" in
+  List.iter (Obs.Histogram.observe h) [ 0; 1; 1; 7; 1000 ];
+  check_int "count" 5 (Obs.Histogram.count h);
+  check_int "sum" 1009 (Obs.Histogram.sum h);
+  check "mean" true (abs_float (Obs.Histogram.mean h -. 201.8) < 1e-9)
+
+(* --- disabled mode --- *)
+
+let test_disabled_noop () =
+  Obs.reset ();
+  Obs.disable ();
+  let c = Obs.Counter.make "test.disabled" in
+  let h = Obs.Histogram.make "test.disabled_hist" in
+  Obs.Counter.incr c;
+  Obs.Counter.add c 10;
+  Obs.Histogram.observe h 5;
+  let ran = ref false in
+  Obs.with_span "test.disabled_span" (fun () -> ran := true);
+  check "with_span still runs the body" true !ran;
+  check_int "counter untouched" 0 (Obs.Counter.value c);
+  check_int "histogram untouched" 0 (Obs.Histogram.count h);
+  Obs.enable ();
+  let spans =
+    match Obs.Json.member "spans" (Obs.report ()) with
+    | Some (Obs.Json.List l) -> l
+    | _ -> Alcotest.fail "report has no spans list"
+  in
+  check "no span recorded" true
+    (not
+       (List.exists
+          (function
+            | Obs.Json.Obj fields ->
+                List.assoc_opt "name" fields
+                = Some (Obs.Json.String "test.disabled_span")
+            | _ -> false)
+          spans))
+
+(* --- spans --- *)
+
+let span_names json =
+  match json with
+  | Obs.Json.Obj fields -> (
+      match List.assoc_opt "spans" fields with
+      | Some (Obs.Json.List spans) ->
+          List.filter_map
+            (function
+              | Obs.Json.Obj f -> (
+                  match List.assoc_opt "name" f with
+                  | Some (Obs.Json.String s) -> Some (s, Obs.Json.Obj f)
+                  | _ -> None)
+              | _ -> None)
+            spans
+      | _ -> [])
+  | _ -> []
+
+let test_span_nesting () =
+  Obs.with_span "outer" (fun () ->
+      Obs.with_span "inner" (fun () -> ());
+      Obs.with_span "inner" (fun () -> ()));
+  Obs.with_span "outer" (fun () -> ());
+  let report = Obs.report () in
+  match span_names report with
+  | [ ("outer", Obs.Json.Obj outer) ] ->
+      (match List.assoc_opt "calls" outer with
+      | Some (Obs.Json.Int 2) -> ()
+      | _ -> Alcotest.fail "outer should have 2 calls");
+      (match List.assoc_opt "children" outer with
+      | Some (Obs.Json.List [ Obs.Json.Obj inner ]) -> (
+          check "inner name" true
+            (List.assoc_opt "name" inner = Some (Obs.Json.String "inner"));
+          match List.assoc_opt "calls" inner with
+          | Some (Obs.Json.Int 2) -> ()
+          | _ -> Alcotest.fail "inner should have 2 calls")
+      | _ -> Alcotest.fail "outer should have exactly one child");
+      ()
+  | l ->
+      Alcotest.failf "expected a single root span 'outer', got %d roots"
+        (List.length l)
+
+let test_span_exception_safe () =
+  (try Obs.with_span "raises" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Obs.with_span "after" (fun () -> ());
+  match span_names (Obs.report ()) with
+  | [ ("raises", _); ("after", _) ] | [ ("after", _); ("raises", _) ] -> ()
+  | l ->
+      Alcotest.failf
+        "span stack corrupted by exception: %d roots instead of 2"
+        (List.length l)
+
+let test_with_span_result () =
+  check_int "returns the body's value" 42 (Obs.with_span "v" (fun () -> 42))
+
+(* --- JSON --- *)
+
+let test_json_print_parse_roundtrip () =
+  let c = Obs.Counter.make "test.roundtrip" in
+  Obs.Counter.add c 7;
+  Obs.Histogram.observe (Obs.Histogram.make "test.roundtrip_hist") 3;
+  Obs.with_span "root" (fun () -> Obs.with_span "leaf" (fun () -> ()));
+  let printed = Obs.report_string () in
+  let reparsed = Obs.Json.parse printed in
+  check_string "print/parse/print is stable" printed
+    (Obs.Json.to_string reparsed)
+
+let test_json_parse_values () =
+  let j = Obs.Json.parse {| {"a": [1, -2.5, true, null], "b": "x\n\"y"} |} in
+  (match Obs.Json.member "a" j with
+  | Some (Obs.Json.List [ Obs.Json.Int 1; Obs.Json.Float f; Obs.Json.Bool true; Obs.Json.Null ]) ->
+      check "float" true (abs_float (f +. 2.5) < 1e-9)
+  | _ -> Alcotest.fail "list contents");
+  (match Obs.Json.member "b" j with
+  | Some (Obs.Json.String s) -> check_string "escapes" "x\n\"y" s
+  | _ -> Alcotest.fail "string member");
+  check "missing member" true (Obs.Json.member "zzz" j = None)
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      check ("rejects " ^ s) true
+        (match Obs.Json.parse_opt s with None -> true | Some _ -> false))
+    [ ""; "{"; "[1,]"; "{\"a\" 1}"; "tru"; "\"unterminated"; "1 2" ]
+
+let test_report_shape () =
+  Obs.Counter.incr (Obs.Counter.make "test.shape");
+  let r = Obs.report () in
+  check "schema" true
+    (Obs.Json.member "schema" r = Some (Obs.Json.String "hd_obs/1"));
+  (match Obs.Json.member "counters" r with
+  | Some (Obs.Json.Obj counters) ->
+      check "our counter serialised" true
+        (List.assoc_opt "test.shape" counters = Some (Obs.Json.Int 1))
+  | _ -> Alcotest.fail "counters object missing");
+  match Obs.Json.member "enabled" r with
+  | Some (Obs.Json.Bool true) -> ()
+  | _ -> Alcotest.fail "enabled flag missing"
+
+let test_reset () =
+  let c = Obs.Counter.make "test.reset" in
+  Obs.Counter.add c 5;
+  Obs.with_span "gone" (fun () -> ());
+  Obs.reset ();
+  check_int "counter zeroed but still registered" 0 (Obs.Counter.value c);
+  check "counter still listed" true
+    (List.exists
+       (fun c -> Obs.Counter.name c = "test.reset")
+       (Obs.Counter.all ()));
+  check "spans cleared" true (span_names (Obs.report ()) = [])
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "counters",
+        [
+          Alcotest.test_case "monotonic" `Quick (with_obs test_counter_monotonic);
+          Alcotest.test_case "registry idempotent" `Quick
+            (with_obs test_counter_registry);
+          Alcotest.test_case "histogram" `Quick (with_obs test_histogram);
+        ] );
+      ( "disabled",
+        [ Alcotest.test_case "no-op" `Quick (with_obs test_disabled_noop) ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting" `Quick (with_obs test_span_nesting);
+          Alcotest.test_case "exception safety" `Quick
+            (with_obs test_span_exception_safe);
+          Alcotest.test_case "return value" `Quick
+            (with_obs test_with_span_result);
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "report round-trip" `Quick
+            (with_obs test_json_print_parse_roundtrip);
+          Alcotest.test_case "parse values" `Quick
+            (with_obs test_json_parse_values);
+          Alcotest.test_case "parse errors" `Quick
+            (with_obs test_json_parse_errors);
+          Alcotest.test_case "report shape" `Quick (with_obs test_report_shape);
+          Alcotest.test_case "reset" `Quick (with_obs test_reset);
+        ] );
+    ]

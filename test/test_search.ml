@@ -411,6 +411,46 @@ let prop_ghw_subsumption_invariant =
       let stressed = Hypergraph.create ~n (Hypergraph.edges h @ extra) in
       exact_of (Bb_ghw.solve stressed) = exact_of (Bb_ghw.solve h))
 
+(* --- observability counters --- *)
+
+module Obs = Hd_obs.Obs
+
+let test_obs_counters_deterministic () =
+  let g =
+    match Hd_instances.Graphs.by_name "queen5_5" with
+    | Some g -> g
+    | None -> Alcotest.fail "queen5_5 instance missing"
+  in
+  (* a state budget (not a time limit) keeps the trajectory — and so
+     every counter — identical across the two runs *)
+  let budget = { St.time_limit = None; max_states = Some 20000 } in
+  let snapshot () =
+    Obs.enable ();
+    Obs.reset ();
+    ignore (Astar_tw.solve ~budget ~seed:7 g);
+    let value name =
+      match
+        List.find_opt (fun c -> Obs.Counter.name c = name) (Obs.Counter.all ())
+      with
+      | Some c -> Obs.Counter.value c
+      | None -> Alcotest.failf "counter %s not registered" name
+    in
+    let s =
+      ( value "search.nodes_expanded",
+        value "search.pr1_fires",
+        value "search.pr2_fires",
+        value "search.duplicates_pruned" )
+    in
+    Obs.disable ();
+    s
+  in
+  let (expanded, pr1, pr2, dups) as first = snapshot () in
+  let second = snapshot () in
+  check "nodes_expanded > 0" true (expanded > 0);
+  check "pr1 + pr2 >= 0" true (pr1 + pr2 >= 0);
+  check "duplicates >= 0" true (dups >= 0);
+  check "two seeded runs agree" true (first = second)
+
 let test_pq () =
   let q = Hd_search.Pq.create ~compare in
   List.iter (Hd_search.Pq.push q) [ 5; 1; 4; 1; 3 ];
@@ -458,6 +498,11 @@ let () =
         ] );
       ( "widths",
         [ Alcotest.test_case "analyze" `Quick test_widths_analyze ] );
+      ( "obs",
+        [
+          Alcotest.test_case "deterministic counters" `Quick
+            test_obs_counters_deterministic;
+        ] );
       ( "preprocess",
         [
           Alcotest.test_case "tree" `Quick test_preprocess_tree;
