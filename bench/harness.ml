@@ -58,11 +58,19 @@ type scale = {
   runs : int;  (** repetitions for randomised methods *)
   population : int;
   iterations : int;
+  jobs : int;  (** worker domains for the parallel experiment *)
   full : bool;  (** paper-size instance lists *)
 }
 
 let default_scale =
-  { time_limit = 5.0; runs = 3; population = 60; iterations = 150; full = false }
+  {
+    time_limit = 5.0;
+    runs = 3;
+    population = 60;
+    iterations = 150;
+    jobs = Hd_parallel.Portfolio.default_jobs ();
+    full = false;
+  }
 
 let budget scale =
   {
@@ -93,14 +101,22 @@ let record_table name f =
       Obs.disable ())
     f
 
+(* the parallel experiment's summary, reported as its own top-level
+   section of BENCH_report.json when the experiment ran *)
+let parallel_section : Obs.Json.t option ref = ref None
+let set_parallel_section j = parallel_section := Some j
+
 let write_bench_report ?(path = "BENCH_report.json") () =
   let doc =
     Obs.Json.Obj
-      [
-        ("schema", Obs.Json.String "hd_obs/bench/1");
-        ( "experiments",
-          Obs.Json.List (List.rev_map (fun (_, s) -> s) !table_reports) );
-      ]
+      ([
+         ("schema", Obs.Json.String "hd_obs/bench/1");
+         ( "experiments",
+           Obs.Json.List (List.rev_map (fun (_, s) -> s) !table_reports) );
+       ]
+      @ match !parallel_section with
+        | Some j -> [ ("parallel", j) ]
+        | None -> [])
   in
   let oc = open_out path in
   Fun.protect

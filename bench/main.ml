@@ -8,6 +8,8 @@
                                                  60s per exact run
      dune exec bench/main.exe -- micro        -- Bechamel kernel benchmarks
      dune exec bench/main.exe -- ablation     -- design-choice ablations
+     dune exec bench/main.exe -- -j 4 parallel
+                                              -- portfolio race on 4 domains
 
    Results never match the paper's absolute numbers (different machine,
    scaled budgets); the tables print the paper's reported value next to
@@ -689,6 +691,64 @@ let scaling scale =
     [ "adder_15"; "adder_25"; "adder_50"; "adder_75"; "adder_99";
       "bridge_15"; "bridge_25"; "bridge_50"; "bridge_75"; "bridge_99" ]
 
+(* portfolio race vs the same roster on a single domain: the wall-clock
+   payoff of hd_parallel, recorded as BENCH_report.json's "parallel"
+   section (domains used, winning solver, speedup vs -j 1) *)
+let parallel scale =
+  header
+    (Printf.sprintf "Parallel -- portfolio race, -j %d vs -j 1 (%d cores)"
+       scale.jobs
+       (Domain.recommended_domain_count ()));
+  Printf.printf "%-10s | %10s %8s | %10s %8s | %7s  %s\n" "graph" "-j 1" "time"
+    (Printf.sprintf "-j %d" scale.jobs)
+    "time" "speedup" "winner";
+  let entries =
+    List.map
+      (fun name ->
+        let g = graph name in
+        let seq, t1 =
+          time (fun () ->
+              Hd_parallel.Portfolio.solve_tw ~jobs:1 ~budget:(budget scale)
+                ~seed:1 g)
+        in
+        let par, t2 =
+          time (fun () ->
+              Hd_parallel.Portfolio.solve_tw ~jobs:scale.jobs
+                ~budget:(budget scale) ~seed:1 g)
+        in
+        let speedup = if t2 > 0.0 then t1 /. t2 else 1.0 in
+        let winner = Option.value par.Hd_parallel.Portfolio.winner ~default:"-" in
+        Printf.printf "%-10s | %10s %7.2fs | %10s %7.2fs | %6.2fx  %s\n" name
+          (outcome_string seq.Hd_parallel.Portfolio.outcome)
+          t1
+          (outcome_string par.Hd_parallel.Portfolio.outcome)
+          t2 speedup winner;
+        Obs.Json.Obj
+          [
+            ("instance", Obs.Json.String name);
+            ("domains", Obs.Json.Int par.Hd_parallel.Portfolio.domains);
+            ("winner", Obs.Json.String winner);
+            ( "outcome",
+              Obs.Json.String
+                (outcome_string par.Hd_parallel.Portfolio.outcome) );
+            ( "outcome_j1",
+              Obs.Json.String
+                (outcome_string seq.Hd_parallel.Portfolio.outcome) );
+            ("seconds_j1", Obs.Json.Float t1);
+            ("seconds", Obs.Json.Float t2);
+            ("speedup_vs_j1", Obs.Json.Float speedup);
+          ])
+      [ "queen6_6"; "grid6" ]
+  in
+  set_parallel_section
+    (Obs.Json.Obj
+       [
+         ("jobs", Obs.Json.Int scale.jobs);
+         ( "recommended_domains",
+           Obs.Json.Int (Domain.recommended_domain_count ()) );
+         ("instances", Obs.Json.List entries);
+       ])
+
 (* ------------------------------------------------------------------ *)
 (* Command line                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -713,6 +773,7 @@ let experiments scale =
         extension_hw scale;
         extension_preprocess scale);
     ("scaling", fun () -> scaling scale);
+    ("parallel", fun () -> parallel scale);
     ("micro", fun () -> micro ());
     ( "ablation",
       fun () ->
@@ -738,6 +799,9 @@ let () =
         parse rest
     | "-iters" :: v :: rest ->
         scale := { !scale with iterations = int_of_string v };
+        parse rest
+    | "-j" :: v :: rest ->
+        scale := { !scale with jobs = int_of_string v };
         parse rest
     | "-full" :: rest ->
         scale := { !scale with full = true };

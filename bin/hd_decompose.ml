@@ -41,8 +41,23 @@ let report_ga label (r : Hd_ga.Ga_engine.report) =
     r.Hd_ga.Ga_engine.evaluations r.Hd_ga.Ga_engine.elapsed;
   Some r.Hd_ga.Ga_engine.best_individual
 
-let run input method_ time_limit seed population iterations print_decomposition
-    output =
+let report_portfolio label (r : Hd_parallel.Portfolio.t) =
+  Format.printf "%s: %a  (%d domains%s, %.2fs)@." label St.pp_outcome
+    r.Hd_parallel.Portfolio.outcome r.Hd_parallel.Portfolio.domains
+    (match r.Hd_parallel.Portfolio.winner with
+    | Some w -> ", won by " ^ w
+    | None -> "")
+    r.Hd_parallel.Portfolio.elapsed;
+  List.iter
+    (fun (m : Hd_parallel.Portfolio.member_report) ->
+      Format.printf "  %-16s %a  (%.2fs)@." m.Hd_parallel.Portfolio.member
+        St.pp_outcome m.Hd_parallel.Portfolio.outcome
+        m.Hd_parallel.Portfolio.elapsed)
+    r.Hd_parallel.Portfolio.members;
+  r.Hd_parallel.Portfolio.ordering
+
+let run input method_ ~jobs ~portfolio time_limit seed population iterations
+    print_decomposition output =
   match load ~instance:input.(0) ~graph_file:input.(1) ~hypergraph_file:input.(2)
   with
   | Error msg ->
@@ -63,6 +78,21 @@ let run input method_ time_limit seed population iterations print_decomposition
       in
       let is_tw = ref true in
       let ordering =
+        if portfolio then
+          (* race the solver roster on [jobs] domains; the objective
+             follows the input: treewidth for graphs, ghw for
+             hypergraphs *)
+          match data with
+          | G g ->
+              report_portfolio "portfolio-tw"
+                (Hd_parallel.Portfolio.solve_tw ~jobs
+                   ~budget:(budget time_limit) ~seed g)
+          | H h ->
+              is_tw := false;
+              report_portfolio "portfolio-ghw"
+                (Hd_parallel.Portfolio.solve_ghw ~jobs
+                   ~budget:(budget time_limit) ~seed h)
+        else
         match method_ with
         | `Astar_tw ->
             report_search "A*-tw"
@@ -86,12 +116,22 @@ let run input method_ time_limit seed population iterations print_decomposition
             is_tw := false;
             let config =
               {
-                (Hd_ga.Saiga_ghw.default_config ~seed ()) with
+                (Hd_ga.Saiga_ghw.default_config
+                   ~n_islands:(if jobs > 1 then jobs else 4)
+                   ~seed ())
+                with
                 Hd_ga.Saiga_ghw.time_limit;
               }
             in
-            let r = Hd_ga.Saiga_ghw.run config h in
-            Format.printf "SAIGA-ghw: width %d  (%d epochs, %d evaluations, %.2fs)@."
+            (* -j 1: the sequential round-robin islands of Section 7.2;
+               -j N>1: one domain per island, ring-buffer migration *)
+            let r =
+              if jobs > 1 then Hd_parallel.Saiga_par.run config h
+              else Hd_ga.Saiga_ghw.run config h
+            in
+            Format.printf "SAIGA-ghw%s: width %d  (%d epochs, %d evaluations, %.2fs)@."
+              (if jobs > 1 then Printf.sprintf " (%d islands, parallel)" jobs
+               else "")
               r.Hd_ga.Saiga_ghw.best r.Hd_ga.Saiga_ghw.epochs
               r.Hd_ga.Saiga_ghw.evaluations r.Hd_ga.Saiga_ghw.elapsed;
             Some r.Hd_ga.Saiga_ghw.best_individual
@@ -215,6 +255,25 @@ let time_limit =
 
 let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
 
+let jobs =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "jobs" ]
+        ~doc:
+          "Worker domains: portfolio members raced by $(b,--portfolio), \
+           islands run in parallel by $(b,-m saiga).  1 (the default) stays \
+           sequential.")
+
+let portfolio =
+  Arg.(
+    value & flag
+    & info [ "portfolio" ]
+        ~doc:
+          "Race complementary solvers on $(b,-j) domains sharing one \
+           incumbent (treewidth roster for graphs, ghw roster for \
+           hypergraphs) instead of running a single $(b,--method).")
+
 let population =
   Arg.(value & opt int 200 & info [ "population" ] ~doc:"GA population size.")
 
@@ -242,8 +301,9 @@ let stats =
           "Collect hd_obs counters and spans during the run and write the \
            JSON report to $(docv) ($(b,-) or no value: stdout).")
 
-let main instance instance_pos graph_file hypergraph_file method_ time_limit
-    seed population iterations print_decomposition list_flag output stats =
+let main instance instance_pos graph_file hypergraph_file method_ jobs
+    portfolio time_limit seed population iterations print_decomposition
+    list_flag output stats =
   if list_flag then begin
     print_endline "graphs:";
     List.iter
@@ -271,7 +331,8 @@ let main instance instance_pos graph_file hypergraph_file method_ time_limit
     if stats <> None then Hd_obs.Obs.enable ();
     run
       [| instance; graph_file; hypergraph_file |]
-      method_ time_limit seed population iterations print_decomposition output;
+      method_ ~jobs ~portfolio time_limit seed population iterations
+      print_decomposition output;
     match stats with
     | Some path -> (
         try Hd_obs.Obs.write_report path
@@ -287,7 +348,7 @@ let cmd =
     (Cmd.info "hd_decompose" ~doc)
     Term.(
       const main $ instance $ instance_pos $ graph_file $ hypergraph_file
-      $ method_ $ time_limit $ seed $ population $ iterations
-      $ print_decomposition $ list_flag $ output $ stats)
+      $ method_ $ jobs $ portfolio $ time_limit $ seed $ population
+      $ iterations $ print_decomposition $ list_flag $ output $ stats)
 
 let () = exit (Cmd.eval cmd)

@@ -145,13 +145,31 @@ module Population = struct
     end
 end
 
-let run config ~n_genes ~eval =
+let run ?incumbent config ~n_genes ~eval =
   Obs.with_span "ga.run" @@ fun () ->
   let started = Unix.gettimeofday () in
   let rng = Random.State.make [| config.seed |] in
   let pop =
     Population.init rng ~n_genes ~size:(max 2 config.population_size) ~eval
   in
+  (* when racing in a portfolio, publish every best-so-far as a shared
+     upper bound and stop as soon as an exact racer settles the instance;
+     the incumbent never influences evolution, so results are identical
+     with and without one as long as the run is not cut short *)
+  let publish () =
+    match incumbent with
+    | None -> ()
+    | Some inc ->
+        let f, ind = Population.best pop in
+        ignore (Hd_core.Incumbent.offer_ub inc ~witness:ind f)
+  in
+  let stop_requested () =
+    match incumbent with
+    | None -> false
+    | Some inc ->
+        Hd_core.Incumbent.cancelled inc || Hd_core.Incumbent.closed inc
+  in
+  publish ();
   let improvements = ref [ (0, fst (Population.best pop)) ] in
   let reached_target best =
     match config.target with Some t -> best <= t | None -> false
@@ -165,14 +183,18 @@ let run config ~n_genes ~eval =
   while
     !iteration < config.max_iterations
     && (not (reached_target (fst (Population.best pop))))
-    && not (out_of_time ())
+    && (not (out_of_time ()))
+    && not (stop_requested ())
   do
     incr iteration;
     let before = fst (Population.best pop) in
     Population.step pop ~params:config.params ~crossover:config.crossover
       ~mutation:config.mutation ~eval rng;
     let after = fst (Population.best pop) in
-    if after < before then improvements := (!iteration, after) :: !improvements
+    if after < before then begin
+      improvements := (!iteration, after) :: !improvements;
+      publish ()
+    end
   done;
   let best, best_individual = Population.best pop in
   {

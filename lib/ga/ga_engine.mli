@@ -45,8 +45,20 @@ type report = {
 
 (** [run config ~n_genes ~eval] evolves a population and returns the
     best fitness found.  [eval] must be a pure function of the
-    permutation (up to its own internal randomness). *)
-val run : config -> n_genes:int -> eval:(int array -> int) -> report
+    permutation (up to its own internal randomness).
+
+    [incumbent] plugs the engine into an hd_parallel portfolio: every
+    best-so-far fitness is offered as a shared upper bound (with its
+    permutation as witness — only meaningful when the fitness {e is} a
+    width), and the run stops early once the incumbent closes or is
+    cancelled.  The incumbent never influences evolution, so a run that
+    is not cut short is identical with and without one. *)
+val run :
+  ?incumbent:Hd_core.Incumbent.t ->
+  config ->
+  n_genes:int ->
+  eval:(int array -> int) ->
+  report
 
 (** A population with explicit generations, for island models. *)
 module Population : sig

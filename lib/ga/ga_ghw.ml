@@ -1,7 +1,7 @@
-let run config h =
+let run ?incumbent config h =
   let ws = Hd_core.Eval.of_hypergraph h in
   let rng = Random.State.make [| config.Ga_engine.seed lxor 0x5c |] in
-  Ga_engine.run config
+  Ga_engine.run ?incumbent config
     ~n_genes:(Hd_hypergraph.Hypergraph.n_vertices h)
     ~eval:(Hd_core.Eval.ghw_width ~rng ws)
 

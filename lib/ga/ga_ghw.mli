@@ -6,7 +6,13 @@
     covering every bag of the ordering's tree decomposition
     (Figure 7.1 / 7.2), ties broken at random. *)
 
-val run : Ga_engine.config -> Hd_hypergraph.Hypergraph.t -> Ga_engine.report
+val run :
+  ?incumbent:Hd_core.Incumbent.t ->
+  Ga_engine.config ->
+  Hd_hypergraph.Hypergraph.t ->
+  Ga_engine.report
+(** [incumbent] shares the width upper bound with racing solvers; see
+    {!Ga_engine.run}. *)
 
 (** [decomposition ?cover h report] materialises the witness GHD;
     covering the bags exactly (the default) may improve on the greedy

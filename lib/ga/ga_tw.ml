@@ -1,9 +1,10 @@
-let run config g =
+let run ?incumbent config g =
   let ws = Hd_core.Eval.of_graph g in
-  Ga_engine.run config ~n_genes:(Hd_graph.Graph.n g)
+  Ga_engine.run ?incumbent config ~n_genes:(Hd_graph.Graph.n g)
     ~eval:(Hd_core.Eval.tw_width ws)
 
-let run_hypergraph config h = run config (Hd_hypergraph.Hypergraph.primal h)
+let run_hypergraph ?incumbent config h =
+  run ?incumbent config (Hd_hypergraph.Hypergraph.primal h)
 
 let decomposition g (report : Ga_engine.report) =
   Hd_core.Tree_decomposition.of_ordering g report.Ga_engine.best_individual

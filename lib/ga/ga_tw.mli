@@ -5,12 +5,21 @@
     (Figure 6.2).  The returned report's [best] is an upper bound on
     the treewidth and [best_individual] a witness ordering. *)
 
-val run : Ga_engine.config -> Hd_graph.Graph.t -> Ga_engine.report
+val run :
+  ?incumbent:Hd_core.Incumbent.t ->
+  Ga_engine.config ->
+  Hd_graph.Graph.t ->
+  Ga_engine.report
+(** [incumbent] shares the width upper bound with racing solvers; see
+    {!Ga_engine.run}. *)
 
 (** [run_hypergraph config h] bounds [tw(h)] via the primal graph
     (Lemma 1). *)
 val run_hypergraph :
-  Ga_engine.config -> Hd_hypergraph.Hypergraph.t -> Ga_engine.report
+  ?incumbent:Hd_core.Incumbent.t ->
+  Ga_engine.config ->
+  Hd_hypergraph.Hypergraph.t ->
+  Ga_engine.report
 
 (** [decomposition g report] materialises the witness tree
     decomposition. *)

@@ -72,7 +72,15 @@ let orient (own : Ga_engine.params) (better : Ga_engine.params) :
       (own.Ga_engine.tournament_size + better.Ga_engine.tournament_size + 1) / 2;
   }
 
-let run config h =
+(* random initial parameter vector (Section 7.2.3) *)
+let random_params rng =
+  {
+    Ga_engine.mutation_rate = 0.05 +. Random.State.float rng 0.5;
+    crossover_rate = 0.5 +. Random.State.float rng 0.5;
+    tournament_size = 2 + Random.State.int rng 3;
+  }
+
+let run ?incumbent config h =
   Obs.with_span "saiga_ghw.run" @@ fun () ->
   let started = Unix.gettimeofday () in
   let n_genes = Hd_hypergraph.Hypergraph.n_vertices h in
@@ -83,16 +91,7 @@ let run config h =
   in
   let eval_rng = Random.State.make [| config.seed lxor 0x717 |] in
   let eval sigma = Hd_core.Eval.ghw_width ~rng:eval_rng ws sigma in
-  (* random initial parameter vectors (Section 7.2.3) *)
-  let params =
-    Array.init k (fun i ->
-        let rng = rngs.(i) in
-        {
-          Ga_engine.mutation_rate = 0.05 +. Random.State.float rng 0.5;
-          crossover_rate = 0.5 +. Random.State.float rng 0.5;
-          tournament_size = 2 + Random.State.int rng 3;
-        })
-  in
+  let params = Array.init k (fun i -> random_params rngs.(i)) in
   let islands =
     Array.init k (fun i ->
         Ga_engine.Population.init rngs.(i) ~n_genes
@@ -117,8 +116,28 @@ let run config h =
     | Some t -> fst (global_best ()) <= t
     | None -> false
   in
+  let publish () =
+    match incumbent with
+    | None -> ()
+    | Some inc ->
+        let f, ind = global_best () in
+        if Array.length ind > 0 then
+          ignore (Hd_core.Incumbent.offer_ub inc ~witness:ind f)
+  in
+  let stop_requested () =
+    match incumbent with
+    | None -> false
+    | Some inc ->
+        Hd_core.Incumbent.cancelled inc || Hd_core.Incumbent.closed inc
+  in
+  publish ();
   let epoch = ref 0 in
-  while !epoch < config.max_epochs && (not (out_of_time ())) && not (reached_target ()) do
+  while
+    !epoch < config.max_epochs
+    && (not (out_of_time ()))
+    && (not (reached_target ()))
+    && not (stop_requested ())
+  do
     incr epoch;
     Obs.Counter.incr c_epochs;
     (* evolve every island for one epoch *)
@@ -147,7 +166,8 @@ let run config h =
     (* self-adaptation: log-normal mutation of every vector *)
     for i = 0 to k - 1 do
       params.(i) <- mutate_params rngs.(i) config.tau next_params.(i)
-    done
+    done;
+    publish ()
   done;
   let best, best_individual = global_best () in
   {

@@ -50,4 +50,26 @@ type report = {
       (** the self-adapted parameter vector of every island *)
 }
 
-val run : config -> Hd_hypergraph.Hypergraph.t -> report
+val run :
+  ?incumbent:Hd_core.Incumbent.t -> config -> Hd_hypergraph.Hypergraph.t -> report
+(** [incumbent] shares the ghw upper bound with racing solvers and
+    stops the run once it closes or is cancelled; see
+    {!Ga_engine.run}. *)
+
+(** {2 Self-adaptation primitives}
+
+    Exposed for the domain-parallel island driver
+    ({e Hd_parallel.Saiga_par}), which re-implements only the epoch
+    loop and migration topology, not the adaptation arithmetic. *)
+
+val random_params : Random.State.t -> Ga_engine.params
+(** Fresh random control-parameter vector (Section 7.2.3). *)
+
+val orient : Ga_engine.params -> Ga_engine.params -> Ga_engine.params
+(** [orient own better] moves [own] halfway toward [better]
+    (Section 7.2.5). *)
+
+val mutate_params :
+  Random.State.t -> float -> Ga_engine.params -> Ga_engine.params
+(** [mutate_params rng tau p] log-normally perturbs every component of
+    [p] (Section 7.2.4). *)

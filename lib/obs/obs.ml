@@ -1,19 +1,28 @@
 (* Observability: counters, histograms, hierarchical timed spans, and a
    structured JSON run report.
 
-   Design constraints (docs/OBSERVABILITY.md):
+   Design constraints (docs/OBSERVABILITY.md, docs/PARALLELISM.md):
    - near-zero overhead when disabled: every recording entry point
      checks the [enabled] flag before doing any work, so a disabled
      counter increment costs one load and one branch;
+   - domain-safe: counters and histogram cells are [Atomic.t], so
+     concurrent increments from the hd_parallel worker domains are
+     never lost; registries are mutex-protected; span trees are
+     per-domain (Domain.DLS) and merged by name at report time;
    - no dependencies beyond unix (wall-clock); the JSON printer and the
      minimal parser are hand-rolled;
    - instruments register at module-initialisation time, so every
      counter linked into a program appears in the report even at 0. *)
 
-let enabled = ref false
-let enable () = enabled := true
-let disable () = enabled := false
-let is_enabled () = !enabled
+let enabled = Atomic.make false
+let enable () = Atomic.set enabled true
+let disable () = Atomic.set enabled false
+let is_enabled () = Atomic.get enabled
+
+(* one lock for every registry: registration and report generation are
+   cold paths, contention is irrelevant there *)
+let registry_mutex = Mutex.create ()
+let locked f = Mutex.protect registry_mutex f
 
 (* ------------------------------------------------------------------ *)
 (* JSON                                                                *)
@@ -254,27 +263,30 @@ end
 (* ------------------------------------------------------------------ *)
 
 module Counter = struct
-  type t = { name : string; mutable value : int }
+  type t = { name : string; value : int Atomic.t }
 
   let registry : (string, t) Hashtbl.t = Hashtbl.create 64
 
   let make name =
+    locked @@ fun () ->
     match Hashtbl.find_opt registry name with
     | Some c -> c
     | None ->
-        let c = { name; value = 0 } in
+        let c = { name; value = Atomic.make 0 } in
         Hashtbl.add registry name c;
         c
 
-  let incr c = if !enabled then c.value <- c.value + 1
+  (* fetch_and_add keeps concurrent increments from worker domains
+     exact; disabled cost stays one load and one branch *)
+  let incr c = if Atomic.get enabled then ignore (Atomic.fetch_and_add c.value 1)
 
   let add c n =
     if n < 0 then invalid_arg "Obs.Counter.add: counters are monotonic";
-    if !enabled then c.value <- c.value + n
+    if Atomic.get enabled then ignore (Atomic.fetch_and_add c.value n)
 
-  let value c = c.value
+  let value c = Atomic.get c.value
   let name c = c.name
-  let all () = Hashtbl.fold (fun _ c acc -> c :: acc) registry []
+  let all () = locked (fun () -> Hashtbl.fold (fun _ c acc -> c :: acc) registry [])
 end
 
 (* ------------------------------------------------------------------ *)
@@ -290,27 +302,28 @@ module Histogram = struct
 
   type t = {
     name : string;
-    mutable count : int;
-    mutable sum : int;
-    mutable min_value : int;
-    mutable max_value : int;
-    buckets : int array;
+    count : int Atomic.t;
+    sum : int Atomic.t;
+    min_value : int Atomic.t;
+    max_value : int Atomic.t;
+    buckets : int Atomic.t array;
   }
 
   let registry : (string, t) Hashtbl.t = Hashtbl.create 16
 
   let make name =
+    locked @@ fun () ->
     match Hashtbl.find_opt registry name with
     | Some h -> h
     | None ->
         let h =
           {
             name;
-            count = 0;
-            sum = 0;
-            min_value = max_int;
-            max_value = min_int;
-            buckets = Array.make n_buckets 0;
+            count = Atomic.make 0;
+            sum = Atomic.make 0;
+            min_value = Atomic.make max_int;
+            max_value = Atomic.make min_int;
+            buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
           }
         in
         Hashtbl.add registry name h;
@@ -323,28 +336,42 @@ module Histogram = struct
       min (n_buckets - 1) (bits 0 v)
     end
 
+  (* monotone CAS: keep retrying while our value still improves on the
+     published one *)
+  let rec atomic_min cell v =
+    let cur = Atomic.get cell in
+    if v < cur && not (Atomic.compare_and_set cell cur v) then atomic_min cell v
+
+  let rec atomic_max cell v =
+    let cur = Atomic.get cell in
+    if v > cur && not (Atomic.compare_and_set cell cur v) then atomic_max cell v
+
   let observe h v =
-    if !enabled then begin
-      h.count <- h.count + 1;
-      h.sum <- h.sum + v;
-      if v < h.min_value then h.min_value <- v;
-      if v > h.max_value then h.max_value <- v;
+    if Atomic.get enabled then begin
+      ignore (Atomic.fetch_and_add h.count 1);
+      ignore (Atomic.fetch_and_add h.sum v);
+      atomic_min h.min_value v;
+      atomic_max h.max_value v;
       let b = bucket_of v in
-      h.buckets.(b) <- h.buckets.(b) + 1
+      ignore (Atomic.fetch_and_add h.buckets.(b) 1)
     end
 
-  let count h = h.count
-  let sum h = h.sum
-  let mean h = if h.count = 0 then 0.0 else float_of_int h.sum /. float_of_int h.count
+  let count h = Atomic.get h.count
+  let sum h = Atomic.get h.sum
+
+  let mean h =
+    let c = count h in
+    if c = 0 then 0.0 else float_of_int (sum h) /. float_of_int c
+
   let name h = h.name
-  let all () = Hashtbl.fold (fun _ h acc -> h :: acc) registry []
+  let all () = locked (fun () -> Hashtbl.fold (fun _ h acc -> h :: acc) registry [])
 
   let reset h =
-    h.count <- 0;
-    h.sum <- 0;
-    h.min_value <- max_int;
-    h.max_value <- min_int;
-    Array.fill h.buckets 0 n_buckets 0
+    Atomic.set h.count 0;
+    Atomic.set h.sum 0;
+    Atomic.set h.min_value max_int;
+    Atomic.set h.max_value min_int;
+    Array.iter (fun b -> Atomic.set b 0) h.buckets
 end
 
 (* ------------------------------------------------------------------ *)
@@ -360,10 +387,24 @@ module Span = struct
   }
 
   let fresh_root () = { name = "root"; calls = 0; seconds = 0.0; children = [] }
-  let root = ref (fresh_root ())
-  let stack = ref []
 
-  let current () = match !stack with node :: _ -> node | [] -> !root
+  (* Spans are strictly nested within one domain, so each domain owns a
+     private tree and stack (no synchronisation on the hot path); the
+     trees of all domains that ever opened a span are merged by name
+     when a report is taken. *)
+  type ctx = { root : node; mutable stack : node list }
+
+  let contexts : ctx list ref = ref []
+
+  let key =
+    Domain.DLS.new_key (fun () ->
+        let ctx = { root = fresh_root (); stack = [] } in
+        locked (fun () -> contexts := ctx :: !contexts);
+        ctx)
+
+  let context () = Domain.DLS.get key
+
+  let current ctx = match ctx.stack with node :: _ -> node | [] -> ctx.root
 
   let find_child parent name =
     match List.find_opt (fun n -> n.name = name) parent.children with
@@ -372,21 +413,66 @@ module Span = struct
         let n = { name; calls = 0; seconds = 0.0; children = [] } in
         parent.children <- n :: parent.children;
         n
+
+  (* Merge same-named nodes level by level, preserving first-creation
+     order.  Input forests are in creation order; the result is too.
+     Reports taken while worker domains are mid-span may observe a
+     torn calls/seconds pair for the spans still open there — take
+     reports at quiescent points (the portfolio does). *)
+  let rec merge_forests (forests : node list list) : node list =
+    let tbl : (string, node * node list list ref) Hashtbl.t =
+      Hashtbl.create 8
+    in
+    let order = ref [] in
+    List.iter
+      (fun forest ->
+        List.iter
+          (fun n ->
+            let merged, kids =
+              match Hashtbl.find_opt tbl n.name with
+              | Some e -> e
+              | None ->
+                  let e =
+                    ({ name = n.name; calls = 0; seconds = 0.0; children = [] },
+                     ref [])
+                  in
+                  Hashtbl.add tbl n.name e;
+                  order := fst e :: !order;
+                  e
+            in
+            merged.calls <- merged.calls + n.calls;
+            merged.seconds <- merged.seconds +. n.seconds;
+            kids := List.rev n.children :: !kids)
+          forest)
+      forests;
+    let out = List.rev !order in
+    List.iter
+      (fun m ->
+        let _, kids = Hashtbl.find tbl m.name in
+        (* store reverse creation order, the invariant span_json expects *)
+        m.children <- List.rev (merge_forests (List.rev !kids)))
+      out;
+    out
+
+  let merged () =
+    let ctxs = locked (fun () -> !contexts) in
+    merge_forests (List.rev_map (fun c -> List.rev c.root.children) ctxs)
 end
 
 let with_span name f =
-  if not !enabled then f ()
+  if not (Atomic.get enabled) then f ()
   else begin
-    let node = Span.find_child (Span.current ()) name in
-    Span.stack := node :: !Span.stack;
+    let ctx = Span.context () in
+    let node = Span.find_child (Span.current ctx) name in
+    ctx.Span.stack <- node :: ctx.Span.stack;
     let started = Unix.gettimeofday () in
     Fun.protect
       ~finally:(fun () ->
         node.Span.calls <- node.Span.calls + 1;
         node.Span.seconds <-
           node.Span.seconds +. (Unix.gettimeofday () -. started);
-        match !Span.stack with
-        | _ :: rest -> Span.stack := rest
+        match ctx.Span.stack with
+        | _ :: rest -> ctx.Span.stack <- rest
         | [] -> ())
       f
   end
@@ -396,30 +482,38 @@ let with_span name f =
 (* ------------------------------------------------------------------ *)
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.Counter.value <- 0) Counter.registry;
+  locked @@ fun () ->
+  Hashtbl.iter (fun _ c -> Atomic.set c.Counter.value 0) Counter.registry;
   Hashtbl.iter (fun _ h -> Histogram.reset h) Histogram.registry;
-  Span.root := Span.fresh_root ();
-  Span.stack := []
+  List.iter
+    (fun ctx ->
+      ctx.Span.root.Span.children <- [];
+      ctx.Span.root.Span.calls <- 0;
+      ctx.Span.root.Span.seconds <- 0.0;
+      ctx.Span.stack <- [])
+    !Span.contexts
 
 let sorted_names to_name xs =
   List.sort (fun a b -> compare (to_name a) (to_name b)) xs
 
 let histogram_json (h : Histogram.t) =
   let open Json in
+  let count = Histogram.count h in
+  let bucket i = Atomic.get h.Histogram.buckets.(i) in
   Obj
     [
-      ("count", Int h.Histogram.count);
-      ("sum", Int h.Histogram.sum);
-      ("min", if h.Histogram.count = 0 then Null else Int h.Histogram.min_value);
-      ("max", if h.Histogram.count = 0 then Null else Int h.Histogram.max_value);
+      ("count", Int count);
+      ("sum", Int (Histogram.sum h));
+      ("min", if count = 0 then Null else Int (Atomic.get h.Histogram.min_value));
+      ("max", if count = 0 then Null else Int (Atomic.get h.Histogram.max_value));
       ("mean", Float (Histogram.mean h));
       ( "pow2_buckets",
         (* trailing empty buckets elided to keep reports short *)
         let last =
-          let rec go i = if i < 0 then -1 else if h.Histogram.buckets.(i) > 0 then i else go (i - 1) in
+          let rec go i = if i < 0 then -1 else if bucket i > 0 then i else go (i - 1) in
           go (Histogram.n_buckets - 1)
         in
-        List (List.init (last + 1) (fun i -> Int h.Histogram.buckets.(i))) );
+        List (List.init (last + 1) (fun i -> Int (bucket i))) );
     ]
 
 let rec span_json (node : Span.node) =
@@ -446,10 +540,10 @@ let report () =
     [
       ("schema", String "hd_obs/1");
       ("generated_at_unix", Int (int_of_float (Unix.time ())));
-      ("enabled", Bool !enabled);
+      ("enabled", Bool (Atomic.get enabled));
       ("counters", Obj counters);
       ("histograms", Obj histograms);
-      ("spans", List (List.rev_map span_json !Span.root.Span.children));
+      ("spans", List (List.map span_json (Span.merged ())));
     ]
 
 let report_string () = Json.to_string (report ())

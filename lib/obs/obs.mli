@@ -16,6 +16,13 @@
     serialised with a hand-rolled JSON printer — no dependencies beyond
     [unix].
 
+    The module is domain-safe: counters and histogram cells are
+    [Atomic.t] (concurrent increments from hd_parallel worker domains
+    are exact), registries are mutex-protected, and each domain keeps
+    its own span tree — {!report} merges them by name.  Take reports
+    and call {!reset} at quiescent points (no worker domain mid-span);
+    see {e docs/PARALLELISM.md}.
+
     The counter and span naming scheme, the report schema, and the
     overhead characteristics are documented in
     {e docs/OBSERVABILITY.md}. *)

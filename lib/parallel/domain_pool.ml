@@ -1,0 +1,117 @@
+(* A fixed set of worker domains draining one shared job queue.
+
+   Spawning a domain costs a runtime-wide stop-the-world section, so
+   solvers that issue many small jobs must not Domain.spawn per job;
+   the pool pays the spawn cost once.  The queue is a plain Queue under
+   a mutex + condition — submission is rare (a handful of portfolio
+   members), so a lock-free queue would buy nothing. *)
+
+exception Cancelled
+
+type 'a state =
+  | Pending
+  | Running
+  | Done of 'a
+  | Failed of exn
+  | Dropped  (* cancelled before a worker picked it up *)
+
+type 'a future = {
+  fm : Mutex.t;
+  fcond : Condition.t;
+  mutable state : 'a state;
+}
+
+type t = {
+  m : Mutex.t;
+  cond : Condition.t;
+  jobs : (unit -> unit) Queue.t;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let rec worker pool =
+  Mutex.lock pool.m;
+  while Queue.is_empty pool.jobs && not pool.stopping do
+    Condition.wait pool.cond pool.m
+  done;
+  if Queue.is_empty pool.jobs then Mutex.unlock pool.m (* stopping *)
+  else begin
+    let job = Queue.pop pool.jobs in
+    Mutex.unlock pool.m;
+    job ();
+    worker pool
+  end
+
+let create ~domains:n =
+  if n < 1 then invalid_arg "Domain_pool.create: need at least one domain";
+  let pool =
+    {
+      m = Mutex.create ();
+      cond = Condition.create ();
+      jobs = Queue.create ();
+      stopping = false;
+      domains = [];
+    }
+  in
+  pool.domains <- List.init n (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool
+
+let size pool = List.length pool.domains
+
+let submit pool f =
+  let fut = { fm = Mutex.create (); fcond = Condition.create (); state = Pending } in
+  let run () =
+    let proceed =
+      Mutex.protect fut.fm (fun () ->
+          match fut.state with
+          | Pending ->
+              fut.state <- Running;
+              true
+          | _ -> false)
+    in
+    if proceed then begin
+      let res = try Done (f ()) with e -> Failed e in
+      Mutex.protect fut.fm (fun () ->
+          fut.state <- res;
+          Condition.broadcast fut.fcond)
+    end
+  in
+  Mutex.protect pool.m (fun () ->
+      if pool.stopping then
+        invalid_arg "Domain_pool.submit: pool is shut down";
+      Queue.push run pool.jobs;
+      Condition.signal pool.cond);
+  fut
+
+let await fut =
+  Mutex.lock fut.fm;
+  while match fut.state with Pending | Running -> true | _ -> false do
+    Condition.wait fut.fcond fut.fm
+  done;
+  let st = fut.state in
+  Mutex.unlock fut.fm;
+  match st with
+  | Done v -> v
+  | Failed e -> raise e
+  | Dropped -> raise Cancelled
+  | Pending | Running -> assert false
+
+let cancel fut =
+  Mutex.protect fut.fm (fun () ->
+      match fut.state with
+      | Pending ->
+          fut.state <- Dropped;
+          Condition.broadcast fut.fcond;
+          true
+      | _ -> false)
+
+let shutdown pool =
+  Mutex.protect pool.m (fun () ->
+      pool.stopping <- true;
+      Condition.broadcast pool.cond);
+  List.iter Domain.join pool.domains;
+  pool.domains <- []
+
+let with_pool ~domains f =
+  let pool = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

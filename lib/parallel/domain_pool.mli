@@ -1,0 +1,50 @@
+(** A fixed-size pool of worker domains with futures.
+
+    [Domain.spawn] involves a stop-the-world synchronisation of every
+    running domain, so callers that issue repeated work (the portfolio,
+    the benchmark harness) create one pool and reuse it.  Jobs run in
+    submission order; with fewer domains than jobs the excess jobs
+    queue, which on a single-core machine degrades gracefully into
+    sequential execution.
+
+    Cancellation is two-level: {!cancel} drops a job that no worker has
+    picked up yet, while a {e running} job can only be stopped
+    cooperatively — solver jobs poll their shared
+    {!Hd_core.Incumbent.t} and return early when it is cancelled. *)
+
+type t
+
+type 'a future
+
+exception Cancelled
+(** Raised by {!await} on a future whose job was {!cancel}led before it
+    started. *)
+
+val create : domains:int -> t
+(** [create ~domains:n] spawns [n >= 1] worker domains (plus the
+    calling domain, the process then uses [n + 1]).
+    @raise Invalid_argument when [n < 1]. *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** [submit pool f] enqueues [f] and returns immediately.
+    @raise Invalid_argument after {!shutdown}. *)
+
+val await : 'a future -> 'a
+(** [await fut] blocks until the job finishes and returns its result,
+    re-raises the job's exception, or raises {!Cancelled}. *)
+
+val cancel : 'a future -> bool
+(** [cancel fut] drops the job if it is still queued; [true] on
+    success, [false] when it already started (stop it through its
+    incumbent instead) or finished. *)
+
+val shutdown : t -> unit
+(** Waits for queued jobs to drain, then joins every worker.
+    Idempotent. *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** [with_pool ~domains f] runs [f] with a fresh pool and shuts it down
+    afterwards, also on exceptions. *)

@@ -1,0 +1,183 @@
+module Incumbent = Hd_core.Incumbent
+module Search_types = Hd_search.Search_types
+module Obs = Hd_obs.Obs
+
+let c_members = Obs.Counter.make "parallel.portfolio.members"
+let c_closed = Obs.Counter.make "parallel.portfolio.closed"
+
+type member_report = {
+  member : string;
+  outcome : Search_types.outcome;
+  elapsed : float;
+}
+
+type t = {
+  outcome : Search_types.outcome;
+  ordering : int array option;
+  winner : string option;
+  members : member_report list;
+  domains : int;
+  elapsed : float;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* the incumbent read back as an outcome: closed means some racer
+   proved optimality, whoever it was *)
+let outcome_of inc =
+  let lb, ub = Incumbent.bounds inc in
+  if lb >= ub then Search_types.Exact ub else Search_types.Bounds { lb; ub }
+
+(* GA racers are pure upper-bounders: generous generation caps, the
+   incumbent (closing or cancellation) is their real stopping rule *)
+let ga_config ~budget ~seed =
+  let open Hd_ga.Ga_engine in
+  {
+    (default_config ~population_size:300 ~max_iterations:100_000 ~seed ()) with
+    time_limit = budget.Search_types.time_limit;
+  }
+
+let saiga_config ~budget ~seed =
+  let open Hd_ga.Saiga_ghw in
+  {
+    (default_config ~n_islands:4 ~island_population:60 ~max_epochs:10_000
+       ~seed ())
+    with
+    time_limit = budget.Search_types.time_limit;
+  }
+
+(* Race [members] on a pool of [jobs] domains sharing [inc].  With
+   fewer domains than members the tail members queue; by the time they
+   start the incumbent is usually closed and they return instantly, so
+   -j 1 degenerates to running the first member alone. *)
+let race ~jobs ~inc members =
+  let jobs = max 1 jobs in
+  let members = List.filteri (fun i _ -> i < jobs) members in
+  let started = Unix.gettimeofday () in
+  let winner = Atomic.make None in
+  let reports =
+    Domain_pool.with_pool ~domains:(List.length members) (fun pool ->
+        members
+        |> List.map (fun (name, job) ->
+               Obs.Counter.incr c_members;
+               let fut =
+                 Domain_pool.submit pool (fun () ->
+                     let t0 = Unix.gettimeofday () in
+                     (* skip the real work when the race is already over *)
+                     let outcome =
+                       if Incumbent.closed inc || Incumbent.cancelled inc then
+                         outcome_of inc
+                       else job ()
+                     in
+                     (match outcome with
+                     | Search_types.Exact _ ->
+                         (* first exact finisher is the winner *)
+                         ignore
+                           (Atomic.compare_and_set winner None (Some name))
+                     | Search_types.Bounds _ -> ());
+                     (outcome, Unix.gettimeofday () -. t0))
+               in
+               (name, fut))
+        |> List.map (fun (name, fut) ->
+               let outcome, elapsed = Domain_pool.await fut in
+               { member = name; outcome; elapsed }))
+  in
+  let outcome = outcome_of inc in
+  (match outcome with
+  | Search_types.Exact _ -> Obs.Counter.incr c_closed
+  | Search_types.Bounds _ -> ());
+  {
+    outcome;
+    ordering = Incumbent.witness inc;
+    winner = Atomic.get winner;
+    members = reports;
+    domains = List.length reports;
+    elapsed = Unix.gettimeofday () -. started;
+  }
+
+let solve_tw ?jobs ?(budget = Search_types.no_budget) ?(seed = 0x90f) g =
+  Obs.with_span "portfolio.solve_tw" @@ fun () ->
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  let inc = Incumbent.create () in
+  let exact name f = (name, fun () -> (f () : Search_types.result).outcome) in
+  let ga name seed =
+    ( name,
+      fun () ->
+        ignore (Hd_ga.Ga_tw.run ~incumbent:inc (ga_config ~budget ~seed) g);
+        outcome_of inc )
+  in
+  (* ordered by expected usefulness: the first [jobs] entries run *)
+  let members =
+    [
+      exact "astar-tw" (fun () ->
+          Hd_search.Astar_tw.solve ~budget ~incumbent:inc ~seed g);
+      exact "bb-tw" (fun () ->
+          Hd_search.Bb_tw.solve ~budget ~incumbent:inc ~seed:(seed + 1) g);
+      ga "ga-tw" (seed + 2);
+      exact "astar-tw-dedup" (fun () ->
+          Hd_search.Astar_tw.solve ~budget ~incumbent:inc ~dedup:true
+            ~seed:(seed + 3) g);
+      exact "bb-tw-nopr2" (fun () ->
+          Hd_search.Bb_tw.solve ~budget ~incumbent:inc ~seed:(seed + 4)
+            ~use_pr2:false g);
+      ga "ga-tw-b" (seed + 5);
+      exact "bb-tw-noreduce" (fun () ->
+          Hd_search.Bb_tw.solve ~budget ~incumbent:inc ~seed:(seed + 6)
+            ~use_reductions:false g);
+      ga "ga-tw-c" (seed + 7);
+    ]
+  in
+  race ~jobs ~inc members
+
+let solve_ghw ?jobs ?(budget = Search_types.no_budget) ?(seed = 0x91f) h =
+  Obs.with_span "portfolio.solve_ghw" @@ fun () ->
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  let inc = Incumbent.create () in
+  let exact name f = (name, fun () -> (f () : Search_types.result).outcome) in
+  let members =
+    [
+      exact "astar-ghw" (fun () ->
+          Hd_search.Astar_ghw.solve ~budget ~incumbent:inc ~seed h);
+      exact "bb-ghw" (fun () ->
+          Hd_search.Bb_ghw.solve ~budget ~incumbent:inc ~seed:(seed + 1) h);
+      ( "saiga-ghw",
+        fun () ->
+          ignore
+            (Hd_ga.Saiga_ghw.run ~incumbent:inc
+               (saiga_config ~budget ~seed:(seed + 2))
+               h);
+          outcome_of inc );
+      exact "astar-ghw-dedup" (fun () ->
+          Hd_search.Astar_ghw.solve ~budget ~incumbent:inc ~dedup:true
+            ~seed:(seed + 3) h);
+      ( "ga-ghw",
+        fun () ->
+          ignore
+            (Hd_ga.Ga_ghw.run ~incumbent:inc (ga_config ~budget ~seed:(seed + 4)) h);
+          outcome_of inc );
+      exact "bb-ghw-greedy" (fun () ->
+          Hd_search.Bb_ghw.solve ~budget ~incumbent:inc ~seed:(seed + 5)
+            ~cover:`Greedy h);
+      ( "saiga-ghw-b",
+        fun () ->
+          ignore
+            (Hd_ga.Saiga_ghw.run ~incumbent:inc
+               (saiga_config ~budget ~seed:(seed + 6))
+               h);
+          outcome_of inc );
+      ( "ga-ghw-b",
+        fun () ->
+          ignore
+            (Hd_ga.Ga_ghw.run ~incumbent:inc (ga_config ~budget ~seed:(seed + 7)) h);
+          outcome_of inc );
+    ]
+  in
+  race ~jobs ~inc members
+
+let pp ppf t =
+  Format.fprintf ppf "%a on %d domain%s" Search_types.pp_outcome t.outcome
+    t.domains
+    (if t.domains = 1 then "" else "s");
+  match t.winner with
+  | Some w -> Format.fprintf ppf ", won by %s" w
+  | None -> ()

@@ -1,0 +1,55 @@
+(** Portfolio search: race complementary solvers on worker domains
+    against one shared {!Hd_core.Incumbent.t}.
+
+    For treewidth the roster is A*-tw, BB-tw and GA-tw (then ablation
+    variants and reseeded GAs up to 8 members); for ghw it is A*-ghw,
+    BB-ghw and SAIGA plus variants.  Every member prunes against the
+    shared upper bound and publishes every improvement, so the anytime
+    heuristics feed the exact solvers' pruning and the exact solvers'
+    lower bounds stop the heuristics.  The race ends when the incumbent
+    closes ([lb = ub], winner = first member to return [Exact]) or
+    every member exhausts its budget.
+
+    The returned width is deterministic for instances every exact
+    member can finish: exact solvers prove the same optimum whatever
+    the interleaving; only [winner] and timings may vary between runs
+    and between [-j] values. *)
+
+type member_report = {
+  member : string;  (** roster name, e.g. ["astar-tw"] *)
+  outcome : Hd_search.Search_types.outcome;
+  elapsed : float;
+}
+
+type t = {
+  outcome : Hd_search.Search_types.outcome;
+      (** the incumbent at the end of the race *)
+  ordering : int array option;  (** witness achieving the upper bound *)
+  winner : string option;
+      (** first member to return [Exact]; [None] when nobody closed *)
+  members : member_report list;  (** per-member outcomes, roster order *)
+  domains : int;  (** worker domains used (= members raced) *)
+  elapsed : float;
+}
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val solve_tw :
+  ?jobs:int ->
+  ?budget:Hd_search.Search_types.budget ->
+  ?seed:int ->
+  Hd_graph.Graph.t ->
+  t
+(** [solve_tw ~jobs g] races the first [jobs] treewidth members (at
+    most 8).  [budget] bounds each member separately; [seed] derives
+    every member's seed, so equal seeds give an equal-width result. *)
+
+val solve_ghw :
+  ?jobs:int ->
+  ?budget:Hd_search.Search_types.budget ->
+  ?seed:int ->
+  Hd_hypergraph.Hypergraph.t ->
+  t
+
+val pp : Format.formatter -> t -> unit

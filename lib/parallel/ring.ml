@@ -1,0 +1,59 @@
+(* Bounded single-producer single-consumer queue, lock-free and
+   non-blocking on both ends.
+
+   Indices grow without wrapping (63-bit counters cannot overflow in
+   practice); a slot is addressed by [index land (capacity - 1)] with
+   capacity rounded up to a power of two.  Every slot is its own
+   [Atomic.t]: under the OCaml memory model the producer's atomic slot
+   write happens-before the consumer's read of the tail value that
+   published it, so the payload is transferred race-free without any
+   fence gymnastics.  Overflow drops at the producer (try_push = false)
+   and underflow at the consumer (try_pop = None) — island migration
+   wants exactly these semantics, a migrant is advisory and never worth
+   blocking a generation for. *)
+
+type 'a t = {
+  slots : 'a option Atomic.t array;
+  head : int Atomic.t; (* next index to read; advanced only by the consumer *)
+  tail : int Atomic.t; (* next index to write; advanced only by the producer *)
+}
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create capacity =
+  if capacity < 1 then invalid_arg "Ring.create: capacity must be positive";
+  {
+    slots = Array.init (next_pow2 capacity) (fun _ -> Atomic.make None);
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+  }
+
+let capacity t = Array.length t.slots
+
+let length t = max 0 (Atomic.get t.tail - Atomic.get t.head)
+
+let is_empty t = length t = 0
+
+let try_push t x =
+  let tail = Atomic.get t.tail in
+  let head = Atomic.get t.head in
+  if tail - head >= Array.length t.slots then false
+  else begin
+    Atomic.set t.slots.(tail land (Array.length t.slots - 1)) (Some x);
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+let try_pop t =
+  let head = Atomic.get t.head in
+  let tail = Atomic.get t.tail in
+  if tail - head <= 0 then None
+  else begin
+    let x = Atomic.exchange t.slots.(head land (Array.length t.slots - 1)) None in
+    Atomic.set t.head (head + 1);
+    (* in SPSC use the slot a published tail points at is always full *)
+    assert (x <> None);
+    x
+  end

@@ -1,0 +1,119 @@
+module Hypergraph = Hd_hypergraph.Hypergraph
+module Incumbent = Hd_core.Incumbent
+module Ga_engine = Hd_ga.Ga_engine
+module Saiga_ghw = Hd_ga.Saiga_ghw
+module Obs = Hd_obs.Obs
+
+let c_epochs = Obs.Counter.make "parallel.saiga.epochs"
+let c_migrations = Obs.Counter.make "parallel.saiga.migrations"
+let c_dropped = Obs.Counter.make "parallel.saiga.migrants_dropped"
+
+(* a migrant carries the sender's best fitness + individual and its
+   control parameters, so the receiver can orient as well as inject *)
+type migrant = { fitness : int; individual : int array; params : Ga_engine.params }
+
+let run ?incumbent (config : Saiga_ghw.config) h =
+  Obs.with_span "saiga_par.run" @@ fun () ->
+  let started = Unix.gettimeofday () in
+  let n_genes = Hypergraph.n_vertices h in
+  let k = max 1 config.n_islands in
+  let inc = match incumbent with Some i -> i | None -> Incumbent.create () in
+  (* one inbox per island; migrants flow along the directed ring
+     i -> i+1, so each ring has exactly one producer (island i) and one
+     consumer (island i+1): the SPSC contract Ring requires *)
+  let inboxes = Array.init k (fun _ -> Ring.create 4) in
+  let island i () =
+    let rng = Random.State.make [| config.seed; i |] in
+    let eval_rng = Random.State.make [| config.seed lxor 0x717; i |] in
+    (* per-island evaluator: Eval workspaces hold mutable scratch and
+       must never be shared across domains *)
+    let ws = Hd_core.Eval.of_hypergraph h in
+    let eval sigma = Hd_core.Eval.ghw_width ~rng:eval_rng ws sigma in
+    let params = ref (Saiga_ghw.random_params rng) in
+    let pop =
+      Ga_engine.Population.init rng ~n_genes
+        ~size:(max 2 config.island_population)
+        ~eval
+    in
+    let out_of_time () =
+      match config.time_limit with
+      | Some limit -> Unix.gettimeofday () -. started > limit
+      | None -> false
+    in
+    let publish () =
+      let f, ind = Ga_engine.Population.best pop in
+      if Array.length ind > 0 then
+        ignore (Incumbent.offer_ub inc ~witness:ind f)
+    in
+    let stop () =
+      out_of_time ()
+      || Incumbent.cancelled inc
+      || Incumbent.closed inc
+      ||
+      match config.target with
+      | Some t -> fst (Ga_engine.Population.best pop) <= t
+      | None -> false
+    in
+    publish ();
+    let epoch = ref 0 in
+    while !epoch < config.max_epochs && not (stop ()) do
+      incr epoch;
+      Obs.Counter.incr c_epochs;
+      for _ = 1 to config.epoch_length do
+        if not (stop ()) then
+          Ga_engine.Population.step pop ~params:!params
+            ~crossover:config.crossover ~mutation:config.mutation ~eval rng
+      done;
+      (* receive from the left neighbour, never blocking: an empty
+         inbox just means the neighbour is mid-epoch *)
+      (match Ring.try_pop inboxes.(i) with
+      | Some m ->
+          let own, _ = Ga_engine.Population.best pop in
+          if m.fitness < own then begin
+            params := Saiga_ghw.orient !params m.params;
+            Ga_engine.Population.inject pop m.individual ~eval;
+            Obs.Counter.incr c_migrations
+          end
+      | None -> ());
+      (* offer our snapshot to the right neighbour; a full inbox drops
+         the migrant rather than stalling this island *)
+      let f, ind = Ga_engine.Population.best pop in
+      if
+        not
+          (Ring.try_push
+             inboxes.((i + 1) mod k)
+             { fitness = f; individual = Array.copy ind; params = !params })
+      then Obs.Counter.incr c_dropped;
+      (* self-adaptation: log-normal mutation every epoch *)
+      params := Saiga_ghw.mutate_params rng config.tau !params;
+      publish ()
+    done;
+    let best, best_individual = Ga_engine.Population.best pop in
+    ( best,
+      best_individual,
+      !epoch,
+      Ga_engine.Population.evaluations pop,
+      !params )
+  in
+  let results =
+    if k = 1 then [| island 0 () |]
+    else
+      (* one domain per island: islands synchronise only through the
+         rings and the incumbent *)
+      Array.map Domain.join (Array.init k (fun i -> Domain.spawn (island i)))
+  in
+  let best, best_individual =
+    Array.fold_left
+      (fun (bf, bi) (f, ind, _, _, _) -> if f < bf then (f, ind) else (bf, bi))
+      (max_int, [||])
+      results
+  in
+  {
+    Saiga_ghw.best;
+    best_individual;
+    epochs = Array.fold_left (fun acc (_, _, e, _, _) -> max acc e) 0 results;
+    evaluations =
+      Array.fold_left (fun acc (_, _, _, ev, _) -> acc + ev) 0 results;
+    elapsed = Unix.gettimeofday () -. started;
+    final_params = Array.map (fun (_, _, _, _, p) -> p) results;
+  }

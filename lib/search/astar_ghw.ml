@@ -2,6 +2,7 @@ module Bitset = Hd_graph.Bitset
 module Elim_graph = Hd_graph.Elim_graph
 module Hypergraph = Hd_hypergraph.Hypergraph
 module Lower_bounds = Hd_bounds.Lower_bounds
+module Incumbent = Hd_core.Incumbent
 module Obs = Hd_obs.Obs
 open Search_types
 
@@ -72,7 +73,7 @@ let children_of eg ~parent_reduced ~last =
       in
       (kept, false)
 
-let solve ?(budget = no_budget) ?(dedup = false) ?seed h =
+let solve ?(budget = no_budget) ?(dedup = false) ?incumbent ?seed h =
   Obs.with_span "astar_ghw.solve" @@ fun () ->
   Ghw_common.check_input h;
   (* subsumed hyperedges never matter for covers or coverage: searching
@@ -94,18 +95,27 @@ let solve ?(budget = no_budget) ?(dedup = false) ?seed h =
   else begin
     let rng = Random.State.make [| Option.value seed ~default:0xa5a |] in
     let ub_sigma, ub0, lb0 = Ghw_common.initial_bounds h rng in
-    if lb0 >= ub0 then finish (Exact ub0) (Some ub_sigma)
+    let inc = match incumbent with Some i -> i | None -> Incumbent.create () in
+    ignore (Incumbent.offer_ub inc ~witness:ub_sigma ub0);
+    ignore (Incumbent.raise_lb inc lb0);
+    let lb0 = max lb0 (Incumbent.lb inc) in
+    let best_sigma = ref ub_sigma in
+    let final_sigma () =
+      match Incumbent.witness inc with
+      | Some w -> Some w
+      | None -> Some !best_sigma
+    in
+    if Incumbent.closed inc then
+      finish (Exact (Incumbent.ub inc)) (final_sigma ())
     else begin
       let covers = Ghw_common.Cover.make h `Exact rng in
       let k = Hypergraph.max_edge_size h in
-      let ub = ref ub0 and best_sigma = ref ub_sigma in
       let best_lb = ref lb0 in
       let eg = Elim_graph.of_graph (Hypergraph.primal h) in
       let current_path = ref [] in
-      let queue = Pq.create ~compare:compare_states in
       let seen : (Bitset.t, int) Hashtbl.t = Hashtbl.create 4096 in
       let root_children, root_reduced = children_of eg ~parent_reduced:true ~last:(-1) in
-      Pq.push queue
+      let root =
         {
           parent = None;
           vertex = -1;
@@ -115,14 +125,28 @@ let solve ?(budget = no_budget) ?(dedup = false) ?seed h =
           depth = 0;
           children = root_children;
           reduced = root_reduced;
-        };
+        }
+      in
+      (* the root is reachable from every state's parent chain anyway,
+         so using it as the queue's slot-clearing dummy retains nothing *)
+      let queue = Pq.create ~compare:compare_states ~dummy:root in
+      Pq.push queue root;
       let rec search () =
-        if Pq.is_empty queue then finish (Exact !ub) (Some !best_sigma)
-        else if Search_util.out_of_budget ticker then
-          finish (Bounds { lb = min !best_lb !ub; ub = !ub }) (Some !best_sigma)
+        if Incumbent.closed inc then
+          finish (Exact (Incumbent.ub inc)) (final_sigma ())
+        else if Pq.is_empty queue then begin
+          let w = Incumbent.ub inc in
+          ignore (Incumbent.raise_lb inc w);
+          finish (Exact w) (final_sigma ())
+        end
+        else if Search_util.out_of_budget ticker || Incumbent.cancelled inc
+        then begin
+          let ubv = Incumbent.ub inc in
+          finish (Bounds { lb = min !best_lb ubv; ub = ubv }) (final_sigma ())
+        end
         else begin
           let s = Pq.pop queue in
-          if s.f >= !ub then begin
+          if s.f >= Incumbent.ub inc then begin
             Obs.Counter.incr Search_util.c_stale;
             search ()
           end
@@ -132,11 +156,17 @@ let solve ?(budget = no_budget) ?(dedup = false) ?seed h =
             sync eg current_path s;
             if s.f > !best_lb then begin
               best_lb := s.f;
+              (* the frontier minimum f is a sound global lower bound *)
+              ignore (Incumbent.raise_lb inc s.f);
               Obs.Counter.incr Search_util.c_lb_improved
             end;
             let completion = Ghw_common.Cover.completion_width covers eg in
-            if completion <= s.g then
-              finish (Exact s.g) (Some (ordering_of_path ~n (path_of s) eg))
+            if completion <= s.g then begin
+              let sigma = ordering_of_path ~n (path_of s) eg in
+              ignore (Incumbent.offer_ub inc ~witness:sigma s.g);
+              ignore (Incumbent.raise_lb inc s.g);
+              finish (Exact s.g) (Some sigma)
+            end
             else begin
               expand s completion;
               s.children <- [];
@@ -147,10 +177,12 @@ let solve ?(budget = no_budget) ?(dedup = false) ?seed h =
       and expand s completion_here =
         (* anytime upper bound from this state *)
         let total = max s.g completion_here in
-        if total < !ub then begin
-          ub := total;
-          Obs.Counter.incr Search_util.c_ub_improved;
-          best_sigma := ordering_of_path ~n (path_of s) eg
+        if total < Incumbent.ub inc then begin
+          let sigma = ordering_of_path ~n (path_of s) eg in
+          if Incumbent.offer_ub inc ~witness:sigma total then begin
+            Obs.Counter.incr Search_util.c_ub_improved;
+            best_sigma := sigma
+          end
         end;
         List.iter
           (fun v ->
@@ -159,14 +191,14 @@ let solve ?(budget = no_budget) ?(dedup = false) ?seed h =
               Obs.Counter.incr Search_util.c_generated;
               let c = Ghw_common.Cover.bag_width covers eg v in
               let g' = max s.g c in
-              if g' < !ub then begin
+              if g' < Incumbent.ub inc then begin
                 Elim_graph.eliminate eg v;
                 let h' =
                   if Elim_graph.n_alive eg <= 1 then 0
                   else Lower_bounds.ghw_of_elim ~rng ~trials:1 ~max_edge_size:k eg
                 in
                 let f' = max (max g' h') s.f in
-                if f' < !ub then begin
+                if f' < Incumbent.ub inc then begin
                   let dominated =
                     dedup
                     &&

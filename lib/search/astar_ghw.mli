@@ -11,6 +11,9 @@
 val solve :
   ?budget:Search_types.budget ->
   ?dedup:bool ->
+  ?incumbent:Hd_core.Incumbent.t ->
   ?seed:int ->
   Hd_hypergraph.Hypergraph.t ->
   Search_types.result
+(** [incumbent] shares bounds with racing solvers (hd_parallel
+    portfolio), exactly as in {!Astar_tw.solve}. *)

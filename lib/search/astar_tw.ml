@@ -2,6 +2,7 @@ module Graph = Hd_graph.Graph
 module Elim_graph = Hd_graph.Elim_graph
 module Bitset = Hd_graph.Bitset
 module Lower_bounds = Hd_bounds.Lower_bounds
+module Incumbent = Hd_core.Incumbent
 module Obs = Hd_obs.Obs
 open Search_types
 
@@ -77,7 +78,7 @@ let children_of eg ~lb ~parent_reduced ~last =
       in
       (kept, false)
 
-let solve ?(budget = no_budget) ?(dedup = false) ?seed g =
+let solve ?(budget = no_budget) ?(dedup = false) ?incumbent ?seed g =
   Obs.with_span "astar_tw.solve" @@ fun () ->
   let n = Graph.n g in
   let ticker = Search_util.make_ticker budget in
@@ -94,23 +95,33 @@ let solve ?(budget = no_budget) ?(dedup = false) ?seed g =
   else begin
     let rng = Random.State.make [| Option.value seed ~default:0x7ea |] in
     let eval = Hd_core.Eval.of_graph g in
-    let ub_sigma, ub =
+    let ub_sigma, ub0 =
       Hd_core.Ordering_heuristics.best_of rng g ~trials:3
         ~eval:(Hd_core.Eval.tw_width eval)
     in
     let lb = Lower_bounds.treewidth ~rng g in
-    if lb >= ub then finish (Exact ub) (Some ub_sigma)
+    (* all bound traffic goes through the (possibly shared) incumbent:
+       racing solvers see our improvements and vice versa *)
+    let inc = match incumbent with Some i -> i | None -> Incumbent.create () in
+    ignore (Incumbent.offer_ub inc ~witness:ub_sigma ub0);
+    ignore (Incumbent.raise_lb inc lb);
+    let lb = max lb (Incumbent.lb inc) in
+    let best_sigma = ref ub_sigma in
+    let final_sigma () =
+      match Incumbent.witness inc with
+      | Some w -> Some w
+      | None -> Some !best_sigma
+    in
+    if Incumbent.closed inc then finish (Exact (Incumbent.ub inc)) (final_sigma ())
     else begin
-      let ub = ref ub and best_sigma = ref ub_sigma in
       let best_lb = ref lb in
       let eg = Elim_graph.of_graph g in
       let current_path = ref [] in
-      let queue = Pq.create ~compare:compare_states in
       let seen : (Bitset.t, int) Hashtbl.t = Hashtbl.create 4096 in
       let root_children, root_reduced =
         children_of eg ~lb ~parent_reduced:true ~last:(-1)
       in
-      Pq.push queue
+      let root =
         {
           parent = None;
           vertex = -1;
@@ -120,14 +131,31 @@ let solve ?(budget = no_budget) ?(dedup = false) ?seed g =
           depth = 0;
           children = root_children;
           reduced = root_reduced;
-        };
+        }
+      in
+      (* the root is reachable from every state's parent chain anyway,
+         so using it as the queue's slot-clearing dummy retains nothing *)
+      let queue = Pq.create ~compare:compare_states ~dummy:root in
+      Pq.push queue root;
       let rec search () =
-        if Pq.is_empty queue then finish (Exact !ub) (Some !best_sigma)
-        else if Search_util.out_of_budget ticker then
-          finish (Bounds { lb = min !best_lb !ub; ub = !ub }) (Some !best_sigma)
+        if Incumbent.closed inc then
+          (* some racer (possibly us) proved lb = ub *)
+          finish (Exact (Incumbent.ub inc)) (final_sigma ())
+        else if Pq.is_empty queue then begin
+          let w = Incumbent.ub inc in
+          (* every state below w was pruned: w is optimal; closing the
+             incumbent releases the other portfolio members *)
+          ignore (Incumbent.raise_lb inc w);
+          finish (Exact w) (final_sigma ())
+        end
+        else if Search_util.out_of_budget ticker || Incumbent.cancelled inc
+        then begin
+          let ubv = Incumbent.ub inc in
+          finish (Bounds { lb = min !best_lb ubv; ub = ubv }) (final_sigma ())
+        end
         else begin
           let s = Pq.pop queue in
-          if s.f >= !ub then begin
+          if s.f >= Incumbent.ub inc then begin
             (* stale entry: the upper bound improved since the push *)
             Obs.Counter.incr Search_util.c_stale;
             search ()
@@ -138,11 +166,16 @@ let solve ?(budget = no_budget) ?(dedup = false) ?seed g =
             sync eg current_path s;
             if s.f > !best_lb then begin
               best_lb := s.f;
+              (* the frontier minimum f is a sound global lower bound *)
+              ignore (Incumbent.raise_lb inc s.f);
               Obs.Counter.incr Search_util.c_lb_improved
             end;
-            if s.g >= Elim_graph.n_alive eg - 1 then
-              finish (Exact s.g)
-                (Some (ordering_of_path ~n (path_of s) eg))
+            if s.g >= Elim_graph.n_alive eg - 1 then begin
+              let sigma = ordering_of_path ~n (path_of s) eg in
+              ignore (Incumbent.offer_ub inc ~witness:sigma s.g);
+              ignore (Incumbent.raise_lb inc s.g);
+              finish (Exact s.g) (Some sigma)
+            end
             else begin
               expand s;
               s.children <- [];
@@ -163,17 +196,19 @@ let solve ?(budget = no_budget) ?(dedup = false) ?seed g =
                  max (g', n' - 1) *)
               let n' = Elim_graph.n_alive eg in
               let completion = max g' (n' - 1) in
-              if completion < !ub then begin
-                ub := completion;
-                Obs.Counter.incr Search_util.c_pr1;
-                Obs.Counter.incr Search_util.c_ub_improved;
-                best_sigma := ordering_of_path ~n (path_of s @ [ v ]) eg
+              if completion < Incumbent.ub inc then begin
+                let sigma = ordering_of_path ~n (path_of s @ [ v ]) eg in
+                if Incumbent.offer_ub inc ~witness:sigma completion then begin
+                  Obs.Counter.incr Search_util.c_pr1;
+                  Obs.Counter.incr Search_util.c_ub_improved;
+                  best_sigma := sigma
+                end
               end;
               let h' =
                 if n' <= 1 then 0 else Lower_bounds.treewidth_of_elim ~rng ~trials:1 eg
               in
               let f' = max (max g' h') s.f in
-              if f' < !ub then begin
+              if f' < Incumbent.ub inc then begin
                 let dominated =
                   dedup
                   &&
@@ -211,5 +246,5 @@ let solve ?(budget = no_budget) ?(dedup = false) ?seed g =
     end
   end
 
-let solve_hypergraph ?budget ?dedup ?seed h =
-  solve ?budget ?dedup ?seed (Hd_hypergraph.Hypergraph.primal h)
+let solve_hypergraph ?budget ?dedup ?incumbent ?seed h =
+  solve ?budget ?dedup ?incumbent ?seed (Hd_hypergraph.Hypergraph.primal h)

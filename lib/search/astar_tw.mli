@@ -15,10 +15,15 @@
     [dedup] additionally merges states that eliminated the same vertex
     set (an extension over the paper, off by default; see the
     [astar-dedup] ablation).  [seed] fixes the randomised tie-breaking
-    of the bound heuristics. *)
+    of the bound heuristics.  [incumbent] shares bounds with racing
+    solvers (hd_parallel portfolio): the search prunes against the
+    shared upper bound, publishes its own improvements and frontier
+    lower bounds, returns [Exact] as soon as the incumbent closes and
+    [Bounds] when it is cancelled. *)
 val solve :
   ?budget:Search_types.budget ->
   ?dedup:bool ->
+  ?incumbent:Hd_core.Incumbent.t ->
   ?seed:int ->
   Hd_graph.Graph.t ->
   Search_types.result
@@ -28,6 +33,7 @@ val solve :
 val solve_hypergraph :
   ?budget:Search_types.budget ->
   ?dedup:bool ->
+  ?incumbent:Hd_core.Incumbent.t ->
   ?seed:int ->
   Hd_hypergraph.Hypergraph.t ->
   Search_types.result

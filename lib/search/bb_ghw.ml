@@ -1,14 +1,16 @@
 module Elim_graph = Hd_graph.Elim_graph
 module Hypergraph = Hd_hypergraph.Hypergraph
 module Lower_bounds = Hd_bounds.Lower_bounds
+module Incumbent = Hd_core.Incumbent
 module Obs = Hd_obs.Obs
 open Search_types
 
 type cover_mode = Ghw_common.cover_mode
 
 exception Out_of_budget
+exception Closed
 
-let solve ?(budget = no_budget) ?seed ?(cover = `Exact) h =
+let solve ?(budget = no_budget) ?incumbent ?seed ?(cover = `Exact) h =
   Obs.with_span "bb_ghw.solve" @@ fun () ->
   Ghw_common.check_input h;
   (* subsumed hyperedges never matter for covers or coverage: searching
@@ -30,26 +32,40 @@ let solve ?(budget = no_budget) ?seed ?(cover = `Exact) h =
   else begin
     let rng = Random.State.make [| Option.value seed ~default:0x6b6 |] in
     let ub_sigma, ub0, lb0 = Ghw_common.initial_bounds h rng in
-    if lb0 >= ub0 then finish (Exact ub0) (Some ub_sigma)
+    let inc = match incumbent with Some i -> i | None -> Incumbent.create () in
+    ignore (Incumbent.offer_ub inc ~witness:ub_sigma ub0);
+    ignore (Incumbent.raise_lb inc lb0);
+    let lb0 = max lb0 (Incumbent.lb inc) in
+    let best_sigma = ref ub_sigma in
+    let final_sigma () =
+      match Incumbent.witness inc with
+      | Some w -> Some w
+      | None -> Some !best_sigma
+    in
+    if Incumbent.closed inc then
+      finish (Exact (Incumbent.ub inc)) (final_sigma ())
     else begin
       let covers = Ghw_common.Cover.make h cover rng in
       let k = Hypergraph.max_edge_size h in
-      let ub = ref ub0 and best_sigma = ref ub_sigma in
       let eg = Elim_graph.of_graph (Hypergraph.primal h) in
       let path = ref [] in
       let rec branch ~g_val ~f_floor ~reduced =
-        if Search_util.out_of_budget ticker then raise Out_of_budget;
+        if Search_util.out_of_budget ticker || Incumbent.cancelled inc then
+          raise Out_of_budget;
+        if Incumbent.closed inc then raise Closed;
         ticker.Search_util.visited <- ticker.Search_util.visited + 1;
         Obs.Counter.incr Search_util.c_expanded;
         let completion = max g_val (Ghw_common.Cover.completion_width covers eg) in
-        if completion < !ub then begin
-          ub := completion;
-          Obs.Counter.incr Search_util.c_ub_improved;
-          best_sigma := Ghw_common.record_ordering ~n eg !path
+        if completion < Incumbent.ub inc then begin
+          let sigma = Ghw_common.record_ordering ~n eg !path in
+          if Incumbent.offer_ub inc ~witness:sigma completion then begin
+            Obs.Counter.incr Search_util.c_ub_improved;
+            best_sigma := sigma
+          end
         end;
         (* a completion no better than g exists iff covering the rest
            at once already fits in g: then nothing below can improve *)
-        if completion > g_val && f_floor < !ub then begin
+        if completion > g_val && f_floor < Incumbent.ub inc then begin
           let candidates =
             (* simplicial reduction only: the almost-simplicial rule is
                degree-based and specific to treewidth *)
@@ -79,7 +95,7 @@ let solve ?(budget = no_budget) ?seed ?(cover = `Exact) h =
               Obs.Counter.incr Search_util.c_generated;
               let c = Ghw_common.Cover.bag_width covers eg v in
               let g'' = max g_val c in
-              if g'' < !ub then begin
+              if g'' < Incumbent.ub inc then begin
                 Elim_graph.eliminate eg v;
                 path := v :: !path;
                 let h_val =
@@ -88,7 +104,7 @@ let solve ?(budget = no_budget) ?seed ?(cover = `Exact) h =
                     Lower_bounds.ghw_of_elim ~rng ~trials:1 ~max_edge_size:k eg
                 in
                 let f = max (max g'' h_val) f_floor in
-                if f < !ub then
+                if f < Incumbent.ub inc then
                   branch ~g_val:g'' ~f_floor:f ~reduced:via_reduction;
                 path := List.tl !path;
                 Elim_graph.restore_last eg
@@ -100,11 +116,20 @@ let solve ?(budget = no_budget) ?seed ?(cover = `Exact) h =
       | () ->
           let outcome =
             match cover with
-            | `Exact -> Exact !ub
-            | `Greedy -> Bounds { lb = lb0; ub = !ub }
+            | `Exact ->
+                (* exhausted the tree with exact covers: ub is optimal *)
+                let w = Incumbent.ub inc in
+                ignore (Incumbent.raise_lb inc w);
+                Exact w
+            | `Greedy ->
+                (* greedy covers only prove the upper bound *)
+                let ubv = Incumbent.ub inc in
+                Bounds { lb = min lb0 ubv; ub = ubv }
           in
-          finish outcome (Some !best_sigma)
+          finish outcome (final_sigma ())
+      | exception Closed -> finish (Exact (Incumbent.ub inc)) (final_sigma ())
       | exception Out_of_budget ->
-          finish (Bounds { lb = lb0; ub = !ub }) (Some !best_sigma)
+          let ubv = Incumbent.ub inc in
+          finish (Bounds { lb = min lb0 ubv; ub = ubv }) (final_sigma ())
     end
   end

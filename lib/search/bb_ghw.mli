@@ -17,7 +17,10 @@ type cover_mode =
 
 val solve :
   ?budget:Search_types.budget ->
+  ?incumbent:Hd_core.Incumbent.t ->
   ?seed:int ->
   ?cover:cover_mode ->
   Hd_hypergraph.Hypergraph.t ->
   Search_types.result
+(** [incumbent] shares bounds with racing solvers (hd_parallel
+    portfolio), exactly as in {!Bb_tw.solve}. *)

@@ -1,12 +1,15 @@
 module Graph = Hd_graph.Graph
 module Elim_graph = Hd_graph.Elim_graph
 module Lower_bounds = Hd_bounds.Lower_bounds
+module Incumbent = Hd_core.Incumbent
 module Obs = Hd_obs.Obs
 open Search_types
 
 exception Out_of_budget
+exception Closed
 
-let solve ?(budget = no_budget) ?seed ?(use_pr2 = true) ?(use_reductions = true) g =
+let solve ?(budget = no_budget) ?incumbent ?seed ?(use_pr2 = true)
+    ?(use_reductions = true) g =
   Obs.with_span "bb_tw.solve" @@ fun () ->
   let n = Graph.n g in
   let ticker = Search_util.make_ticker budget in
@@ -28,16 +31,24 @@ let solve ?(budget = no_budget) ?seed ?(use_pr2 = true) ?(use_reductions = true)
         ~eval:(Hd_core.Eval.tw_width eval)
     in
     let lb0 = Lower_bounds.treewidth ~rng g in
-    if lb0 >= ub0 then finish (Exact ub0) (Some ub_sigma)
+    let inc = match incumbent with Some i -> i | None -> Incumbent.create () in
+    ignore (Incumbent.offer_ub inc ~witness:ub_sigma ub0);
+    ignore (Incumbent.raise_lb inc lb0);
+    let lb0 = max lb0 (Incumbent.lb inc) in
+    let best_sigma = ref ub_sigma in
+    let final_sigma () =
+      match Incumbent.witness inc with
+      | Some w -> Some w
+      | None -> Some !best_sigma
+    in
+    if Incumbent.closed inc then
+      finish (Exact (Incumbent.ub inc)) (final_sigma ())
     else begin
-      let ub = ref ub0 and best_sigma = ref ub_sigma in
       let eg = Elim_graph.of_graph g in
       let path = ref [] in
       (* vertices eliminated so far, most recent first *)
       let record_solution width =
-        if width < !ub then begin
-          ub := width;
-          Obs.Counter.incr Search_util.c_ub_improved;
+        if width < Incumbent.ub inc then begin
           (* sigma's back is eliminated first: live vertices fill the
              front (eliminated last, in any order), then the path in
              most-recent-first order puts the first elimination at the
@@ -54,23 +65,28 @@ let solve ?(budget = no_budget) ?seed ?(use_pr2 = true) ?(use_reductions = true)
               sigma.(!i) <- v;
               incr i)
             !path;
-          best_sigma := sigma
+          if Incumbent.offer_ub inc ~witness:sigma width then begin
+            Obs.Counter.incr Search_util.c_ub_improved;
+            best_sigma := sigma
+          end
         end
       in
       (* depth-first over elimination choices; [g_val] is the width of
          the partial ordering, [f_floor] the inherited f of the parent *)
       let rec branch ~g_val ~f_floor ~reduced =
-        if Search_util.out_of_budget ticker then raise Out_of_budget;
+        if Search_util.out_of_budget ticker || Incumbent.cancelled inc then
+          raise Out_of_budget;
+        if Incumbent.closed inc then raise Closed;
         ticker.Search_util.visited <- ticker.Search_util.visited + 1;
         Obs.Counter.incr Search_util.c_expanded;
         let n' = Elim_graph.n_alive eg in
         (* PR 1 *)
         let completion = max g_val (n' - 1) in
-        if completion < !ub then begin
+        if completion < Incumbent.ub inc then begin
           Obs.Counter.incr Search_util.c_pr1;
           record_solution completion
         end;
-        if n' - 1 > g_val && f_floor < !ub then begin
+        if n' - 1 > g_val && f_floor < Incumbent.ub inc then begin
           let reducible =
             if use_reductions then Elim_graph.find_reducible eg ~lb:f_floor
             else None
@@ -102,7 +118,7 @@ let solve ?(budget = no_budget) ?seed ?(use_pr2 = true) ?(use_reductions = true)
               Obs.Counter.incr Search_util.c_generated;
               let d = Elim_graph.degree eg v in
               let g'' = max g_val d in
-              if g'' < !ub then begin
+              if g'' < Incumbent.ub inc then begin
                 Elim_graph.eliminate eg v;
                 path := v :: !path;
                 let h =
@@ -110,7 +126,8 @@ let solve ?(budget = no_budget) ?seed ?(use_pr2 = true) ?(use_reductions = true)
                   else Lower_bounds.treewidth_of_elim ~rng ~trials:1 eg
                 in
                 let f = max (max g'' h) f_floor in
-                if f < !ub then branch ~g_val:g'' ~f_floor:f ~reduced:via_reduction;
+                if f < Incumbent.ub inc then
+                  branch ~g_val:g'' ~f_floor:f ~reduced:via_reduction;
                 path := List.tl !path;
                 Elim_graph.restore_last eg
               end)
@@ -118,11 +135,17 @@ let solve ?(budget = no_budget) ?seed ?(use_pr2 = true) ?(use_reductions = true)
         end
       in
       match branch ~g_val:0 ~f_floor:lb0 ~reduced:false with
-      | () -> finish (Exact !ub) (Some !best_sigma)
+      | () ->
+          (* exhausted the tree: the incumbent ub is optimal *)
+          let w = Incumbent.ub inc in
+          ignore (Incumbent.raise_lb inc w);
+          finish (Exact w) (final_sigma ())
+      | exception Closed -> finish (Exact (Incumbent.ub inc)) (final_sigma ())
       | exception Out_of_budget ->
-          finish (Bounds { lb = lb0; ub = !ub }) (Some !best_sigma)
+          let ubv = Incumbent.ub inc in
+          finish (Bounds { lb = min lb0 ubv; ub = ubv }) (final_sigma ())
     end
   end
 
-let solve_hypergraph ?budget ?seed h =
-  solve ?budget ?seed (Hd_hypergraph.Hypergraph.primal h)
+let solve_hypergraph ?budget ?incumbent ?seed h =
+  solve ?budget ?incumbent ?seed (Hd_hypergraph.Hypergraph.primal h)

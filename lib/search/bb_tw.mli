@@ -7,9 +7,13 @@
     algorithms QuickBB and BB-tw the paper compares against. *)
 
 (** [use_pr2] and [use_reductions] (both on by default) exist for the
-    pruning ablation bench. *)
+    pruning ablation bench.  [incumbent] shares bounds with racing
+    solvers (hd_parallel portfolio): pruning reads the shared upper
+    bound, every improvement is published with its witness, and the
+    search stops early when the incumbent closes or is cancelled. *)
 val solve :
   ?budget:Search_types.budget ->
+  ?incumbent:Hd_core.Incumbent.t ->
   ?seed:int ->
   ?use_pr2:bool ->
   ?use_reductions:bool ->
@@ -18,6 +22,7 @@ val solve :
 
 val solve_hypergraph :
   ?budget:Search_types.budget ->
+  ?incumbent:Hd_core.Incumbent.t ->
   ?seed:int ->
   Hd_hypergraph.Hypergraph.t ->
   Search_types.result

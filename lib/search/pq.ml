@@ -1,10 +1,11 @@
 type 'a t = {
   compare : 'a -> 'a -> int;
+  dummy : 'a;
   mutable data : 'a array;
   mutable size : int;
 }
 
-let create ~compare = { compare; data = [||]; size = 0 }
+let create ~compare ~dummy = { compare; dummy; data = [||]; size = 0 }
 
 let is_empty q = q.size = 0
 let size q = q.size
@@ -35,7 +36,9 @@ let rec sift_down q i =
 
 let push q x =
   if q.size >= Array.length q.data then begin
-    let grown = Array.make (max 16 (2 * Array.length q.data)) x in
+    (* grow with the dummy so spare slots never keep a real element
+       reachable *)
+    let grown = Array.make (max 16 (2 * Array.length q.data)) q.dummy in
     Array.blit q.data 0 grown 0 q.size;
     q.data <- grown
   end;
@@ -51,6 +54,9 @@ let pop q =
     q.data.(0) <- q.data.(q.size);
     sift_down q 0
   end;
+  (* clear the vacated slot: A* states keep their whole parent chain
+     alive, so a stale reference here pins dead frontier subtrees *)
+  q.data.(q.size) <- q.dummy;
   top
 
 let peek q = if q.size = 0 then raise Not_found else q.data.(0)

@@ -91,6 +91,40 @@ let prop_mem_matches_list =
       let s = Bitset.of_list 64 xs in
       Bitset.mem s probe = List.mem probe xs)
 
+(* iter is the kernel under set-cover and eval; after the ctz rewrite
+   it must agree exactly with elements and mem, including bits at word
+   boundaries (0, 62, 63, 64, 125, 126) *)
+let prop_iter_agrees =
+  QCheck.Test.make ~count:300 ~name:"iter = elements = mem (ctz correctness)"
+    QCheck.(make QCheck.Gen.(list_size (0 -- 40) (0 -- 199)))
+    (fun xs ->
+      let n = 200 in
+      let s = Bitset.of_list n xs in
+      let via_iter = ref [] in
+      Bitset.iter (fun i -> via_iter := i :: !via_iter) s;
+      let via_iter = List.rev !via_iter in
+      via_iter = Bitset.elements s
+      && List.for_all (fun i -> Bitset.mem s i) via_iter
+      && List.for_all
+           (fun i -> List.mem i via_iter = Bitset.mem s i)
+           (List.init n Fun.id))
+
+let test_iter_word_boundaries () =
+  (* every single-bit set over a 3-word range iterates exactly itself *)
+  let n = 190 in
+  for i = 0 to n - 1 do
+    let s = Bitset.of_list n [ i ] in
+    let got = ref (-1) and count = ref 0 in
+    Bitset.iter
+      (fun j ->
+        got := j;
+        incr count)
+      s;
+    if !count <> 1 || !got <> i then
+      Alcotest.failf "iter of singleton {%d} yielded %d items, last %d" i
+        !count !got
+  done
+
 let prop_inter_cardinal =
   QCheck.Test.make ~count:200 ~name:"inter_cardinal = |a ∩ b|"
     QCheck.(pair (make (int_list_gen 64)) (make (int_list_gen 64)))
@@ -114,9 +148,15 @@ let () =
           Alcotest.test_case "subset/equal" `Quick test_subset_equal;
           Alcotest.test_case "choose/fold/exists" `Quick test_choose_fold;
           Alcotest.test_case "blit" `Quick test_blit;
+          Alcotest.test_case "iter word boundaries" `Quick
+            test_iter_word_boundaries;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_elements_sorted_unique; prop_mem_matches_list; prop_inter_cardinal ]
-      );
+          [
+            prop_elements_sorted_unique;
+            prop_mem_matches_list;
+            prop_iter_agrees;
+            prop_inter_cardinal;
+          ] );
     ]

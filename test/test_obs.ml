@@ -178,6 +178,58 @@ let test_report_shape () =
   | Some (Obs.Json.Bool true) -> ()
   | _ -> Alcotest.fail "enabled flag missing"
 
+(* --- multi-domain safety --- *)
+
+let test_multicore_counters_exact () =
+  (* hammer one counter and one histogram from several domains at
+     once: with the pre-Atomic plain-int fields, concurrent increments
+     were lost and these totals came out short *)
+  let n_domains = 4 and per_domain = 100_000 in
+  let c = Obs.Counter.make "test.hammer" in
+  let h = Obs.Histogram.make "test.hammer_hist" in
+  let domains =
+    List.init n_domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              Obs.Counter.incr c;
+              if i land 1023 = 0 then Obs.Histogram.observe h (d + 1)
+            done))
+  in
+  List.iter Domain.join domains;
+  check_int "no lost counter increments" (n_domains * per_domain)
+    (Obs.Counter.value c);
+  check_int "no lost histogram observations"
+    (n_domains * (per_domain / 1024))
+    (Obs.Histogram.count h)
+
+let test_multicore_spans_merge () =
+  (* every domain opens the same span name; the report must show one
+     merged node with the combined call count *)
+  let n_domains = 3 and calls = 50 in
+  let domains =
+    List.init n_domains (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to calls do
+              Obs.with_span "hammer.outer" (fun () ->
+                  Obs.with_span "hammer.inner" (fun () -> ()))
+            done))
+  in
+  List.iter Domain.join domains;
+  match
+    List.assoc_opt "hammer.outer" (span_names (Obs.report ()))
+  with
+  | Some (Obs.Json.Obj fields) -> (
+      (match List.assoc_opt "calls" fields with
+      | Some (Obs.Json.Int n) -> check_int "merged calls" (n_domains * calls) n
+      | _ -> Alcotest.fail "outer span has no calls field");
+      match List.assoc_opt "children" fields with
+      | Some (Obs.Json.List [ Obs.Json.Obj inner ]) ->
+          check "inner merged once" true
+            (List.assoc_opt "calls" inner
+            = Some (Obs.Json.Int (n_domains * calls)))
+      | _ -> Alcotest.fail "expected one merged inner child")
+  | _ -> Alcotest.fail "merged span missing from report"
+
 let test_reset () =
   let c = Obs.Counter.make "test.reset" in
   Obs.Counter.add c 5;
@@ -209,6 +261,13 @@ let () =
             (with_obs test_span_exception_safe);
           Alcotest.test_case "return value" `Quick
             (with_obs test_with_span_result);
+        ] );
+      ( "multicore",
+        [
+          Alcotest.test_case "exact counts under domains" `Quick
+            (with_obs test_multicore_counters_exact);
+          Alcotest.test_case "span trees merge" `Quick
+            (with_obs test_multicore_spans_merge);
         ] );
       ( "json",
         [

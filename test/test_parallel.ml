@@ -1,0 +1,283 @@
+(* hd_parallel: incumbent sharing, the domain pool, the SPSC ring, and
+   portfolio determinism across -j values. *)
+
+module Graph = Hd_graph.Graph
+module Incumbent = Hd_core.Incumbent
+module St = Hd_search.Search_types
+module Pool = Hd_parallel.Domain_pool
+module Ring = Hd_parallel.Ring
+module Portfolio = Hd_parallel.Portfolio
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let graph name =
+  match Hd_instances.Graphs.by_name name with
+  | Some g -> g
+  | None -> Alcotest.failf "unknown graph instance %s" name
+
+let hypergraph name =
+  match Hd_instances.Hypergraphs.by_name name with
+  | Some h -> h
+  | None -> Alcotest.failf "unknown hypergraph instance %s" name
+
+(* ------------------------------------------------------------------ *)
+(* Incumbent                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_incumbent_bounds () =
+  let inc = Incumbent.create ~lb:2 ~ub:10 () in
+  check_int "initial lb" 2 (Incumbent.lb inc);
+  check_int "initial ub" 10 (Incumbent.ub inc);
+  check "improving offer accepted" true (Incumbent.offer_ub inc 8);
+  check "equal offer rejected" false (Incumbent.offer_ub inc 8);
+  check "worse offer rejected" false (Incumbent.offer_ub inc 9);
+  check "improving lb accepted" true (Incumbent.raise_lb inc 5);
+  check "equal lb rejected" false (Incumbent.raise_lb inc 5);
+  check "not closed at [5,8]" false (Incumbent.closed inc);
+  check "close by ub" true (Incumbent.offer_ub inc 5);
+  check "closed at [5,5]" true (Incumbent.closed inc);
+  check "create rejects lb > ub" true
+    (try
+       ignore (Incumbent.create ~lb:3 ~ub:2 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_incumbent_witness () =
+  let inc = Incumbent.create () in
+  let sigma = [| 3; 1; 2; 0 |] in
+  check "offer with witness" true (Incumbent.offer_ub inc ~witness:sigma 7);
+  sigma.(0) <- 99;
+  (match Incumbent.witness inc with
+  | Some w -> check_int "witness frozen at offer time" 3 w.(0)
+  | None -> Alcotest.fail "witness lost");
+  (* an improving offer without a witness keeps the previous one *)
+  check "witness-less offer" true (Incumbent.offer_ub inc 6);
+  check "previous witness retained" true (Incumbent.witness inc <> None)
+
+let test_incumbent_cancel () =
+  let inc = Incumbent.create () in
+  check "fresh incumbent not cancelled" false (Incumbent.cancelled inc);
+  Incumbent.cancel inc;
+  check "cancelled after cancel" true (Incumbent.cancelled inc)
+
+(* four domains hammer the same incumbent with interleaved offers; the
+   final state must be exactly the best offer of each kind, with no
+   torn lb/ub pair observable along the way *)
+let test_incumbent_multicore () =
+  let inc = Incumbent.create () in
+  let torn = Atomic.make false in
+  let worker _ () =
+    for w = 1500 downto 1000 do
+      ignore (Incumbent.offer_ub inc w);
+      let lb, ub = Incumbent.bounds inc in
+      if lb > ub then Atomic.set torn true
+    done;
+    for w = 500 to 999 do
+      ignore (Incumbent.raise_lb inc w);
+      let lb, ub = Incumbent.bounds inc in
+      if lb > ub then Atomic.set torn true
+    done
+  in
+  let domains = Array.init 4 (fun i -> Domain.spawn (worker i)) in
+  Array.iter Domain.join domains;
+  check_int "final ub is the best offer" 1000 (Incumbent.ub inc);
+  check_int "final lb is the best raise" 999 (Incumbent.lb inc);
+  check "no torn snapshot observed" false (Atomic.get torn)
+
+(* ------------------------------------------------------------------ *)
+(* Ring                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_ring_fifo () =
+  let r = Ring.create 4 in
+  check "fresh ring empty" true (Ring.is_empty r);
+  check "pop on empty" true (Ring.try_pop r = None);
+  for i = 1 to 4 do
+    check "push while space" true (Ring.try_push r i)
+  done;
+  check "push on full drops" false (Ring.try_push r 5);
+  check_int "length when full" 4 (Ring.length r);
+  check "fifo order" true (Ring.try_pop r = Some 1);
+  check "push after pop" true (Ring.try_push r 5);
+  List.iter
+    (fun expected -> check "fifo order" true (Ring.try_pop r = Some expected))
+    [ 2; 3; 4; 5 ];
+  check "drained" true (Ring.is_empty r)
+
+let test_ring_capacity () =
+  check_int "1 stays 1" 1 (Ring.capacity (Ring.create 1));
+  check_int "3 rounds to 4" 4 (Ring.capacity (Ring.create 3));
+  check_int "4 stays 4" 4 (Ring.capacity (Ring.create 4));
+  check_int "5 rounds to 8" 8 (Ring.capacity (Ring.create 5));
+  check "capacity 0 rejected" true
+    (try
+       ignore (Ring.create 0);
+       false
+     with Invalid_argument _ -> true)
+
+(* one producer domain, consumer on the main domain: every element
+   arrives exactly once and in order, across a ring much smaller than
+   the stream *)
+let test_ring_spsc_stream () =
+  let n = 10_000 in
+  let r = Ring.create 8 in
+  let producer () =
+    for i = 0 to n - 1 do
+      while not (Ring.try_push r i) do
+        Domain.cpu_relax ()
+      done
+    done
+  in
+  let d = Domain.spawn producer in
+  let received = ref 0 in
+  while !received < n do
+    match Ring.try_pop r with
+    | Some x ->
+        check_int "in-order delivery" !received x;
+        incr received
+    | None -> Domain.cpu_relax ()
+  done;
+  Domain.join d;
+  check "stream drained" true (Ring.is_empty r)
+
+(* ------------------------------------------------------------------ *)
+(* Domain pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_submit_await () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      check_int "pool size" 2 (Pool.size pool);
+      let futures = List.init 20 (fun i -> Pool.submit pool (fun () -> i * i)) in
+      List.iteri
+        (fun i fut -> check_int "job result" (i * i) (Pool.await fut))
+        futures)
+
+let test_pool_exception () =
+  Pool.with_pool ~domains:1 (fun pool ->
+      let fut = Pool.submit pool (fun () -> failwith "boom") in
+      check "job exception re-raised" true
+        (try
+           ignore (Pool.await fut);
+           false
+         with Failure m -> m = "boom");
+      (* the worker survives a failing job *)
+      let fut = Pool.submit pool (fun () -> 41 + 1) in
+      check_int "worker survives failure" 42 (Pool.await fut))
+
+let test_pool_cancel () =
+  Pool.with_pool ~domains:1 (fun pool ->
+      let started = Atomic.make false and gate = Atomic.make false in
+      let blocker =
+        Pool.submit pool (fun () ->
+            Atomic.set started true;
+            while not (Atomic.get gate) do
+              Domain.cpu_relax ()
+            done;
+            "done")
+      in
+      while not (Atomic.get started) do
+        Domain.cpu_relax ()
+      done;
+      (* the single worker is busy, so this job is still queued *)
+      let queued = Pool.submit pool (fun () -> "never") in
+      check "running job not cancellable" false (Pool.cancel blocker);
+      check "queued job cancellable" true (Pool.cancel queued);
+      check "cancel is idempotent-ish" false (Pool.cancel queued);
+      Atomic.set gate true;
+      check "blocker completes" true (Pool.await blocker = "done");
+      check "await on cancelled raises" true
+        (try
+           ignore (Pool.await queued);
+           false
+         with Pool.Cancelled -> true))
+
+let test_pool_invalid () =
+  check "zero domains rejected" true
+    (try
+       ignore (Pool.create ~domains:0);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Portfolio                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let exact_width name (r : Portfolio.t) =
+  match r.outcome with
+  | St.Exact w -> w
+  | St.Bounds { lb; ub } ->
+      Alcotest.failf "%s: portfolio did not close, got [%d,%d]" name lb ub
+
+(* ISSUE acceptance: with fixed seeds the portfolio reports the same
+   width at -j 1, -j 2 and -j 8 — exact members prove the same optimum
+   whatever the interleaving *)
+let test_portfolio_determinism () =
+  let budget = { St.time_limit = Some 120.0; max_states = None } in
+  List.iter
+    (fun (name, expected) ->
+      let g = graph name in
+      let widths =
+        List.map
+          (fun jobs ->
+            exact_width name (Portfolio.solve_tw ~jobs ~budget ~seed:42 g))
+          [ 1; 2; 8 ]
+      in
+      List.iter
+        (fun w -> check_int (name ^ " width equal across -j") expected w)
+        widths)
+    [ ("queen5_5", 18); ("myciel4", 10); ("grid4", 4) ]
+
+let test_portfolio_report_shape () =
+  let budget = { St.time_limit = Some 60.0; max_states = None } in
+  let r = Portfolio.solve_tw ~jobs:3 ~budget ~seed:7 (graph "grid4") in
+  check_int "domains = members raced" 3 r.Portfolio.domains;
+  check_int "member report per member" 3 (List.length r.Portfolio.members);
+  check "winner recorded" true (r.Portfolio.winner <> None);
+  check "witness ordering present" true (r.Portfolio.ordering <> None);
+  match r.Portfolio.ordering with
+  | Some sigma ->
+      (* the witness must actually achieve the reported width *)
+      let g = graph "grid4" in
+      let ws = Hd_core.Eval.of_graph g in
+      check_int "witness achieves width" (exact_width "grid4" r)
+        (Hd_core.Eval.tw_width ws sigma)
+  | None -> ()
+
+let test_portfolio_ghw () =
+  let budget = { St.time_limit = Some 60.0; max_states = None } in
+  let h = hypergraph "adder_15" in
+  let r = Portfolio.solve_ghw ~jobs:2 ~budget ~seed:5 h in
+  check_int "adder_15 ghw" 2 (exact_width "adder_15" r)
+
+let () =
+  Alcotest.run "hd_parallel"
+    [
+      ( "incumbent",
+        [
+          Alcotest.test_case "bounds protocol" `Quick test_incumbent_bounds;
+          Alcotest.test_case "witness freezing" `Quick test_incumbent_witness;
+          Alcotest.test_case "cancellation" `Quick test_incumbent_cancel;
+          Alcotest.test_case "multicore hammer" `Quick test_incumbent_multicore;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "fifo" `Quick test_ring_fifo;
+          Alcotest.test_case "capacity rounding" `Quick test_ring_capacity;
+          Alcotest.test_case "spsc stream" `Quick test_ring_spsc_stream;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "submit/await" `Quick test_pool_submit_await;
+          Alcotest.test_case "exceptions" `Quick test_pool_exception;
+          Alcotest.test_case "cancel" `Quick test_pool_cancel;
+          Alcotest.test_case "invalid size" `Quick test_pool_invalid;
+        ] );
+      ( "portfolio",
+        [
+          Alcotest.test_case "determinism across -j" `Slow
+            test_portfolio_determinism;
+          Alcotest.test_case "report shape" `Quick test_portfolio_report_shape;
+          Alcotest.test_case "ghw race" `Quick test_portfolio_ghw;
+        ] );
+    ]

@@ -452,7 +452,7 @@ let test_obs_counters_deterministic () =
   check "two seeded runs agree" true (first = second)
 
 let test_pq () =
-  let q = Hd_search.Pq.create ~compare in
+  let q = Hd_search.Pq.create ~compare ~dummy:0 in
   List.iter (Hd_search.Pq.push q) [ 5; 1; 4; 1; 3 ];
   check_int "size" 5 (Hd_search.Pq.size q);
   check_int "peek" 1 (Hd_search.Pq.peek q);
@@ -462,11 +462,39 @@ let test_pq () =
   Alcotest.check_raises "pop empty" Not_found (fun () ->
       ignore (Hd_search.Pq.pop q))
 
+let test_pq_no_leak () =
+  (* popped elements must become unreachable: A* states hold their
+     whole parent chain, so stale heap slots pin dead subtrees.  This
+     test fails against the pre-fix pq.ml, which left popped elements
+     live at data.(size) and grew the array with a live element. *)
+  let n = 64 in
+  let q = Hd_search.Pq.create ~compare:(fun a b -> compare !a !b) ~dummy:(ref (-1)) in
+  let weak = Weak.create n in
+  for i = 0 to n - 1 do
+    let cell = ref i in
+    Weak.set weak i (Some cell);
+    Hd_search.Pq.push q cell
+  done;
+  (* pop everything but one so the queue itself stays alive *)
+  for _ = 1 to n - 1 do
+    ignore (Hd_search.Pq.pop q)
+  done;
+  Gc.full_major ();
+  let still_live = ref 0 in
+  for i = 0 to n - 1 do
+    if Weak.check weak i then incr still_live
+  done;
+  (* exactly the one un-popped element (plus, at most, the last popped
+     value still referenced from this frame via [ignore]'s argument —
+     which it is not) may survive *)
+  check "popped elements collected" true (!still_live <= 1);
+  check_int "queue still works" 1 (Hd_search.Pq.size q)
+
 let prop_pq_sorts =
   QCheck.Test.make ~count:100 ~name:"pq pops in sorted order"
     QCheck.(list int)
     (fun xs ->
-      let q = Hd_search.Pq.create ~compare in
+      let q = Hd_search.Pq.create ~compare ~dummy:0 in
       List.iter (Hd_search.Pq.push q) xs;
       let out = List.init (List.length xs) (fun _ -> Hd_search.Pq.pop q) in
       out = List.sort compare xs)
@@ -475,7 +503,10 @@ let () =
   Alcotest.run "search"
     [
       ( "pq",
-        [ Alcotest.test_case "heap basics" `Quick test_pq ]
+        [
+          Alcotest.test_case "heap basics" `Quick test_pq;
+          Alcotest.test_case "no space leak" `Quick test_pq_no_leak;
+        ]
         @ List.map QCheck_alcotest.to_alcotest [ prop_pq_sorts ] );
       ( "astar-tw",
         [
