@@ -101,10 +101,12 @@ let record_table name f =
       Obs.disable ())
     f
 
-(* the parallel experiment's summary, reported as its own top-level
-   section of BENCH_report.json when the experiment ran *)
+(* the parallel and query experiments' summaries, reported as their own
+   top-level sections of BENCH_report.json when the experiments ran *)
 let parallel_section : Obs.Json.t option ref = ref None
 let set_parallel_section j = parallel_section := Some j
+let query_section : Obs.Json.t option ref = ref None
+let set_query_section j = query_section := Some j
 
 let write_bench_report ?(path = "BENCH_report.json") () =
   let doc =
@@ -114,8 +116,11 @@ let write_bench_report ?(path = "BENCH_report.json") () =
          ( "experiments",
            Obs.Json.List (List.rev_map (fun (_, s) -> s) !table_reports) );
        ]
-      @ match !parallel_section with
+      @ (match !parallel_section with
         | Some j -> [ ("parallel", j) ]
+        | None -> [])
+      @ match !query_section with
+        | Some j -> [ ("query", j) ]
         | None -> [])
   in
   let oc = open_out path in

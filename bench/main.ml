@@ -749,6 +749,83 @@ let parallel scale =
          ("instances", Obs.Json.List entries);
        ])
 
+(* conjunctive-query answering (hd_query): Yannakakis over the
+   decomposition stack vs a brute-force evaluator on random digraphs,
+   recorded as BENCH_report.json's "query" section (answer counts,
+   semijoin reduction ratios, wall times) *)
+let query scale =
+  header "Query -- Yannakakis over (G)HDs vs brute force (hd_query)";
+  let module Cq = Hd_query.Cq in
+  let module Db = Hd_query.Db in
+  let module Y = Hd_query.Yannakakis in
+  let n, m = if scale.full then (120, 900) else (50, 320) in
+  let rng = Random.State.make [| 42 |] in
+  let db = Db.create () in
+  Db.add db ~name:"e"
+    (List.init m (fun _ ->
+         [|
+           Printf.sprintf "v%d" (Random.State.int rng n);
+           Printf.sprintf "v%d" (Random.State.int rng n);
+         |]));
+  Printf.printf "random digraph: %d vertices, %d edge tuples\n\n" n m;
+  Printf.printf "%-10s %-7s | %7s %5s %5s | %9s %9s %7s | %9s %7s\n" "query"
+    "plan" "answers" "bags" "semij" "tuples" "reduced" "ratio" "yannakakis"
+    "brute";
+  let queries =
+    [
+      ("triangle", "ans(X,Y,Z) :- e(X,Y), e(Y,Z), e(Z,X).");
+      ("4-cycle", "ans(W,X,Y,Z) :- e(W,X), e(X,Y), e(Y,Z), e(Z,W).");
+      ("two-hop", "ans(X,Z) :- e(X,Y), e(Y,Z).");
+      ("v-path", "ans(X,Z) :- e(X,Y), e(Z,Y).");
+    ]
+  in
+  let entries =
+    List.map
+      (fun (name, text) ->
+        let q = Cq.parse_string ~source:name text in
+        let r, secs = time (fun () -> Y.run ~mode:Y.Answers db q) in
+        let bf, bf_secs = time (fun () -> Hd_query.Brute_force.count db q) in
+        if bf <> r.Y.count then
+          failwith (Printf.sprintf "query %s: %d answers vs %d brute-force"
+                      name r.Y.count bf);
+        let s = r.Y.stats in
+        let ratio =
+          if s.Y.tuples_materialized = 0 then 1.0
+          else
+            float_of_int s.Y.tuples_after_reduction
+            /. float_of_int s.Y.tuples_materialized
+        in
+        let plan =
+          if s.Y.acyclic then "gyo" else Printf.sprintf "ghd-w%d" s.Y.width
+        in
+        Printf.printf
+          "%-10s %-7s | %7d %5d %5d | %9d %9d %6.2f%% | %8.3fs %6.3fs\n" name
+          plan r.Y.count s.Y.bags s.Y.semijoins s.Y.tuples_materialized
+          s.Y.tuples_after_reduction (100.0 *. ratio) secs bf_secs;
+        Obs.Json.Obj
+          [
+            ("query", Obs.Json.String name);
+            ("plan", Obs.Json.String plan);
+            ("width", Obs.Json.Int s.Y.width);
+            ("bags", Obs.Json.Int s.Y.bags);
+            ("answers", Obs.Json.Int r.Y.count);
+            ("semijoins", Obs.Json.Int s.Y.semijoins);
+            ("tuples_materialized", Obs.Json.Int s.Y.tuples_materialized);
+            ("tuples_after_reduction", Obs.Json.Int s.Y.tuples_after_reduction);
+            ("reduction_ratio", Obs.Json.Float ratio);
+            ("seconds", Obs.Json.Float secs);
+            ("seconds_brute_force", Obs.Json.Float bf_secs);
+          ])
+      queries
+  in
+  set_query_section
+    (Obs.Json.Obj
+       [
+         ("vertices", Obs.Json.Int n);
+         ("edge_tuples", Obs.Json.Int m);
+         ("instances", Obs.Json.List entries);
+       ])
+
 (* ------------------------------------------------------------------ *)
 (* Command line                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -774,6 +851,7 @@ let experiments scale =
         extension_preprocess scale);
     ("scaling", fun () -> scaling scale);
     ("parallel", fun () -> parallel scale);
+    ("query", fun () -> query scale);
     ("micro", fun () -> micro ());
     ( "ablation",
       fun () ->

@@ -1,0 +1,201 @@
+(* hd_query: answer conjunctive queries over CSV/TSV relational
+   instances via Yannakakis semijoin programs on (generalized)
+   hypertree decompositions. *)
+
+module Cq = Hd_query.Cq
+module Db = Hd_query.Db
+module Y = Hd_query.Yannakakis
+
+let load_query ~query_file ~query_string =
+  match (query_file, query_string) with
+  | Some path, None -> Cq.parse_file path
+  | None, Some text -> Cq.parse_string text
+  | _ ->
+      prerr_endline "hd_query: give exactly one of QUERY or --expr";
+      exit 2
+
+let run query_file query_string data mode method_ jobs seed time_limit limit
+    brute stats =
+  if stats <> None then Hd_obs.Obs.enable ();
+  let q = load_query ~query_file ~query_string in
+  let db = Db.create () in
+  List.iter
+    (fun path ->
+      if Sys.is_directory path then Db.load_dir db path
+      else Db.load_file db path)
+    data;
+  if Db.relation_names db = [] then begin
+    prerr_endline "hd_query: no relations loaded (give --data DIR or files)";
+    exit 2
+  end;
+  let print_truncated answers =
+    let sorted = List.sort compare answers in
+    let shown =
+      match limit with
+      | Some k -> List.filteri (fun i _ -> i < k) sorted
+      | None -> sorted
+    in
+    List.iter
+      (fun row -> print_endline (String.concat "," (Array.to_list row)))
+      shown;
+    match limit with
+    | Some k when List.length sorted > k ->
+        Printf.eprintf "... %d more answers suppressed by --limit\n"
+          (List.length sorted - k)
+    | _ -> ()
+  in
+  if brute then begin
+    (* the oracle: same output, no decomposition *)
+    (match mode with
+    | Y.Answers -> print_truncated (Hd_query.Brute_force.answers db q)
+    | Y.Count -> Printf.printf "%d\n" (Hd_query.Brute_force.count db q)
+    | Y.Boolean ->
+        Printf.printf "%b\n" (Hd_query.Brute_force.boolean db q))
+  end
+  else begin
+    let started = Unix.gettimeofday () in
+    let r = Y.run ~method_ ~jobs ~seed ~time_limit ~mode db q in
+    let elapsed = Unix.gettimeofday () -. started in
+    (match mode with
+    | Y.Answers -> print_truncated r.Y.answers
+    | Y.Count -> Printf.printf "%d\n" r.Y.count
+    | Y.Boolean -> Printf.printf "%b\n" r.Y.nonempty);
+    let s = r.Y.stats in
+    Printf.eprintf
+      "hd_query: %s in %.3fs  (plan: %s, width %d, %d bags; %d tuples \
+       materialized -> %d after %d semijoins)\n"
+      (match mode with
+      | Y.Answers -> Printf.sprintf "%d answers" r.Y.count
+      | Y.Count -> Printf.sprintf "count %d" r.Y.count
+      | Y.Boolean -> Printf.sprintf "boolean %b" r.Y.nonempty)
+      elapsed
+      (if s.Y.acyclic then "acyclic join tree" else "GHD")
+      s.Y.width s.Y.bags s.Y.tuples_materialized s.Y.tuples_after_reduction
+      s.Y.semijoins
+  end;
+  match stats with
+  | Some path -> (
+      try Hd_obs.Obs.write_report path
+      with Sys_error msg ->
+        prerr_endline ("hd_query: --stats: " ^ msg);
+        exit 2)
+  | None -> ()
+
+open Cmdliner
+
+let query_file =
+  Arg.(
+    value
+    & pos 0 (some file) None
+    & info [] ~docv:"QUERY"
+        ~doc:
+          "Query file: one datalog-style rule, e.g. \
+           $(b,ans(X,Y) :- r(X,Z), s(Z,Y).)")
+
+let query_string =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "e"; "expr" ] ~docv:"RULE" ~doc:"Inline query text instead of a file.")
+
+let data =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "d"; "data" ] ~docv:"PATH"
+        ~doc:
+          "Relational instance: a directory of $(b,.csv)/$(b,.tsv) files \
+           (one relation per file, named after it) or a single file. \
+           Repeatable.")
+
+let mode =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("answers", Y.Answers); ("count", Y.Count); ("boolean", Y.Boolean) ])
+        Y.Answers
+    & info [ "mode" ]
+        ~doc:
+          "What to compute: $(b,answers) enumerates the distinct answers, \
+           $(b,count) counts them, $(b,boolean) decides emptiness.")
+
+let method_ =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("auto", Y.Auto);
+             ("minfill", Y.Min_fill);
+             ("bb-ghw", Y.Bb_ghw);
+             ("portfolio", Y.Portfolio);
+           ])
+        Y.Auto
+    & info [ "m"; "method" ]
+        ~doc:
+          "Plan selection: $(b,auto) uses the GYO join tree when the query \
+           is acyclic and a min-fill GHD otherwise; $(b,minfill), \
+           $(b,bb-ghw) and $(b,portfolio) force a GHD plan with that \
+           ordering search.")
+
+let jobs =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ]
+        ~doc:"Worker domains for $(b,--method portfolio).")
+
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+
+let time_limit =
+  Arg.(
+    value & opt float 10.0
+    & info [ "t"; "time-limit" ]
+        ~doc:"Time limit (seconds) for the decomposition search.")
+
+let limit =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "limit" ] ~docv:"N" ~doc:"Print at most $(docv) answers.")
+
+let brute =
+  Arg.(
+    value & flag
+    & info [ "brute-force" ]
+        ~doc:
+          "Evaluate by brute-force backtracking instead of Yannakakis (the \
+           testing oracle).")
+
+let stats =
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "stats" ] ~docv:"FILE"
+        ~doc:
+          "Collect hd_obs counters and spans (semijoin sizes, intermediate \
+           cardinalities, enumeration work) and write the JSON report to \
+           $(docv) ($(b,-) or no value: stdout).")
+
+let cmd =
+  let doc = "answer conjunctive queries via Yannakakis over (G)HDs" in
+  let man =
+    [
+      `S Manpage.s_examples;
+      `P "Count the directed triangles of the sample instance:";
+      `Pre
+        "  hd_query examples/query/triangle.cq --data examples/query/data \
+         --mode count";
+      `P "Boolean check with an inline rule:";
+      `Pre
+        "  hd_query -e 'ok() :- e(X,Y), e(Y,X).' --data examples/query/data \
+         --mode boolean";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "hd_query" ~doc ~man)
+    Term.(
+      const run $ query_file $ query_string $ data $ mode $ method_ $ jobs
+      $ seed $ time_limit $ limit $ brute $ stats)
+
+let () = exit (Cmd.eval cmd)

@@ -29,6 +29,13 @@ let bottom_up_order t =
   Array.sort (fun a b -> compare depth.(b) depth.(a)) order;
   order
 
+(* variables of [scope] also in [other], in [scope] order *)
+let shared_vars scope other =
+  Array.of_list
+    (List.filter
+       (fun v -> Array.exists (( = ) v) other)
+       (Array.to_list scope))
+
 let acyclic_solve t ~n_vars =
   Obs.with_span "csp.acyclic_solve" @@ fun () ->
   let m = Array.length t.relations in
@@ -52,24 +59,25 @@ let acyclic_solve t ~n_vars =
       order;
     if !failed || Array.exists Relation.is_empty rel then None
     else begin
-      (* top-down: pick tuples consistent with what is already fixed *)
+      (* top-down: pick tuples consistent with what is already fixed.
+         By the running intersection property the fixed variables of a
+         node's scope are exactly those shared with its parent, so one
+         hash-index probe replaces the former full scan. *)
       let assignment = Array.make n_vars min_int in
       let assign_from i =
         let scope = Relation.scope rel.(i) in
-        let consistent tuple =
-          let ok = ref true in
-          Array.iteri
-            (fun k v ->
-              if assignment.(v) <> min_int && tuple.(k) <> assignment.(v) then
-                ok := false)
-            scope;
-          !ok
+        let p = t.parent.(i) in
+        let shared =
+          if p = -1 then [||]
+          else shared_vars scope (Relation.scope rel.(p))
         in
-        match List.find_opt consistent (Relation.tuples rel.(i)) with
-        | None ->
+        let key = Array.map (fun v -> assignment.(v)) shared in
+        match Relation.matching rel.(i) ~vars:shared key with
+        | tuple :: _ ->
+            Array.iteri (fun k v -> assignment.(v) <- tuple.(k)) scope
+        | [] ->
             (* cannot happen on a correctly reduced join tree *)
             assert false
-        | Some tuple -> Array.iteri (fun k v -> assignment.(v) <- tuple.(k)) scope
       in
       let top_down = Array.of_list (List.rev (Array.to_list order)) in
       Array.iter assign_from top_down;
@@ -84,46 +92,45 @@ let count_solutions t =
   else begin
     let order = bottom_up_order t in
     (* weight table per node: tuple -> number of consistent extensions
-       into the node's subtree *)
+       into the node's subtree.  Child weights are aggregated into a
+       hash table keyed by the shared variables, so each parent tuple
+       costs one lookup per child instead of a scan of the child's
+       tuple list. *)
     let weights = Array.make m [] in
     Array.iter
       (fun i ->
-        let scope = Relation.scope t.relations.(i) in
+        let r = t.relations.(i) in
+        let scope = Relation.scope r in
         let children =
           List.filter (fun j -> t.parent.(j) = i) (List.init m Fun.id)
         in
+        let child_tables =
+          List.map
+            (fun c ->
+              let rc = t.relations.(c) in
+              let shared = shared_vars scope (Relation.scope rc) in
+              let pc = Relation.positions rc shared in
+              let sums = Hashtbl.create 64 in
+              List.iter
+                (fun (tuple, w) ->
+                  let key = Array.map (fun p -> tuple.(p)) pc in
+                  Hashtbl.replace sums key
+                    (w + Option.value (Hashtbl.find_opt sums key) ~default:0))
+                weights.(c);
+              (Relation.positions r shared, sums))
+            children
+        in
         let weight_of tuple =
           List.fold_left
-            (fun acc c ->
+            (fun acc (ps, sums) ->
               if acc = 0 then 0
-              else begin
-                (* shared variables with the child, and their positions *)
-                let child_scope = Relation.scope t.relations.(c) in
-                let shared =
-                  Array.to_list scope
-                  |> List.filter (fun v -> Array.exists (( = ) v) child_scope)
-                in
-                let key_of sc tup =
-                  List.map
-                    (fun v ->
-                      let rec index k = if sc.(k) = v then k else index (k + 1) in
-                      tup.(index 0))
-                    shared
-                in
-                let matching =
-                  List.fold_left
-                    (fun sum (child_tuple, w) ->
-                      if key_of child_scope child_tuple = key_of scope tuple
-                      then sum + w
-                      else sum)
-                    0 weights.(c)
-                in
-                acc * matching
-              end)
-            1 children
+              else
+                let key = Array.map (fun p -> tuple.(p)) ps in
+                acc * Option.value (Hashtbl.find_opt sums key) ~default:0)
+            1 child_tables
         in
         weights.(i) <-
-          List.map (fun tuple -> (tuple, weight_of tuple)) (Relation.tuples t.relations.(i)))
+          List.map (fun tuple -> (tuple, weight_of tuple)) (Relation.tuples r))
       order;
     (* sum over the root(s); a forest multiplies across components *)
     let total = ref 1 in

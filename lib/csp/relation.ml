@@ -48,60 +48,87 @@ let index_of scope var =
 
 let value r tuple ~var = tuple.(index_of r.scope var)
 
-(* positions of the shared variables in both scopes *)
-let shared_positions a b =
-  let pairs = ref [] in
+let positions r vars = Array.map (index_of r.scope) vars
+
+(* variables common to both scopes, in [a]'s scope order, with their
+   positions in each *)
+let shared_of a b =
+  let vars = ref [] and pa = ref [] and pb = ref [] in
   Array.iteri
     (fun i v ->
       match index_of b.scope v with
-      | j -> pairs := (i, j) :: !pairs
+      | j ->
+          vars := v :: !vars;
+          pa := i :: !pa;
+          pb := j :: !pb
       | exception Not_found -> ())
     a.scope;
-  List.rev !pairs
+  ( Array.of_list (List.rev !vars),
+    Array.of_list (List.rev !pa),
+    Array.of_list (List.rev !pb) )
 
-let key_of positions tuple = List.map (fun i -> tuple.(i)) positions
+let key_at positions tuple = Array.map (fun i -> tuple.(i)) positions
+
+(* hash index on a position subset: key (the values at those positions)
+   -> matching tuples, in list order *)
+let index_at r positions =
+  let table = Hashtbl.create (max 16 (cardinality r)) in
+  List.iter
+    (fun t ->
+      let key = key_at positions t in
+      let bucket =
+        match Hashtbl.find_opt table key with Some b -> b | None -> []
+      in
+      Hashtbl.replace table key (t :: bucket))
+    (List.rev r.tuples);
+  table
+
+let index_on r ~vars = index_at r (positions r vars)
+
+let matching r ~vars key =
+  match Hashtbl.find_opt (index_on r ~vars) key with
+  | Some ts -> ts
+  | None -> []
 
 let join a b =
-  let shared = shared_positions a b in
-  let a_pos = List.map fst shared and b_pos = List.map snd shared in
+  let _, a_pos, b_pos = shared_of a b in
   (* positions of b's private variables *)
   let b_private_pos =
-    List.filter
-      (fun j -> not (List.mem j b_pos))
-      (List.init (Array.length b.scope) Fun.id)
+    Array.of_list
+      (List.filter
+         (fun j -> not (Array.exists (( = ) j) b_pos))
+         (List.init (Array.length b.scope) Fun.id))
   in
   let out_scope =
-    Array.append a.scope
-      (Array.of_list (List.map (fun j -> b.scope.(j)) b_private_pos))
+    Array.append a.scope (Array.map (fun j -> b.scope.(j)) b_private_pos)
   in
-  (* hash join on the shared key *)
-  let table = Hashtbl.create (List.length b.tuples) in
-  List.iter
-    (fun t -> Hashtbl.add table (key_of b_pos t) t)
-    b.tuples;
+  (* hash join: index b on the shared key, probe with a's tuples *)
+  let table = index_at b b_pos in
   let out = ref [] in
   List.iter
     (fun ta ->
-      let key = key_of a_pos ta in
-      List.iter
-        (fun tb ->
-          let extension = List.map (fun j -> tb.(j)) b_private_pos in
-          out := Array.append ta (Array.of_list extension) :: !out)
-        (Hashtbl.find_all table key))
+      match Hashtbl.find_opt table (key_at a_pos ta) with
+      | None -> ()
+      | Some tbs ->
+          List.iter
+            (fun tb ->
+              out := Array.append ta (key_at b_private_pos tb) :: !out)
+            tbs)
     a.tuples;
   make ~scope:out_scope (List.rev !out)
 
 let semijoin a b =
-  let shared = shared_positions a b in
-  let a_pos = List.map fst shared and b_pos = List.map snd shared in
-  let keys = Hashtbl.create (List.length b.tuples) in
-  List.iter (fun t -> Hashtbl.replace keys (key_of b_pos t) ()) b.tuples;
-  { a with tuples = List.filter (fun t -> Hashtbl.mem keys (key_of a_pos t)) a.tuples }
+  let _, a_pos, b_pos = shared_of a b in
+  let keys = Hashtbl.create (max 16 (cardinality b)) in
+  List.iter (fun t -> Hashtbl.replace keys (key_at b_pos t) ()) b.tuples;
+  {
+    a with
+    tuples = List.filter (fun t -> Hashtbl.mem keys (key_at a_pos t)) a.tuples;
+  }
 
 let project r vars =
-  let positions = Array.map (fun v -> index_of r.scope v) vars in
-  make ~scope:vars
-    (List.map (fun t -> Array.map (fun i -> t.(i)) positions) r.tuples)
+  let ps = positions r vars in
+  make ~scope:vars (List.map (key_at ps) r.tuples)
 
 let select r ~var ~value =
   let i = index_of r.scope var in

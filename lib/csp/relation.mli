@@ -30,6 +30,23 @@ val mem : t -> int array -> bool
     @raise Not_found when [var] is outside the scope. *)
 val value : t -> int array -> var:int -> int
 
+(** [positions r vars] is the scope position of each of [vars].
+    @raise Not_found when some variable is outside the scope. *)
+val positions : t -> int array -> int array
+
+(** [index_on r ~vars] is a hash index of [r] on the variable subset
+    [vars]: the key [Array.map (value r t) vars] (values in [vars]
+    order) maps to the matching tuples.  This is the same
+    index-on-attribute-subset scheme as [Hd_query.Qrelation]; {!join},
+    {!semijoin} and the join-tree algorithms are built on it, so no
+    operation scans a relation per probe.
+    @raise Not_found when some variable is outside the scope. *)
+val index_on : t -> vars:int array -> (int array, int array list) Hashtbl.t
+
+(** [matching r ~vars key] lists the tuples of [r] agreeing with [key]
+    on [vars], via {!index_on}. *)
+val matching : t -> vars:int array -> int array -> int array list
+
 (** [join a b] is the natural join [a ⋈ b]; its scope is the union of
     scopes (a's variables first). *)
 val join : t -> t -> t

@@ -1,17 +1,20 @@
 (* A small hand-rolled scanner: atoms "name(v1,...,vk)" separated by
-   commas; '%' comments to end of line. *)
+   commas; '%' comments to end of line.  Every token carries its line
+   so parse errors can point into the file. *)
 
 type token = Ident of string | Lparen | Rparen | Comma | Period
 
-let tokenize text =
+let tokenize ~fail text =
   let n = String.length text in
   let tokens = ref [] in
   let i = ref 0 in
+  let line = ref 1 in
   let is_ident_char c =
     match c with
     | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | ':' | '\'' -> true
     | _ -> false
   in
+  let push tok = tokens := (tok, !line) :: !tokens in
   while !i < n do
     let c = text.[!i] in
     if c = '%' then begin
@@ -19,21 +22,25 @@ let tokenize text =
         incr i
       done
     end
-    else if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
     else if c = '(' then begin
-      tokens := Lparen :: !tokens;
+      push Lparen;
       incr i
     end
     else if c = ')' then begin
-      tokens := Rparen :: !tokens;
+      push Rparen;
       incr i
     end
     else if c = ',' then begin
-      tokens := Comma :: !tokens;
+      push Comma;
       incr i
     end
     else if c = '.' then begin
-      tokens := Period :: !tokens;
+      push Period;
       incr i
     end
     else if is_ident_char c then begin
@@ -41,13 +48,16 @@ let tokenize text =
       while !i < n && is_ident_char text.[!i] do
         incr i
       done;
-      tokens := Ident (String.sub text start (!i - start)) :: !tokens
+      push (Ident (String.sub text start (!i - start)))
     end
-    else failwith (Printf.sprintf "Hg_format: unexpected character %C" c)
+    else fail !line (Printf.sprintf "unexpected character %C" c)
   done;
   List.rev !tokens
 
-let parse_string text =
+let parse_string ?(source = "<string>") text =
+  let fail line msg =
+    failwith (Printf.sprintf "Hg_format: %s, line %d: %s" source line msg)
+  in
   let vars = Hashtbl.create 64 in
   let var_order = ref [] in
   let intern name =
@@ -62,21 +72,36 @@ let parse_string text =
   let rec parse_atoms tokens acc =
     match tokens with
     | [] -> List.rev acc
-    | (Comma | Period) :: rest -> parse_atoms rest acc
-    | Ident name :: Lparen :: rest ->
+    | ((Comma | Period), _) :: rest -> parse_atoms rest acc
+    | (Ident name, line) :: (Lparen, _) :: rest ->
         let rec parse_vars tokens vs =
           match tokens with
-          | Ident v :: rest -> parse_vars rest (intern v :: vs)
-          | Comma :: rest -> parse_vars rest vs
-          | Rparen :: rest -> (List.rev vs, rest)
-          | _ -> failwith "Hg_format: unterminated atom"
+          | (Ident v, _) :: rest -> parse_vars rest (intern v :: vs)
+          | (Comma, _) :: rest -> parse_vars rest vs
+          | (Rparen, _) :: rest -> (List.rev vs, rest)
+          | (Lparen, l) :: _ ->
+              fail l (Printf.sprintf "unexpected '(' inside atom %S" name)
+          | (Period, l) :: _ ->
+              fail l
+                (Printf.sprintf "unexpected '.' inside atom %S (missing \")\"?)"
+                   name)
+          | [] ->
+              fail line
+                (Printf.sprintf
+                   "unterminated atom %S: end of input before \")\"" name)
         in
         let vs, rest = parse_vars rest [] in
-        parse_atoms rest ((name, vs) :: acc)
-    | _ -> failwith "Hg_format: expected atom"
+        (* tolerate empty edge bodies: an empty hyperedge constrains
+           nothing, so "name()" is skipped rather than rejected *)
+        if vs = [] then parse_atoms rest acc
+        else parse_atoms rest ((name, vs) :: acc)
+    | (Ident name, line) :: _ ->
+        fail line
+          (Printf.sprintf "atom %S lacks an argument list (expected '(')" name)
+    | (_, line) :: _ -> fail line "expected an atom"
   in
-  let atoms = parse_atoms (tokenize text) [] in
-  if atoms = [] then failwith "Hg_format: no atoms";
+  let atoms = parse_atoms (tokenize ~fail text) [] in
+  if atoms = [] then fail 1 "no (non-empty) atoms";
   let n = Hashtbl.length vars in
   let vertex_names = Array.make n "" in
   List.iteri
@@ -86,11 +111,13 @@ let parse_string text =
   Hypergraph.create ~vertex_names ~edge_names ~n (List.map snd atoms)
 
 let parse_file path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
-  parse_string text
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse_string ~source:path text
 
 let to_string h =
   let buf = Buffer.create 1024 in

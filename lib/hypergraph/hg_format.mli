@@ -5,13 +5,24 @@
     {[ edge_name(var1, var2, ...), ]}
 
     separated by commas (a trailing comma or period is tolerated),
-    percent-sign comments, arbitrary whitespace.  Variable names are
-    interned in order of first appearance. *)
+    percent-sign comments, arbitrary whitespace — atoms may span
+    multiple lines.  Variable names are interned in order of first
+    appearance.
 
-(** [parse_string text] parses hypergraph text.
-    @raise Failure on malformed input. *)
-val parse_string : string -> Hypergraph.t
+    Malformed input raises [Failure] with the source name and the line
+    number of the offending token.  Empty edge bodies ([name()]), which
+    some HyperBench exports contain, are tolerated and skipped: an
+    empty hyperedge constrains nothing and {!Hypergraph.create} would
+    reject it. *)
 
+(** [parse_string ?source text] parses hypergraph text.  [source]
+    (default ["<string>"]) names the input in error messages.
+    @raise Failure with [source] and a line number on malformed input
+    or when no (non-empty) atom remains. *)
+val parse_string : ?source:string -> string -> Hypergraph.t
+
+(** [parse_file path] is {!parse_string} on the file's contents, with
+    [path] as the error-message source. *)
 val parse_file : string -> Hypergraph.t
 
 (** [to_string h] renders [h] in the same format, one atom per line. *)

@@ -1,0 +1,87 @@
+exception Witness
+
+(* Iterate every assignment of the body variables satisfying all atoms,
+   calling [on_solution env] with [env.(var id) = value].  Variable ids
+   follow [Cq.variables]. *)
+let solve db (q : Cq.t) ~on_solution =
+  let vars = Cq.variables q in
+  let var_id = Hashtbl.create 16 in
+  Array.iteri (fun i v -> Hashtbl.add var_id v i) vars;
+  let env = Array.make (max 1 (Array.length vars)) (-1) in
+  let atoms = Array.of_list q.Cq.body in
+  let rels =
+    Array.map
+      (fun (a : Cq.atom) ->
+        match Db.find db a.Cq.pred with
+        | Some r ->
+            if Qrelation.arity r <> Array.length a.Cq.args then
+              failwith
+                (Printf.sprintf
+                   "Brute_force: relation %S has arity %d, atom has arity %d"
+                   a.Cq.pred (Qrelation.arity r) (Array.length a.Cq.args))
+            else r
+        | None ->
+            failwith
+              (Printf.sprintf "Brute_force: unknown relation %S" a.Cq.pred))
+      atoms
+  in
+  let interner = Db.interner db in
+  let rec go k =
+    if k = Array.length atoms then on_solution env
+    else begin
+      let atom = atoms.(k) and rel = rels.(k) in
+      let args = atom.Cq.args in
+      let n_args = Array.length args in
+      for i = 0 to Qrelation.cardinality rel - 1 do
+        (* match the row against the atom, binding fresh variables *)
+        let bound = ref [] in
+        let ok = ref true in
+        let j = ref 0 in
+        while !ok && !j < n_args do
+          let v = Qrelation.get rel i !j in
+          (match args.(!j) with
+          | Cq.Const c ->
+              if
+                match Intern.find interner c with
+                | Some cv -> cv <> v
+                | None -> true
+              then ok := false
+          | Cq.Var name ->
+              let id = Hashtbl.find var_id name in
+              if env.(id) = -1 then begin
+                env.(id) <- v;
+                bound := id :: !bound
+              end
+              else if env.(id) <> v then ok := false);
+          incr j
+        done;
+        if !ok then go (k + 1);
+        List.iter (fun id -> env.(id) <- -1) !bound
+      done
+    end
+  in
+  go 0
+
+let head_ids q =
+  let vars = Cq.variables q in
+  let var_id = Hashtbl.create 16 in
+  Array.iteri (fun i v -> Hashtbl.add var_id v i) vars;
+  Array.map (fun v -> Hashtbl.find var_id v) q.Cq.head
+
+let distinct_answers db q =
+  let head = head_ids q in
+  let seen = Hashtbl.create 64 in
+  solve db q ~on_solution:(fun env ->
+      let proj = Array.map (fun id -> env.(id)) head in
+      if not (Hashtbl.mem seen proj) then Hashtbl.add seen proj ());
+  Hashtbl.fold (fun proj () acc -> proj :: acc) seen []
+
+let answers db q = List.map (Db.decode db) (distinct_answers db q)
+
+let count db q = List.length (distinct_answers db q)
+
+let boolean db q =
+  try
+    solve db q ~on_solution:(fun _ -> raise Witness);
+    false
+  with Witness -> true

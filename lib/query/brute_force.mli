@@ -1,0 +1,16 @@
+(** Brute-force CQ evaluation: backtracking over the body atoms in
+    query order, scanning each base table for tuples consistent with
+    the partial assignment.  Exponential in general — this is the
+    correctness oracle {!Yannakakis} is tested and benchmarked
+    against, not a practical evaluator. *)
+
+(** [answers db q] is the set of distinct answers (decoded constant
+    tuples over the head variables), in an unspecified order. *)
+val answers : Db.t -> Cq.t -> string array list
+
+(** [count db q] is the number of distinct answers. *)
+val count : Db.t -> Cq.t -> int
+
+(** [boolean db q] holds when [q] has at least one answer (early
+    exit on the first witness). *)
+val boolean : Db.t -> Cq.t -> bool

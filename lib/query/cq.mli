@@ -1,0 +1,52 @@
+(** Conjunctive queries: the AST, a datalog-ish parser, and the
+    query-to-hypergraph extraction that feeds the decomposition stack.
+
+    A conjunctive query is one rule
+
+    {[ ans(X,Y) :- r(X,Z), s(Z,Y). ]}
+
+    with a head listing the free (output) variables and a body of
+    relational atoms.  Identifiers starting with an uppercase letter or
+    [_] are variables; everything else (including numbers and
+    double-quoted strings) is a constant.  [%] and [#] start comments to
+    end of line; atoms may span lines.  The query must be {e safe}:
+    every head variable occurs in the body. *)
+
+type term = Var of string | Const of string
+
+type atom = { pred : string; args : term array }
+
+type t = {
+  head_pred : string;  (** name of the head atom, e.g. ["ans"] *)
+  head : string array;  (** free variables, in head order *)
+  body : atom list;
+}
+
+(** [parse_string ?source text] parses one rule.
+    @raise Failure with [source] and a line number on malformed or
+    unsafe input. *)
+val parse_string : ?source:string -> string -> t
+
+(** [parse_file path] is {!parse_string} on the file's contents. *)
+val parse_file : string -> t
+
+(** [variables q] lists the distinct body variables in first-occurrence
+    order — the vertex numbering used by {!hypergraph}. *)
+val variables : t -> string array
+
+(** [atom_vars a] lists [a]'s distinct variables in first-occurrence
+    order. *)
+val atom_vars : atom -> string array
+
+(** [is_ground a] holds when [a] has no variables. *)
+val is_ground : atom -> bool
+
+(** [hypergraph q] is the query's hypergraph (one vertex per variable of
+    {!variables}, one hyperedge per non-ground body atom, in body
+    order), the structure whose generalized hypertree width governs the
+    cost of answering [q].  Ground atoms contribute no hyperedge — they
+    are membership tests evaluated separately.
+    @raise Invalid_argument when no body atom has a variable. *)
+val hypergraph : t -> Hd_hypergraph.Hypergraph.t
+
+val to_string : t -> string

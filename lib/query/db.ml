@@ -1,0 +1,152 @@
+type t = {
+  intern : Intern.t;
+  rels : (string, Qrelation.t) Hashtbl.t;
+}
+
+let create () = { intern = Intern.create (); rels = Hashtbl.create 16 }
+
+let interner db = db.intern
+
+let find db name = Hashtbl.find_opt db.rels name
+
+let relation_names db =
+  List.sort compare (Hashtbl.fold (fun name _ acc -> name :: acc) db.rels [])
+
+let base_scope k = Array.init k Fun.id
+
+let add db ~name rows =
+  let interned =
+    List.map (fun row -> Array.map (Intern.intern db.intern) row) rows
+  in
+  match (find db name, interned) with
+  | None, [] -> ()
+  | None, first :: _ ->
+      let k = Array.length first in
+      List.iter
+        (fun row ->
+          if Array.length row <> k then
+            failwith
+              (Printf.sprintf "Db.add: relation %S: ragged tuple arities" name))
+        interned;
+      Hashtbl.replace db.rels name (Qrelation.make ~scope:(base_scope k) interned)
+  | Some r, _ ->
+      let k = Qrelation.arity r in
+      List.iter
+        (fun row ->
+          if Array.length row <> k then
+            failwith
+              (Printf.sprintf
+                 "Db.add: relation %S expects arity %d tuples" name k))
+        interned;
+      Hashtbl.replace db.rels name
+        (Qrelation.make ~scope:(base_scope k) (Qrelation.rows r @ interned))
+
+let split_line sep line =
+  String.split_on_char sep line |> List.map String.trim |> Array.of_list
+
+let strip_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+let name_of_path path =
+  let base = Filename.basename path in
+  try Filename.chop_extension base with Invalid_argument _ -> base
+
+let load_file db ?name path =
+  let name = match name with Some n -> n | None -> name_of_path path in
+  let sep =
+    if Filename.check_suffix (String.lowercase_ascii path) ".tsv" then '\t'
+    else ','
+  in
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rows = ref [] in
+      let arity = ref (-1) in
+      let lineno = ref 0 in
+      (try
+         while true do
+           let line = strip_cr (input_line ic) in
+           incr lineno;
+           let trimmed = String.trim line in
+           if trimmed <> "" && trimmed.[0] <> '#' then begin
+             let row = split_line sep line in
+             if !arity = -1 then arity := Array.length row
+             else if Array.length row <> !arity then
+               failwith
+                 (Printf.sprintf
+                    "Db: %s, line %d: expected %d fields, got %d" path
+                    !lineno !arity (Array.length row));
+             rows := row :: !rows
+           end
+         done
+       with End_of_file -> ());
+      add db ~name (List.rev !rows))
+
+let load_dir db dir =
+  let entries = Sys.readdir dir in
+  Array.sort compare entries;
+  Array.iter
+    (fun entry ->
+      let lower = String.lowercase_ascii entry in
+      if
+        Filename.check_suffix lower ".csv"
+        || Filename.check_suffix lower ".tsv"
+      then load_file db (Filename.concat dir entry))
+    entries
+
+let relation_for_atom db ~var_id (atom : Cq.atom) =
+  let base =
+    match find db atom.Cq.pred with
+    | Some r -> r
+    | None ->
+        failwith
+          (Printf.sprintf "Db: unknown relation %S in query" atom.Cq.pred)
+  in
+  let k = Array.length atom.Cq.args in
+  if Qrelation.arity base <> k then
+    failwith
+      (Printf.sprintf "Db: relation %S has arity %d, query atom has arity %d"
+         atom.Cq.pred (Qrelation.arity base) k);
+  (* per-position obligations: a constant to equal, or the position of
+     the variable's first occurrence to agree with *)
+  let first_pos = Hashtbl.create 8 in
+  let checks =
+    Array.to_list
+      (Array.mapi
+         (fun j term ->
+           match term with
+           | Cq.Const c -> (
+               match Intern.find db.intern c with
+               | Some v -> Some (j, `Const v)
+               | None -> Some (j, `Never))
+           | Cq.Var v -> (
+               match Hashtbl.find_opt first_pos v with
+               | Some j0 -> Some (j, `SameAs j0)
+               | None ->
+                   Hashtbl.add first_pos v j;
+                   None))
+         atom.Cq.args)
+    |> List.filter_map Fun.id
+  in
+  let vars = Cq.atom_vars atom in
+  let var_cols = Array.map (fun v -> Hashtbl.find first_pos v) vars in
+  let scope = Array.map var_id vars in
+  let out = ref [] in
+  for i = Qrelation.cardinality base - 1 downto 0 do
+    let ok =
+      List.for_all
+        (fun (j, oblig) ->
+          match oblig with
+          | `Const v -> Qrelation.get base i j = v
+          | `SameAs j0 -> Qrelation.get base i j = Qrelation.get base i j0
+          | `Never -> false)
+        checks
+    in
+    if ok then
+      out := Array.map (fun j -> Qrelation.get base i j) var_cols :: !out
+  done;
+  Qrelation.make ~scope !out
+
+let decode db row = Array.map (Intern.name db.intern) row

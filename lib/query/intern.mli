@@ -1,0 +1,25 @@
+(** Constant interning: a bijection between the strings appearing in a
+    relational instance and dense integer ids.
+
+    Every constant a database or query mentions is interned exactly
+    once; relations then store and compare plain [int]s, so tuple
+    hashing, joins and semijoins never touch string data on the hot
+    path.  Ids are dense ([0 .. size - 1]) in first-interning order. *)
+
+type t
+
+val create : unit -> t
+
+(** [intern t s] is the id of [s], allocating the next free id on first
+    sight. *)
+val intern : t -> string -> int
+
+(** [find t s] is [Some id] when [s] has been interned. *)
+val find : t -> string -> int option
+
+(** [name t id] is the string interned as [id].
+    @raise Invalid_argument on an unallocated id. *)
+val name : t -> int -> string
+
+(** [size t] is the number of interned constants. *)
+val size : t -> int

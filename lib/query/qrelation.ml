@@ -1,0 +1,230 @@
+module Obs = Hd_obs.Obs
+
+(* Observability: hash-join work on the query path.  Semijoin pass
+   totals live in Yannakakis; these count the per-operation tuple
+   traffic. *)
+let c_joins = Obs.Counter.make "query.joins"
+let c_join_tuples = Obs.Counter.make "query.join_tuples"
+let c_semijoins = Obs.Counter.make "query.semijoins"
+let c_semijoin_kept = Obs.Counter.make "query.semijoin_kept_tuples"
+let c_index_builds = Obs.Counter.make "query.index_builds"
+let h_relation_size = Obs.Histogram.make "query.relation_size"
+
+type t = {
+  scope : int array;
+  cols : int array array;  (* cols.(j).(i) = row i, column j *)
+  n : int;
+  mutable indexes : (int array * (int array, int list) Hashtbl.t) list;
+}
+
+let check_scope scope =
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun v ->
+      if Hashtbl.mem seen v then
+        invalid_arg "Qrelation: duplicate attribute in scope";
+      Hashtbl.add seen v ())
+    scope
+
+let scope r = r.scope
+let arity r = Array.length r.scope
+let cardinality r = r.n
+let is_empty r = r.n = 0
+let get r i j = r.cols.(j).(i)
+let row r i = Array.map (fun col -> col.(i)) r.cols
+
+let rows r =
+  List.init r.n (row r)
+
+(* rows assumed distinct and of the right arity *)
+let of_rows_unchecked ~scope rows ~n =
+  let k = Array.length scope in
+  let cols = Array.init k (fun _ -> Array.make n 0) in
+  List.iteri
+    (fun i row ->
+      for j = 0 to k - 1 do
+        cols.(j).(i) <- row.(j)
+      done)
+    rows;
+  Obs.Histogram.observe h_relation_size n;
+  { scope; cols; n; indexes = [] }
+
+let make ~scope rows =
+  check_scope scope;
+  let k = Array.length scope in
+  let seen = Hashtbl.create (max 16 (List.length rows)) in
+  let deduped = ref [] in
+  let n = ref 0 in
+  List.iter
+    (fun row ->
+      if Array.length row <> k then
+        invalid_arg "Qrelation.make: tuple arity mismatch";
+      if not (Hashtbl.mem seen row) then begin
+        Hashtbl.add seen row ();
+        deduped := row :: !deduped;
+        incr n
+      end)
+    rows;
+  of_rows_unchecked ~scope (List.rev !deduped) ~n:!n
+
+let position r attr =
+  let k = Array.length r.scope in
+  let rec go j =
+    if j >= k then raise Not_found
+    else if r.scope.(j) = attr then j
+    else go (j + 1)
+  in
+  go 0
+
+let positions r attrs = Array.map (position r) attrs
+
+let key_at r positions i = Array.map (fun p -> r.cols.(p).(i)) positions
+
+let index_on r positions =
+  match List.find_opt (fun (p, _) -> p = positions) r.indexes with
+  | Some (_, table) -> table
+  | None ->
+      Obs.Counter.incr c_index_builds;
+      let table = Hashtbl.create (max 16 r.n) in
+      (* descending fill so each bucket lists row ids ascending *)
+      for i = r.n - 1 downto 0 do
+        let key = key_at r positions i in
+        let bucket =
+          match Hashtbl.find_opt table key with Some b -> b | None -> []
+        in
+        Hashtbl.replace table key (i :: bucket)
+      done;
+      r.indexes <- (positions, table) :: r.indexes;
+      table
+
+let matching r ~on key =
+  match Hashtbl.find_opt (index_on r on) key with
+  | Some rows -> rows
+  | None -> []
+
+let all_positions r = Array.init (arity r) Fun.id
+
+let mem r tuple =
+  if Array.length tuple <> arity r then false
+  else matching r ~on:(all_positions r) tuple <> []
+
+(* attributes of [a] also in [b], in [a]'s scope order *)
+let shared_attrs a b =
+  Array.of_list
+    (List.filter
+       (fun v -> Array.exists (( = ) v) b.scope)
+       (Array.to_list a.scope))
+
+let join a b =
+  let shared = shared_attrs a b in
+  let pa = positions a shared and pb = positions b shared in
+  let b_priv =
+    Array.of_list
+      (List.filter
+         (fun j -> not (Array.exists (( = ) j) pb))
+         (List.init (arity b) Fun.id))
+  in
+  let out_scope =
+    Array.append a.scope (Array.map (fun j -> b.scope.(j)) b_priv)
+  in
+  let ka = arity a and kp = Array.length b_priv in
+  let index = index_on b pb in
+  let out = ref [] in
+  let n = ref 0 in
+  for i = 0 to a.n - 1 do
+    match Hashtbl.find_opt index (key_at a pa i) with
+    | None -> ()
+    | Some bs ->
+        List.iter
+          (fun jb ->
+            let row = Array.make (ka + kp) 0 in
+            for j = 0 to ka - 1 do
+              row.(j) <- a.cols.(j).(i)
+            done;
+            for j = 0 to kp - 1 do
+              row.(ka + j) <- b.cols.(b_priv.(j)).(jb)
+            done;
+            out := row :: !out;
+            incr n)
+          bs
+  done;
+  Obs.Counter.incr c_joins;
+  Obs.Counter.add c_join_tuples !n;
+  (* distinct inputs give distinct output rows: an output row determines
+     its generating pair *)
+  of_rows_unchecked ~scope:out_scope (List.rev !out) ~n:!n
+
+let filter_rows r keep_ids ~n =
+  let k = arity r in
+  let cols = Array.init k (fun _ -> Array.make n 0) in
+  List.iteri
+    (fun i' i ->
+      for j = 0 to k - 1 do
+        cols.(j).(i') <- r.cols.(j).(i)
+      done)
+    keep_ids;
+  Obs.Histogram.observe h_relation_size n;
+  { scope = r.scope; cols; n; indexes = [] }
+
+let semijoin a b =
+  let shared = shared_attrs a b in
+  let pa = positions a shared and pb = positions b shared in
+  let index = index_on b pb in
+  let keep = ref [] in
+  let n = ref 0 in
+  for i = a.n - 1 downto 0 do
+    if Hashtbl.mem index (key_at a pa i) then begin
+      keep := i :: !keep;
+      incr n
+    end
+  done;
+  Obs.Counter.incr c_semijoins;
+  Obs.Counter.add c_semijoin_kept !n;
+  if !n = a.n then a else filter_rows a !keep ~n:!n
+
+let project r attrs =
+  check_scope attrs;
+  let ps = positions r attrs in
+  let seen = Hashtbl.create (max 16 r.n) in
+  let out = ref [] in
+  let n = ref 0 in
+  for i = r.n - 1 downto 0 do
+    let row = key_at r ps i in
+    if not (Hashtbl.mem seen row) then begin
+      Hashtbl.add seen row ();
+      out := row :: !out;
+      incr n
+    end
+  done;
+  (* reversed iteration + prepending keeps first-occurrence order up to
+     dedup choice; order is unspecified anyway *)
+  of_rows_unchecked ~scope:attrs !out ~n:!n
+
+let select_eq r ~attr ~value =
+  let p = position r attr in
+  let keep = ref [] in
+  let n = ref 0 in
+  for i = r.n - 1 downto 0 do
+    if r.cols.(p).(i) = value then begin
+      keep := i :: !keep;
+      incr n
+    end
+  done;
+  filter_rows r !keep ~n:!n
+
+let equal a b =
+  a.scope = b.scope
+  && a.n = b.n
+  && List.sort compare (rows a) = List.sort compare (rows b)
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>scope(%s): %d rows"
+    (String.concat "," (Array.to_list (Array.map string_of_int r.scope)))
+    r.n;
+  for i = 0 to min (r.n - 1) 19 do
+    Format.fprintf ppf "@,(%s)"
+      (String.concat ","
+         (Array.to_list (Array.map string_of_int (row r i))))
+  done;
+  if r.n > 20 then Format.fprintf ppf "@,...";
+  Format.fprintf ppf "@]"

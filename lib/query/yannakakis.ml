@@ -1,0 +1,404 @@
+module Hypergraph = Hd_hypergraph.Hypergraph
+module Acyclicity = Hd_hypergraph.Acyclicity
+module Td = Hd_core.Tree_decomposition
+module Ghd = Hd_core.Ghd
+module Bitset = Hd_graph.Bitset
+module St = Hd_search.Search_types
+module Obs = Hd_obs.Obs
+
+(* Observability: bag materialisation, semijoin passes, and the
+   enumeration's tuple-producing work.  After full reduction the
+   enumeration is backtrack-free, so query.enum_dead_ends stays 0 —
+   the test suite asserts this. *)
+let c_bag_tuples = Obs.Counter.make "query.bag_tuples"
+let c_reduce_semijoins = Obs.Counter.make "query.reduce_semijoins"
+let c_enum_rows = Obs.Counter.make "query.enum_rows"
+let c_enum_dead_ends = Obs.Counter.make "query.enum_dead_ends"
+let c_answers = Obs.Counter.make "query.answers"
+let h_bag_size = Obs.Histogram.make "query.bag_size"
+
+type mode = Answers | Count | Boolean
+
+type method_ = Auto | Min_fill | Bb_ghw | Portfolio
+
+type stats = {
+  acyclic : bool;
+  width : int;
+  bags : int;
+  tuples_materialized : int;
+  tuples_after_reduction : int;
+  semijoins : int;
+}
+
+type result = {
+  mode : mode;
+  answers : string array list;
+  count : int;
+  nonempty : bool;
+  stats : stats;
+}
+
+exception Empty_result
+
+(* a join tree of materialised relations: rels.(i)'s scope is node i's
+   bag, parent.(i) = -1 for roots *)
+type tree = { rels : Qrelation.t array; parent : int array }
+
+(* children-before-parents order *)
+let bottom_up_order parent =
+  let m = Array.length parent in
+  let depth = Array.make m (-1) in
+  let rec depth_of i =
+    if depth.(i) >= 0 then depth.(i)
+    else begin
+      let d = if parent.(i) = -1 then 0 else depth_of parent.(i) + 1 in
+      depth.(i) <- d;
+      d
+    end
+  in
+  let order = Array.init m Fun.id in
+  for i = 0 to m - 1 do
+    ignore (depth_of i)
+  done;
+  Array.sort (fun a b -> compare depth.(b) depth.(a)) order;
+  order
+
+let total_tuples rels =
+  Array.fold_left (fun acc r -> acc + Qrelation.cardinality r) 0 rels
+
+(* ------------------------------------------------------------------ *)
+(* Planning: hypergraph -> join tree of materialised bag relations     *)
+(* ------------------------------------------------------------------ *)
+
+let ordering_for ~method_ ~jobs ~seed ~time_limit h =
+  let budget = St.with_time time_limit in
+  let min_fill () =
+    Hd_core.Ordering_heuristics.min_fill_hypergraph
+      (Random.State.make [| seed |])
+      h
+  in
+  match method_ with
+  | Auto | Min_fill -> min_fill ()
+  | Bb_ghw -> (
+      match (Hd_search.Bb_ghw.solve ~budget ~seed h).St.ordering with
+      | Some sigma -> sigma
+      | None -> min_fill ())
+  | Portfolio -> (
+      match
+        (Hd_parallel.Portfolio.solve_ghw ~jobs ~budget ~seed h)
+          .Hd_parallel.Portfolio.ordering
+      with
+      | Some sigma -> sigma
+      | None -> min_fill ())
+
+(* materialise one relation per GHD node: join the lambda-label atom
+   relations, project onto the bag.  Completion (Lemma 2) guarantees
+   every atom is enforced unprojected at some node. *)
+let materialize_ghd ghd atom_rels =
+  Obs.with_span "query.materialize" @@ fun () ->
+  let td = ghd.Ghd.td in
+  let n_nodes = Td.n_nodes td in
+  let rels =
+    Array.init n_nodes (fun p ->
+        let lambda = ghd.Ghd.lambda.(p) in
+        let joined =
+          match Array.to_list lambda with
+          | [] -> Qrelation.make ~scope:[||] [ [||] ]
+          | e :: rest ->
+              List.fold_left
+                (fun acc e' -> Qrelation.join acc atom_rels.(e'))
+                atom_rels.(e) rest
+        in
+        let chi = Array.of_list (Bitset.elements (Td.bag td p)) in
+        let r = Qrelation.project joined chi in
+        Obs.Counter.add c_bag_tuples (Qrelation.cardinality r);
+        Obs.Histogram.observe h_bag_size (Qrelation.cardinality r);
+        r)
+  in
+  { rels; parent = td.Td.parent }
+
+let plan ~method_ ~jobs ~seed ~time_limit h atom_rels =
+  Obs.with_span "query.plan" @@ fun () ->
+  let acyclic_tree () =
+    match Acyclicity.join_tree h with
+    | Some parent ->
+        Array.iter
+          (fun (r : Qrelation.t) ->
+            Obs.Counter.add c_bag_tuples (Qrelation.cardinality r);
+            Obs.Histogram.observe h_bag_size (Qrelation.cardinality r))
+          atom_rels;
+        Some ({ rels = Array.copy atom_rels; parent }, 1, true)
+    | None -> None
+  in
+  let ghd_plan () =
+      let sigma =
+        Obs.with_span "query.decompose" @@ fun () ->
+        ordering_for ~method_ ~jobs ~seed ~time_limit h
+      in
+      let ghd = Ghd.of_ordering h sigma ~cover:`Exact in
+      let ghd = Ghd.complete h ghd in
+      (materialize_ghd ghd atom_rels, Ghd.width ghd, false)
+  in
+  match method_ with
+  | Auto -> (
+      match acyclic_tree () with Some t -> t | None -> ghd_plan ())
+  | Min_fill | Bb_ghw | Portfolio -> ghd_plan ()
+
+(* ------------------------------------------------------------------ *)
+(* Semijoin reduction                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* bottom-up pass; raises Empty_result as soon as any relation empties *)
+let reduce_bottom_up t ~semijoins =
+  let order = bottom_up_order t.parent in
+  Array.iter
+    (fun (r : Qrelation.t) -> if Qrelation.is_empty r then raise Empty_result)
+    t.rels;
+  Array.iter
+    (fun i ->
+      let p = t.parent.(i) in
+      if p <> -1 then begin
+        t.rels.(p) <- Qrelation.semijoin t.rels.(p) t.rels.(i);
+        incr semijoins;
+        Obs.Counter.incr c_reduce_semijoins;
+        if Qrelation.is_empty t.rels.(p) then raise Empty_result
+      end)
+    order
+
+(* top-down pass: after it, every tuple everywhere takes part in at
+   least one full solution (full reduction) *)
+let reduce_top_down t ~semijoins =
+  let order = bottom_up_order t.parent in
+  for k = Array.length order - 1 downto 0 do
+    let i = order.(k) in
+    let p = t.parent.(i) in
+    if p <> -1 then begin
+      t.rels.(i) <- Qrelation.semijoin t.rels.(i) t.rels.(p);
+      incr semijoins;
+      Obs.Counter.incr c_reduce_semijoins
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Counting without materialisation                                    *)
+(* ------------------------------------------------------------------ *)
+
+let shared_vars sa sb =
+  Array.of_list
+    (List.filter (fun v -> Array.exists (( = ) v) sb) (Array.to_list sa))
+
+(* number of distinct full assignments admitted by the (reduced) tree:
+   per-node weights accumulated children-first, one hash lookup per
+   parent tuple and child *)
+let count_assignments t =
+  let m = Array.length t.rels in
+  let children = Array.make m [] in
+  Array.iteri
+    (fun i p -> if p <> -1 then children.(p) <- i :: children.(p))
+    t.parent;
+  let weights = Array.make m [||] in
+  Array.iter
+    (fun i ->
+      let r = t.rels.(i) in
+      let w = Array.make (Qrelation.cardinality r) 1 in
+      List.iter
+        (fun c ->
+          let rc = t.rels.(c) in
+          let shared = shared_vars (Qrelation.scope r) (Qrelation.scope rc) in
+          let pr = Qrelation.positions r shared in
+          let pc = Qrelation.positions rc shared in
+          let sums = Hashtbl.create (max 16 (Qrelation.cardinality rc)) in
+          Array.iteri
+            (fun j wj ->
+              let key = Array.map (fun p -> Qrelation.get rc j p) pc in
+              Hashtbl.replace sums key
+                (wj + Option.value (Hashtbl.find_opt sums key) ~default:0))
+            weights.(c);
+          for j = 0 to Qrelation.cardinality r - 1 do
+            let key = Array.map (fun p -> Qrelation.get r j p) pr in
+            w.(j) <-
+              w.(j) * Option.value (Hashtbl.find_opt sums key) ~default:0
+          done)
+        children.(i);
+      weights.(i) <- w)
+    (bottom_up_order t.parent);
+  let total = ref 1 in
+  Array.iteri
+    (fun i p ->
+      if p = -1 then
+        total := !total * Array.fold_left ( + ) 0 weights.(i))
+    t.parent;
+  !total
+
+(* ------------------------------------------------------------------ *)
+(* Backtrack-free enumeration                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* visit every full assignment of the reduced tree in depth-first
+   pre-order; on a fully reduced tree every row extends, so the work is
+   proportional to the solutions emitted, never to dead intermediate
+   tuples *)
+let enumerate t ~n_vars ~on_solution =
+  Obs.with_span "query.enumerate" @@ fun () ->
+  let order =
+    let o = bottom_up_order t.parent in
+    Array.init (Array.length o) (fun k -> o.(Array.length o - 1 - k))
+  in
+  let m = Array.length order in
+  let info =
+    Array.map
+      (fun i ->
+        let r = t.rels.(i) in
+        let sc = Qrelation.scope r in
+        let parent_scope =
+          if t.parent.(i) = -1 then [||]
+          else Qrelation.scope t.rels.(t.parent.(i))
+        in
+        let shared = shared_vars sc parent_scope in
+        let index = Qrelation.index_on r (Qrelation.positions r shared) in
+        let fresh =
+          Array.of_list
+            (List.filter_map
+               (fun j ->
+                 let v = sc.(j) in
+                 if Array.exists (( = ) v) shared then None else Some (j, v))
+               (List.init (Array.length sc) Fun.id))
+        in
+        (r, shared, index, fresh))
+      order
+  in
+  let env = Array.make (max 1 n_vars) (-1) in
+  let rec go k =
+    if k = m then on_solution env
+    else begin
+      let r, shared, index, fresh = info.(k) in
+      let key = Array.map (fun v -> env.(v)) shared in
+      match Hashtbl.find_opt index key with
+      | None -> Obs.Counter.incr c_enum_dead_ends
+      | Some row_ids ->
+          List.iter
+            (fun rid ->
+              Obs.Counter.incr c_enum_rows;
+              Array.iter
+                (fun (j, v) -> env.(v) <- Qrelation.get r rid j)
+                fresh;
+              go (k + 1))
+            row_ids
+    end
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* The engine                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let empty_result mode stats = { mode; answers = []; count = 0; nonempty = false; stats }
+
+let run ?(method_ = Auto) ?(jobs = 1) ?(seed = 42) ?(time_limit = 10.0) ~mode
+    db q =
+  Obs.with_span "query.run" @@ fun () ->
+  let vars = Cq.variables q in
+  let n_vars = Array.length vars in
+  let var_ids = Hashtbl.create 16 in
+  Array.iteri (fun i v -> Hashtbl.add var_ids v i) vars;
+  let var_id v = Hashtbl.find var_ids v in
+  let head_ids = Array.map var_id q.Cq.head in
+  let ground, proper = List.partition Cq.is_ground q.Cq.body in
+  let no_stats ~acyclic ~width ~bags =
+    {
+      acyclic;
+      width;
+      bags;
+      tuples_materialized = 0;
+      tuples_after_reduction = 0;
+      semijoins = 0;
+    }
+  in
+  (* ground atoms are membership tests independent of the variables *)
+  let ground_holds =
+    List.for_all
+      (fun a -> not (Qrelation.is_empty (Db.relation_for_atom db ~var_id a)))
+      ground
+  in
+  if not ground_holds then
+    empty_result mode (no_stats ~acyclic:true ~width:0 ~bags:0)
+  else if proper = [] then
+    (* variable-free query: the single empty answer *)
+    {
+      mode;
+      answers = (match mode with Answers -> [ [||] ] | _ -> []);
+      count = 1;
+      nonempty = true;
+      stats = no_stats ~acyclic:true ~width:0 ~bags:0;
+    }
+  else begin
+    let h = Cq.hypergraph q in
+    let atom_rels =
+      Array.of_list
+        (List.map (fun a -> Db.relation_for_atom db ~var_id a) proper)
+    in
+    let tree, width, acyclic =
+      plan ~method_ ~jobs ~seed ~time_limit h atom_rels
+    in
+    let bags = Array.length tree.rels in
+    let tuples_materialized = total_tuples tree.rels in
+    let semijoins = ref 0 in
+    let stats_now () =
+      {
+        acyclic;
+        width;
+        bags;
+        tuples_materialized;
+        tuples_after_reduction = total_tuples tree.rels;
+        semijoins = !semijoins;
+      }
+    in
+    try
+      Obs.with_span "query.reduce" (fun () ->
+          reduce_bottom_up tree ~semijoins;
+          if mode <> Boolean then reduce_top_down tree ~semijoins);
+      match mode with
+      | Boolean ->
+          { mode; answers = []; count = 1; nonempty = true; stats = stats_now () }
+      | Count
+        when (let covered = Array.make n_vars false in
+              Array.iter (fun v -> covered.(v) <- true) head_ids;
+              Array.for_all Fun.id covered) ->
+          (* the head covers every variable: distinct answers are in
+             bijection with full assignments — count by weights, no
+             materialisation *)
+          let count = count_assignments tree in
+          Obs.Counter.add c_answers count;
+          { mode; answers = []; count; nonempty = count > 0; stats = stats_now () }
+      | Count ->
+          (* a genuine projection: enumerate and count distinct heads *)
+          let seen = Hashtbl.create 256 in
+          enumerate tree ~n_vars ~on_solution:(fun env ->
+              let proj = Array.map (fun v -> env.(v)) head_ids in
+              if not (Hashtbl.mem seen proj) then begin
+                Hashtbl.add seen proj ();
+                Obs.Counter.incr c_answers
+              end);
+          let count = Hashtbl.length seen in
+          { mode; answers = []; count; nonempty = count > 0; stats = stats_now () }
+      | Answers ->
+          let seen = Hashtbl.create 256 in
+          enumerate tree ~n_vars ~on_solution:(fun env ->
+              let proj = Array.map (fun v -> env.(v)) head_ids in
+              if not (Hashtbl.mem seen proj) then begin
+                Hashtbl.add seen proj ();
+                Obs.Counter.incr c_answers
+              end);
+          let answers =
+            Hashtbl.fold (fun proj () acc -> Db.decode db proj :: acc) seen []
+          in
+          {
+            mode;
+            answers;
+            count = Hashtbl.length seen;
+            nonempty = answers <> [];
+            stats = stats_now ();
+          }
+    with Empty_result ->
+      empty_result mode (stats_now ())
+  end

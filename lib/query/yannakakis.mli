@@ -1,0 +1,71 @@
+(** Yannakakis-style conjunctive query answering over (G)HDs.
+
+    The pipeline (the paper's "answer" to a question, Sections 2.2-2.5):
+
+    + extract the query's hypergraph ({!Cq.hypergraph});
+    + when it is alpha-acyclic, take the GYO join tree directly (one
+      node per atom, ghw 1); otherwise compute an elimination ordering
+      (min-fill, BB-ghw, or the {!Hd_parallel.Portfolio} race,
+      depending on [method_]), build a GHD with exact set-cover labels
+      and complete it (Lemma 2);
+    + materialise one relation per node: the hash join of the node's
+      lambda-label atoms projected onto its bag;
+    + semijoin-reduce the tree bottom-up (and, except in boolean mode,
+      top-down), after which the tree is globally consistent;
+    + enumerate answers backtrack-free, project onto the head
+      variables, and deduplicate — or count / decide without
+      materialising any answer.
+
+    Total cost is polynomial in [||D||^w + |answers|] for a width-[w]
+    plan; after the two semijoin passes the enumeration touches no
+    tuple that fails to extend to a full solution (the
+    [query.enum_dead_ends] counter stays 0 — asserted in the test
+    suite). *)
+
+type mode =
+  | Answers  (** materialise the distinct answer set *)
+  | Count  (** number of distinct answers, without materialising them
+               when the head covers every body variable *)
+  | Boolean  (** emptiness only: bottom-up semijoins, nothing more *)
+
+type method_ =
+  | Auto  (** GYO join tree when acyclic, else min-fill GHD *)
+  | Min_fill  (** always decompose, min-fill ordering *)
+  | Bb_ghw  (** always decompose, branch-and-bound ghw ordering *)
+  | Portfolio  (** always decompose, parallel portfolio ordering *)
+
+type stats = {
+  acyclic : bool;  (** answered via the GYO join tree *)
+  width : int;  (** 1 when acyclic, else the GHD width of the plan *)
+  bags : int;  (** join tree nodes *)
+  tuples_materialized : int;  (** total bag tuples before reduction *)
+  tuples_after_reduction : int;  (** total bag tuples after semijoins *)
+  semijoins : int;  (** semijoin operations performed *)
+}
+
+type result = {
+  mode : mode;
+  answers : string array list;
+      (** decoded distinct answers ([Answers] mode only, unspecified
+          order) *)
+  count : int;  (** distinct answers ([Answers]/[Count]; 1/0 for
+                    [Boolean]) *)
+  nonempty : bool;
+  stats : stats;
+}
+
+(** [run ~mode db q] answers [q] over [db].  [jobs] sizes the
+    [Portfolio] race; [seed] and [time_limit] parameterise the
+    decomposition search ([time_limit] bounds only that search, not
+    evaluation).
+    @raise Failure on relations missing from [db] or arity
+    mismatches. *)
+val run :
+  ?method_:method_ ->
+  ?jobs:int ->
+  ?seed:int ->
+  ?time_limit:float ->
+  mode:mode ->
+  Db.t ->
+  Cq.t ->
+  result

@@ -339,6 +339,71 @@ let test_count_queens () =
   let td = Td.of_ordering_hypergraph h sigma in
   check_int "5-queens count via TD" 10 (Solver.count_with_td csp td)
 
+(* known closed-form model counts: a path of binary [<>] constraints
+   (alpha-acyclic) has d.(d-1)^(n-1) models; the [<>] triangle (cyclic)
+   has d.(d-1).(d-2).  These pin down the hash-aggregated counting in
+   Join_tree.count_solutions and the bag-join counting in
+   Solver.count_with_td against closed forms rather than against
+   another solver. *)
+
+let neq_relation i j d =
+  let tuples = ref [] in
+  for a = 0 to d - 1 do
+    for b = 0 to d - 1 do
+      if a <> b then tuples := [| a; b |] :: !tuples
+    done
+  done;
+  Relation.make ~scope:[| i; j |] !tuples
+
+let rec pow b e = if e = 0 then 1 else b * pow b (e - 1)
+
+let test_count_chain_known () =
+  let n = 5 and d = 3 in
+  let domains = Array.make n (Array.init d Fun.id) in
+  let cons = List.init (n - 1) (fun i -> neq_relation i (i + 1) d) in
+  let csp = Csp.make ~domains cons in
+  let expected = d * pow (d - 1) (n - 1) in
+  check_int "exhaustive" expected (Csp.count_solutions csp);
+  let h = Csp.hypergraph csp in
+  let rng = Random.State.make [| 7 |] in
+  let sigma = Hd_core.Ordering_heuristics.min_fill_hypergraph rng h in
+  let td = Td.of_ordering_hypergraph h sigma in
+  check_int "count via TD" expected (Solver.count_with_td csp td);
+  (* the constraints themselves form a path join tree *)
+  let jt =
+    {
+      Join_tree.relations = Array.of_list cons;
+      parent = Array.init (n - 1) (fun i -> i - 1);
+    }
+  in
+  check "is a join tree" true (Join_tree.is_join_tree jt);
+  check_int "count on the join tree" expected (Join_tree.count_solutions jt);
+  (match Join_tree.acyclic_solve jt ~n_vars:n with
+  | Some a -> check "acyclic_solve solution consistent" true (Csp.consistent csp a)
+  | None -> Alcotest.fail "expected a solution");
+  match Solver.solve_if_acyclic csp with
+  | Some (Some a) -> check "solve_if_acyclic consistent" true (Csp.consistent csp a)
+  | _ -> Alcotest.fail "chain should be recognised as acyclic"
+
+let test_count_triangle_known () =
+  let d = 3 in
+  let domains = Array.make 3 (Array.init d Fun.id) in
+  let cons =
+    [ neq_relation 0 1 d; neq_relation 1 2 d; neq_relation 0 2 d ]
+  in
+  let csp = Csp.make ~domains cons in
+  let expected = d * (d - 1) * (d - 2) in
+  check_int "exhaustive" expected (Csp.count_solutions csp);
+  check "triangle is cyclic" true (Solver.solve_if_acyclic csp = None);
+  let h = Csp.hypergraph csp in
+  let rng = Random.State.make [| 7 |] in
+  let sigma = Hd_core.Ordering_heuristics.min_fill_hypergraph rng h in
+  let td = Td.of_ordering_hypergraph h sigma in
+  check_int "count via TD" expected (Solver.count_with_td csp td);
+  match Solver.solve_with_td csp td with
+  | Some a -> check "solve_with_td consistent" true (Csp.consistent csp a)
+  | None -> Alcotest.fail "triangle with 3 colours is satisfiable"
+
 let prop_count_agrees =
   QCheck.Test.make ~count:50 ~name:"TD counting = exhaustive counting"
     QCheck.(make QCheck.Gen.(pair int (0 -- 1000)))
@@ -391,6 +456,10 @@ let () =
           Alcotest.test_case "australia" `Quick test_count_australia;
           Alcotest.test_case "5-queens" `Quick test_count_queens;
           Alcotest.test_case "unsat counts zero" `Quick test_count_unsat_zero;
+          Alcotest.test_case "chain of <> (closed form)" `Quick
+            test_count_chain_known;
+          Alcotest.test_case "cyclic <> triangle (closed form)" `Quick
+            test_count_triangle_known;
         ]
         @ List.map QCheck_alcotest.to_alcotest [ prop_count_agrees ] );
       ( "adaptive consistency",

@@ -91,6 +91,52 @@ let test_format_parse () =
   Alcotest.(check string) "vertex name" "x" (Hypergraph.vertex_name h 0);
   check_list "and_1 scope" [ 0; 3 ] (Hypergraph.edge_list h 1)
 
+let test_format_multiline_atom () =
+  (* an atom whose argument list spans several lines *)
+  let h =
+    Hg_format.parse_string
+      "adder(x,\n      y,\n      z),\n% comment between atoms\nor(z,\n   w)."
+  in
+  check_int "vars" 4 (Hypergraph.n_vertices h);
+  check_int "edges" 2 (Hypergraph.n_edges h);
+  check_list "or scope" [ 2; 3 ] (Hypergraph.edge_list h 1)
+
+let test_format_empty_edge_body () =
+  (* empty edge bodies are tolerated and skipped *)
+  let h = Hg_format.parse_string "a(x,y), b(), c(y,z)." in
+  check_int "edges" 2 (Hypergraph.n_edges h);
+  check_int "vars" 3 (Hypergraph.n_vertices h);
+  Alcotest.(check string) "second edge" "c" (Hypergraph.edge_name h 1);
+  (* ...but a file with only empty bodies still fails *)
+  match Hg_format.parse_string "a()." with
+  | _ -> Alcotest.fail "expected failure on an all-empty input"
+  | exception Failure _ -> ()
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i =
+    if i + nn > nh then false
+    else String.sub haystack i nn = needle || at (i + 1)
+  in
+  at 0
+
+let test_format_error_lines () =
+  let expect_error text fragment =
+    match Hg_format.parse_string ~source:"input.hg" text with
+    | _ -> Alcotest.failf "expected a parse failure for %S" text
+    | exception Failure msg ->
+        check
+          (Printf.sprintf "error %S mentions %S" msg fragment)
+          true (contains msg fragment)
+  in
+  (* the unterminated atom starts on line 2 *)
+  expect_error "a(x,y),\nb(x" "line 2";
+  expect_error "a(x,y),\nb(x" "input.hg";
+  (* the stray character is on line 3 *)
+  expect_error "a(x,y),\nb(x,z),\n?" "line 3";
+  expect_error "a(x,y), b." "line 1";
+  expect_error "a(x,(y))." "unexpected '('"
+
 (* property: primal graph adjacency iff two vertices share an edge *)
 let prop_primal =
   QCheck.Test.make ~count:100 ~name:"primal adjacency iff shared hyperedge"
@@ -224,6 +270,9 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_format_roundtrip;
           Alcotest.test_case "parse" `Quick test_format_parse;
+          Alcotest.test_case "multi-line atoms" `Quick test_format_multiline_atom;
+          Alcotest.test_case "empty edge bodies" `Quick test_format_empty_edge_body;
+          Alcotest.test_case "error line numbers" `Quick test_format_error_lines;
         ] );
       ( "acyclicity",
         [

@@ -1,0 +1,426 @@
+module Cq = Hd_query.Cq
+module Db = Hd_query.Db
+module Intern = Hd_query.Intern
+module Qrelation = Hd_query.Qrelation
+module Y = Hd_query.Yannakakis
+module Bf = Hd_query.Brute_force
+module Obs = Hd_obs.Obs
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_answers = Alcotest.(check (list (array string)))
+let sorted l = List.sort compare l
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i =
+    if i + nn > nh then false
+    else String.sub haystack i nn = needle || at (i + 1)
+  in
+  at 0
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let db_of_edges edges =
+  let db = Db.create () in
+  Db.add db ~name:"e" (List.map (fun (a, b) -> [| a; b |]) edges);
+  db
+
+let triangle_q = Cq.parse_string "ans(X,Y,Z) :- e(X,Y), e(Y,Z), e(Z,X)."
+let two_hop_q = Cq.parse_string "ans(X,Z) :- e(X,Y), e(Y,Z)."
+
+(* a graph whose only triangles are a->b->c->a, plus a long pendant
+   chain of non-triangle edges *)
+let triangle_plus_chain k =
+  let chain =
+    List.init k (fun i ->
+        ( (if i = 0 then "c" else Printf.sprintf "p%d" (i - 1)),
+          Printf.sprintf "p%d" i ))
+  in
+  [ ("a", "b"); ("b", "c"); ("c", "a") ] @ chain
+
+let modes_agree ?(methods = [ Y.Auto; Y.Min_fill ]) db q =
+  let expected = sorted (Bf.answers db q) in
+  let expected_count = Bf.count db q in
+  let expected_bool = Bf.boolean db q in
+  List.iter
+    (fun method_ ->
+      let a = Y.run ~method_ ~mode:Y.Answers db q in
+      check_answers "answers" expected (sorted a.Y.answers);
+      check_int "answers count field" expected_count a.Y.count;
+      let c = Y.run ~method_ ~mode:Y.Count db q in
+      check_int "count" expected_count c.Y.count;
+      let b = Y.run ~method_ ~mode:Y.Boolean db q in
+      check "boolean" expected_bool b.Y.nonempty)
+    methods
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_basics () =
+  let q = Cq.parse_string "ans(X,Y) :- r(X,Z), s(Z,Y)." in
+  Alcotest.(check string) "head pred" "ans" q.Cq.head_pred;
+  Alcotest.(check (array string)) "head" [| "X"; "Y" |] q.Cq.head;
+  check_int "atoms" 2 (List.length q.Cq.body);
+  Alcotest.(check (array string)) "vars" [| "X"; "Z"; "Y" |] (Cq.variables q);
+  (* constants, quoted constants, multi-line atoms, comments *)
+  let q =
+    Cq.parse_string
+      "ans(X) :-\n  % comment\n  e(a, X),\n  e(X,\n    \"b c\")."
+  in
+  check_int "atoms" 2 (List.length q.Cq.body);
+  (match (List.hd q.Cq.body).Cq.args.(0) with
+  | Cq.Const "a" -> ()
+  | _ -> Alcotest.fail "expected constant a");
+  (match (List.nth q.Cq.body 1).Cq.args.(1) with
+  | Cq.Const "b c" -> ()
+  | _ -> Alcotest.fail "expected quoted constant");
+  (* boolean-style empty head *)
+  let q = Cq.parse_string "ok() :- e(X,Y)." in
+  Alcotest.(check (array string)) "empty head" [||] q.Cq.head
+
+let expect_parse_error ?(substring = "") text =
+  match Cq.parse_string text with
+  | _ -> Alcotest.failf "expected a parse failure for %S" text
+  | exception Failure msg ->
+      if substring <> "" then
+        check
+          (Printf.sprintf "error %S mentions %S" msg substring)
+          true
+          (contains msg substring)
+
+let test_parse_errors () =
+  expect_parse_error ~substring:"unsafe" "ans(X,W) :- e(X,Y).";
+  expect_parse_error ~substring:"line 2" "ans(X) :-\n e(X,Y";
+  expect_parse_error ~substring:"must be a variable" "ans(a) :- e(a,Y).";
+  expect_parse_error ":- e(X,Y).";
+  expect_parse_error "ans(X) e(X,Y)."
+
+let test_hypergraph_extraction () =
+  let h = Cq.hypergraph triangle_q in
+  check_int "vertices" 3 (Hd_hypergraph.Hypergraph.n_vertices h);
+  check_int "edges" 3 (Hd_hypergraph.Hypergraph.n_edges h);
+  check "cyclic" false (Hd_hypergraph.Acyclicity.is_acyclic h);
+  let h = Cq.hypergraph two_hop_q in
+  check "acyclic" true (Hd_hypergraph.Acyclicity.is_acyclic h);
+  (* ground atoms contribute no hyperedge *)
+  let q = Cq.parse_string "ans(X) :- e(a,b), e(a,X)." in
+  check_int "one edge" 1
+    (Hd_hypergraph.Hypergraph.n_edges (Cq.hypergraph q))
+
+(* ------------------------------------------------------------------ *)
+(* Qrelation                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let qr scope rows = Qrelation.make ~scope rows
+
+let test_qrelation_basics () =
+  let r = qr [| 0; 1 |] [ [| 1; 2 |]; [| 1; 3 |]; [| 1; 2 |] ] in
+  check_int "dedup" 2 (Qrelation.cardinality r);
+  check "mem" true (Qrelation.mem r [| 1; 3 |]);
+  check "not mem" false (Qrelation.mem r [| 3; 1 |]);
+  check_int "get" 3 (Qrelation.get r 1 1);
+  check_int "position" 1 (Qrelation.position r 1);
+  (* index: both rows share the key on column 0 *)
+  let idx = Qrelation.index_on r [| 0 |] in
+  check_int "bucket" 2 (List.length (Hashtbl.find idx [| 1 |]));
+  check_int "matching" 2 (List.length (Qrelation.matching r ~on:[| 0 |] [| 1 |]))
+
+let test_qrelation_join_semijoin () =
+  let a = qr [| 0; 1 |] [ [| 1; 2 |]; [| 1; 3 |]; [| 2; 3 |] ] in
+  let b = qr [| 1; 2 |] [ [| 2; 5 |]; [| 3; 6 |] ] in
+  let j = Qrelation.join a b in
+  Alcotest.(check (array int)) "join scope" [| 0; 1; 2 |] (Qrelation.scope j);
+  check_int "join size" 3 (Qrelation.cardinality j);
+  check "join tuple" true (Qrelation.mem j [| 1; 2; 5 |]);
+  (* disjoint scopes: cartesian product *)
+  let c = qr [| 7 |] [ [| 9 |]; [| 8 |] ] in
+  check_int "cartesian" 6 (Qrelation.cardinality (Qrelation.join a c));
+  let s = Qrelation.semijoin a (qr [| 1; 2 |] [ [| 2; 5 |] ]) in
+  check_int "semijoin filters" 1 (Qrelation.cardinality s);
+  check "kept" true (Qrelation.mem s [| 1; 2 |]);
+  (* semijoin against an empty disjoint relation empties *)
+  check "empty disjoint" true
+    (Qrelation.is_empty (Qrelation.semijoin a (qr [| 7 |] [])));
+  check_int "nonempty disjoint keeps all" 3
+    (Qrelation.cardinality (Qrelation.semijoin a c))
+
+let test_qrelation_project_select () =
+  let a = qr [| 0; 1 |] [ [| 1; 2 |]; [| 1; 3 |]; [| 2; 3 |] ] in
+  check_int "project dedups" 2
+    (Qrelation.cardinality (Qrelation.project a [| 0 |]));
+  check_int "select" 2
+    (Qrelation.cardinality (Qrelation.select_eq a ~attr:0 ~value:1));
+  check "equal" true
+    (Qrelation.equal a (qr [| 0; 1 |] [ [| 2; 3 |]; [| 1; 3 |]; [| 1; 2 |] ]))
+
+(* the csp Relation and Qrelation implement the same algebra *)
+let prop_qrelation_matches_relation =
+  QCheck.Test.make ~count:200 ~name:"Qrelation join/semijoin = Relation"
+    QCheck.(make QCheck.Gen.(pair int int))
+    (fun (s1, s2) ->
+      let rng = Random.State.make [| s1; s2 |] in
+      let mk scope =
+        List.init
+          (Random.State.int rng 8)
+          (fun _ ->
+            Array.init (Array.length scope) (fun _ -> Random.State.int rng 3))
+      in
+      let sa = [| 0; 1 |] and sb = [| 1; 2 |] in
+      let ra = mk sa and rb = mk sb in
+      let q_join = Qrelation.join (qr sa ra) (qr sb rb) in
+      let r_join =
+        Hd_csp.Relation.join
+          (Hd_csp.Relation.make ~scope:sa ra)
+          (Hd_csp.Relation.make ~scope:sb rb)
+      in
+      let q_semi = Qrelation.semijoin (qr sa ra) (qr sb rb) in
+      let r_semi =
+        Hd_csp.Relation.semijoin
+          (Hd_csp.Relation.make ~scope:sa ra)
+          (Hd_csp.Relation.make ~scope:sb rb)
+      in
+      sorted (Qrelation.rows q_join)
+      = sorted (Hd_csp.Relation.tuples r_join)
+      && sorted (Qrelation.rows q_semi)
+         = sorted (Hd_csp.Relation.tuples r_semi))
+
+(* ------------------------------------------------------------------ *)
+(* Db loading                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_dir f =
+  let dir =
+    Filename.temp_file "hd_query_test" ""
+  in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun entry -> Sys.remove (Filename.concat dir entry))
+        (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () -> f dir)
+
+let write_file path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
+let test_db_load () =
+  with_temp_dir @@ fun dir ->
+  write_file (Filename.concat dir "e.csv")
+    "# comment\na,b\nb,c\n\nc,a\n";
+  write_file (Filename.concat dir "color.tsv") "a\tred\nb\tblue\n";
+  let db = Db.create () in
+  Db.load_dir db dir;
+  Alcotest.(check (list string)) "relations" [ "color"; "e" ]
+    (Db.relation_names db);
+  (match Db.find db "e" with
+  | Some r -> check_int "e rows" 3 (Qrelation.cardinality r)
+  | None -> Alcotest.fail "missing e");
+  (match Db.find db "color" with
+  | Some r -> check_int "color rows" 2 (Qrelation.cardinality r)
+  | None -> Alcotest.fail "missing color");
+  (* a query joining both loaded relations *)
+  let q = Cq.parse_string "ans(X,C) :- e(X,Y), color(Y,C)." in
+  let r = Y.run ~mode:Y.Answers db q in
+  check_answers "join across files"
+    (sorted [ [| "c"; "red" |]; [| "a"; "blue" |] ])
+    (sorted r.Y.answers)
+
+let test_db_load_errors () =
+  with_temp_dir @@ fun dir ->
+  write_file (Filename.concat dir "bad.csv") "a,b\nc\n";
+  let db = Db.create () in
+  (match Db.load_dir db dir with
+  | () -> Alcotest.fail "expected ragged-row failure"
+  | exception Failure msg -> check "mentions line" true (contains msg "line 2"));
+  (* unknown relation in a query *)
+  let db = db_of_edges [ ("a", "b") ] in
+  check "unknown relation" true
+    (match Y.run ~mode:Y.Boolean db (Cq.parse_string "ans(X) :- f(X,Y).") with
+    | _ -> false
+    | exception Failure _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Engine vs brute force                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_triangle_all_modes () =
+  let db =
+    db_of_edges
+      [
+        ("a", "b"); ("b", "c"); ("c", "a");
+        ("b", "d"); ("d", "e"); ("e", "b");
+        ("c", "d"); ("d", "a");
+      ]
+  in
+  modes_agree ~methods:[ Y.Auto; Y.Min_fill; Y.Bb_ghw ] db triangle_q;
+  (* the plan really is cyclic: a GHD of width >= 2 *)
+  let r = Y.run ~mode:Y.Answers db triangle_q in
+  check "not acyclic" false r.Y.stats.Y.acyclic;
+  check "width >= 2" true (r.Y.stats.Y.width >= 2)
+
+let test_four_cycle_all_modes () =
+  let q = Cq.parse_string "ans(W,X,Y,Z) :- e(W,X), e(X,Y), e(Y,Z), e(Z,W)." in
+  let db =
+    db_of_edges
+      [
+        ("a", "b"); ("b", "c"); ("c", "d"); ("d", "a");
+        ("b", "a"); ("c", "b"); ("a", "c"); ("d", "b");
+      ]
+  in
+  modes_agree db q
+
+let test_acyclic_query () =
+  let db = db_of_edges (triangle_plus_chain 5) in
+  modes_agree db two_hop_q;
+  let r = Y.run ~mode:Y.Count db two_hop_q in
+  check "acyclic plan" true r.Y.stats.Y.acyclic;
+  check_int "acyclic width" 1 r.Y.stats.Y.width
+
+let test_projection_and_constants () =
+  let db = db_of_edges (triangle_plus_chain 4) in
+  List.iter
+    (fun text -> modes_agree db (Cq.parse_string text))
+    [
+      "ans(X) :- e(X,Y), e(Y,Z).";
+      "ans(X) :- e(a,X).";
+      "ans(X) :- e(X,X).";
+      "ans(X,Y) :- e(X,Y), e(Y,X).";
+      "ok() :- e(a,b), e(b,c).";
+      "ans(X) :- e(zzz,X).";
+    ]
+
+let test_empty_results () =
+  let db = db_of_edges [ ("a", "b"); ("b", "c") ] in
+  let r = Y.run ~mode:Y.Answers db triangle_q in
+  check "no triangles" false r.Y.nonempty;
+  check_answers "empty" [] r.Y.answers;
+  check_int "count 0" 0 (Y.run ~mode:Y.Count db triangle_q).Y.count;
+  check "boolean false" false (Y.run ~mode:Y.Boolean db triangle_q).Y.nonempty
+
+(* random instances, several query shapes, every mode, both the
+   acyclic-aware and the forced-GHD planner *)
+let prop_matches_brute_force =
+  let queries =
+    [
+      triangle_q;
+      two_hop_q;
+      Cq.parse_string "ans(X,Y,Z) :- e(X,Y), e(Y,Z), e(Z,X), e(X,Z).";
+      Cq.parse_string "ans(X) :- e(X,Y), e(Y,X).";
+      Cq.parse_string
+        "ans(W,Z) :- e(W,X), e(X,Y), e(Y,Z), e(Z,W), e(W,Y).";
+    ]
+  in
+  QCheck.Test.make ~count:60 ~name:"hd_query = brute force on random graphs"
+    QCheck.(make QCheck.Gen.(pair (2 -- 6) int))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| n; seed |] in
+      let m = 1 + Random.State.int rng 14 in
+      let edges =
+        List.init m (fun _ ->
+            ( Printf.sprintf "v%d" (Random.State.int rng n),
+              Printf.sprintf "v%d" (Random.State.int rng n) ))
+      in
+      let db = db_of_edges edges in
+      List.for_all
+        (fun q ->
+          let expected = sorted (Bf.answers db q) in
+          List.for_all
+            (fun method_ ->
+              sorted (Y.run ~method_ ~mode:Y.Answers db q).Y.answers = expected
+              && (Y.run ~method_ ~mode:Y.Count db q).Y.count
+                 = List.length expected
+              && (Y.run ~method_ ~mode:Y.Boolean db q).Y.nonempty
+                 = (expected <> []))
+            [ Y.Auto; Y.Min_fill ])
+        queries)
+
+(* two-relation query from the issue statement *)
+let test_two_relations () =
+  let db = Db.create () in
+  Db.add db ~name:"r"
+    [ [| "1"; "2" |]; [| "1"; "3" |]; [| "2"; "3" |]; [| "4"; "4" |] ];
+  Db.add db ~name:"s" [ [| "2"; "9" |]; [| "3"; "9" |]; [| "4"; "7" |] ];
+  modes_agree db (Cq.parse_string "ans(X,Y) :- r(X,Z), s(Z,Y).")
+
+(* ------------------------------------------------------------------ *)
+(* Observability: enumeration is backtrack-free after reduction        *)
+(* ------------------------------------------------------------------ *)
+
+let test_enumeration_no_dead_work () =
+  (* only 3 answers (the rotations of the one triangle), but a long
+     pendant chain inflates the raw e relation and hence the
+     unreduced bags *)
+  let db = db_of_edges (triangle_plus_chain 40) in
+  Obs.enable ();
+  Obs.reset ();
+  let r = Y.run ~mode:Y.Answers db triangle_q in
+  let value name = Obs.Counter.value (Obs.Counter.make name) in
+  let dead = value "query.enum_dead_ends" in
+  let rows = value "query.enum_rows" in
+  Obs.disable ();
+  check_int "three triangles" 3 r.Y.count;
+  check "semijoins ran" true (r.Y.stats.Y.semijoins > 0);
+  check "reduction shrank the bags" true
+    (r.Y.stats.Y.tuples_after_reduction < r.Y.stats.Y.tuples_materialized);
+  (* full reduction makes enumeration backtrack-free: no probe misses *)
+  check_int "no dead ends" 0 dead;
+  (* and the tuple-producing work is bounded by answers x bags, never
+     by the (much larger) non-answer intermediate tuples *)
+  check "enum work bounded by answers"
+    true
+    (rows <= r.Y.count * r.Y.stats.Y.bags);
+  check "enum work independent of chain length" true
+    (rows < r.Y.stats.Y.tuples_materialized)
+
+let () =
+  Alcotest.run "query"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "basics" `Quick test_parse_basics;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "hypergraph extraction" `Quick
+            test_hypergraph_extraction;
+        ] );
+      ( "qrelation",
+        [
+          Alcotest.test_case "basics" `Quick test_qrelation_basics;
+          Alcotest.test_case "join and semijoin" `Quick
+            test_qrelation_join_semijoin;
+          Alcotest.test_case "project and select" `Quick
+            test_qrelation_project_select;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_qrelation_matches_relation ] );
+      ( "db",
+        [
+          Alcotest.test_case "load csv/tsv" `Quick test_db_load;
+          Alcotest.test_case "errors" `Quick test_db_load_errors;
+        ] );
+      ( "yannakakis",
+        [
+          Alcotest.test_case "triangle (cyclic), all modes" `Quick
+            test_triangle_all_modes;
+          Alcotest.test_case "4-cycle, all modes" `Quick
+            test_four_cycle_all_modes;
+          Alcotest.test_case "acyclic two-hop" `Quick test_acyclic_query;
+          Alcotest.test_case "projections and constants" `Quick
+            test_projection_and_constants;
+          Alcotest.test_case "empty results" `Quick test_empty_results;
+          Alcotest.test_case "two relations" `Quick test_two_relations;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_matches_brute_force ] );
+      ( "observability",
+        [
+          Alcotest.test_case "backtrack-free enumeration" `Quick
+            test_enumeration_no_dead_work;
+        ] );
+    ]
