@@ -107,6 +107,8 @@ let parallel_section : Obs.Json.t option ref = ref None
 let set_parallel_section j = parallel_section := Some j
 let query_section : Obs.Json.t option ref = ref None
 let set_query_section j = query_section := Some j
+let ordering_section : Obs.Json.t option ref = ref None
+let set_ordering_section j = ordering_section := Some j
 
 let write_bench_report ?(path = "BENCH_report.json") () =
   let doc =
@@ -119,8 +121,11 @@ let write_bench_report ?(path = "BENCH_report.json") () =
       @ (match !parallel_section with
         | Some j -> [ ("parallel", j) ]
         | None -> [])
-      @ match !query_section with
+      @ (match !query_section with
         | Some j -> [ ("query", j) ]
+        | None -> [])
+      @ match !ordering_section with
+        | Some j -> [ ("ordering", j) ]
         | None -> [])
   in
   let oc = open_out path in

@@ -2,6 +2,24 @@ module Bitset = Hd_graph.Bitset
 module Graph = Hd_graph.Graph
 module Hypergraph = Hd_hypergraph.Hypergraph
 module Set_cover = Hd_setcover.Set_cover
+module Obs = Hd_obs.Obs
+
+(* Same counter names as Set_cover's own memo (Obs counters are shared
+   by name), so every set-cover memo in the system reports into one
+   pair of counters. *)
+let c_memo_hits = Obs.Counter.make "setcover.memo_hits"
+let c_memo_misses = Obs.Counter.make "setcover.memo_misses"
+
+(* Bags keyed by content: canonical FNV over the sorted vertices, full
+   equality on collision.  One table per workspace — workspaces are
+   never shared across domains (see hd_parallel), so the memo needs no
+   locking. *)
+module Bag_tbl = Hashtbl.Make (struct
+  type t = Bitset.t
+
+  let equal = Bitset.equal
+  let hash = Bitset.fnv_hash
+end)
 
 type t = {
   n : int;
@@ -14,6 +32,8 @@ type t = {
   stamp : int array; (* dedup marks, versioned by clock *)
   mutable clock : int;
   bag : Bitset.t; (* scratch bag for set covering *)
+  greedy_memo : int Bag_tbl.t; (* bag -> greedy cover size *)
+  exact_memo : int Bag_tbl.t; (* bag -> optimal cover size *)
 }
 
 let make n base hypergraph =
@@ -27,7 +47,27 @@ let make n base hypergraph =
     stamp = Array.make n (-1);
     clock = 0;
     bag = Bitset.create (max n 1);
+    greedy_memo = Bag_tbl.create 512;
+    exact_memo = Bag_tbl.create 512;
   }
+
+let reset_memo t =
+  Bag_tbl.reset t.greedy_memo;
+  Bag_tbl.reset t.exact_memo
+
+(* memoise [cover] on bag contents: the same bag recurs massively both
+   within one ordering's evaluation (bags of near-identical suffixes)
+   and across the orderings of a GA population or best_of sweep *)
+let memoized table cover universe =
+  match Bag_tbl.find_opt table universe with
+  | Some w ->
+      Obs.Counter.incr c_memo_hits;
+      w
+  | None ->
+      Obs.Counter.incr c_memo_misses;
+      let w = cover universe in
+      Bag_tbl.add table (Bitset.copy universe) w;
+      w
 
 let of_graph g =
   let n = Graph.n g in
@@ -145,13 +185,24 @@ let hypergraph_exn t =
 
 let ghw_width ?rng t sigma =
   let h = hypergraph_exn t in
-  ghw_of_sigma t sigma ~cover:(fun universe ->
-      Set_cover.greedy_size ?rng { universe; hypergraph = h })
+  ghw_of_sigma t sigma
+    ~cover:
+      (memoized t.greedy_memo (fun universe ->
+           Set_cover.greedy_size ?rng { universe; hypergraph = h }))
 
 let ghw_width_exact ?cache t sigma =
   let h = hypergraph_exn t in
-  ghw_of_sigma t sigma ~cover:(fun universe ->
-      Set_cover.exact_size ?cache { universe; hypergraph = h })
+  match cache with
+  | Some _ ->
+      (* caller-supplied table (the search engines share one across
+         workspaces): keep the historical Set_cover-level memo *)
+      ghw_of_sigma t sigma ~cover:(fun universe ->
+          Set_cover.exact_size ?cache { universe; hypergraph = h })
+  | None ->
+      ghw_of_sigma t sigma
+        ~cover:
+          (memoized t.exact_memo (fun universe ->
+               Set_cover.exact_size { universe; hypergraph = h }))
 
 let fhw_width t sigma =
   let h = hypergraph_exn t in

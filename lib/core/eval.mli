@@ -27,14 +27,32 @@ val tw_width : t -> Ordering.t -> int
 (** [ghw_width ?rng t sigma] is the width of the generalized hypertree
     decomposition derived from [sigma] with greedy set covering of every
     bag (ties broken via [rng]).  Requires a workspace built by
-    {!of_hypergraph}. *)
+    {!of_hypergraph}.
+
+    Cover sizes are memoised per workspace, keyed by a canonical FNV
+    hash of the bag contents ({!Hd_graph.Bitset.fnv_hash}): bags recur
+    massively across the orderings a GA population or a best_of sweep
+    evaluates, so most bags after the first few orderings are table
+    hits (counters [setcover.memo_hits]/[setcover.memo_misses]).  A
+    consequence of memoisation is that a recurring bag keeps the cover
+    size of its first evaluation — [rng] tie-breaking is frozen per
+    bag for the workspace's lifetime (see docs/PERFORMANCE.md). *)
 val ghw_width : ?rng:Random.State.t -> t -> Ordering.t -> int
 
 (** [ghw_width_exact ?cache t sigma] covers every bag exactly, so the
     result is the width of [sigma] in the sense of Definition 17 —
-    the objective BB-ghw and A*-ghw optimise. *)
+    the objective BB-ghw and A*-ghw optimise.  Without an explicit
+    [cache] the workspace's own exact-cover memo is used (same keying
+    as {!ghw_width}, separate table — greedy and exact sizes never
+    mix). *)
 val ghw_width_exact :
   ?cache:(Hd_graph.Bitset.t, int) Hashtbl.t -> t -> Ordering.t -> int
+
+(** [reset_memo t] empties the workspace's set-cover memo tables.
+    Useful when one long-lived workspace evaluates orderings of
+    unrelated runs and table growth matters; hits/misses counters are
+    unaffected. *)
+val reset_memo : t -> unit
 
 (** [fhw_width t sigma] is the width of [sigma] under fractional edge
     covers: the largest fractional cover number rho* over the bags of

@@ -1,53 +1,175 @@
 module Graph = Hd_graph.Graph
+module Bitset = Hd_graph.Bitset
 module Elim_graph = Hd_graph.Elim_graph
+module Bucket_queue = Hd_graph.Bucket_queue
 module Hypergraph = Hd_hypergraph.Hypergraph
+module Obs = Hd_obs.Obs
 
-let random_argmin rng xs ~key =
-  let best = ref max_int and ties = ref 0 and pick = ref (-1) in
-  List.iter
-    (fun v ->
-      let k = key v in
-      if k < !best then begin
-        best := k;
-        ties := 1;
-        pick := v
-      end
-      else if k = !best then begin
-        incr ties;
-        if Random.State.int rng !ties = 0 then pick := v
-      end)
-    xs;
+(* Observability: how much key maintenance the dirty-set machinery
+   saves.  [key_recomputes] counts fill/degree evaluations actually
+   performed; [dirty_skips] counts alive vertices whose cached key was
+   reused at a step.  A regression back to full per-step rescoring
+   shows up as key_recomputes ~ n^2/2 (asserted in test_core). *)
+let c_key_recomputes = Obs.Counter.make "ordering.key_recomputes"
+let c_dirty_skips = Obs.Counter.make "ordering.dirty_skips"
+
+type kind = Fill | Degree
+
+let key_of = function
+  | Fill -> Elim_graph.fill_count
+  | Degree -> Elim_graph.degree
+
+(* Reservoir selection over the minimum-key candidates, visited in
+   increasing vertex order: candidate number [ties] survives with
+   probability 1/ties.  Both the incremental and the naive paths pick
+   through this exact procedure, so for a fixed seed they consume the
+   random stream identically and return byte-identical orderings. *)
+let reservoir rng cands len =
+  let pick = ref cands.(0) in
+  for ties = 2 to len do
+    if Random.State.int rng ties = 0 then pick := cands.(ties - 1)
+  done;
   !pick
 
-let greedy_elimination rng g ~key =
+(* sort the first [len] candidates ascending (Array.sort has no
+   sub-range variant; candidate counts are the tie counts, so this is
+   cheap in practice) *)
+let sort_prefix cands len =
+  let sub = Array.sub cands 0 len in
+  Array.sort (fun (a : int) b -> compare a b) sub;
+  Array.blit sub 0 cands 0 len
+
+(* Incremental greedy elimination (the tentpole of
+   docs/PERFORMANCE.md): keys live in an indexed bucket queue,
+   eliminating [v] marks only the affected set dirty (N(v) for degree,
+   N(v) u N(N(v)) for fill), and dirty keys are re-scored eagerly at
+   the start of the next step — everything else keeps its cached
+   bucket.  Per step this is O(affected x key cost) instead of
+   O(alive x key cost). *)
+let greedy_elimination rng g ~kind =
   let n = Graph.n g in
   let eg = Elim_graph.of_graph g in
+  let key = key_of kind in
   let sigma = Array.make n 0 in
-  for i = n - 1 downto 0 do
-    let v = random_argmin rng (Elim_graph.alive_list eg) ~key:(key eg) in
-    sigma.(i) <- v;
-    Elim_graph.eliminate eg v
-  done;
+  if n > 0 then begin
+    let bq = Bucket_queue.create n in
+    for v = 0 to n - 1 do
+      Bucket_queue.insert bq v (key eg v)
+    done;
+    Obs.Counter.add c_key_recomputes n;
+    let dirty = Bitset.create n in
+    let cands = Array.make n 0 in
+    for i = n - 1 downto 0 do
+      (* revalidate: re-score exactly the dirty alive vertices *)
+      let recomputed = ref 0 in
+      Bitset.iter
+        (fun u ->
+          if Elim_graph.is_alive eg u then begin
+            incr recomputed;
+            Bucket_queue.update bq u (key eg u)
+          end)
+        dirty;
+      Bitset.clear dirty;
+      if i < n - 1 then begin
+        Obs.Counter.add c_key_recomputes !recomputed;
+        Obs.Counter.add c_dirty_skips (i + 1 - !recomputed)
+      end;
+      (* the min bucket now holds exactly the true minimum-key
+         vertices; collect, order, and reservoir-pick *)
+      let m = Bucket_queue.min_priority bq in
+      let len = ref 0 in
+      Bucket_queue.iter_bucket
+        (fun v ->
+          cands.(!len) <- v;
+          incr len)
+        bq m;
+      if !len > 1 then sort_prefix cands !len;
+      let v = reservoir rng cands !len in
+      sigma.(i) <- v;
+      Bucket_queue.remove bq v;
+      Elim_graph.eliminate eg v;
+      (match kind with
+      | Fill -> Elim_graph.iter_fill_affected (Bitset.add dirty) eg
+      | Degree -> Elim_graph.iter_degree_affected (Bitset.add dirty) eg)
+    done
+  end;
   sigma
 
-let min_fill rng g = greedy_elimination rng g ~key:Elim_graph.fill_count
-let min_degree rng g = greedy_elimination rng g ~key:Elim_graph.degree
+let min_fill rng g = greedy_elimination rng g ~kind:Fill
+let min_degree rng g = greedy_elimination rng g ~kind:Degree
+
+(* Reference implementations that re-score every alive vertex at every
+   step — retained (a) as the executable specification the property
+   tests compare the incremental kernels against byte-for-byte, and
+   (b) as the baseline the bench `ordering` experiment times. *)
+module Naive = struct
+  let greedy rng g ~kind =
+    let n = Graph.n g in
+    let eg = Elim_graph.of_graph g in
+    let key = key_of kind in
+    let sigma = Array.make n 0 in
+    let keys = Array.make (max 1 n) 0 in
+    let cands = Array.make (max 1 n) 0 in
+    for i = n - 1 downto 0 do
+      let m = ref max_int in
+      Elim_graph.iter_alive
+        (fun v ->
+          let k = key eg v in
+          keys.(v) <- k;
+          if k < !m then m := k)
+        eg;
+      let len = ref 0 in
+      Elim_graph.iter_alive
+        (fun v ->
+          if keys.(v) = !m then begin
+            cands.(!len) <- v;
+            incr len
+          end)
+        eg;
+      let v = reservoir rng cands !len in
+      sigma.(i) <- v;
+      Elim_graph.eliminate eg v
+    done;
+    sigma
+
+  let min_fill rng g = greedy rng g ~kind:Fill
+  let min_degree rng g = greedy rng g ~kind:Degree
+end
 
 let max_cardinality rng g =
   let n = Graph.n g in
   let numbered = Array.make n false in
   let weight = Array.make n 0 in
   let sigma = Array.make n 0 in
-  let remaining = ref (List.init n (fun v -> v)) in
+  (* candidate set as a swap-delete array: O(1) removal, no per-step
+     allocation (previously an O(n) List.filter per step) *)
+  let cand = Array.init n (fun v -> v) in
+  let len = ref n in
   for i = 0 to n - 1 do
-    (* maximise numbered-neighbour count = minimise its negation *)
-    let v = random_argmin rng !remaining ~key:(fun v -> -weight.(v)) in
+    (* maximise numbered-neighbour count: reservoir over the running
+       maximum in candidate-array order (seed-stable — the array order
+       is a deterministic function of the seed's earlier picks) *)
+    let best = ref min_int and ties = ref 0 and at = ref (-1) in
+    for j = 0 to !len - 1 do
+      let w = weight.(cand.(j)) in
+      if w > !best then begin
+        best := w;
+        ties := 1;
+        at := j
+      end
+      else if w = !best then begin
+        incr ties;
+        if Random.State.int rng !ties = 0 then at := j
+      end
+    done;
+    let v = cand.(!at) in
     sigma.(i) <- v;
     numbered.(v) <- true;
     List.iter
       (fun u -> if not numbered.(u) then weight.(u) <- weight.(u) + 1)
       (Graph.neighbors g v);
-    remaining := List.filter (( <> ) v) !remaining
+    decr len;
+    cand.(!at) <- cand.(!len)
   done;
   sigma
 

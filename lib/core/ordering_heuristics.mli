@@ -8,12 +8,30 @@
     do. *)
 
 (** [min_fill rng g] repeatedly eliminates a vertex adding the fewest
-    fill edges — the upper-bound heuristic of A*-tw and QuickBB. *)
+    fill edges — the upper-bound heuristic of A*-tw and QuickBB.
+
+    Incremental: keys are kept in an indexed bucket queue and only the
+    affected set N(v) u N(N(v)) of each elimination is re-scored, so a
+    step costs O(affected) instead of O(alive) (docs/PERFORMANCE.md).
+    For a fixed seed the result is byte-identical to
+    {!Naive.min_fill}. *)
 val min_fill : Random.State.t -> Hd_graph.Graph.t -> Ordering.t
 
 (** [min_degree rng g] repeatedly eliminates a vertex of minimum current
-    degree. *)
+    degree, with the same incremental key maintenance as {!min_fill}
+    (affected set: N(v)).  Byte-identical to {!Naive.min_degree} for a
+    fixed seed. *)
 val min_degree : Random.State.t -> Hd_graph.Graph.t -> Ordering.t
+
+(** Reference implementations that re-score every alive vertex at every
+    step — the executable specification of the incremental kernels.
+    The property suite checks [Naive.min_fill rng g = min_fill rng' g]
+    byte-for-byte (same seeds); the bench [ordering] experiment times
+    the two paths against each other. *)
+module Naive : sig
+  val min_fill : Random.State.t -> Hd_graph.Graph.t -> Ordering.t
+  val min_degree : Random.State.t -> Hd_graph.Graph.t -> Ordering.t
+end
 
 (** [max_cardinality rng g] is maximum cardinality search: vertices are
     numbered from position [0] upwards, each maximising the number of

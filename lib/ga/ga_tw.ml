@@ -1,7 +1,7 @@
 let run ?incumbent config g =
-  let ws = Hd_core.Eval.of_graph g in
+  let ws = Suffix_eval.of_graph g in
   Ga_engine.run ?incumbent config ~n_genes:(Hd_graph.Graph.n g)
-    ~eval:(Hd_core.Eval.tw_width ws)
+    ~eval:(Suffix_eval.width ws)
 
 let run_hypergraph ?incumbent config h =
   run ?incumbent config (Hd_hypergraph.Hypergraph.primal h)

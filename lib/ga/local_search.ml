@@ -148,13 +148,12 @@ let iterated_local_search config ~n_genes ~eval =
   }
 
 let sa_tw config g =
-  let ws = Hd_core.Eval.of_graph g in
+  let ws = Suffix_eval.of_graph g in
   simulated_annealing config ~n_genes:(Hd_graph.Graph.n g)
-    ~eval:(Hd_core.Eval.tw_width ws)
+    ~eval:(Suffix_eval.width ws)
 
 let sa_ghw config h =
-  let ws = Hd_core.Eval.of_hypergraph h in
-  let rng = Random.State.make [| config.seed lxor 0x9e |] in
+  let ws = Suffix_eval.of_hypergraph ~seed:(config.seed lxor 0x9e) h in
   simulated_annealing config
     ~n_genes:(Hd_hypergraph.Hypergraph.n_vertices h)
-    ~eval:(Hd_core.Eval.ghw_width ~rng ws)
+    ~eval:(Suffix_eval.width ws)

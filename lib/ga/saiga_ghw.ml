@@ -84,19 +84,25 @@ let run ?incumbent config h =
   Obs.with_span "saiga_ghw.run" @@ fun () ->
   let started = Unix.gettimeofday () in
   let n_genes = Hd_hypergraph.Hypergraph.n_vertices h in
-  let ws = Hd_core.Eval.of_hypergraph h in
   let k = max 1 config.n_islands in
   let rngs =
     Array.init k (fun i -> Random.State.make [| config.seed; i |])
   in
-  let eval_rng = Random.State.make [| config.seed lxor 0x717 |] in
-  let eval sigma = Hd_core.Eval.ghw_width ~rng:eval_rng ws sigma in
+  (* one suffix-reuse workspace per island: an island's checkpoint
+     cache only ever sees that island's orderings *)
+  let evals =
+    Array.init k (fun i ->
+        let ws =
+          Suffix_eval.of_hypergraph ~seed:(config.seed lxor 0x717 lxor i) h
+        in
+        Suffix_eval.width ws)
+  in
   let params = Array.init k (fun i -> random_params rngs.(i)) in
   let islands =
     Array.init k (fun i ->
         Ga_engine.Population.init rngs.(i) ~n_genes
           ~size:(max 2 config.island_population)
-          ~eval)
+          ~eval:evals.(i))
   in
   let out_of_time () =
     match config.time_limit with
@@ -146,8 +152,8 @@ let run ?incumbent config h =
         for _ = 1 to config.epoch_length do
           if not (out_of_time ()) then
             Ga_engine.Population.step island ~params:params.(i)
-              ~crossover:config.crossover ~mutation:config.mutation ~eval
-              rngs.(i)
+              ~crossover:config.crossover ~mutation:config.mutation
+              ~eval:evals.(i) rngs.(i)
         done)
       islands;
     (* neighbour orientation and migration on the ring *)
@@ -160,7 +166,7 @@ let run ?incumbent config h =
         next_params.(i) <- orient params.(i) params.(best_nbr);
         let _, migrant = Ga_engine.Population.best islands.(best_nbr) in
         Obs.Counter.incr c_migrations;
-        Ga_engine.Population.inject islands.(i) migrant ~eval
+        Ga_engine.Population.inject islands.(i) migrant ~eval:evals.(i)
       end
     done;
     (* self-adaptation: log-normal mutation of every vector *)

@@ -1,0 +1,48 @@
+(** Suffix re-evaluation of elimination orderings for the genetic
+    algorithms and local search (docs/PERFORMANCE.md).
+
+    The width of the decomposition an ordering induces is computed by
+    eliminating [sigma.(n-1)], then [sigma.(n-2)], and so on; the
+    elimination-graph state after the first [k] eliminations depends
+    only on those [k] vertices (positions [n-k .. n-1]).  A mutation
+    or crossover that changes an individual only at positions [<= i]
+    therefore leaves every bag of positions [> i] — and the graph
+    state entering position [i] — untouched.
+
+    A workspace caches the previously evaluated ordering together with
+    adjacency snapshots at geometrically spaced elimination counts
+    (1, 2, 4, 8, ... — O(log n) snapshots bound the memory).  Each
+    {!width} call computes the longest common suffix with the previous
+    ordering, restores the deepest still-valid snapshot, and re-runs
+    only the remaining eliminations; counters [ga.suffix_reevals] and
+    [ga.full_reevals] report the split.
+
+    Widths agree exactly with a from-scratch evaluation: the tw
+    objective equals {!Hd_core.Eval.tw_width}, and the ghw objective is
+    the greedy-set-cover width with per-bag deterministic tie-breaking
+    (the tie rng is seeded from the bag's canonical hash, so a bag's
+    cover size never depends on evaluation order — which also makes
+    the per-workspace set-cover memo sound). *)
+
+type t
+
+(** [of_graph g] is a workspace whose {!width} is the tree-decomposition
+    width of the ordering — the GA-tw fitness, equal to
+    [Hd_core.Eval.tw_width] pointwise. *)
+val of_graph : Hd_graph.Graph.t -> t
+
+(** [of_hypergraph ?seed h] is a workspace over [h]'s primal graph
+    whose {!width} is the greedy-set-cover width of every bag — the
+    GA-ghw fitness.  Cover sizes are memoised per workspace (counters
+    [setcover.memo_hits]/[setcover.memo_misses]); [seed] (default 0)
+    salts the per-bag tie-breaking. *)
+val of_hypergraph : ?seed:int -> Hd_hypergraph.Hypergraph.t -> t
+
+(** [width t sigma] evaluates [sigma], reusing the cached suffix of the
+    previous call when one exists. *)
+val width : t -> Hd_core.Ordering.t -> int
+
+(** [width_full t sigma] evaluates [sigma] from scratch, ignoring (and
+    replacing) the cached state — the reference path the property
+    tests compare {!width} against. *)
+val width_full : t -> Hd_core.Ordering.t -> int

@@ -144,6 +144,16 @@ let for_all p s = not (exists (fun i -> not (p i)) s)
 
 let hash s = Hashtbl.hash s.words
 
+(* FNV-1a over the elements in increasing order (iter is ordered), so
+   the hash is canonical for the set's contents regardless of how the
+   set was built.  The offset basis is the standard 64-bit one
+   truncated to OCaml's 63-bit native int; arithmetic wraps modulo the
+   native width and the final mask keeps the result non-negative. *)
+let fnv_hash s =
+  let h = ref 0xbf29ce484222325 in
+  iter (fun i -> h := (!h lxor i) * 0x100000001b3) s;
+  !h land max_int
+
 let of_list n xs =
   let s = create n in
   List.iter (add s) xs;

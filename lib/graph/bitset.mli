@@ -76,6 +76,12 @@ val for_all : (int -> bool) -> t -> bool
 (** [hash s] is a content hash, suitable for use with [Hashtbl]. *)
 val hash : t -> int
 
+(** [fnv_hash s] is an FNV-1a hash of the elements of [s] in increasing
+    order — a canonical content hash used to key set-cover memo tables
+    on decomposition bags (docs/PERFORMANCE.md).  Always
+    non-negative. *)
+val fnv_hash : t -> int
+
 (** [of_list n xs] is the set with capacity [n] containing [xs]. *)
 val of_list : int -> int list -> t
 

@@ -1,0 +1,84 @@
+type t = {
+  size : int;
+  mutable head : int array; (* priority -> first item of its bucket, or -1 *)
+  next : int array; (* item -> successor in its bucket, or -1 *)
+  prev : int array; (* item -> predecessor in its bucket, or -1 *)
+  prio : int array; (* item -> queued priority, or -1 when absent *)
+  mutable min_prio : int; (* lower bound on the smallest occupied bucket *)
+  mutable cardinal : int;
+}
+
+let create n =
+  assert (n >= 0);
+  {
+    size = n;
+    head = Array.make (max 4 (min 64 (n + 1))) (-1);
+    next = Array.make (max 1 n) (-1);
+    prev = Array.make (max 1 n) (-1);
+    prio = Array.make (max 1 n) (-1);
+    min_prio = 0;
+    cardinal = 0;
+  }
+
+let capacity t = t.size
+let cardinal t = t.cardinal
+let mem t v = t.prio.(v) >= 0
+
+let priority t v =
+  assert (mem t v);
+  t.prio.(v)
+
+let ensure_bucket t p =
+  let len = Array.length t.head in
+  if p >= len then begin
+    let bigger = Array.make (max (2 * len) (p + 1)) (-1) in
+    Array.blit t.head 0 bigger 0 len;
+    t.head <- bigger
+  end
+
+let insert t v p =
+  assert (p >= 0);
+  assert (not (mem t v));
+  ensure_bucket t p;
+  let first = t.head.(p) in
+  t.next.(v) <- first;
+  t.prev.(v) <- -1;
+  if first >= 0 then t.prev.(first) <- v;
+  t.head.(p) <- v;
+  t.prio.(v) <- p;
+  if p < t.min_prio then t.min_prio <- p;
+  t.cardinal <- t.cardinal + 1
+
+let remove t v =
+  let p = t.prio.(v) in
+  assert (p >= 0);
+  let nx = t.next.(v) and pv = t.prev.(v) in
+  if pv >= 0 then t.next.(pv) <- nx else t.head.(p) <- nx;
+  if nx >= 0 then t.prev.(nx) <- pv;
+  t.prio.(v) <- -1;
+  t.cardinal <- t.cardinal - 1
+
+let update t v p =
+  if t.prio.(v) <> p then begin
+    remove t v;
+    insert t v p
+  end
+
+let min_priority t =
+  assert (t.cardinal > 0);
+  let len = Array.length t.head in
+  while t.min_prio < len && t.head.(t.min_prio) < 0 do
+    t.min_prio <- t.min_prio + 1
+  done;
+  assert (t.min_prio < len);
+  t.min_prio
+
+let iter_bucket f t p =
+  if p < Array.length t.head then begin
+    let v = ref t.head.(p) in
+    while !v >= 0 do
+      let nx = t.next.(!v) in
+      f !v;
+      v := nx
+    done
+  end

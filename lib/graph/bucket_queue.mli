@@ -1,0 +1,52 @@
+(** Indexed bucket queues: a monotone priority queue over the items
+    [0 .. n - 1] with small non-negative integer priorities.
+
+    Buckets are intrusive doubly-linked lists threaded through two
+    [int array]s, so {!insert}, {!remove} and {!update} are O(1) (plus
+    amortised growth of the bucket directory when a priority larger
+    than any seen before appears).  {!min_priority} advances a cached
+    minimum pointer past empty buckets, which is amortised O(1) across
+    a greedy-elimination run because priorities of popped items only
+    grow between consecutive scans.
+
+    This is the key structure behind the incremental min-fill /
+    min-degree heuristics (see docs/PERFORMANCE.md): each elimination
+    step touches only the items whose key actually changed instead of
+    re-scoring every alive vertex. *)
+
+type t
+
+(** [create n] is an empty queue over items [0 .. n - 1]. *)
+val create : int -> t
+
+(** [capacity t] is the item count the queue was created with. *)
+val capacity : t -> int
+
+(** [cardinal t] is the number of items currently queued. *)
+val cardinal : t -> int
+
+(** [mem t v] holds when [v] is queued. *)
+val mem : t -> int -> bool
+
+(** [priority t v] is the priority [v] was inserted or updated with.
+    Undefined (asserts) when [v] is not queued. *)
+val priority : t -> int -> int
+
+(** [insert t v p] queues absent item [v] with priority [p >= 0]. *)
+val insert : t -> int -> int -> unit
+
+(** [remove t v] unlinks queued item [v] in O(1). *)
+val remove : t -> int -> unit
+
+(** [update t v p] changes the priority of queued item [v] to [p]:
+    an O(1) unlink plus relink (both decrease- and increase-key). *)
+val update : t -> int -> int -> unit
+
+(** [min_priority t] is the smallest priority of any queued item.
+    Asserts on an empty queue. *)
+val min_priority : t -> int
+
+(** [iter_bucket f t p] applies [f] to every item of priority [p], in
+    unspecified (insertion-history dependent) order.  [f] must not
+    mutate the queue. *)
+val iter_bucket : (int -> unit) -> t -> int -> unit

@@ -62,7 +62,7 @@ let triangulate rng g =
   for i = n - 1 downto 0 do
     (* min-fill choice with random tie-breaks *)
     let best = ref max_int and ties = ref 0 and pick = ref (-1) in
-    List.iter
+    Elim_graph.iter_alive
       (fun v ->
         let f = Elim_graph.fill_count eg v in
         if f < !best then begin
@@ -74,7 +74,7 @@ let triangulate rng g =
           incr ties;
           if Random.State.int rng !ties = 0 then pick := v
         end)
-      (Elim_graph.alive_list eg);
+      eg;
     sigma.(i) <- !pick;
     Elim_graph.eliminate eg !pick;
     match Elim_graph.last_step eg with

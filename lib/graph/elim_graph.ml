@@ -25,6 +25,8 @@ let n_alive t = t.live_count
 let is_alive t v = Bitset.mem t.live v
 let alive t = t.live
 let alive_list t = Bitset.elements t.live
+let iter_alive f t = Bitset.iter f t.live
+let fold_alive f t init = Bitset.fold f t.live init
 let degree t v = Bitset.cardinal t.adj.(v)
 let neighbors t v = Bitset.elements t.adj.(v)
 let adjacency t v = t.adj.(v)
@@ -90,6 +92,29 @@ let restore_last t =
       t.undo_len <- t.undo_len - 1
 
 let depth t = t.undo_len
+
+(* Affected sets of the most recent elimination, for incremental key
+   maintenance (docs/PERFORMANCE.md).  Eliminating [v] changes the
+   degree of exactly its old neighbours (they lose [v] and may gain
+   fill edges among themselves), and can change the fill count only of
+   a vertex whose neighbourhood changed or that is adjacent to both
+   endpoints of a fill edge — all of which lie in N(v) u N(N(v)) of
+   the post-elimination graph.  Vertices may be visited repeatedly. *)
+
+let iter_degree_affected f t =
+  match t.undo with
+  | [] -> ()
+  | { nbrs; _ } :: _ -> List.iter f nbrs
+
+let iter_fill_affected f t =
+  match t.undo with
+  | [] -> ()
+  | { nbrs; _ } :: _ ->
+      List.iter
+        (fun u ->
+          f u;
+          Bitset.iter f t.adj.(u))
+        nbrs
 
 let last_step t = match t.undo with [] -> None | s :: _ -> Some s
 let trail t = t.undo

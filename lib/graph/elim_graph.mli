@@ -30,8 +30,18 @@ val is_alive : t -> int -> bool
     mutate). *)
 val alive : t -> Bitset.t
 
-(** [alive_list t] lists live vertices in increasing order. *)
+(** [alive_list t] lists live vertices in increasing order.  Allocates
+    one list cell per vertex; prefer {!iter_alive}/{!fold_alive} on hot
+    paths. *)
 val alive_list : t -> int list
+
+(** [iter_alive f t] applies [f] to every live vertex in increasing
+    order, without allocating. *)
+val iter_alive : (int -> unit) -> t -> unit
+
+(** [fold_alive f t init] folds [f] over the live vertices in
+    increasing order, without allocating. *)
+val fold_alive : (int -> 'a -> 'a) -> t -> 'a -> 'a
 
 val degree : t -> int -> int
 val neighbors : t -> int -> int list
@@ -56,6 +66,19 @@ val restore_last : t -> unit
 
 (** [depth t] is the number of outstanding eliminations. *)
 val depth : t -> int
+
+(** [iter_degree_affected f t] applies [f] to every live vertex whose
+    {!degree} may have been changed by the most recent elimination —
+    the eliminated vertex's old neighbourhood.  Does nothing when no
+    elimination is outstanding.  [f] may be called more than once per
+    vertex. *)
+val iter_degree_affected : (int -> unit) -> t -> unit
+
+(** [iter_fill_affected f t] applies [f] to every live vertex whose
+    {!fill_count} may have been changed by the most recent elimination:
+    a superset of N(v) u N(N(v)) in the current graph.  [f] may be
+    called more than once per vertex. *)
+val iter_fill_affected : (int -> unit) -> t -> unit
 
 (** [last_step t] is the undo record of the most recent elimination, if
     any. *)

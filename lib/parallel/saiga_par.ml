@@ -24,11 +24,14 @@ let run ?incumbent (config : Saiga_ghw.config) h =
   let inboxes = Array.init k (fun _ -> Ring.create 4) in
   let island i () =
     let rng = Random.State.make [| config.seed; i |] in
-    let eval_rng = Random.State.make [| config.seed lxor 0x717; i |] in
-    (* per-island evaluator: Eval workspaces hold mutable scratch and
-       must never be shared across domains *)
-    let ws = Hd_core.Eval.of_hypergraph h in
-    let eval sigma = Hd_core.Eval.ghw_width ~rng:eval_rng ws sigma in
+    (* per-island evaluator: suffix-reuse workspaces (and their
+       set-cover memo tables) hold mutable scratch and must never be
+       shared across domains — each island builds its own inside its
+       domain, so the memo needs no locking *)
+    let ws =
+      Hd_ga.Suffix_eval.of_hypergraph ~seed:(config.seed lxor 0x717 lxor i) h
+    in
+    let eval sigma = Hd_ga.Suffix_eval.width ws sigma in
     let params = ref (Saiga_ghw.random_params rng) in
     let pop =
       Ga_engine.Population.init rng ~n_genes

@@ -55,11 +55,11 @@ let ordering_of_path ~n path eg =
       sigma.(!i) <- v;
       decr i)
     path;
-  List.iter
+  Elim_graph.iter_alive
     (fun v ->
       sigma.(!i) <- v;
       decr i)
-    (Elim_graph.alive_list eg);
+    eg;
   sigma
 
 let children_of eg ~lb ~parent_reduced ~last =
@@ -68,13 +68,15 @@ let children_of eg ~lb ~parent_reduced ~last =
       Obs.Counter.incr Search_util.c_reductions;
       ([ w ], true)
   | None ->
-      let all = Elim_graph.alive_list eg in
+      let keep u =
+        parent_reduced || last < 0
+        || not (Search_util.prune_child eg ~last ~candidate:u)
+      in
       let kept =
-        if parent_reduced || last < 0 then all
-        else
-          List.filter
-            (fun u -> not (Search_util.prune_child eg ~last ~candidate:u))
-            all
+        List.rev
+          (Elim_graph.fold_alive
+             (fun u acc -> if keep u then u :: acc else acc)
+             eg [])
       in
       (kept, false)
 

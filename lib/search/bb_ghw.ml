@@ -75,13 +75,16 @@ let solve ?(budget = no_budget) ?incumbent ?seed ?(cover = `Exact) h =
                 [ (w, true) ]
             | None ->
                 let last = match !path with v :: _ -> v | [] -> -1 in
-                Elim_graph.alive_list eg
-                |> List.filter (fun u ->
-                       reduced || last < 0
-                       || not
-                            (Search_util.prune_child ~adjacent_case:false eg
-                               ~last ~candidate:u))
-                |> List.map (fun u -> (u, false))
+                let keep u =
+                  reduced || last < 0
+                  || not
+                       (Search_util.prune_child ~adjacent_case:false eg ~last
+                          ~candidate:u)
+                in
+                List.rev
+                  (Elim_graph.fold_alive
+                     (fun u acc -> if keep u then (u, false) :: acc else acc)
+                     eg [])
           in
           let candidates =
             List.sort

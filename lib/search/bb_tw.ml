@@ -55,11 +55,11 @@ let solve ?(budget = no_budget) ?incumbent ?seed ?(use_pr2 = true)
              very back *)
           let sigma = Array.make n (-1) in
           let i = ref 0 in
-          List.iter
+          Elim_graph.iter_alive
             (fun v ->
               sigma.(!i) <- v;
               incr i)
-            (Elim_graph.alive_list eg);
+            eg;
           List.iter
             (fun v ->
               sigma.(!i) <- v;
@@ -98,11 +98,14 @@ let solve ?(budget = no_budget) ?incumbent ?seed ?(use_pr2 = true)
                 [ (w, true) ]
             | None ->
                 let last = match !path with v :: _ -> v | [] -> -1 in
-                Elim_graph.alive_list eg
-                |> List.filter (fun u ->
-                       (not use_pr2) || reduced || last < 0
-                       || not (Search_util.prune_child eg ~last ~candidate:u))
-                |> List.map (fun u -> (u, false))
+                let keep u =
+                  (not use_pr2) || reduced || last < 0
+                  || not (Search_util.prune_child eg ~last ~candidate:u)
+                in
+                List.rev
+                  (Elim_graph.fold_alive
+                     (fun u acc -> if keep u then (u, false) :: acc else acc)
+                     eg [])
           in
           (* explore low-degree vertices first: they concentrate good
              orderings early, tightening ub for later siblings *)

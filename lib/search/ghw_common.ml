@@ -64,11 +64,11 @@ let record_ordering ~n eg path =
      most-recent-first, ends with the first elimination at the back *)
   let sigma = Array.make n (-1) in
   let i = ref 0 in
-  List.iter
+  Elim_graph.iter_alive
     (fun v ->
       sigma.(!i) <- v;
       incr i)
-    (Elim_graph.alive_list eg);
+    eg;
   List.iter
     (fun v ->
       sigma.(!i) <- v;

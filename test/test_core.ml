@@ -342,6 +342,94 @@ let test_to_dot () =
   in
   check_int "edges" (Td.n_nodes td - 1) (count_substring " -- ")
 
+(* --- incremental heuristics vs the naive reference --- *)
+
+module Obs = Hd_obs.Obs
+
+let with_obs f =
+  Obs.enable ();
+  Obs.reset ();
+  Fun.protect ~finally:(fun () -> Obs.disable ()) f
+
+let counter name = Obs.Counter.value (Obs.Counter.make name)
+
+let same_ordering seed g heur naive =
+  let a = heur (Random.State.make [| seed |]) g in
+  let b = naive (Random.State.make [| seed |]) g in
+  a = b
+
+let prop_incremental_min_fill_identical =
+  QCheck.Test.make ~count:120
+    ~name:"incremental min_fill byte-identical to Naive"
+    QCheck.(make QCheck.Gen.(triple (1 -- 14) int int))
+    (fun (n, gseed, seed) ->
+      let rng = Random.State.make [| gseed |] in
+      let g = random_graph rng n (Random.State.float rng 1.0) in
+      same_ordering seed g Heur.min_fill Heur.Naive.min_fill)
+
+let prop_incremental_min_degree_identical =
+  QCheck.Test.make ~count:120
+    ~name:"incremental min_degree byte-identical to Naive"
+    QCheck.(make QCheck.Gen.(triple (1 -- 14) int int))
+    (fun (n, gseed, seed) ->
+      let rng = Random.State.make [| gseed |] in
+      let g = random_graph rng n (Random.State.float rng 1.0) in
+      same_ordering seed g Heur.min_degree Heur.Naive.min_degree)
+
+let test_incremental_identical_instances () =
+  (* the bundled named instances, where structure is less uniform than
+     G(n,p) *)
+  List.iter
+    (fun name ->
+      match Hd_instances.Graphs.by_name name with
+      | None -> Alcotest.failf "unknown instance %s" name
+      | Some g ->
+          check
+            (name ^ " min_fill identical")
+            true
+            (same_ordering 7 g Heur.min_fill Heur.Naive.min_fill);
+          check
+            (name ^ " min_degree identical")
+            true
+            (same_ordering 7 g Heur.min_degree Heur.Naive.min_degree))
+    [ "myciel4"; "queen5_5"; "grid6" ]
+
+let test_dirty_set_counters () =
+  with_obs @@ fun () ->
+  (* on a sparse graph the dirty-set maintenance must recompute far
+     fewer keys than the naive n^2/2 rescans, and must actually skip
+     clean vertices *)
+  let g = Graph.grid 10 10 in
+  let n = Graph.n g in
+  ignore (Heur.min_fill (Random.State.make [| 3 |]) g);
+  let recomputes = counter "ordering.key_recomputes" in
+  let skips = counter "ordering.dirty_skips" in
+  check "some keys recomputed" true (recomputes > 0);
+  check "clean vertices skipped" true (skips > 0);
+  check
+    (Printf.sprintf "recomputes %d below naive n^2/2 = %d" recomputes
+       (n * n / 2))
+    true
+    (recomputes < (n * n / 2))
+
+let test_setcover_memo_hits () =
+  with_obs @@ fun () ->
+  let h = example5 () in
+  let ws = Eval.of_hypergraph h in
+  let sigma = Ordering.identity (Hypergraph.n_vertices h) in
+  let w1 = Eval.ghw_width ws sigma in
+  let misses_after_first = counter "setcover.memo_misses" in
+  let w2 = Eval.ghw_width ws sigma in
+  check_int "memoised width unchanged" w1 w2;
+  check "first eval misses" true (misses_after_first > 0);
+  check "second eval hits" true (counter "setcover.memo_hits" > 0);
+  check_int "second eval adds no misses" misses_after_first
+    (counter "setcover.memo_misses");
+  Eval.reset_memo ws;
+  ignore (Eval.ghw_width ws sigma);
+  check "reset_memo forces recomputation" true
+    (counter "setcover.memo_misses" > misses_after_first)
+
 let () =
   Alcotest.run "core"
     [
@@ -367,6 +455,18 @@ let () =
           Alcotest.test_case "mcs on chordal" `Quick test_mcs_chordal;
           Alcotest.test_case "best_of" `Quick test_best_of;
         ] );
+      ( "incremental heuristics",
+        [
+          Alcotest.test_case "bundled instances identical" `Quick
+            test_incremental_identical_instances;
+          Alcotest.test_case "dirty-set counters" `Quick test_dirty_set_counters;
+          Alcotest.test_case "set-cover memo" `Quick test_setcover_memo_hits;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [
+              prop_incremental_min_fill_identical;
+              prop_incremental_min_degree_identical;
+            ] );
       ( "fractional",
         [ Alcotest.test_case "K6 fhw" `Quick test_fhw_clique ] );
       ( "simplify",

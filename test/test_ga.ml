@@ -296,6 +296,118 @@ let test_ga_weighted () =
      well under 2^7 *)
   check "weight sane" true (report.Ga_engine.best <= 64 * 7)
 
+(* --- suffix re-evaluation --- *)
+
+module Suffix_eval = Hd_ga.Suffix_eval
+module Obs = Hd_obs.Obs
+
+let with_obs f =
+  Obs.enable ();
+  Obs.reset ();
+  Fun.protect ~finally:(fun () -> Obs.disable ()) f
+
+let counter name = Obs.Counter.value (Obs.Counter.make name)
+
+let random_graph rng n p =
+  let g = Graph.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Random.State.float rng 1.0 < p then Graph.add_edge g u v
+    done
+  done;
+  g
+
+(* walk a workspace through a chain of mutated orderings (exercising
+   suffix restarts of every depth) and compare every width against an
+   independent from-scratch evaluation *)
+let prop_suffix_eval_tw =
+  QCheck.Test.make ~count:150 ~name:"Suffix_eval tw = Eval.tw_width under mutation"
+    QCheck.(make QCheck.Gen.(triple (1 -- 14) int int))
+    (fun (n, gseed, seed) ->
+      let rng = Random.State.make [| gseed |] in
+      let g = random_graph rng n (Random.State.float rng 1.0) in
+      let ws = Suffix_eval.of_graph g in
+      let ref_ws = Hd_core.Eval.of_graph g in
+      let rng = Random.State.make [| seed |] in
+      let sigma = Ordering.random rng n in
+      let ok = ref true in
+      for _ = 1 to 12 do
+        ok :=
+          !ok && Suffix_eval.width ws sigma = Hd_core.Eval.tw_width ref_ws sigma;
+        (* mutate in place: a random transposition changes a random
+           position, leaving a random-length suffix intact *)
+        let i = Random.State.int rng n and j = Random.State.int rng n in
+        let t = sigma.(i) in
+        sigma.(i) <- sigma.(j);
+        sigma.(j) <- t
+      done;
+      !ok)
+
+let prop_suffix_eval_ghw =
+  QCheck.Test.make ~count:100
+    ~name:"Suffix_eval ghw = width_full on fresh workspace"
+    QCheck.(make QCheck.Gen.(triple (2 -- 10) int int))
+    (fun (n, gseed, seed) ->
+      let rng = Random.State.make [| gseed |] in
+      let edges = ref [] in
+      for _ = 1 to max 2 (n / 2) do
+        let a = Random.State.int rng n and b = Random.State.int rng n in
+        let c = Random.State.int rng n in
+        edges := List.sort_uniq compare [ a; b; c ] :: !edges
+      done;
+      (* cover every vertex so ghw is defined *)
+      for v = 0 to n - 1 do
+        edges := [ v ] :: !edges
+      done;
+      let h = Hypergraph.create ~n !edges in
+      let ws = Suffix_eval.of_hypergraph ~seed:11 h in
+      let rng = Random.State.make [| seed |] in
+      let sigma = Ordering.random rng n in
+      let ok = ref true in
+      for _ = 1 to 8 do
+        (* per-bag deterministic tie-breaking makes the suffix-reusing
+           width equal to a from-scratch one on a fresh workspace *)
+        let fresh = Suffix_eval.of_hypergraph ~seed:11 h in
+        ok := !ok && Suffix_eval.width ws sigma = Suffix_eval.width_full fresh sigma;
+        let i = Random.State.int rng n and j = Random.State.int rng n in
+        let t = sigma.(i) in
+        sigma.(i) <- sigma.(j);
+        sigma.(j) <- t
+      done;
+      !ok)
+
+let test_suffix_reeval_counters () =
+  with_obs @@ fun () ->
+  let g = Graph.grid 5 5 in
+  let n = Graph.n g in
+  let ws = Suffix_eval.of_graph g in
+  let sigma = Ordering.identity n in
+  let w0 = Suffix_eval.width ws sigma in
+  check_int "first eval is full" 1 (counter "ga.full_reevals");
+  (* change only position 0: the whole suffix 1..n-1 is shared *)
+  let sigma' = Array.copy sigma in
+  let t = sigma'.(0) in
+  sigma'.(0) <- sigma'.(1);
+  sigma'.(1) <- t;
+  let w1 = Suffix_eval.width ws sigma' in
+  check "suffix path taken" true (counter "ga.suffix_reevals" > 0);
+  let ref_ws = Hd_core.Eval.of_graph g in
+  check_int "full width agrees" (Hd_core.Eval.tw_width ref_ws sigma) w0;
+  check_int "suffix width agrees" (Hd_core.Eval.tw_width ref_ws sigma') w1
+
+let test_suffix_eval_ga_smoke () =
+  with_obs @@ fun () ->
+  (* the wired GA must exercise the suffix path and stay correct *)
+  let g = Graph.grid 4 4 in
+  let config = small_config () in
+  let report = Ga_tw.run config g in
+  check "GA best individual is a permutation" true
+    (Ordering.is_permutation report.Ga_engine.best_individual);
+  let ref_ws = Hd_core.Eval.of_graph g in
+  check_int "GA best fitness consistent" report.Ga_engine.best
+    (Hd_core.Eval.tw_width ref_ws report.Ga_engine.best_individual);
+  check "GA run takes suffix path" true (counter "ga.suffix_reevals" > 0)
+
 let () =
   Alcotest.run "ga"
     [
@@ -337,6 +449,15 @@ let () =
           Alcotest.test_case "weighted width" `Quick test_weighted_width;
           Alcotest.test_case "weighted GA" `Quick test_ga_weighted;
         ] );
+      ( "suffix eval",
+        [
+          Alcotest.test_case "counters + agreement" `Quick
+            test_suffix_reeval_counters;
+          Alcotest.test_case "GA smoke via suffix eval" `Quick
+            test_suffix_eval_ga_smoke;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_suffix_eval_tw; prop_suffix_eval_ghw ] );
       ( "saiga",
         [
           Alcotest.test_case "self-adaptive islands" `Quick test_saiga;

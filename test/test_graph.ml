@@ -270,6 +270,103 @@ let prop_chordal_treewidth =
           in
           tw = clique - 1)
 
+(* --- bucket queues --- *)
+
+let test_bucket_queue_basics () =
+  let module Bq = Hd_graph.Bucket_queue in
+  let bq = Bq.create 6 in
+  check_int "capacity" 6 (Bq.capacity bq);
+  check_int "empty" 0 (Bq.cardinal bq);
+  Bq.insert bq 0 3;
+  Bq.insert bq 1 1;
+  Bq.insert bq 2 3;
+  Bq.insert bq 3 0;
+  check_int "cardinal" 4 (Bq.cardinal bq);
+  check "mem" true (Bq.mem bq 2);
+  check "not mem" false (Bq.mem bq 5);
+  check_int "priority" 3 (Bq.priority bq 0);
+  check_int "min" 0 (Bq.min_priority bq);
+  Bq.remove bq 3;
+  check_int "min after remove" 1 (Bq.min_priority bq);
+  Bq.update bq 1 7;
+  (* larger than any bucket seen: directory must grow *)
+  check_int "min after increase-key" 3 (Bq.min_priority bq);
+  Bq.update bq 2 0;
+  check_int "min after decrease-key" 0 (Bq.min_priority bq);
+  let seen = ref [] in
+  Bq.iter_bucket (fun v -> seen := v :: !seen) bq 3;
+  check_list "bucket 3" [ 0 ] !seen;
+  Bq.remove bq 0;
+  Bq.remove bq 1;
+  Bq.remove bq 2;
+  check_int "drained" 0 (Bq.cardinal bq)
+
+let prop_bucket_queue_matches_naive =
+  (* drive a queue with a random op sequence; cardinal/membership/
+     priorities/min must match a naive association list *)
+  QCheck.Test.make ~count:200 ~name:"bucket queue = naive priority map"
+    QCheck.(make QCheck.Gen.(pair (1 -- 12) int))
+    (fun (n, seed) ->
+      let module Bq = Hd_graph.Bucket_queue in
+      let rng = Random.State.make [| seed |] in
+      let bq = Bq.create n in
+      let model = Hashtbl.create 16 in
+      let ok = ref true in
+      for _ = 1 to 120 do
+        let v = Random.State.int rng n in
+        let p = Random.State.int rng 10 in
+        (match (Hashtbl.mem model v, Random.State.int rng 3) with
+        | false, _ -> Bq.insert bq v p; Hashtbl.replace model v p
+        | true, 0 -> Bq.remove bq v; Hashtbl.remove model v
+        | true, _ -> Bq.update bq v p; Hashtbl.replace model v p);
+        ok := !ok && Bq.cardinal bq = Hashtbl.length model;
+        Hashtbl.iter
+          (fun v p -> ok := !ok && Bq.mem bq v && Bq.priority bq v = p)
+          model;
+        if Hashtbl.length model > 0 then begin
+          let m = Hashtbl.fold (fun _ p acc -> min p acc) model max_int in
+          ok := !ok && Bq.min_priority bq = m;
+          (* the min bucket holds exactly the model's minimal items *)
+          let bucket = ref [] in
+          Bq.iter_bucket (fun v -> bucket := v :: !bucket) bq m;
+          let expect =
+            Hashtbl.fold (fun v p acc -> if p = m then v :: acc else acc) model []
+          in
+          ok :=
+            !ok
+            && List.sort compare !bucket = List.sort compare expect
+        end
+      done;
+      !ok)
+
+(* --- alive iteration and canonical hashing --- *)
+
+let test_iter_fold_alive () =
+  let g = Graph.grid 3 3 in
+  let eg = Elim_graph.of_graph g in
+  Elim_graph.eliminate eg 4;
+  Elim_graph.eliminate eg 0;
+  let via_iter = ref [] in
+  Elim_graph.iter_alive (fun v -> via_iter := v :: !via_iter) eg;
+  check_list "iter_alive = alive_list" (Elim_graph.alive_list eg)
+    (List.rev !via_iter);
+  let via_fold =
+    List.rev (Elim_graph.fold_alive (fun v acc -> v :: acc) eg [])
+  in
+  check_list "fold_alive = alive_list" (Elim_graph.alive_list eg) via_fold
+
+let test_fnv_hash () =
+  (* canonical: content decides, build order doesn't *)
+  let a = Bitset.of_list 100 [ 3; 97; 41 ] in
+  let b = Bitset.of_list 100 [ 97; 3; 41 ] in
+  check "same content, same hash" true (Bitset.fnv_hash a = Bitset.fnv_hash b);
+  check "non-negative" true (Bitset.fnv_hash a >= 0);
+  Bitset.remove b 41;
+  check "different content, different hash" true
+    (Bitset.fnv_hash a <> Bitset.fnv_hash b);
+  check_int "empty set hash is the offset basis" 0xbf29ce484222325
+    (Bitset.fnv_hash (Bitset.create 10))
+
 let () =
   Alcotest.run "graph"
     [
@@ -290,6 +387,15 @@ let () =
         [
           Alcotest.test_case "copy independence" `Quick test_graph_copy_independent;
           Alcotest.test_case "degrees" `Quick test_degrees;
+        ] );
+      ( "bucket queue",
+        [ Alcotest.test_case "basics" `Quick test_bucket_queue_basics ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_bucket_queue_matches_naive ] );
+      ( "alive iteration",
+        [
+          Alcotest.test_case "iter/fold alive" `Quick test_iter_fold_alive;
+          Alcotest.test_case "fnv hash" `Quick test_fnv_hash;
         ] );
       ("contract", [ Alcotest.test_case "contract C5" `Quick test_contract ]);
       ( "dimacs",
