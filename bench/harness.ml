@@ -22,10 +22,7 @@ let imin xs = List.fold_left min max_int xs
 let imax xs = List.fold_left max min_int xs
 let fmean xs = mean (List.map float_of_int xs)
 
-let time f =
-  let started = Unix.gettimeofday () in
-  let result = f () in
-  (result, Unix.gettimeofday () -. started)
+let time = Hd_engine.Clock.time
 
 (* run a seeded experiment [runs] times and summarise the integer
    results *)
@@ -85,10 +82,10 @@ let table_reports : (string * Obs.Json.t) list ref = ref []
 let record_table name f =
   Obs.enable ();
   Obs.reset ();
-  let started = Unix.gettimeofday () in
+  let started = Hd_engine.Clock.now () in
   Fun.protect
     ~finally:(fun () ->
-      let elapsed = Unix.gettimeofday () -. started in
+      let elapsed = Hd_engine.Clock.now () -. started in
       let snapshot =
         Obs.Json.Obj
           [
@@ -109,6 +106,8 @@ let query_section : Obs.Json.t option ref = ref None
 let set_query_section j = query_section := Some j
 let ordering_section : Obs.Json.t option ref = ref None
 let set_ordering_section j = ordering_section := Some j
+let engine_section : Obs.Json.t option ref = ref None
+let set_engine_section j = engine_section := Some j
 
 let write_bench_report ?(path = "BENCH_report.json") () =
   let doc =
@@ -124,8 +123,11 @@ let write_bench_report ?(path = "BENCH_report.json") () =
       @ (match !query_section with
         | Some j -> [ ("query", j) ]
         | None -> [])
-      @ match !ordering_section with
+      @ (match !ordering_section with
         | Some j -> [ ("ordering", j) ]
+        | None -> [])
+      @ match !engine_section with
+        | Some j -> [ ("engine", j) ]
         | None -> [])
   in
   let oc = open_out path in

@@ -56,8 +56,12 @@ let report_portfolio label (r : Hd_parallel.Portfolio.t) =
     r.Hd_parallel.Portfolio.members;
   r.Hd_parallel.Portfolio.ordering
 
-let run input method_ ~jobs ~portfolio time_limit seed population iterations
-    print_decomposition output =
+let ensure_registry () =
+  Hd_search.Solvers.ensure ();
+  Hd_ga.Solvers.ensure ()
+
+let run input method_ ~jobs ~portfolio ~solvers time_limit seed population
+    iterations print_decomposition output =
   match load ~instance:input.(0) ~graph_file:input.(1) ~hypergraph_file:input.(2)
   with
   | Error msg ->
@@ -78,6 +82,46 @@ let run input method_ ~jobs ~portfolio time_limit seed population iterations
       in
       let is_tw = ref true in
       let ordering =
+        match solvers with
+        | _ :: _ as names -> (
+            (* registry path: run the named engine solver(s), racing
+               them as an ad-hoc portfolio when several are given *)
+            ensure_registry ();
+            (match
+               List.filter (fun n -> Hd_engine.Solver.find n = None) names
+             with
+            | [] -> ()
+            | missing ->
+                Printf.eprintf
+                  "hd_decompose: unknown solver%s %s (available: %s)\n"
+                  (if List.length missing > 1 then "s" else "")
+                  (String.concat ", " missing)
+                  (String.concat ", " (Hd_engine.Solver.names ()));
+                exit 2);
+            is_tw :=
+              List.for_all
+                (fun n ->
+                  match Hd_engine.Solver.find n with
+                  | Some s -> s.Hd_engine.Solver.kind = Hd_engine.Solver.Tw
+                  | None -> false)
+                names;
+            let problem =
+              match data with
+              | G g -> Hd_engine.Solver.Graph g
+              | H h -> Hd_engine.Solver.Hypergraph h
+            in
+            match names with
+            | [ name ] ->
+                report_search name
+                  (Hd_engine.Engine.run_by_name ~seed name
+                     (Hd_engine.Budget.of_spec (budget time_limit))
+                     problem)
+            | names ->
+                report_portfolio "portfolio"
+                  (Hd_parallel.Portfolio.solve_named
+                     ?jobs:(if jobs > 1 then Some jobs else None)
+                     ~budget:(budget time_limit) ~seed ~names problem))
+        | [] ->
         if portfolio then
           (* race the solver roster on [jobs] domains; the objective
              follows the input: treewidth for graphs, ghw for
@@ -286,6 +330,22 @@ let print_decomposition =
 let list_flag =
   Arg.(value & flag & info [ "list" ] ~doc:"List named instances and exit.")
 
+let solver =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "solver" ] ~docv:"NAME[,NAME...]"
+        ~doc:
+          "Run the named solver(s) from the engine registry (see \
+           $(b,--list-solvers)) instead of $(b,--method).  Several \
+           comma-separated names race as a portfolio sharing one incumbent.")
+
+let list_solvers_flag =
+  Arg.(
+    value & flag
+    & info [ "list-solvers" ]
+        ~doc:"List the registered engine solvers and exit.")
+
 let output =
   Arg.(
     value
@@ -302,9 +362,18 @@ let stats =
            JSON report to $(docv) ($(b,-) or no value: stdout).")
 
 let main instance instance_pos graph_file hypergraph_file method_ jobs
-    portfolio time_limit seed population iterations print_decomposition
-    list_flag output stats =
-  if list_flag then begin
+    portfolio solver time_limit seed population iterations print_decomposition
+    list_flag list_solvers_flag output stats =
+  if list_solvers_flag then begin
+    ensure_registry ();
+    List.iter
+      (fun (s : Hd_engine.Solver.t) ->
+        Printf.printf "  %-16s %-3s  %s\n" s.Hd_engine.Solver.name
+          (Hd_engine.Solver.kind_name s.Hd_engine.Solver.kind)
+          s.Hd_engine.Solver.doc)
+      (Hd_engine.Solver.all ())
+  end
+  else if list_flag then begin
     print_endline "graphs:";
     List.iter
       (fun (n, v, e) -> Printf.printf "  %-12s %5d vertices %6d edges\n" n v e)
@@ -329,9 +398,16 @@ let main instance instance_pos graph_file hypergraph_file method_ jobs
       | _ -> (instance, stats)
     in
     if stats <> None then Hd_obs.Obs.enable ();
+    let solvers =
+      match solver with
+      | None -> []
+      | Some s ->
+          String.split_on_char ',' s |> List.map String.trim
+          |> List.filter (fun n -> n <> "")
+    in
     run
       [| instance; graph_file; hypergraph_file |]
-      method_ ~jobs ~portfolio time_limit seed population iterations
+      method_ ~jobs ~portfolio ~solvers time_limit seed population iterations
       print_decomposition output;
     match stats with
     | Some path -> (
@@ -348,7 +424,8 @@ let cmd =
     (Cmd.info "hd_decompose" ~doc)
     Term.(
       const main $ instance $ instance_pos $ graph_file $ hypergraph_file
-      $ method_ $ jobs $ portfolio $ time_limit $ seed $ population
-      $ iterations $ print_decomposition $ list_flag $ output $ stats)
+      $ method_ $ jobs $ portfolio $ solver $ time_limit $ seed $ population
+      $ iterations $ print_decomposition $ list_flag $ list_solvers_flag
+      $ output $ stats)
 
 let () = exit (Cmd.eval cmd)

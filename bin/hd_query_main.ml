@@ -53,9 +53,10 @@ let run query_file query_string data mode method_ jobs seed time_limit limit
         Printf.printf "%b\n" (Hd_query.Brute_force.boolean db q))
   end
   else begin
-    let started = Unix.gettimeofday () in
-    let r = Y.run ~method_ ~jobs ~seed ~time_limit ~mode db q in
-    let elapsed = Unix.gettimeofday () -. started in
+    let r, elapsed =
+      Hd_engine.Clock.time @@ fun () ->
+      Y.run ~method_ ~jobs ~seed ~time_limit ~mode db q
+    in
     (match mode with
     | Y.Answers -> print_truncated r.Y.answers
     | Y.Count -> Printf.printf "%d\n" r.Y.count

@@ -34,9 +34,7 @@ let run problem strategy seed stats =
     (Hd_hypergraph.Hypergraph.n_vertices h)
     (Hd_hypergraph.Hypergraph.n_edges h);
   let solve name f =
-    let started = Unix.gettimeofday () in
-    let result = f () in
-    let elapsed = Unix.gettimeofday () -. started in
+    let result, elapsed = Hd_engine.Clock.time f in
     (match result with
     | Some a ->
         Format.printf "%s: solution in %.3fs  [consistent: %b]@." name elapsed

@@ -49,10 +49,11 @@ let () =
      solves 3-coloring through bags of only 3^5 tuples *)
   let grid = Hd_graph.Graph.grid 15 4 in
   let big = Models.graph_coloring grid ~colors:3 in
-  let started = Unix.gettimeofday () in
-  match Solver.solve big ~strategy:`Td ~seed:7 with
+  let result, elapsed =
+    Hd_engine.Clock.time @@ fun () -> Solver.solve big ~strategy:`Td ~seed:7
+  in
+  match result with
   | Some a ->
       Format.printf "15x4 grid 3-coloring via TD: %.3fs, consistent %b@."
-        (Unix.gettimeofday () -. started)
-        (Csp.consistent big a)
+        elapsed (Csp.consistent big a)
   | None -> failwith "grids are 3-colorable"

@@ -163,10 +163,25 @@ let solve_with_ghd csp ghd =
   finalize csp
     (Join_tree.acyclic_solve jt ~n_vars:(Csp.n_variables csp))
 
-let solve csp ~strategy ~seed =
+let solve ?solver ?time_limit csp ~strategy ~seed =
   let h = Csp.hypergraph csp in
   let rng = Random.State.make [| seed |] in
-  let sigma = Hd_core.Ordering_heuristics.min_fill_hypergraph rng h in
+  let sigma =
+    (* [solver] picks a registered engine solver for the decomposition
+       ordering (the caller links and registers the provider library);
+       the default stays the dependency-free min-fill heuristic *)
+    match solver with
+    | None -> Hd_core.Ordering_heuristics.min_fill_hypergraph rng h
+    | Some name -> (
+        let r =
+          Hd_engine.Engine.run_by_name ~seed name
+            (Hd_engine.Budget.create ?time_limit ())
+            (Hd_engine.Solver.Hypergraph h)
+        in
+        match r.Hd_engine.Solver.ordering with
+        | Some sigma -> sigma
+        | None -> Hd_core.Ordering_heuristics.min_fill_hypergraph rng h)
+  in
   match strategy with
   | `Td -> solve_with_td csp (Td.of_ordering_hypergraph h sigma)
   | `Ghd ->

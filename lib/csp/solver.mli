@@ -27,8 +27,22 @@ val solve_with_ghd : Csp.t -> Hd_core.Ghd.t -> int array option
 
 (** [solve csp ~strategy] decomposes the CSP's hypergraph with a greedy
     ordering heuristic and solves.  [`Td] solves via a tree
-    decomposition, [`Ghd] via a generalized hypertree decomposition. *)
-val solve : Csp.t -> strategy:[ `Td | `Ghd ] -> seed:int -> int array option
+    decomposition, [`Ghd] via a generalized hypertree decomposition.
+
+    [solver] names a registered engine solver (see
+    {!Hd_engine.Solver}) whose witness ordering replaces the min-fill
+    default — the caller must have registered it, e.g. via
+    [Hd_search.Solvers.ensure].  [time_limit] bounds that solver's run.
+    When the named solver returns no ordering the min-fill fallback is
+    used.
+    @raise Invalid_argument on an unknown solver name. *)
+val solve :
+  ?solver:string ->
+  ?time_limit:float ->
+  Csp.t ->
+  strategy:[ `Td | `Ghd ] ->
+  seed:int ->
+  int array option
 
 (** [solve_if_acyclic csp] detects alpha-acyclicity by GYO reduction
     and, when the CSP is acyclic, solves it directly on the join tree

@@ -1,0 +1,155 @@
+module Incumbent = Hd_core.Incumbent
+module Obs = Hd_obs.Obs
+
+(* cooperative cancellations that actually stopped a solver; see
+   docs/OBSERVABILITY.md *)
+let c_cancellations = Obs.Counter.make "engine.cancellations"
+
+type spec = { time_limit : float option; max_states : int option }
+
+type t = {
+  time_limit : float option;
+  max_states : int option;
+  flag : bool Atomic.t;
+  inc : Incumbent.t option;
+  (* nan until the first start/ticker; CAS so the earliest start wins
+     when domains race *)
+  started_at : float Atomic.t;
+}
+
+let create ?time_limit ?max_states ?incumbent () =
+  {
+    time_limit;
+    max_states;
+    flag = Atomic.make false;
+    inc = incumbent;
+    started_at = Atomic.make Float.nan;
+  }
+
+let of_spec ?incumbent (s : spec) =
+  create ?time_limit:s.time_limit ?max_states:s.max_states ?incumbent ()
+
+let time_limit b = b.time_limit
+let max_states b = b.max_states
+let incumbent b = b.inc
+
+let start b =
+  let cur = Atomic.get b.started_at in
+  if Float.is_nan cur then
+    ignore (Atomic.compare_and_set b.started_at cur (Clock.now ()))
+
+let started b = not (Float.is_nan (Atomic.get b.started_at))
+
+let elapsed b =
+  let s = Atomic.get b.started_at in
+  if Float.is_nan s then 0.0 else Clock.now () -. s
+
+let remaining b =
+  match b.time_limit with
+  | None -> None
+  | Some limit -> Some (limit -. elapsed b)
+
+let spec_of b = { time_limit = remaining b; max_states = b.max_states }
+
+let cancel b =
+  Atomic.set b.flag true;
+  match b.inc with Some i -> Incumbent.cancel i | None -> ()
+
+let cancelled b =
+  Atomic.get b.flag
+  ||
+  match b.inc with
+  | Some i -> Incumbent.cancelled i || Incumbent.closed i
+  | None -> false
+
+let sub ?(stages = 1) b =
+  let stages = max 1 stages in
+  {
+    time_limit =
+      (match remaining b with
+      | None -> None
+      | Some r -> Some (Float.max 0.0 r /. float_of_int stages));
+    max_states = b.max_states;
+    flag = b.flag;
+    inc = None;
+    started_at = Atomic.make Float.nan;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Amortized checking                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type ticker = {
+  budget : t;
+  t0 : float;
+  mutable visited : int;
+  mutable generated : int;
+  mutable credit : int;  (** checks left before the next clock read *)
+  mutable stride : int;  (** current amortization window *)
+  mutable last_poll : float;
+  mutable stopped : bool;  (** latched once any limit trips *)
+}
+
+let max_stride = 1024
+
+(* widen the window while consecutive clock reads land closer together
+   than this, shrink it when they land further apart: tight search
+   loops converge to ~[max_stride] checks per read, a GA that checks
+   once per generation converges back to stride 1 *)
+let poll_granularity = 0.002
+
+let ticker b =
+  start b;
+  let now = Clock.now () in
+  {
+    budget = b;
+    t0 = now;
+    visited = 0;
+    generated = 0;
+    credit = 1;
+    stride = 1;
+    last_poll = now;
+    stopped = false;
+  }
+
+let budget tk = tk.budget
+let ticker_elapsed tk = Clock.now () -. tk.t0
+let tick_visited tk = tk.visited <- tk.visited + 1
+let tick_generated tk = tk.generated <- tk.generated + 1
+let visited tk = tk.visited
+let generated tk = tk.generated
+
+let poll tk =
+  let now = Clock.now () in
+  let dt = now -. tk.last_poll in
+  tk.last_poll <- now;
+  if dt < poll_granularity then tk.stride <- min max_stride (tk.stride * 2)
+  else tk.stride <- max 1 (tk.stride / 2);
+  tk.credit <- tk.stride;
+  match tk.budget.time_limit with
+  | Some limit -> now -. Atomic.get tk.budget.started_at > limit
+  | None -> false
+
+let out_of_budget tk =
+  tk.stopped
+  ||
+  let b = tk.budget in
+  let states_hit =
+    match b.max_states with Some m -> tk.generated > m | None -> false
+  in
+  let cancel_hit = cancelled b in
+  let time_hit =
+    match b.time_limit with
+    | None -> false
+    | Some _ ->
+        tk.credit <- tk.credit - 1;
+        if tk.credit <= 0 then poll tk else false
+  in
+  if states_hit || cancel_hit || time_hit then begin
+    tk.stopped <- true;
+    if cancel_hit then Obs.Counter.incr c_cancellations;
+    true
+  end
+  else false
+
+let check tk = if not tk.stopped then ignore (out_of_budget tk)

@@ -1,0 +1,110 @@
+(** Unified anytime-solver budgets: one monotonic deadline, one state
+    cap, one cooperative cancellation token.
+
+    Every solver entry point in the tree (A*/BB searches, det-k-decomp,
+    the GA/SA/SAIGA drivers, the portfolio) runs under a [Budget.t].
+    The budget carries
+
+    - an optional wall-clock limit, measured from the budget's {e
+      start} (first use), not its creation — reported [elapsed] times
+      therefore cover the run only, never setup work done beforehand;
+    - an optional cap on generated states / evaluations;
+    - a cancellation flag shared with any number of sub-budgets, and
+      optionally an {!Hd_core.Incumbent.t} whose own cancellation and
+      closure are honoured too.
+
+    Solvers do not poll the budget directly; they create a {!ticker}
+    and call {!out_of_budget} on every step.  The ticker amortizes
+    clock reads adaptively: tight search loops widen the polling
+    window up to 1024 checks per [Unix] call, while slow tick streams
+    (one GA generation per check) shrink it back to one, keeping
+    deadline precision at a few milliseconds either way. *)
+
+(** The passive description of a budget — what callers configure.
+    [Hd_search.Search_types.budget] is an alias of this type. *)
+type spec = {
+  time_limit : float option;  (** wall-clock seconds *)
+  max_states : int option;  (** cap on generated states *)
+}
+
+type t
+
+(** [create ()] makes a fresh, unstarted budget. *)
+val create :
+  ?time_limit:float -> ?max_states:int -> ?incumbent:Hd_core.Incumbent.t ->
+  unit -> t
+
+(** [of_spec spec] is [create] from a {!spec}. *)
+val of_spec : ?incumbent:Hd_core.Incumbent.t -> spec -> t
+
+(** The limits as a {!spec}; [time_limit] is the {e remaining} time
+    when the budget has started. *)
+val spec_of : t -> spec
+
+val time_limit : t -> float option
+val max_states : t -> int option
+val incumbent : t -> Hd_core.Incumbent.t option
+
+(** [start b] starts the clock if it has not started yet (first call
+    wins; later calls are no-ops).  Creating a {!ticker} starts the
+    budget implicitly. *)
+val start : t -> unit
+
+(** [started b] holds once the clock is running. *)
+val started : t -> bool
+
+(** Seconds since [start]; [0.] on an unstarted budget. *)
+val elapsed : t -> float
+
+(** Seconds left before the deadline ([None] when unlimited).  On an
+    unstarted budget this is the full limit; it may go negative once
+    the deadline has passed. *)
+val remaining : t -> float option
+
+(** [cancel b] trips the cancellation flag — shared with every
+    sub-budget — and cancels the attached incumbent, if any. *)
+val cancel : t -> unit
+
+(** [cancelled b] holds after [cancel], and also when the attached
+    incumbent was cancelled or closed by another racer. *)
+val cancelled : t -> bool
+
+(** [sub ~stages b] is a child budget holding an equal share of [b]'s
+    remaining time for the next of [stages] sequential stages.  Time a
+    stage leaves unspent automatically rolls over: the next [sub] call
+    divides a larger remainder.  The child shares [b]'s cancellation
+    flag but {e not} its incumbent (bounds from one sub-problem must
+    not prune another); pass the work's own incumbent explicitly if it
+    has one.  The state cap is inherited as-is. *)
+val sub : ?stages:int -> t -> t
+
+(** {2 Amortized budget checking} *)
+
+type ticker
+
+(** [ticker b] starts [b] (if needed) and returns a fresh per-run
+    ticker.  Tickers are single-domain; make one per worker. *)
+val ticker : t -> ticker
+
+val budget : ticker -> t
+
+(** [out_of_budget tk] — the per-step check.  [true] once the deadline
+    passed, the state cap was exceeded, or the budget was cancelled;
+    the answer latches, so callers may keep polling cheaply after the
+    first [true].  Clock reads are amortized adaptively. *)
+val out_of_budget : ticker -> bool
+
+(** [check tk] is [ignore (out_of_budget tk)] — advances the amortized
+    clock so a later [out_of_budget] sees a fresh verdict.  Wrap hot
+    inner callbacks (e.g. GA fitness evaluations) with it. *)
+val check : ticker -> unit
+
+(** Seconds since the ticker was created. *)
+val ticker_elapsed : ticker -> float
+
+(** Counters mirrored into the [result] record by the searches. *)
+val tick_visited : ticker -> unit
+
+val tick_generated : ticker -> unit
+val visited : ticker -> int
+val generated : ticker -> int

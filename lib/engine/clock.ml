@@ -1,0 +1,19 @@
+(* The high-water mark is shared by all domains: a CAS-max keeps the
+   published time non-decreasing even when domains race or the system
+   clock steps backwards. *)
+let high_water = Atomic.make neg_infinity
+
+let now () =
+  let t = Unix.gettimeofday () in
+  let rec push () =
+    let prev = Atomic.get high_water in
+    if t <= prev then prev
+    else if Atomic.compare_and_set high_water prev t then t
+    else push ()
+  in
+  push ()
+
+let time f =
+  let t0 = now () in
+  let result = f () in
+  (result, now () -. t0)

@@ -1,0 +1,17 @@
+(** The engine's single wall-clock source.
+
+    Every budget, deadline and timing measurement in the tree goes
+    through [now], which clamps the operating-system time to be
+    non-decreasing across the whole process (a backward NTP step
+    freezes the clock instead of producing negative elapsed times —
+    the failure mode the old per-module [Unix.gettimeofday] calls were
+    exposed to).  Outside [lib/engine] and [lib/obs] no module calls
+    [Unix.gettimeofday] directly; a test greps for offenders. *)
+
+(** [now ()] is the current time in seconds, monotonically
+    non-decreasing within this process. *)
+val now : unit -> float
+
+(** [time f] runs [f ()] and returns its result together with the
+    elapsed wall-clock seconds. *)
+val time : (unit -> 'a) -> 'a * float

@@ -1,0 +1,10 @@
+let run ?(blocks = true) ?seed solver budget problem =
+  Blocks.solve ~split_blocks:blocks ?seed solver budget problem
+
+let run_by_name ?blocks ?seed name budget problem =
+  match Solver.find name with
+  | Some s -> run ?blocks ?seed s budget problem
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown solver %S (available: %s)" name
+           (String.concat ", " (Solver.names ())))

@@ -1,0 +1,29 @@
+(** The front door: run a registered solver under a budget, with
+    block-splitting applied uniformly in front.
+
+    [Engine.run] is what the portfolio members, [Widths.analyze], the
+    bench harness and the CLIs call.  See {!Budget}, {!Solver} and
+    {!Blocks} for the three layers underneath. *)
+
+(** [run solver budget problem] block-splits [problem] (disable with
+    [~blocks:false]) and runs [solver] on each piece under shares of
+    [budget]; see {!Blocks.solve}. *)
+val run :
+  ?blocks:bool ->
+  ?seed:int ->
+  Solver.t ->
+  Budget.t ->
+  Solver.problem ->
+  Solver.result
+
+(** [run_by_name name budget problem] resolves [name] in the registry
+    first.
+    @raise Invalid_argument on unknown names, listing the registered
+    ones. *)
+val run_by_name :
+  ?blocks:bool ->
+  ?seed:int ->
+  string ->
+  Budget.t ->
+  Solver.problem ->
+  Solver.result

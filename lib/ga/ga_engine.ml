@@ -145,9 +145,30 @@ module Population = struct
     end
 end
 
-let run ?incumbent config ~n_genes ~eval =
+let run ?incumbent ?within config ~n_genes ~eval =
   Obs.with_span "ga.run" @@ fun () ->
-  let started = Unix.gettimeofday () in
+  (* the run is governed by an engine budget: either the caller's
+     [within] (portfolio / block-split sub-budget) or a private one
+     built from [config.time_limit].  The clock starts here, not at
+     config creation. *)
+  let budget =
+    match within with
+    | Some b -> b
+    | None -> Hd_engine.Budget.create ?time_limit:config.time_limit ?incumbent ()
+  in
+  let tk = Hd_engine.Budget.ticker budget in
+  let incumbent =
+    match incumbent with
+    | Some _ as i -> i
+    | None -> Hd_engine.Budget.incumbent budget
+  in
+  (* every fitness evaluation ticks the budget, so deadlines and state
+     caps are noticed mid-generation at eval granularity *)
+  let eval s =
+    Hd_engine.Budget.tick_generated tk;
+    Hd_engine.Budget.check tk;
+    eval s
+  in
   let rng = Random.State.make [| config.seed |] in
   let pop =
     Population.init rng ~n_genes ~size:(max 2 config.population_size) ~eval
@@ -174,11 +195,7 @@ let run ?incumbent config ~n_genes ~eval =
   let reached_target best =
     match config.target with Some t -> best <= t | None -> false
   in
-  let out_of_time () =
-    match config.time_limit with
-    | Some limit -> Unix.gettimeofday () -. started > limit
-    | None -> false
-  in
+  let out_of_time () = Hd_engine.Budget.out_of_budget tk in
   let iteration = ref 0 in
   while
     !iteration < config.max_iterations
@@ -202,6 +219,6 @@ let run ?incumbent config ~n_genes ~eval =
     best_individual;
     iterations = !iteration;
     evaluations = Population.evaluations pop;
-    elapsed = Unix.gettimeofday () -. started;
+    elapsed = Hd_engine.Budget.ticker_elapsed tk;
     improvements = List.rev !improvements;
   }

@@ -52,9 +52,17 @@ type report = {
     permutation as witness — only meaningful when the fitness {e is} a
     width), and the run stops early once the incumbent closes or is
     cancelled.  The incumbent never influences evolution, so a run that
-    is not cut short is identical with and without one. *)
+    is not cut short is identical with and without one.
+
+    [within] runs the evolution under a caller-supplied engine budget
+    (deadline, state cap per fitness evaluation, cooperative
+    cancellation) instead of a private one built from
+    [config.time_limit]; the budget's own incumbent is used when
+    [incumbent] is absent.  In both cases the clock starts when [run]
+    is entered, never earlier. *)
 val run :
   ?incumbent:Hd_core.Incumbent.t ->
+  ?within:Hd_engine.Budget.t ->
   config ->
   n_genes:int ->
   eval:(int array -> int) ->

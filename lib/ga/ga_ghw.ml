@@ -1,6 +1,6 @@
-let run ?incumbent config h =
+let run ?incumbent ?within config h =
   let ws = Suffix_eval.of_hypergraph ~seed:(config.Ga_engine.seed lxor 0x5c) h in
-  Ga_engine.run ?incumbent config
+  Ga_engine.run ?incumbent ?within config
     ~n_genes:(Hd_hypergraph.Hypergraph.n_vertices h)
     ~eval:(Suffix_eval.width ws)
 

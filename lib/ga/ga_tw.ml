@@ -1,10 +1,10 @@
-let run ?incumbent config g =
+let run ?incumbent ?within config g =
   let ws = Suffix_eval.of_graph g in
-  Ga_engine.run ?incumbent config ~n_genes:(Hd_graph.Graph.n g)
+  Ga_engine.run ?incumbent ?within config ~n_genes:(Hd_graph.Graph.n g)
     ~eval:(Suffix_eval.width ws)
 
-let run_hypergraph ?incumbent config h =
-  run ?incumbent config (Hd_hypergraph.Hypergraph.primal h)
+let run_hypergraph ?incumbent ?within config h =
+  run ?incumbent ?within config (Hd_hypergraph.Hypergraph.primal h)
 
 let decomposition g (report : Ga_engine.report) =
   Hd_core.Tree_decomposition.of_ordering g report.Ga_engine.best_individual

@@ -7,16 +7,19 @@
 
 val run :
   ?incumbent:Hd_core.Incumbent.t ->
+  ?within:Hd_engine.Budget.t ->
   Ga_engine.config ->
   Hd_graph.Graph.t ->
   Ga_engine.report
-(** [incumbent] shares the width upper bound with racing solvers; see
-    {!Ga_engine.run}. *)
+(** [incumbent] shares the width upper bound with racing solvers and
+    [within] supplies an engine budget overriding the config's time
+    limit; see {!Ga_engine.run}. *)
 
 (** [run_hypergraph config h] bounds [tw(h)] via the primal graph
     (Lemma 1). *)
 val run_hypergraph :
   ?incumbent:Hd_core.Incumbent.t ->
+  ?within:Hd_engine.Budget.t ->
   Ga_engine.config ->
   Hd_hypergraph.Hypergraph.t ->
   Ga_engine.report

@@ -29,28 +29,34 @@ type report = {
   elapsed : float;
 }
 
-type driver = {
-  started : float;
-  config : config;
-  mutable evaluations : int;
-}
+type driver = { ticker : Hd_engine.Budget.ticker; config : config }
 
-let make_driver config = { started = Unix.gettimeofday (); config; evaluations = 0 }
+(* The driver's clock is an engine budget ticker, created — and hence
+   started — only when a search function actually runs.  (An earlier
+   version stamped the wall clock at driver creation, so a driver
+   built ahead of time burnt budget while idle.) *)
+let make_driver ?within config =
+  let budget =
+    match within with
+    | Some b -> b
+    | None -> Hd_engine.Budget.create ?time_limit:config.time_limit ()
+  in
+  { ticker = Hd_engine.Budget.ticker budget; config }
 
-let out_of_time d =
-  match d.config.time_limit with
-  | Some limit -> Unix.gettimeofday () -. d.started > limit
-  | None -> false
+let out_of_time d = Hd_engine.Budget.out_of_budget d.ticker
+let elapsed d = Hd_engine.Budget.ticker_elapsed d.ticker
+let evaluations d = Hd_engine.Budget.generated d.ticker
 
 let reached_target d best =
   match d.config.target with Some t -> best <= t | None -> false
 
 let evaluate d eval sigma =
-  d.evaluations <- d.evaluations + 1;
+  Hd_engine.Budget.tick_generated d.ticker;
+  Hd_engine.Budget.check d.ticker;
   eval sigma
 
-let simulated_annealing config ~n_genes ~eval =
-  let d = make_driver config in
+let simulated_annealing ?within config ~n_genes ~eval =
+  let d = make_driver ?within config in
   let rng = Random.State.make [| config.seed |] in
   let current = Hd_core.Ordering.random rng n_genes in
   let current_fitness = ref (evaluate d eval current) in
@@ -86,12 +92,12 @@ let simulated_annealing config ~n_genes ~eval =
     best = !best;
     best_individual = !best_individual;
     steps = !step;
-    evaluations = d.evaluations;
-    elapsed = Unix.gettimeofday () -. d.started;
+    evaluations = evaluations d;
+    elapsed = elapsed d;
   }
 
-let iterated_local_search config ~n_genes ~eval =
-  let d = make_driver config in
+let iterated_local_search ?within config ~n_genes ~eval =
+  let d = make_driver ?within config in
   let rng = Random.State.make [| config.seed |] in
   let best = ref max_int in
   let best_individual = ref (Hd_core.Ordering.random rng n_genes) in
@@ -143,17 +149,17 @@ let iterated_local_search config ~n_genes ~eval =
     best = !best;
     best_individual = !best_individual;
     steps = !steps;
-    evaluations = d.evaluations;
-    elapsed = Unix.gettimeofday () -. d.started;
+    evaluations = evaluations d;
+    elapsed = elapsed d;
   }
 
-let sa_tw config g =
+let sa_tw ?within config g =
   let ws = Suffix_eval.of_graph g in
-  simulated_annealing config ~n_genes:(Hd_graph.Graph.n g)
+  simulated_annealing ?within config ~n_genes:(Hd_graph.Graph.n g)
     ~eval:(Suffix_eval.width ws)
 
-let sa_ghw config h =
+let sa_ghw ?within config h =
   let ws = Suffix_eval.of_hypergraph ~seed:(config.seed lxor 0x9e) h in
-  simulated_annealing config
+  simulated_annealing ?within config
     ~n_genes:(Hd_hypergraph.Hypergraph.n_vertices h)
     ~eval:(Suffix_eval.width ws)

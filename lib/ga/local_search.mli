@@ -30,20 +30,28 @@ type report = {
 }
 
 (** [simulated_annealing config ~n_genes ~eval] minimises [eval] by
-    Metropolis acceptance over mutation moves with geometric cooling. *)
+    Metropolis acceptance over mutation moves with geometric cooling.
+
+    All four entry points accept [within], an engine budget (deadline,
+    state cap per evaluation, cooperative cancellation) that overrides
+    [config.time_limit].  The clock starts when the search starts —
+    never at config or driver creation. *)
 val simulated_annealing :
+  ?within:Hd_engine.Budget.t ->
   config -> n_genes:int -> eval:(int array -> int) -> report
 
 (** [iterated_local_search config ~n_genes ~eval] runs first-improvement
     hill climbing to a local optimum, then perturbs (3 random moves)
     and repeats, keeping the best of [restarts] descents. *)
 val iterated_local_search :
+  ?within:Hd_engine.Budget.t ->
   config -> n_genes:int -> eval:(int array -> int) -> report
 
 (** [sa_tw config g] is simulated annealing on the treewidth objective
     (Figure 6.2). *)
-val sa_tw : config -> Hd_graph.Graph.t -> report
+val sa_tw : ?within:Hd_engine.Budget.t -> config -> Hd_graph.Graph.t -> report
 
 (** [sa_ghw config h] is simulated annealing on the greedy-cover ghw
     objective (Figure 7.1). *)
-val sa_ghw : config -> Hd_hypergraph.Hypergraph.t -> report
+val sa_ghw :
+  ?within:Hd_engine.Budget.t -> config -> Hd_hypergraph.Hypergraph.t -> report

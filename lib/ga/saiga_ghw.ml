@@ -80,22 +80,37 @@ let random_params rng =
     tournament_size = 2 + Random.State.int rng 3;
   }
 
-let run ?incumbent config h =
+let run ?incumbent ?within config h =
   Obs.with_span "saiga_ghw.run" @@ fun () ->
-  let started = Unix.gettimeofday () in
+  let budget =
+    match within with
+    | Some b -> b
+    | None -> Hd_engine.Budget.create ?time_limit:config.time_limit ?incumbent ()
+  in
+  let tk = Hd_engine.Budget.ticker budget in
+  let incumbent =
+    match incumbent with
+    | Some _ as i -> i
+    | None -> Hd_engine.Budget.incumbent budget
+  in
   let n_genes = Hd_hypergraph.Hypergraph.n_vertices h in
   let k = max 1 config.n_islands in
   let rngs =
     Array.init k (fun i -> Random.State.make [| config.seed; i |])
   in
   (* one suffix-reuse workspace per island: an island's checkpoint
-     cache only ever sees that island's orderings *)
+     cache only ever sees that island's orderings.  Every evaluation
+     ticks the shared budget, so deadlines are noticed mid-epoch. *)
   let evals =
     Array.init k (fun i ->
         let ws =
           Suffix_eval.of_hypergraph ~seed:(config.seed lxor 0x717 lxor i) h
         in
-        Suffix_eval.width ws)
+        let width = Suffix_eval.width ws in
+        fun sigma ->
+          Hd_engine.Budget.tick_generated tk;
+          Hd_engine.Budget.check tk;
+          width sigma)
   in
   let params = Array.init k (fun i -> random_params rngs.(i)) in
   let islands =
@@ -104,11 +119,7 @@ let run ?incumbent config h =
           ~size:(max 2 config.island_population)
           ~eval:evals.(i))
   in
-  let out_of_time () =
-    match config.time_limit with
-    | Some limit -> Unix.gettimeofday () -. started > limit
-    | None -> false
-  in
+  let out_of_time () = Hd_engine.Budget.out_of_budget tk in
   let global_best () =
     Array.fold_left
       (fun (bf, bi) island ->
@@ -184,6 +195,6 @@ let run ?incumbent config h =
       Array.fold_left
         (fun acc isl -> acc + Ga_engine.Population.evaluations isl)
         0 islands;
-    elapsed = Unix.gettimeofday () -. started;
+    elapsed = Hd_engine.Budget.ticker_elapsed tk;
     final_params = params;
   }

@@ -51,9 +51,14 @@ type report = {
 }
 
 val run :
-  ?incumbent:Hd_core.Incumbent.t -> config -> Hd_hypergraph.Hypergraph.t -> report
+  ?incumbent:Hd_core.Incumbent.t ->
+  ?within:Hd_engine.Budget.t ->
+  config ->
+  Hd_hypergraph.Hypergraph.t ->
+  report
 (** [incumbent] shares the ghw upper bound with racing solvers and
-    stops the run once it closes or is cancelled; see
+    stops the run once it closes or is cancelled; [within] supplies an
+    engine budget that overrides [config.time_limit]; see
     {!Ga_engine.run}. *)
 
 (** {2 Self-adaptation primitives}

@@ -1,0 +1,12 @@
+(** Registration of the metaheuristics in the engine's solver table.
+
+    [ensure ()] registers (idempotently): [ga-tw], [sa-tw] (treewidth);
+    [ga-ghw], [sa-ghw], [saiga-ghw] (generalized hypertree width).  All
+    run as anytime solvers against the supplied budget: when it has a
+    deadline the iteration caps are effectively unbounded and the
+    deadline is the stop; without one, moderate default effort caps
+    keep the run finite.  Lower bounds are read back from the budget's
+    shared incumbent when present (a metaheuristic proves none itself).
+    The exact searches live in [Hd_search.Solvers]. *)
+
+val ensure : unit -> unit

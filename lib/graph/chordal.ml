@@ -15,19 +15,24 @@ let is_perfect_elimination_ordering g sigma =
     go (n - 1)
   end
 
-let mcs_ordering g =
+let mcs_ordering ?start g =
   let n = Graph.n g in
   let weight = Array.make n 0 in
   let numbered = Array.make n false in
   let sigma = Array.make n 0 in
   for i = 0 to n - 1 do
     let best = ref (-1) in
-    for v = 0 to n - 1 do
-      if
-        (not numbered.(v))
-        && (!best < 0 || weight.(v) > weight.(!best))
-      then best := v
-    done;
+    (match start with
+    | Some s when i = 0 ->
+        if s < 0 || s >= n then invalid_arg "Chordal.mcs_ordering: bad start";
+        best := s
+    | _ ->
+        for v = 0 to n - 1 do
+          if
+            (not numbered.(v))
+            && (!best < 0 || weight.(v) > weight.(!best))
+          then best := v
+        done);
     sigma.(i) <- !best;
     numbered.(!best) <- true;
     List.iter

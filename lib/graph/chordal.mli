@@ -15,8 +15,11 @@ val is_perfect_elimination_ordering : Graph.t -> int array -> bool
 
 (** [mcs_ordering g] is the maximum-cardinality-search ordering; it is
     a perfect elimination ordering iff [g] is chordal.  Deterministic
-    (smallest-index tie-breaks). *)
-val mcs_ordering : Graph.t -> int array
+    (smallest-index tie-breaks).  [start] forces the first visited
+    vertex — which this library's convention eliminates {e last}
+    ([sigma.(0) = start]); on a chordal graph the result is a perfect
+    elimination ordering for any choice of [start]. *)
+val mcs_ordering : ?start:int -> Graph.t -> int array
 
 (** [is_chordal g] recognises chordal graphs in O(n . m). *)
 val is_chordal : Graph.t -> bool

@@ -42,6 +42,24 @@ let mycielski k =
 
 let grid n = Graph.grid n n
 
+(* [chain ~copies g] glues [copies] copies of [g] end-to-end: copy [c]
+   lives on vertices [c*(n-1) .. (c+1)*(n-1)], so each copy's last
+   vertex coincides with the next copy's vertex 0 — a cut vertex.  The
+   result has [copies] biconnected super-blocks (g's own blocks,
+   repeated) and tw/ghw equal to g's: the multi-block benchmark shape
+   for the engine's decompose-by-blocks pass. *)
+let chain ~copies g =
+  let n = Graph.n g in
+  if copies <= 1 || n <= 1 then Graph.copy g
+  else begin
+    let out = Graph.create ((copies * (n - 1)) + 1) in
+    for c = 0 to copies - 1 do
+      let off = c * (n - 1) in
+      List.iter (fun (u, v) -> Graph.add_edge out (off + u) (off + v)) (Graph.edges g)
+    done;
+    out
+  end
+
 let random_gnp ~seed ~n ~p =
   let rng = Random.State.make [| seed |] in
   let g = Graph.create n in
@@ -146,6 +164,10 @@ let catalogue :
     queen_entry 14 196 8372;
     queen_entry 15 225 10360;
     queen_entry 16 256 12640;
+    (* articulation-point chains: several biconnected copies of a hard
+       core, for the engine's block-splitting benchmark *)
+    ("blocks2-queen5_5", 49, 320, fun () -> chain ~copies:2 (queen 5));
+    ("blocks3-grid4", 46, 72, fun () -> chain ~copies:3 (grid 4));
     ("myciel3", 11, 20, fun () -> mycielski 3);
     ("myciel4", 23, 71, fun () -> mycielski 4);
     ("myciel5", 47, 236, fun () -> mycielski 5);

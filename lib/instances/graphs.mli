@@ -19,6 +19,14 @@ val mycielski : int -> Hd_graph.Graph.t
 (** [grid n] is the n x n grid, treewidth n. *)
 val grid : int -> Hd_graph.Graph.t
 
+(** [chain ~copies g] glues [copies] copies of [g] end-to-end at single
+    shared vertices (each copy's last vertex is the next copy's vertex
+    0).  Treewidth and ghw equal [g]'s — widths are maxima over
+    biconnected blocks — making chains the reference instances for the
+    engine's decompose-by-blocks pass ("blocks2-queen5_5",
+    "blocks3-grid4" in the catalogue). *)
+val chain : copies:int -> Hd_graph.Graph.t -> Hd_graph.Graph.t
+
 (** [random_gnp ~seed ~n ~p] is an Erdos-Renyi graph — the DSJC family's
     distribution. *)
 val random_gnp : seed:int -> n:int -> p:float -> Hd_graph.Graph.t

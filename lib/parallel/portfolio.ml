@@ -1,5 +1,8 @@
 module Incumbent = Hd_core.Incumbent
 module Search_types = Hd_search.Search_types
+module Engine = Hd_engine.Engine
+module Solver = Hd_engine.Solver
+module Budget = Hd_engine.Budget
 module Obs = Hd_obs.Obs
 
 let c_members = Obs.Counter.make "parallel.portfolio.members"
@@ -22,29 +25,17 @@ type t = {
 
 let default_jobs () = Domain.recommended_domain_count ()
 
+(* every roster member comes from the engine's solver registry; both
+   provider libraries register here before any lookup *)
+let ensure_registry () =
+  Hd_search.Solvers.ensure ();
+  Hd_ga.Solvers.ensure ()
+
 (* the incumbent read back as an outcome: closed means some racer
    proved optimality, whoever it was *)
 let outcome_of inc =
   let lb, ub = Incumbent.bounds inc in
   if lb >= ub then Search_types.Exact ub else Search_types.Bounds { lb; ub }
-
-(* GA racers are pure upper-bounders: generous generation caps, the
-   incumbent (closing or cancellation) is their real stopping rule *)
-let ga_config ~budget ~seed =
-  let open Hd_ga.Ga_engine in
-  {
-    (default_config ~population_size:300 ~max_iterations:100_000 ~seed ()) with
-    time_limit = budget.Search_types.time_limit;
-  }
-
-let saiga_config ~budget ~seed =
-  let open Hd_ga.Saiga_ghw in
-  {
-    (default_config ~n_islands:4 ~island_population:60 ~max_epochs:10_000
-       ~seed ())
-    with
-    time_limit = budget.Search_types.time_limit;
-  }
 
 (* Race [members] on a pool of [jobs] domains sharing [inc].  With
    fewer domains than members the tail members queue; by the time they
@@ -53,7 +44,7 @@ let saiga_config ~budget ~seed =
 let race ~jobs ~inc members =
   let jobs = max 1 jobs in
   let members = List.filteri (fun i _ -> i < jobs) members in
-  let started = Unix.gettimeofday () in
+  let started = Hd_engine.Clock.now () in
   let winner = Atomic.make None in
   let reports =
     Domain_pool.with_pool ~domains:(List.length members) (fun pool ->
@@ -62,7 +53,7 @@ let race ~jobs ~inc members =
                Obs.Counter.incr c_members;
                let fut =
                  Domain_pool.submit pool (fun () ->
-                     let t0 = Unix.gettimeofday () in
+                     let t0 = Hd_engine.Clock.now () in
                      (* skip the real work when the race is already over *)
                      let outcome =
                        if Incumbent.closed inc || Incumbent.cancelled inc then
@@ -75,7 +66,7 @@ let race ~jobs ~inc members =
                          ignore
                            (Atomic.compare_and_set winner None (Some name))
                      | Search_types.Bounds _ -> ());
-                     (outcome, Unix.gettimeofday () -. t0))
+                     (outcome, Hd_engine.Clock.now () -. t0))
                in
                (name, fut))
         |> List.map (fun (name, fut) ->
@@ -92,87 +83,80 @@ let race ~jobs ~inc members =
     winner = Atomic.get winner;
     members = reports;
     domains = List.length reports;
-    elapsed = Unix.gettimeofday () -. started;
+    elapsed = Hd_engine.Clock.now () -. started;
   }
 
-let solve_tw ?jobs ?(budget = Search_types.no_budget) ?(seed = 0x90f) g =
-  Obs.with_span "portfolio.solve_tw" @@ fun () ->
-  let jobs = match jobs with Some j -> j | None -> default_jobs () in
-  let inc = Incumbent.create () in
-  let exact name f = (name, fun () -> (f () : Search_types.result).outcome) in
-  let ga name seed =
-    ( name,
-      fun () ->
-        ignore (Hd_ga.Ga_tw.run ~incumbent:inc (ga_config ~budget ~seed) g);
-        outcome_of inc )
-  in
-  (* ordered by expected usefulness: the first [jobs] entries run *)
-  let members =
-    [
-      exact "astar-tw" (fun () ->
-          Hd_search.Astar_tw.solve ~budget ~incumbent:inc ~seed g);
-      exact "bb-tw" (fun () ->
-          Hd_search.Bb_tw.solve ~budget ~incumbent:inc ~seed:(seed + 1) g);
-      ga "ga-tw" (seed + 2);
-      exact "astar-tw-dedup" (fun () ->
-          Hd_search.Astar_tw.solve ~budget ~incumbent:inc ~dedup:true
-            ~seed:(seed + 3) g);
-      exact "bb-tw-nopr2" (fun () ->
-          Hd_search.Bb_tw.solve ~budget ~incumbent:inc ~seed:(seed + 4)
-            ~use_pr2:false g);
-      ga "ga-tw-b" (seed + 5);
-      exact "bb-tw-noreduce" (fun () ->
-          Hd_search.Bb_tw.solve ~budget ~incumbent:inc ~seed:(seed + 6)
-            ~use_reductions:false g);
-      ga "ga-tw-c" (seed + 7);
-    ]
-  in
-  race ~jobs ~inc members
+(* Resolve a roster of (label, registry name) pairs into race members.
+   Resolution happens eagerly on the calling domain so an unknown name
+   fails before any domain spawns.  All members share one engine
+   budget — one race-wide deadline, shared cancellation, and the shared
+   incumbent — but each runs its own ticker, so [max_states] still caps
+   each member separately.  Members run without block splitting: the
+   race cooperates through the incumbent, and splitting (which isolates
+   per-block sub-budgets) belongs above the portfolio, not below it. *)
+let members_of ~budget ~inc ~seed roster problem =
+  let b = Budget.of_spec ~incumbent:inc budget in
+  List.mapi
+    (fun i (label, name) ->
+      let solver =
+        match Solver.find name with
+        | Some s -> s
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Portfolio: unknown solver %S (available: %s)"
+                 name
+                 (String.concat ", " (Solver.names ())))
+      in
+      ( label,
+        fun () ->
+          (Engine.run ~blocks:false ~seed:(seed + i) solver b problem)
+            .Solver.outcome ))
+    roster
 
-let solve_ghw ?jobs ?(budget = Search_types.no_budget) ?(seed = 0x91f) h =
-  Obs.with_span "portfolio.solve_ghw" @@ fun () ->
+let run_roster ?jobs ?(budget = Search_types.no_budget) ~seed roster problem =
+  ensure_registry ();
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   let inc = Incumbent.create () in
-  let exact name f = (name, fun () -> (f () : Search_types.result).outcome) in
-  let members =
-    [
-      exact "astar-ghw" (fun () ->
-          Hd_search.Astar_ghw.solve ~budget ~incumbent:inc ~seed h);
-      exact "bb-ghw" (fun () ->
-          Hd_search.Bb_ghw.solve ~budget ~incumbent:inc ~seed:(seed + 1) h);
-      ( "saiga-ghw",
-        fun () ->
-          ignore
-            (Hd_ga.Saiga_ghw.run ~incumbent:inc
-               (saiga_config ~budget ~seed:(seed + 2))
-               h);
-          outcome_of inc );
-      exact "astar-ghw-dedup" (fun () ->
-          Hd_search.Astar_ghw.solve ~budget ~incumbent:inc ~dedup:true
-            ~seed:(seed + 3) h);
-      ( "ga-ghw",
-        fun () ->
-          ignore
-            (Hd_ga.Ga_ghw.run ~incumbent:inc (ga_config ~budget ~seed:(seed + 4)) h);
-          outcome_of inc );
-      exact "bb-ghw-greedy" (fun () ->
-          Hd_search.Bb_ghw.solve ~budget ~incumbent:inc ~seed:(seed + 5)
-            ~cover:`Greedy h);
-      ( "saiga-ghw-b",
-        fun () ->
-          ignore
-            (Hd_ga.Saiga_ghw.run ~incumbent:inc
-               (saiga_config ~budget ~seed:(seed + 6))
-               h);
-          outcome_of inc );
-      ( "ga-ghw-b",
-        fun () ->
-          ignore
-            (Hd_ga.Ga_ghw.run ~incumbent:inc (ga_config ~budget ~seed:(seed + 7)) h);
-          outcome_of inc );
-    ]
-  in
-  race ~jobs ~inc members
+  race ~jobs ~inc (members_of ~budget ~inc ~seed roster problem)
+
+(* ordered by expected usefulness: the first [jobs] entries run; the
+   [-b]/[-c] labels are reseeded copies of the same registered solver *)
+let tw_roster =
+  [
+    ("astar-tw", "astar-tw");
+    ("bb-tw", "bb-tw");
+    ("ga-tw", "ga-tw");
+    ("astar-tw-dedup", "astar-tw-dedup");
+    ("bb-tw-nopr2", "bb-tw-nopr2");
+    ("ga-tw-b", "ga-tw");
+    ("bb-tw-noreduce", "bb-tw-noreduce");
+    ("ga-tw-c", "ga-tw");
+  ]
+
+let ghw_roster =
+  [
+    ("astar-ghw", "astar-ghw");
+    ("bb-ghw", "bb-ghw");
+    ("saiga-ghw", "saiga-ghw");
+    ("astar-ghw-dedup", "astar-ghw-dedup");
+    ("ga-ghw", "ga-ghw");
+    ("bb-ghw-greedy", "bb-ghw-greedy");
+    ("saiga-ghw-b", "saiga-ghw");
+    ("ga-ghw-b", "ga-ghw");
+  ]
+
+let solve_tw ?jobs ?budget ?(seed = 0x90f) g =
+  Obs.with_span "portfolio.solve_tw" @@ fun () ->
+  run_roster ?jobs ?budget ~seed tw_roster (Solver.Graph g)
+
+let solve_ghw ?jobs ?budget ?(seed = 0x91f) h =
+  Obs.with_span "portfolio.solve_ghw" @@ fun () ->
+  run_roster ?jobs ?budget ~seed ghw_roster (Solver.Hypergraph h)
+
+let solve_named ?jobs ?budget ?(seed = 0x92f) ~names problem =
+  Obs.with_span "portfolio.solve_named" @@ fun () ->
+  let jobs = match jobs with Some j -> j | None -> List.length names in
+  run_roster ~jobs ?budget ~seed (List.map (fun n -> (n, n)) names) problem
 
 let pp ppf t =
   Format.fprintf ppf "%a on %d domain%s" Search_types.pp_outcome t.outcome

@@ -42,8 +42,11 @@ val solve_tw :
   Hd_graph.Graph.t ->
   t
 (** [solve_tw ~jobs g] races the first [jobs] treewidth members (at
-    most 8).  [budget] bounds each member separately; [seed] derives
-    every member's seed, so equal seeds give an equal-width result. *)
+    most 8).  Members are resolved in the engine's solver registry and
+    run against one shared {!Hd_engine.Budget.t} built from [budget]:
+    one race-wide deadline and shared cancellation, while [max_states]
+    still caps each member's own ticker.  [seed] derives every member's
+    seed, so equal seeds give an equal-width result. *)
 
 val solve_ghw :
   ?jobs:int ->
@@ -51,5 +54,19 @@ val solve_ghw :
   ?seed:int ->
   Hd_hypergraph.Hypergraph.t ->
   t
+
+val solve_named :
+  ?jobs:int ->
+  ?budget:Hd_search.Search_types.budget ->
+  ?seed:int ->
+  names:string list ->
+  Hd_engine.Solver.problem ->
+  t
+(** [solve_named ~names problem] races an ad-hoc roster: each name is
+    resolved in the engine's solver registry (after registering the
+    hd_search and hd_ga families).  [jobs] defaults to the number of
+    names, so every requested solver actually runs.
+    @raise Invalid_argument on an unknown name, listing the registered
+    ones. *)
 
 val pp : Format.formatter -> t -> unit

@@ -12,18 +12,33 @@ let c_dropped = Obs.Counter.make "parallel.saiga.migrants_dropped"
    control parameters, so the receiver can orient as well as inject *)
 type migrant = { fitness : int; individual : int array; params : Ga_engine.params }
 
-let run ?incumbent (config : Saiga_ghw.config) h =
+let run ?incumbent ?within (config : Saiga_ghw.config) h =
   Obs.with_span "saiga_par.run" @@ fun () ->
-  let started = Unix.gettimeofday () in
+  let budget =
+    match within with
+    | Some b -> b
+    | None -> Hd_engine.Budget.create ?time_limit:config.time_limit ?incumbent ()
+  in
+  Hd_engine.Budget.start budget;
   let n_genes = Hypergraph.n_vertices h in
   let k = max 1 config.n_islands in
-  let inc = match incumbent with Some i -> i | None -> Incumbent.create () in
+  let inc =
+    match incumbent with
+    | Some i -> i
+    | None -> (
+        match Hd_engine.Budget.incumbent budget with
+        | Some i -> i
+        | None -> Incumbent.create ())
+  in
   (* one inbox per island; migrants flow along the directed ring
      i -> i+1, so each ring has exactly one producer (island i) and one
      consumer (island i+1): the SPSC contract Ring requires *)
   let inboxes = Array.init k (fun _ -> Ring.create 4) in
   let island i () =
     let rng = Random.State.make [| config.seed; i |] in
+    (* each island runs its own ticker on the shared budget, so the
+       deadline is global while the amortized clock stays domain-local *)
+    let tk = Hd_engine.Budget.ticker budget in
     (* per-island evaluator: suffix-reuse workspaces (and their
        set-cover memo tables) hold mutable scratch and must never be
        shared across domains — each island builds its own inside its
@@ -31,18 +46,18 @@ let run ?incumbent (config : Saiga_ghw.config) h =
     let ws =
       Hd_ga.Suffix_eval.of_hypergraph ~seed:(config.seed lxor 0x717 lxor i) h
     in
-    let eval sigma = Hd_ga.Suffix_eval.width ws sigma in
+    let eval sigma =
+      Hd_engine.Budget.tick_generated tk;
+      Hd_engine.Budget.check tk;
+      Hd_ga.Suffix_eval.width ws sigma
+    in
     let params = ref (Saiga_ghw.random_params rng) in
     let pop =
       Ga_engine.Population.init rng ~n_genes
         ~size:(max 2 config.island_population)
         ~eval
     in
-    let out_of_time () =
-      match config.time_limit with
-      | Some limit -> Unix.gettimeofday () -. started > limit
-      | None -> false
-    in
+    let out_of_time () = Hd_engine.Budget.out_of_budget tk in
     let publish () =
       let f, ind = Ga_engine.Population.best pop in
       if Array.length ind > 0 then
@@ -117,6 +132,6 @@ let run ?incumbent (config : Saiga_ghw.config) h =
     epochs = Array.fold_left (fun acc (_, _, e, _, _) -> max acc e) 0 results;
     evaluations =
       Array.fold_left (fun acc (_, _, _, ev, _) -> acc + ev) 0 results;
-    elapsed = Unix.gettimeofday () -. started;
+    elapsed = Hd_engine.Budget.elapsed budget;
     final_params = Array.map (fun (_, _, _, _, p) -> p) results;
   }

@@ -22,9 +22,13 @@
 
 val run :
   ?incumbent:Hd_core.Incumbent.t ->
+  ?within:Hd_engine.Budget.t ->
   Hd_ga.Saiga_ghw.config ->
   Hd_hypergraph.Hypergraph.t ->
   Hd_ga.Saiga_ghw.report
 (** [run config h] spawns [config.n_islands] domains and returns the
     merged report: best over islands, summed evaluations, maximal
-    epoch count, every island's final parameter vector. *)
+    epoch count, every island's final parameter vector.  [within]
+    supplies an engine budget (overriding [config.time_limit]) shared
+    by all islands — each runs its own amortized ticker against the
+    common deadline and cancellation flag. *)

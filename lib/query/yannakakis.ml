@@ -80,7 +80,15 @@ let ordering_for ~method_ ~jobs ~seed ~time_limit h =
   match method_ with
   | Auto | Min_fill -> min_fill ()
   | Bb_ghw -> (
-      match (Hd_search.Bb_ghw.solve ~budget ~seed h).St.ordering with
+      (* through the engine: block-split the query hypergraph first,
+         then run the registered BB-ghw on each biconnected piece *)
+      Hd_search.Solvers.ensure ();
+      let r =
+        Hd_engine.Engine.run_by_name ~seed "bb-ghw"
+          (Hd_engine.Budget.of_spec budget)
+          (Hd_engine.Solver.Hypergraph h)
+      in
+      match r.Hd_engine.Solver.ordering with
       | Some sigma -> sigma
       | None -> min_fill ())
   | Portfolio -> (

@@ -74,7 +74,7 @@ let children_of eg ~parent_reduced ~last =
       in
       (kept, false)
 
-let solve ?(budget = no_budget) ?(dedup = false) ?incumbent ?seed h =
+let solve ?(budget = no_budget) ?within ?(dedup = false) ?incumbent ?seed h =
   Obs.with_span "astar_ghw.solve" @@ fun () ->
   Ghw_common.check_input h;
   (* subsumed hyperedges never matter for covers or coverage: searching
@@ -82,12 +82,16 @@ let solve ?(budget = no_budget) ?(dedup = false) ?incumbent ?seed h =
      same ghw) *)
   let h = Hypergraph.remove_subsumed h in
   let n = Hypergraph.n_vertices h in
-  let ticker = Search_util.make_ticker budget in
+  let ticker =
+    match within with
+    | Some b -> Search_util.ticker_within b
+    | None -> Search_util.make_ticker budget
+  in
   let finish outcome ordering =
     {
       outcome;
-      visited = ticker.Search_util.visited;
-      generated = ticker.Search_util.generated;
+      visited = Search_util.visited ticker;
+      generated = Search_util.generated ticker;
       elapsed = Search_util.elapsed ticker;
       ordering;
     }
@@ -96,7 +100,14 @@ let solve ?(budget = no_budget) ?(dedup = false) ?incumbent ?seed h =
   else begin
     let rng = Random.State.make [| Option.value seed ~default:0xa5a |] in
     let ub_sigma, ub0, lb0 = Ghw_common.initial_bounds h rng in
-    let inc = match incumbent with Some i -> i | None -> Incumbent.create () in
+    let inc =
+      match incumbent with
+      | Some i -> i
+      | None -> (
+          match Option.bind within Hd_engine.Budget.incumbent with
+          | Some i -> i
+          | None -> Incumbent.create ())
+    in
     ignore (Incumbent.offer_ub inc ~witness:ub_sigma ub0);
     ignore (Incumbent.raise_lb inc lb0);
     let lb0 = max lb0 (Incumbent.lb inc) in
@@ -152,7 +163,7 @@ let solve ?(budget = no_budget) ?(dedup = false) ?incumbent ?seed h =
             search ()
           end
           else begin
-            ticker.Search_util.visited <- ticker.Search_util.visited + 1;
+            Search_util.tick_visited ticker;
             Obs.Counter.incr Search_util.c_expanded;
             sync eg current_path s;
             if s.f > !best_lb then begin
@@ -188,7 +199,7 @@ let solve ?(budget = no_budget) ?(dedup = false) ?incumbent ?seed h =
         List.iter
           (fun v ->
             if not (Search_util.out_of_budget ticker) then begin
-              ticker.Search_util.generated <- ticker.Search_util.generated + 1;
+              Search_util.tick_generated ticker;
               Obs.Counter.incr Search_util.c_generated;
               let c = Ghw_common.Cover.bag_width covers eg v in
               let g' = max s.g c in

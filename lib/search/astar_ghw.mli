@@ -10,6 +10,7 @@
 
 val solve :
   ?budget:Search_types.budget ->
+  ?within:Hd_engine.Budget.t ->
   ?dedup:bool ->
   ?incumbent:Hd_core.Incumbent.t ->
   ?seed:int ->

@@ -80,15 +80,19 @@ let children_of eg ~lb ~parent_reduced ~last =
       in
       (kept, false)
 
-let solve ?(budget = no_budget) ?(dedup = false) ?incumbent ?seed g =
+let solve ?(budget = no_budget) ?within ?(dedup = false) ?incumbent ?seed g =
   Obs.with_span "astar_tw.solve" @@ fun () ->
   let n = Graph.n g in
-  let ticker = Search_util.make_ticker budget in
+  let ticker =
+    match within with
+    | Some b -> Search_util.ticker_within b
+    | None -> Search_util.make_ticker budget
+  in
   let finish outcome ordering =
     {
       outcome;
-      visited = ticker.Search_util.visited;
-      generated = ticker.Search_util.generated;
+      visited = Search_util.visited ticker;
+      generated = Search_util.generated ticker;
       elapsed = Search_util.elapsed ticker;
       ordering;
     }
@@ -104,7 +108,14 @@ let solve ?(budget = no_budget) ?(dedup = false) ?incumbent ?seed g =
     let lb = Lower_bounds.treewidth ~rng g in
     (* all bound traffic goes through the (possibly shared) incumbent:
        racing solvers see our improvements and vice versa *)
-    let inc = match incumbent with Some i -> i | None -> Incumbent.create () in
+    let inc =
+      match incumbent with
+      | Some i -> i
+      | None -> (
+          match Option.bind within Hd_engine.Budget.incumbent with
+          | Some i -> i
+          | None -> Incumbent.create ())
+    in
     ignore (Incumbent.offer_ub inc ~witness:ub_sigma ub0);
     ignore (Incumbent.raise_lb inc lb);
     let lb = max lb (Incumbent.lb inc) in
@@ -163,7 +174,7 @@ let solve ?(budget = no_budget) ?(dedup = false) ?incumbent ?seed g =
             search ()
           end
           else begin
-            ticker.Search_util.visited <- ticker.Search_util.visited + 1;
+            Search_util.tick_visited ticker;
             Obs.Counter.incr Search_util.c_expanded;
             sync eg current_path s;
             if s.f > !best_lb then begin
@@ -189,7 +200,7 @@ let solve ?(budget = no_budget) ?(dedup = false) ?incumbent ?seed g =
         List.iter
           (fun v ->
             if not (Search_util.out_of_budget ticker) then begin
-              ticker.Search_util.generated <- ticker.Search_util.generated + 1;
+              Search_util.tick_generated ticker;
               Obs.Counter.incr Search_util.c_generated;
               let d = Elim_graph.degree eg v in
               let g' = max s.g d in
@@ -248,5 +259,6 @@ let solve ?(budget = no_budget) ?(dedup = false) ?incumbent ?seed g =
     end
   end
 
-let solve_hypergraph ?budget ?dedup ?incumbent ?seed h =
-  solve ?budget ?dedup ?incumbent ?seed (Hd_hypergraph.Hypergraph.primal h)
+let solve_hypergraph ?budget ?within ?dedup ?incumbent ?seed h =
+  solve ?budget ?within ?dedup ?incumbent ?seed
+    (Hd_hypergraph.Hypergraph.primal h)

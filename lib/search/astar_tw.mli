@@ -19,9 +19,14 @@
     solvers (hd_parallel portfolio): the search prunes against the
     shared upper bound, publishes its own improvements and frontier
     lower bounds, returns [Exact] as soon as the incumbent closes and
-    [Bounds] when it is cancelled. *)
+    [Bounds] when it is cancelled.  [within] attaches the run to an
+    already-running {!Hd_engine.Budget.t} (deadline, state cap,
+    cancellation flag and — unless [incumbent] overrides it — the
+    budget's incumbent), taking precedence over [budget]; every solver
+    entry point in the tree accepts the same pair. *)
 val solve :
   ?budget:Search_types.budget ->
+  ?within:Hd_engine.Budget.t ->
   ?dedup:bool ->
   ?incumbent:Hd_core.Incumbent.t ->
   ?seed:int ->
@@ -32,6 +37,7 @@ val solve :
     primal graph, which by Lemma 1 is the treewidth of [h]. *)
 val solve_hypergraph :
   ?budget:Search_types.budget ->
+  ?within:Hd_engine.Budget.t ->
   ?dedup:bool ->
   ?incumbent:Hd_core.Incumbent.t ->
   ?seed:int ->

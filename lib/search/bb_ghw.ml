@@ -10,7 +10,7 @@ type cover_mode = Ghw_common.cover_mode
 exception Out_of_budget
 exception Closed
 
-let solve ?(budget = no_budget) ?incumbent ?seed ?(cover = `Exact) h =
+let solve ?(budget = no_budget) ?within ?incumbent ?seed ?(cover = `Exact) h =
   Obs.with_span "bb_ghw.solve" @@ fun () ->
   Ghw_common.check_input h;
   (* subsumed hyperedges never matter for covers or coverage: searching
@@ -18,12 +18,16 @@ let solve ?(budget = no_budget) ?incumbent ?seed ?(cover = `Exact) h =
      same ghw) *)
   let h = Hypergraph.remove_subsumed h in
   let n = Hypergraph.n_vertices h in
-  let ticker = Search_util.make_ticker budget in
+  let ticker =
+    match within with
+    | Some b -> Search_util.ticker_within b
+    | None -> Search_util.make_ticker budget
+  in
   let finish outcome ordering =
     {
       outcome;
-      visited = ticker.Search_util.visited;
-      generated = ticker.Search_util.generated;
+      visited = Search_util.visited ticker;
+      generated = Search_util.generated ticker;
       elapsed = Search_util.elapsed ticker;
       ordering;
     }
@@ -32,7 +36,14 @@ let solve ?(budget = no_budget) ?incumbent ?seed ?(cover = `Exact) h =
   else begin
     let rng = Random.State.make [| Option.value seed ~default:0x6b6 |] in
     let ub_sigma, ub0, lb0 = Ghw_common.initial_bounds h rng in
-    let inc = match incumbent with Some i -> i | None -> Incumbent.create () in
+    let inc =
+      match incumbent with
+      | Some i -> i
+      | None -> (
+          match Option.bind within Hd_engine.Budget.incumbent with
+          | Some i -> i
+          | None -> Incumbent.create ())
+    in
     ignore (Incumbent.offer_ub inc ~witness:ub_sigma ub0);
     ignore (Incumbent.raise_lb inc lb0);
     let lb0 = max lb0 (Incumbent.lb inc) in
@@ -53,7 +64,7 @@ let solve ?(budget = no_budget) ?incumbent ?seed ?(cover = `Exact) h =
         if Search_util.out_of_budget ticker || Incumbent.cancelled inc then
           raise Out_of_budget;
         if Incumbent.closed inc then raise Closed;
-        ticker.Search_util.visited <- ticker.Search_util.visited + 1;
+        Search_util.tick_visited ticker;
         Obs.Counter.incr Search_util.c_expanded;
         let completion = max g_val (Ghw_common.Cover.completion_width covers eg) in
         if completion < Incumbent.ub inc then begin
@@ -94,7 +105,7 @@ let solve ?(budget = no_budget) ?incumbent ?seed ?(cover = `Exact) h =
           in
           List.iter
             (fun (v, via_reduction) ->
-              ticker.Search_util.generated <- ticker.Search_util.generated + 1;
+              Search_util.tick_generated ticker;
               Obs.Counter.incr Search_util.c_generated;
               let c = Ghw_common.Cover.bag_width covers eg v in
               let g'' = max g_val c in

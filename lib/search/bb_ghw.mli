@@ -17,6 +17,7 @@ type cover_mode =
 
 val solve :
   ?budget:Search_types.budget ->
+  ?within:Hd_engine.Budget.t ->
   ?incumbent:Hd_core.Incumbent.t ->
   ?seed:int ->
   ?cover:cover_mode ->

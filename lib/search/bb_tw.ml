@@ -8,16 +8,20 @@ open Search_types
 exception Out_of_budget
 exception Closed
 
-let solve ?(budget = no_budget) ?incumbent ?seed ?(use_pr2 = true)
+let solve ?(budget = no_budget) ?within ?incumbent ?seed ?(use_pr2 = true)
     ?(use_reductions = true) g =
   Obs.with_span "bb_tw.solve" @@ fun () ->
   let n = Graph.n g in
-  let ticker = Search_util.make_ticker budget in
+  let ticker =
+    match within with
+    | Some b -> Search_util.ticker_within b
+    | None -> Search_util.make_ticker budget
+  in
   let finish outcome ordering =
     {
       outcome;
-      visited = ticker.Search_util.visited;
-      generated = ticker.Search_util.generated;
+      visited = Search_util.visited ticker;
+      generated = Search_util.generated ticker;
       elapsed = Search_util.elapsed ticker;
       ordering;
     }
@@ -31,7 +35,14 @@ let solve ?(budget = no_budget) ?incumbent ?seed ?(use_pr2 = true)
         ~eval:(Hd_core.Eval.tw_width eval)
     in
     let lb0 = Lower_bounds.treewidth ~rng g in
-    let inc = match incumbent with Some i -> i | None -> Incumbent.create () in
+    let inc =
+      match incumbent with
+      | Some i -> i
+      | None -> (
+          match Option.bind within Hd_engine.Budget.incumbent with
+          | Some i -> i
+          | None -> Incumbent.create ())
+    in
     ignore (Incumbent.offer_ub inc ~witness:ub_sigma ub0);
     ignore (Incumbent.raise_lb inc lb0);
     let lb0 = max lb0 (Incumbent.lb inc) in
@@ -77,7 +88,7 @@ let solve ?(budget = no_budget) ?incumbent ?seed ?(use_pr2 = true)
         if Search_util.out_of_budget ticker || Incumbent.cancelled inc then
           raise Out_of_budget;
         if Incumbent.closed inc then raise Closed;
-        ticker.Search_util.visited <- ticker.Search_util.visited + 1;
+        Search_util.tick_visited ticker;
         Obs.Counter.incr Search_util.c_expanded;
         let n' = Elim_graph.n_alive eg in
         (* PR 1 *)
@@ -117,7 +128,7 @@ let solve ?(budget = no_budget) ?incumbent ?seed ?(use_pr2 = true)
           in
           List.iter
             (fun (v, via_reduction) ->
-              ticker.Search_util.generated <- ticker.Search_util.generated + 1;
+              Search_util.tick_generated ticker;
               Obs.Counter.incr Search_util.c_generated;
               let d = Elim_graph.degree eg v in
               let g'' = max g_val d in
@@ -150,5 +161,5 @@ let solve ?(budget = no_budget) ?incumbent ?seed ?(use_pr2 = true)
     end
   end
 
-let solve_hypergraph ?budget ?incumbent ?seed h =
-  solve ?budget ?incumbent ?seed (Hd_hypergraph.Hypergraph.primal h)
+let solve_hypergraph ?budget ?within ?incumbent ?seed h =
+  solve ?budget ?within ?incumbent ?seed (Hd_hypergraph.Hypergraph.primal h)

@@ -13,6 +13,7 @@
     search stops early when the incumbent closes or is cancelled. *)
 val solve :
   ?budget:Search_types.budget ->
+  ?within:Hd_engine.Budget.t ->
   ?incumbent:Hd_core.Incumbent.t ->
   ?seed:int ->
   ?use_pr2:bool ->
@@ -22,6 +23,7 @@ val solve :
 
 val solve_hypergraph :
   ?budget:Search_types.budget ->
+  ?within:Hd_engine.Budget.t ->
   ?incumbent:Hd_core.Incumbent.t ->
   ?seed:int ->
   Hd_hypergraph.Hypergraph.t ->

@@ -51,11 +51,12 @@ exception Found of node
 
 exception Timeout
 
-let decide ?deadline h ~k =
+let decide ?within h ~k =
   if k < 1 then invalid_arg "Det_k_decomp.decide: k >= 1 required";
+  let ticker = Option.map Hd_engine.Budget.ticker within in
   let check_deadline () =
-    match deadline with
-    | Some t when Unix.gettimeofday () > t -> raise Timeout
+    match ticker with
+    | Some tk when Hd_engine.Budget.out_of_budget tk -> raise Timeout
     | _ -> ()
   in
   if not (Hypergraph.all_vertices_covered h) then
@@ -190,16 +191,23 @@ let decide ?deadline h ~k =
       in
       Some (Ghd.make ~td ~lambda:(Array.of_list (List.rev !lambdas)))
 
-let hypertree_width ?upper ?time_limit h =
+let hypertree_width ?upper ?time_limit ?within h =
   let cap = Option.value upper ~default:(max 1 (Hypergraph.n_edges h)) in
-  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) time_limit in
+  let within =
+    match within with
+    | Some _ as b -> b
+    | None ->
+        Option.map
+          (fun s -> Hd_engine.Budget.create ~time_limit:s ())
+          time_limit
+  in
   (* ghw lower-bounds hw, so start the iteration there *)
   let start = max 1 (Hd_bounds.Lower_bounds.ghw h) in
   let rec go k =
     if k > cap then
       invalid_arg "Det_k_decomp.hypertree_width: upper cap exceeded"
     else
-      match decide ?deadline h ~k with
+      match decide ?within h ~k with
       | Some hd -> (k, hd)
       | None -> go (k + 1)
   in

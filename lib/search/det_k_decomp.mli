@@ -24,24 +24,30 @@
     holds. *)
 type t = Hd_core.Ghd.t
 
-(** Raised when [deadline] passes mid-search: the question "hw <= k?"
+(** Raised when the budget expires mid-search: the question "hw <= k?"
     is then unanswered (a [None] would wrongly claim hw > k). *)
 exception Timeout
 
-(** [decide ?deadline h ~k] finds a hypertree decomposition of width at
-    most [k], or [None] when [hw h > k].  [deadline] is an absolute
-    [Unix.gettimeofday] time.
-    @raise Timeout when the deadline passes.
+(** [decide ?within h ~k] finds a hypertree decomposition of width at
+    most [k], or [None] when [hw h > k].  [within] bounds the run
+    (deadline, state cap, cooperative cancellation).
+    @raise Timeout when the budget expires or is cancelled.
     @raise Invalid_argument when some vertex of [h] lies in no
     hyperedge or [k < 1]. *)
-val decide : ?deadline:float -> Hd_hypergraph.Hypergraph.t -> k:int -> t option
+val decide :
+  ?within:Hd_engine.Budget.t -> Hd_hypergraph.Hypergraph.t -> k:int -> t option
 
-(** [hypertree_width ?upper ?time_limit h] is [hw h] with a witness,
-    found by trying k upward from the tw-ksc lower bound; [upper]
-    (default: number of hyperedges) caps the search.
-    @raise Timeout when [time_limit] seconds pass. *)
+(** [hypertree_width ?upper ?time_limit ?within h] is [hw h] with a
+    witness, found by trying k upward from the tw-ksc lower bound;
+    [upper] (default: number of hyperedges) caps the search.  [within]
+    takes precedence over [time_limit].
+    @raise Timeout when the budget expires. *)
 val hypertree_width :
-  ?upper:int -> ?time_limit:float -> Hd_hypergraph.Hypergraph.t -> int * t
+  ?upper:int ->
+  ?time_limit:float ->
+  ?within:Hd_engine.Budget.t ->
+  Hd_hypergraph.Hypergraph.t ->
+  int * t
 
 (** [descendant_condition_holds h ghd] checks condition 4 alone: for
     every node [p], [var(lambda p)] intersected with the vertices

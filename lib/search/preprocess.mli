@@ -38,6 +38,7 @@ val reduce : ?lb:int -> Hd_graph.Graph.t -> result
     a witness ordering over the original vertices. *)
 val treewidth_with_preprocessing :
   ?budget:Search_types.budget ->
+  ?within:Hd_engine.Budget.t ->
   ?seed:int ->
   Hd_graph.Graph.t ->
   Search_types.result

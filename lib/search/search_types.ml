@@ -1,6 +1,12 @@
-type outcome = Exact of int | Bounds of { lb : int; ub : int }
+(* The canonical definitions moved to Hd_engine.Solver / Hd_engine.Budget
+   when the engine became the shared spine; these equations keep every
+   historical call site compiling unchanged. *)
 
-type result = {
+type outcome = Hd_engine.Solver.outcome =
+  | Exact of int
+  | Bounds of { lb : int; ub : int }
+
+type result = Hd_engine.Solver.result = {
   outcome : outcome;
   visited : int;
   generated : int;
@@ -8,12 +14,14 @@ type result = {
   ordering : int array option;
 }
 
-type budget = { time_limit : float option; max_states : int option }
+type budget = Hd_engine.Budget.spec = {
+  time_limit : float option;
+  max_states : int option;
+}
 
 let no_budget = { time_limit = None; max_states = None }
 let with_time seconds = { time_limit = Some seconds; max_states = None }
-
-let value = function Exact w -> w | Bounds { ub; _ } -> ub
+let value = Hd_engine.Solver.value
 
 let pp_outcome ppf = function
   | Exact w -> Format.fprintf ppf "%d (exact)" w

@@ -1,12 +1,18 @@
-(** Shared result and budget types of the exact-search algorithms. *)
+(** Shared result and budget types of the exact-search algorithms.
+
+    These are thin aliases of the engine's canonical types
+    ({!Hd_engine.Solver.outcome}, {!Hd_engine.Solver.result},
+    {!Hd_engine.Budget.spec}): a value of one type {e is} a value of
+    the other, so search code and engine code interoperate without
+    conversions. *)
 
 (** How a search ended. *)
-type outcome =
+type outcome = Hd_engine.Solver.outcome =
   | Exact of int  (** the optimum was proved *)
   | Bounds of { lb : int; ub : int }
       (** the budget expired; the optimum lies in [lb, ub] *)
 
-type result = {
+type result = Hd_engine.Solver.result = {
   outcome : outcome;
   visited : int;  (** search states visited (expanded) *)
   generated : int;  (** search states evaluated *)
@@ -16,8 +22,9 @@ type result = {
           one was reached *)
 }
 
-(** Resource limits for a search run. *)
-type budget = {
+(** Resource limits for a search run — the passive description;
+    solvers turn it into a running {!Hd_engine.Budget.t}. *)
+type budget = Hd_engine.Budget.spec = {
   time_limit : float option;  (** wall-clock seconds *)
   max_states : int option;  (** cap on generated states *)
 }

@@ -61,29 +61,18 @@ let prune_child ?adjacent_case eg ~last ~candidate =
   if pruned then Obs.Counter.incr c_pr2;
   pruned
 
-(* Deterministic per-run clock for budget checks. *)
-type ticker = {
-  started : float;
-  time_limit : float option;
-  max_states : int option;
-  mutable generated : int;
-  mutable visited : int;
-}
+(* The per-run clock for budget checks is the engine's amortized
+   ticker; [make_ticker] keeps the historical spec-based entry point,
+   [ticker_within] attaches to a caller-supplied running budget. *)
+type ticker = Hd_engine.Budget.ticker
 
-let make_ticker (budget : Search_types.budget) =
-  {
-    started = Unix.gettimeofday ();
-    time_limit = budget.Search_types.time_limit;
-    max_states = budget.Search_types.max_states;
-    generated = 0;
-    visited = 0;
-  }
+let make_ticker (spec : Search_types.budget) =
+  Hd_engine.Budget.ticker (Hd_engine.Budget.of_spec spec)
 
-let elapsed t = Unix.gettimeofday () -. t.started
-
-let out_of_budget t =
-  (match t.time_limit with
-  | Some limit -> elapsed t > limit
-  | None -> false)
-  ||
-  match t.max_states with Some m -> t.generated > m | None -> false
+let ticker_within = Hd_engine.Budget.ticker
+let elapsed = Hd_engine.Budget.ticker_elapsed
+let out_of_budget = Hd_engine.Budget.out_of_budget
+let tick_visited = Hd_engine.Budget.tick_visited
+let tick_generated = Hd_engine.Budget.tick_generated
+let visited = Hd_engine.Budget.visited
+let generated = Hd_engine.Budget.generated

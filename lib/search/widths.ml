@@ -13,15 +13,27 @@ type report = {
 }
 
 let analyze ?(time_limit = 10.0) ?(seed = 1) h =
-  let share = time_limit /. 3.0 in
-  let budget = { time_limit = Some share; max_states = None } in
+  Solvers.ensure ();
   let primal = Hypergraph.primal h in
   let acyclic = Hd_hypergraph.Acyclicity.is_acyclic h in
-  let tw = (Astar_tw.solve ~budget ~seed primal).outcome in
-  let ghw = (Bb_ghw.solve ~budget ~seed h).outcome in
+  (* the ladder stages run under [sub]-budgets of one common clock:
+     each takes an equal share of the time *remaining*, so whatever an
+     early stage leaves unspent (an instant tw on a small kernel, say)
+     rolls over to the harder ghw/hw questions instead of being
+     discarded *)
+  let total = Hd_engine.Budget.create ~time_limit () in
+  Hd_engine.Budget.start total;
+  let stage name stages p =
+    Hd_engine.Engine.run_by_name ~seed name
+      (Hd_engine.Budget.sub ~stages total)
+      p
+  in
+  let tw = (stage "astar-tw" 3 (Hd_engine.Solver.Graph primal)).outcome in
+  let ghw = (stage "bb-ghw" 2 (Hd_engine.Solver.Hypergraph h)).outcome in
   let hw =
-    try Some (fst (Det_k_decomp.hypertree_width ~time_limit:share h))
-    with Det_k_decomp.Timeout -> None
+    match (stage "det-k" 1 (Hd_engine.Solver.Hypergraph h)).outcome with
+    | Exact w -> Some w
+    | Bounds _ -> None
   in
   let fhw_upper =
     let rng = Random.State.make [| seed |] in

@@ -1,0 +1,446 @@
+(* hd_engine: budgets, the solver registry, and decompose-by-blocks.
+
+   Also enforces the timing-source invariant of the refactor: outside
+   lib/engine and lib/obs, no module reads the wall clock directly —
+   every deadline goes through Budget, every measurement through
+   Clock. *)
+
+module Graph = Hd_graph.Graph
+module Hypergraph = Hd_hypergraph.Hypergraph
+module Td = Hd_core.Tree_decomposition
+module Ghd = Hd_core.Ghd
+module B = Hd_engine.Budget
+module S = Hd_engine.Solver
+module Blocks = Hd_engine.Blocks
+module Engine = Hd_engine.Engine
+module Obs = Hd_obs.Obs
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let ensure_registry () =
+  Hd_search.Solvers.ensure ();
+  Hd_ga.Solvers.ensure ()
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_clock_monotonic () =
+  let prev = ref (Hd_engine.Clock.now ()) in
+  for _ = 1 to 10_000 do
+    let t = Hd_engine.Clock.now () in
+    check "non-decreasing" true (t >= !prev);
+    prev := t
+  done
+
+let test_clock_time () =
+  let x, secs = Hd_engine.Clock.time (fun () -> 41 + 1) in
+  check_int "result" 42 x;
+  check "elapsed >= 0" true (secs >= 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Budget                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_budget_starts_on_run () =
+  (* creating a budget must not start its clock: the deadline counts
+     from the first start/ticker, not from construction *)
+  let b = B.create ~time_limit:10.0 () in
+  Unix.sleepf 0.05;
+  check "not started by create" false (B.started b);
+  check "elapsed 0 before start" true (B.elapsed b = 0.0);
+  B.start b;
+  check "started" true (B.started b);
+  check "sleep before start not counted" true (B.elapsed b < 0.04)
+
+let test_budget_sub_rollover () =
+  (* sub-budgets split the time *remaining*, so what stage 1 leaves
+     unspent rolls over: with ~9s left, a 3-way split gives ~3s and a
+     later 2-way split gives ~4.5s, not a fixed 9/3 = 3s *)
+  let b = B.create ~time_limit:9.0 () in
+  B.start b;
+  let s1 = B.sub ~stages:3 b in
+  (match B.time_limit s1 with
+  | Some t -> check "first split ~ 3s" true (t > 2.5 && t <= 3.0)
+  | None -> Alcotest.fail "sub of a timed budget must be timed");
+  let s2 = B.sub ~stages:2 b in
+  (match B.time_limit s2 with
+  | Some t -> check "rollover: later split > 4s" true (t > 4.0)
+  | None -> Alcotest.fail "sub of a timed budget must be timed");
+  (* the sub shares the parent's cancel flag but never its incumbent *)
+  let inc = Hd_core.Incumbent.create () in
+  let p = B.create ~incumbent:inc () in
+  let s = B.sub p in
+  check "sub drops incumbent" true (B.incumbent s = None);
+  B.cancel p;
+  check "sub shares cancellation" true (B.cancelled s)
+
+let test_ticker_max_states () =
+  let b = B.create ~max_states:10 () in
+  let tk = B.ticker b in
+  for _ = 1 to 10 do
+    B.tick_generated tk
+  done;
+  check "at the cap: not out" false (B.out_of_budget tk);
+  B.tick_generated tk;
+  check "over the cap: out" true (B.out_of_budget tk);
+  check "latched" true (B.out_of_budget tk);
+  check_int "generated counted" 11 (B.generated tk)
+
+let test_ticker_expired_deadline () =
+  let b = B.create ~time_limit:(-1.0) () in
+  let tk = B.ticker b in
+  check "already expired" true (B.out_of_budget tk)
+
+let test_ticker_cancellation_counter () =
+  Obs.enable ();
+  Obs.reset ();
+  let counter () =
+    Obs.Counter.value (Obs.Counter.make "engine.cancellations")
+  in
+  let before = counter () in
+  let b = B.create () in
+  let tk = B.ticker b in
+  check "unlimited budget never trips" false (B.out_of_budget tk);
+  B.cancel b;
+  check "cancelled" true (B.out_of_budget tk);
+  check_int "engine.cancellations incremented" (before + 1) (counter ());
+  check "latched after cancel" true (B.out_of_budget tk);
+  check_int "counted once" (before + 1) (counter ());
+  Obs.disable ()
+
+let test_spec_equation () =
+  (* Search_types.budget is literally Budget.spec: the historical
+     record syntax keeps working across the whole search layer *)
+  let spec = { Hd_search.Search_types.time_limit = Some 1.5; max_states = Some 7 } in
+  let b = B.of_spec spec in
+  check "time_limit carried" true (B.time_limit b = Some 1.5);
+  check "max_states carried" true (B.max_states b = Some 7)
+
+(* ------------------------------------------------------------------ *)
+(* Blocks                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let roots blocks =
+  List.length (List.filter (fun b -> b.Blocks.attach = -1) blocks)
+
+let test_split_path () =
+  let g = Graph.of_edges 5 [ (0, 1); (1, 2); (2, 3); (3, 4) ] in
+  let blocks = Blocks.split g in
+  check_int "path of 5: 4 edge blocks" 4 (List.length blocks);
+  List.iter
+    (fun b -> check_int "each block is one edge" 2 (Array.length b.Blocks.vertices))
+    blocks;
+  check_int "one root block" 1 (roots blocks)
+
+let test_split_cycle () =
+  let g = Graph.of_edges 5 [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 0) ] in
+  let blocks = Blocks.split g in
+  check_int "cycle is biconnected" 1 (List.length blocks);
+  check_int "whole graph" 5 (Array.length (List.hd blocks).Blocks.vertices);
+  check_int "root" 1 (roots blocks)
+
+let test_split_two_triangles () =
+  (* two triangles sharing vertex 2: the textbook articulation point *)
+  let g = Graph.of_edges 5 [ (0, 1); (1, 2); (2, 0); (2, 3); (3, 4); (4, 2) ] in
+  let blocks = Blocks.split g in
+  check_int "two blocks" 2 (List.length blocks);
+  List.iter
+    (fun b -> check_int "triangles" 3 (Array.length b.Blocks.vertices))
+    blocks;
+  check_int "one root" 1 (roots blocks);
+  (* the non-root block attaches at the shared vertex, locally indexed *)
+  List.iter
+    (fun b ->
+      if b.Blocks.attach >= 0 then
+        check_int "attach is the cut vertex" 2
+          b.Blocks.vertices.(b.Blocks.attach))
+    blocks
+
+let test_split_isolated () =
+  let g = Graph.create 3 in
+  let blocks = Blocks.split g in
+  check_int "three singletons" 3 (List.length blocks);
+  List.iter
+    (fun b ->
+      check_int "singleton" 1 (Array.length b.Blocks.vertices);
+      check_int "root" (-1) b.Blocks.attach)
+    blocks
+
+let test_split_covers_vertices () =
+  (* every vertex appears once as a non-attach occurrence *)
+  let g = Graph.of_edges 7 [ (0, 1); (1, 2); (2, 0); (2, 3); (3, 4); (5, 6) ] in
+  let blocks = Blocks.split g in
+  let seen = Array.make 7 0 in
+  List.iter
+    (fun b ->
+      Array.iteri
+        (fun i v -> if i <> b.Blocks.attach then seen.(v) <- seen.(v) + 1)
+        b.Blocks.vertices)
+    blocks;
+  Array.iteri (fun v c -> check_int (Printf.sprintf "vertex %d" v) 1 c) seen;
+  check_int "one root per component" 2 (roots blocks)
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry_idempotent () =
+  ensure_registry ();
+  let names = S.names () in
+  ensure_registry ();
+  check "double ensure keeps the roster" true (names = S.names ());
+  check "astar-tw present" true (S.find "astar-tw" <> None);
+  check "saiga-ghw present" true (S.find "saiga-ghw" <> None);
+  check "unknown absent" true (S.find "no-such-solver" = None)
+
+let test_run_by_name_unknown () =
+  ensure_registry ();
+  check "unknown name raises" true
+    (try
+       ignore
+         (Engine.run_by_name "no-such-solver" (B.create ())
+            (S.Graph (Graph.grid 2 2)));
+       false
+     with Invalid_argument msg ->
+       (* the error lists what IS available *)
+       let has_sub needle hay =
+         let nl = String.length needle and hl = String.length hay in
+         let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+         go 0
+       in
+       has_sub "bb-tw" msg)
+
+let test_all_solvers_sound_under_tiny_budget () =
+  (* every registered solver must return quickly under a 50ms deadline
+     with consistent bounds and a witness no better than it claims *)
+  ensure_registry ();
+  let g = Hd_instances.Graphs.grid 3 in
+  let h = Hypergraph.of_graph g in
+  List.iter
+    (fun (s : S.t) ->
+      let problem =
+        match s.S.kind with S.Tw -> S.Graph g | S.Ghw | S.Hw -> S.Hypergraph h
+      in
+      let r, secs =
+        Hd_engine.Clock.time @@ fun () ->
+        Engine.run ~seed:1 s (B.create ~time_limit:0.05 ()) problem
+      in
+      let label fmt = Printf.sprintf fmt s.S.name in
+      check (label "%s returns promptly") true (secs < 5.0);
+      let lb, ub = S.bounds_of r.S.outcome in
+      check (label "%s: lb <= ub") true (lb <= ub);
+      check (label "%s: positive ub") true (ub >= 0);
+      match (r.S.ordering, s.S.kind) with
+      | Some sigma, S.Tw ->
+          let td = Td.of_ordering g sigma in
+          check (label "%s witness valid") true (Td.valid_for_graph g td);
+          check (label "%s witness width <= ub") true (Td.width td <= ub)
+      | Some sigma, S.Ghw ->
+          let ghd = Ghd.of_ordering h sigma ~cover:`Exact in
+          check (label "%s witness valid") true (Ghd.valid h ghd);
+          check (label "%s witness width <= ub") true (Ghd.width ghd <= ub)
+      | _ -> ())
+    (S.all ())
+
+(* ------------------------------------------------------------------ *)
+(* Decompose-by-blocks: engine results vs monolithic                   *)
+(* ------------------------------------------------------------------ *)
+
+let value_of = function
+  | S.Exact w -> w
+  | S.Bounds _ -> Alcotest.fail "expected an exact outcome on a tiny instance"
+
+let test_blocks_chain_tw () =
+  ensure_registry ();
+  let core = Hd_instances.Graphs.queen 4 in
+  let chain = Hd_instances.Graphs.chain ~copies:3 core in
+  let solo =
+    value_of
+      (Engine.run_by_name ~seed:1 "bb-tw" (B.create ()) (S.Graph core)).S.outcome
+  in
+  let split =
+    Engine.run_by_name ~seed:1 "bb-tw" (B.create ()) (S.Graph chain)
+  in
+  let mono =
+    Engine.run_by_name ~blocks:false ~seed:1 "bb-tw" (B.create ())
+      (S.Graph chain)
+  in
+  check_int "split = solo width" solo (value_of split.S.outcome);
+  check_int "mono = solo width" solo (value_of mono.S.outcome);
+  (match split.S.ordering with
+  | Some sigma ->
+      let td = Td.of_ordering chain sigma in
+      check "stitched witness valid" true (Td.valid_for_graph chain td);
+      check_int "stitched witness width" solo (Td.width td)
+  | None -> Alcotest.fail "block-split run must return a witness");
+  (* the blocks counters moved *)
+  Obs.enable ();
+  Obs.reset ();
+  ignore (Engine.run_by_name ~seed:1 "bb-tw" (B.create ()) (S.Graph chain));
+  let v name = Obs.Counter.value (Obs.Counter.make name) in
+  check "engine.blocks >= 3" true (v "engine.blocks" >= 3);
+  ignore (Engine.run_by_name ~seed:1 "bb-tw" (B.create ()) (S.Graph core));
+  check "engine.block_skips after biconnected input" true
+    (v "engine.block_skips" >= 1);
+  Obs.disable ()
+
+let prop_blocks_equal_mono_tw =
+  QCheck.Test.make ~count:8 ~name:"blocks: tw(chain) = tw(core), split = mono"
+    QCheck.(pair (int_bound 1000) (int_range 2 3))
+    (fun (seed, copies) ->
+      ensure_registry ();
+      let core = Hd_instances.Graphs.random_gnp ~seed ~n:6 ~p:0.5 in
+      let chain = Hd_instances.Graphs.chain ~copies core in
+      let run ?blocks p =
+        value_of
+          (Engine.run_by_name ?blocks ~seed:1 "bb-tw" (B.create ()) (S.Graph p))
+            .S.outcome
+      in
+      let solo = run core in
+      let split_r =
+        Engine.run_by_name ~seed:1 "bb-tw" (B.create ()) (S.Graph chain)
+      in
+      let witness_ok =
+        match split_r.S.ordering with
+        | Some sigma ->
+            let td = Td.of_ordering chain sigma in
+            Td.valid_for_graph chain td && Td.width td = solo
+        | None -> false
+      in
+      value_of split_r.S.outcome = solo
+      && run ~blocks:false chain = solo
+      && witness_ok)
+
+let prop_blocks_equal_mono_ghw =
+  QCheck.Test.make ~count:6 ~name:"blocks: ghw(chain) = ghw(core), split = mono"
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      ensure_registry ();
+      let core = Hd_instances.Graphs.random_gnp ~seed ~n:5 ~p:0.6 in
+      let chain = Hd_instances.Graphs.chain ~copies:2 core in
+      let run ?blocks g =
+        value_of
+          (Engine.run_by_name ?blocks ~seed:1 "bb-ghw" (B.create ())
+             (S.Hypergraph (Hypergraph.of_graph g)))
+            .S.outcome
+      in
+      let solo = run core in
+      run chain = solo && run ~blocks:false chain = solo)
+
+(* ------------------------------------------------------------------ *)
+(* Local search: the clock starts at run, not before                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_local_search_clock_starts_at_run () =
+  let config =
+    {
+      (Hd_ga.Local_search.default_config ~max_steps:200 ~seed:3 ()) with
+      Hd_ga.Local_search.time_limit = Some 0.2;
+    }
+  in
+  (* if the limit counted from config creation this sleep would exhaust
+     it and the run would do no steps at all *)
+  Unix.sleepf 0.25;
+  let r = Hd_ga.Local_search.sa_tw config (Graph.grid 3 3) in
+  check "steps ran after the sleep" true (r.Hd_ga.Local_search.steps > 0);
+  check "elapsed excludes pre-run time" true
+    (r.Hd_ga.Local_search.elapsed < 0.2)
+
+(* ------------------------------------------------------------------ *)
+(* Timing-source invariant: the wall clock lives in lib/engine only    *)
+(* ------------------------------------------------------------------ *)
+
+let test_no_direct_clock_reads () =
+  (* scan the source trees this test declares as deps; the needle is
+     split so this file does not match itself *)
+  let needle = "Unix.get" ^ "timeofday" in
+  let contains hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  let exempt path =
+    (* the two timing authorities *)
+    let has sub =
+      let sl = String.length sub and pl = String.length path in
+      let rec go i = i + sl <= pl && (String.sub path i sl = sub || go (i + 1)) in
+      go 0
+    in
+    has "lib/engine/" || has "lib/obs/"
+  in
+  let offenders = ref [] in
+  let rec walk dir =
+    Array.iter
+      (fun entry ->
+        let path = Filename.concat dir entry in
+        if Sys.is_directory path then walk path
+        else if
+          (Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli")
+          && not (exempt path)
+        then begin
+          let ic = open_in_bin path in
+          let len = in_channel_length ic in
+          let body = really_input_string ic len in
+          close_in ic;
+          if contains body then offenders := path :: !offenders
+        end)
+      (Sys.readdir dir)
+  in
+  List.iter (fun d -> if Sys.file_exists d then walk d)
+    [ "../lib"; "../bin"; "../bench"; "../examples" ];
+  Alcotest.(check (list string))
+    "no wall-clock reads outside lib/engine and lib/obs" [] !offenders
+
+let () =
+  Alcotest.run "hd_engine"
+    [
+      ( "clock",
+        [
+          Alcotest.test_case "monotonic" `Quick test_clock_monotonic;
+          Alcotest.test_case "time" `Quick test_clock_time;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "starts on run" `Quick test_budget_starts_on_run;
+          Alcotest.test_case "sub rollover" `Quick test_budget_sub_rollover;
+          Alcotest.test_case "max states" `Quick test_ticker_max_states;
+          Alcotest.test_case "expired deadline" `Quick
+            test_ticker_expired_deadline;
+          Alcotest.test_case "cancellation counter" `Quick
+            test_ticker_cancellation_counter;
+          Alcotest.test_case "spec equation" `Quick test_spec_equation;
+        ] );
+      ( "blocks",
+        [
+          Alcotest.test_case "path" `Quick test_split_path;
+          Alcotest.test_case "cycle" `Quick test_split_cycle;
+          Alcotest.test_case "two triangles" `Quick test_split_two_triangles;
+          Alcotest.test_case "isolated vertices" `Quick test_split_isolated;
+          Alcotest.test_case "vertex cover" `Quick test_split_covers_vertices;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "idempotent" `Quick test_registry_idempotent;
+          Alcotest.test_case "unknown name" `Quick test_run_by_name_unknown;
+          Alcotest.test_case "all solvers, tiny budget" `Slow
+            test_all_solvers_sound_under_tiny_budget;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "chain tw + counters" `Slow test_blocks_chain_tw;
+          QCheck_alcotest.to_alcotest prop_blocks_equal_mono_tw;
+          QCheck_alcotest.to_alcotest prop_blocks_equal_mono_ghw;
+        ] );
+      ( "local search",
+        [
+          Alcotest.test_case "clock starts at run" `Slow
+            test_local_search_clock_starts_at_run;
+        ] );
+      ( "hygiene",
+        [
+          Alcotest.test_case "no direct clock reads" `Quick
+            test_no_direct_clock_reads;
+        ] );
+    ]

@@ -393,7 +393,8 @@ let test_det_k_timeout () =
   check "timeout raised" true
     (try
        ignore
-         (Hd_search.Det_k_decomp.decide ~deadline:(Unix.gettimeofday () -. 1.0)
+         (Hd_search.Det_k_decomp.decide
+            ~within:(Hd_engine.Budget.create ~time_limit:(-1.0) ())
             h ~k:3);
        false
      with Hd_search.Det_k_decomp.Timeout -> true)
