@@ -55,8 +55,15 @@ type scale = {
   runs : int;  (** repetitions for randomised methods *)
   population : int;
   iterations : int;
-  jobs : int;  (** worker domains for the parallel experiment *)
+  jobs : int;  (** worker domains for the parallel and corpus experiments *)
   full : bool;  (** paper-size instance lists *)
+  states : int option;
+      (** deterministic budgets: replace the wall-clock limit with a
+          state cap, making sweep results machine-independent *)
+  baseline : string option;
+      (** corpus regression gate: a previous BENCH_report.json to diff
+          the fresh sweep against *)
+  widths_only : bool;  (** regression gate: skip the >2x time checks *)
 }
 
 let default_scale =
@@ -67,13 +74,19 @@ let default_scale =
     iterations = 150;
     jobs = Hd_parallel.Portfolio.default_jobs ();
     full = false;
+    states = None;
+    baseline = None;
+    widths_only = false;
   }
 
 let budget scale =
-  {
-    Hd_search.Search_types.time_limit = Some scale.time_limit;
-    max_states = None;
-  }
+  match scale.states with
+  | Some n -> { Hd_search.Search_types.time_limit = None; max_states = Some n }
+  | None ->
+      {
+        Hd_search.Search_types.time_limit = Some scale.time_limit;
+        max_states = None;
+      }
 
 (* per-experiment hd_obs snapshots, collected by [record_table] and
    written out as one BENCH_report.json at the end of the run *)
@@ -108,6 +121,12 @@ let ordering_section : Obs.Json.t option ref = ref None
 let set_ordering_section j = ordering_section := Some j
 let engine_section : Obs.Json.t option ref = ref None
 let set_engine_section j = engine_section := Some j
+let corpus_section : Obs.Json.t option ref = ref None
+let set_corpus_section j = corpus_section := Some j
+
+(* nonzero when a gating check failed (the corpus regression diff);
+   main exits with it after the report is written *)
+let exit_code = ref 0
 
 let write_bench_report ?(path = "BENCH_report.json") () =
   let doc =
@@ -126,8 +145,11 @@ let write_bench_report ?(path = "BENCH_report.json") () =
       @ (match !ordering_section with
         | Some j -> [ ("ordering", j) ]
         | None -> [])
-      @ match !engine_section with
+      @ (match !engine_section with
         | Some j -> [ ("engine", j) ]
+        | None -> [])
+      @ match !corpus_section with
+        | Some j -> [ ("corpus", j) ]
         | None -> [])
   in
   let oc = open_out path in

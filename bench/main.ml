@@ -10,6 +10,13 @@
      dune exec bench/main.exe -- ablation     -- design-choice ablations
      dune exec bench/main.exe -- -j 4 parallel
                                               -- portfolio race on 4 domains
+     dune exec bench/main.exe -- -j 4 -states 20000 corpus
+                                              -- deterministic mini-corpus
+                                                 sweep on 4 domains
+     dune exec bench/main.exe -- -states 20000 -baseline old.json corpus
+                                              -- regression gate vs a
+                                                 previous report (exit 3
+                                                 on regressions)
 
    Results never match the paper's absolute numbers (different machine,
    scaled budgets); the tables print the paper's reported value next to
@@ -998,6 +1005,49 @@ let engine scale =
   in
   set_engine_section (Obs.Json.Obj [ ("instances", Obs.Json.List entries) ])
 
+(* HyperBench-style corpus sweep (hd_corpus): materialise the bundled
+   mini-corpus under _corpus/, race a ghw roster over every instance in
+   parallel, and record the width / time / winner table plus the
+   ghw<=5 coverage histogram as BENCH_report.json's "corpus" section.
+   With -baseline FILE, diff the fresh sweep against a previous report
+   and fail the run (exit 3) on width regressions or >2x slowdowns. *)
+let corpus scale =
+  header
+    (Printf.sprintf "Corpus -- mini-HyperBench sweep, -j %d, %s" scale.jobs
+       (match scale.states with
+       | Some n -> Printf.sprintf "%d states/instance (deterministic)" n
+       | None -> Printf.sprintf "%.1fs/instance" scale.time_limit));
+  let entries = Hd_corpus.Manifest.ensure_all ~root:"_corpus" in
+  Printf.printf "materialised %d instances under _corpus/ (collections: %s)\n"
+    (List.length entries)
+    (String.concat ", " (Hd_corpus.Manifest.bundled_collections ()));
+  let report =
+    Hd_corpus.Sweep.sweep ~jobs:scale.jobs ~budget:(budget scale) ~seed:1
+      entries
+  in
+  Hd_corpus.Sweep.print report;
+  set_corpus_section (Hd_corpus.Sweep.to_json report);
+  match scale.baseline with
+  | None -> ()
+  | Some path -> (
+      Printf.printf "\nregression gate: diffing against %s%s\n" path
+        (if scale.widths_only then " (widths and exactness only)" else "");
+      match
+        Hd_corpus.Regression.check_file
+          ~check_times:(not scale.widths_only)
+          ~baseline_path:path
+          (Hd_corpus.Sweep.to_json report)
+      with
+      | Ok () -> Printf.printf "regression gate: OK, nothing regressed\n"
+      | Error failures ->
+          Printf.printf "regression gate: %d failure(s)\n"
+            (List.length failures);
+          List.iter
+            (fun f ->
+              Format.printf "  %a@." Hd_corpus.Regression.pp_failure f)
+            failures;
+          exit_code := 3)
+
 (* ------------------------------------------------------------------ *)
 (* Command line                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -1024,6 +1074,7 @@ let experiments scale =
     ("scaling", fun () -> scaling scale);
     ("ordering", fun () -> ordering scale);
     ("engine", fun () -> engine scale);
+    ("corpus", fun () -> corpus scale);
     ("parallel", fun () -> parallel scale);
     ("query", fun () -> query scale);
     ("micro", fun () -> micro ());
@@ -1058,6 +1109,15 @@ let () =
     | "-full" :: rest ->
         scale := { !scale with full = true };
         parse rest
+    | "-states" :: v :: rest ->
+        scale := { !scale with states = Some (int_of_string v) };
+        parse rest
+    | "-baseline" :: v :: rest ->
+        scale := { !scale with baseline = Some v };
+        parse rest
+    | "-widths-only" :: rest ->
+        scale := { !scale with widths_only = true };
+        parse rest
     | name :: rest ->
         chosen := name :: !chosen;
         parse rest
@@ -1076,4 +1136,5 @@ let () =
             (String.concat ", " (List.map fst table));
           exit 2)
     to_run;
-  write_bench_report ()
+  write_bench_report ();
+  if !exit_code <> 0 then exit !exit_code

@@ -60,6 +60,38 @@ let ensure_registry () =
   Hd_search.Solvers.ensure ();
   Hd_ga.Solvers.ensure ()
 
+(* --corpus DIR: sweep every instance file under DIR (or materialise a
+   bundled collection by name) instead of decomposing one input *)
+let run_corpus ~dir ~solvers ~jobs ~time_limit ~seed =
+  let entries =
+    if Sys.file_exists dir && Sys.is_directory dir then
+      Hd_corpus.Manifest.scan dir
+    else if List.mem dir (Hd_corpus.Manifest.bundled_collections ()) then
+      Hd_corpus.Manifest.ensure ~root:"_corpus" dir
+    else begin
+      Printf.eprintf
+        "hd_decompose: --corpus %s: not a directory and not a bundled \
+         collection (bundled: %s)\n"
+        dir
+        (String.concat ", " (Hd_corpus.Manifest.bundled_collections ()));
+      exit 2
+    end
+  in
+  if entries = [] then begin
+    Printf.eprintf "hd_decompose: --corpus %s: no instance files (%s)\n" dir
+      (String.concat " " Hd_corpus.Manifest.instance_extensions);
+    exit 2
+  end;
+  let roster = match solvers with [] -> None | names -> Some names in
+  let budget = { St.time_limit; max_states = None } in
+  let report =
+    try Hd_corpus.Sweep.sweep ~jobs ?roster ~budget ~seed entries
+    with Invalid_argument msg ->
+      prerr_endline ("hd_decompose: " ^ msg);
+      exit 2
+  in
+  Hd_corpus.Sweep.print report
+
 let run input method_ ~jobs ~portfolio ~solvers time_limit seed population
     iterations print_decomposition output =
   match load ~instance:input.(0) ~graph_file:input.(1) ~hypergraph_file:input.(2)
@@ -346,6 +378,19 @@ let list_solvers_flag =
     & info [ "list-solvers" ]
         ~doc:"List the registered engine solvers and exit.")
 
+let corpus =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "corpus" ] ~docv:"DIR"
+        ~doc:
+          "Batch mode: sweep every instance file ($(b,.hg), $(b,.cq), \
+           $(b,.txt)) under directory $(docv), racing the $(b,--solver) \
+           roster (default: the ghw roster) on $(b,-j) worker domains under \
+           a $(b,-t) per-instance budget, and print the width/time/winner \
+           table.  $(docv) may also name a bundled collection (e.g. \
+           $(b,csp-synth)), materialised under _corpus/ first.")
+
 let output =
   Arg.(
     value
@@ -362,8 +407,8 @@ let stats =
            JSON report to $(docv) ($(b,-) or no value: stdout).")
 
 let main instance instance_pos graph_file hypergraph_file method_ jobs
-    portfolio solver time_limit seed population iterations print_decomposition
-    list_flag list_solvers_flag output stats =
+    portfolio solver corpus time_limit seed population iterations
+    print_decomposition list_flag list_solvers_flag output stats =
   if list_solvers_flag then begin
     ensure_registry ();
     List.iter
@@ -384,6 +429,25 @@ let main instance instance_pos graph_file hypergraph_file method_ jobs
       Hd_instances.Hypergraphs.names
   end
   else begin
+    match corpus with
+    | Some dir ->
+        if stats <> None then Hd_obs.Obs.enable ();
+        let solvers =
+          match solver with
+          | None -> []
+          | Some s ->
+              String.split_on_char ',' s |> List.map String.trim
+              |> List.filter (fun n -> n <> "")
+        in
+        run_corpus ~dir ~solvers ~jobs ~time_limit ~seed;
+        (match stats with
+        | Some path -> (
+            try Hd_obs.Obs.write_report path
+            with Sys_error msg ->
+              prerr_endline ("hd_decompose: --stats: " ^ msg);
+              exit 2)
+        | None -> ())
+    | None ->
     let instance = match instance with Some _ -> instance | None -> instance_pos in
     (* convenience: `--stats queen5_5` — cmdliner binds the instance name
        to --stats's optional FILE value; if that value names a known
@@ -424,8 +488,8 @@ let cmd =
     (Cmd.info "hd_decompose" ~doc)
     Term.(
       const main $ instance $ instance_pos $ graph_file $ hypergraph_file
-      $ method_ $ jobs $ portfolio $ solver $ time_limit $ seed $ population
-      $ iterations $ print_decomposition $ list_flag $ list_solvers_flag
-      $ output $ stats)
+      $ method_ $ jobs $ portfolio $ solver $ corpus $ time_limit $ seed
+      $ population $ iterations $ print_decomposition $ list_flag
+      $ list_solvers_flag $ output $ stats)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,54 @@
+module Obs = Hd_obs.Obs
+module Hg = Hd_hypergraph.Hg_format
+
+let c_parsed = Obs.Counter.make "corpus.parsed"
+let c_parse_errors = Obs.Counter.make "corpus.parse_errors"
+
+type format = Atoms | Cq
+
+(* find the first ":-" outside a %-comment; comments run to end of
+   line, as in the atom format *)
+let rule_separator text =
+  let n = String.length text in
+  let rec scan i in_comment =
+    if i + 1 >= n then None
+    else if in_comment then scan (i + 1) (text.[i] <> '\n')
+    else if text.[i] = '%' then scan (i + 1) true
+    else if text.[i] = ':' && text.[i + 1] = '-' then Some i
+    else scan (i + 1) false
+  in
+  scan 0 false
+
+let detect text = match rule_separator text with Some _ -> Cq | None -> Atoms
+
+(* blank the head and the ":-" with spaces, keeping every newline, so
+   error line numbers still point into the original file *)
+let blank_head text sep =
+  String.mapi
+    (fun i c -> if i < sep + 2 && c <> '\n' then ' ' else c)
+    text
+
+let parse_string ?(source = "<string>") text =
+  let body =
+    match rule_separator text with
+    | Some sep -> blank_head text sep
+    | None -> text
+  in
+  match Hg.parse_string ~source body with
+  | h ->
+      Obs.Counter.incr c_parsed;
+      h
+  | exception Failure msg ->
+      Obs.Counter.incr c_parse_errors;
+      failwith msg
+
+let load_file path =
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse_string ~source:path text
+
+let name_of_path path = Filename.remove_extension (Filename.basename path)

@@ -1,0 +1,44 @@
+(** Loading HyperBench-style corpus instances.
+
+    HyperBench (arXiv:1811.08181) distributes real-world hypergraphs
+    in two textual shapes, both of which this module reads into an
+    {!Hd_hypergraph.Hypergraph.t}:
+
+    - the plain {e atom format} — a list of [edge(v1,v2,...)] atoms
+      (the DaimlerChrysler / CSP-hypergraph-library format that
+      {!Hd_hypergraph.Hg_format} implements);
+    - the {e conjunctive-query variant} — a datalog rule
+      [head(X,...) :- body1(X,Y), body2(Y,Z).] whose body atoms are
+      the hyperedges (the head is ignored: a CQ's hypergraph is the
+      hypergraph of its body, Definition 5 of the paper).
+
+    Dispatch is by content: a [:-] separator (outside [%] comments)
+    selects the CQ reading.  Error messages always carry the instance
+    source (the file path for {!load_file}) and a line number, so
+    parse failures stay attributable in corpus-sweep logs; counters
+    [corpus.parsed] and [corpus.parse_errors] record volume. *)
+
+(** The two textual shapes. *)
+type format = Atoms  (** plain [edge(v1,...)] lists *)
+            | Cq  (** a datalog rule; body atoms are the hyperedges *)
+
+(** [detect text] is the format [parse_string] will use: [Cq] iff a
+    [:-] occurs outside comments. *)
+val detect : string -> format
+
+(** [parse_string ?source text] parses an instance in either format.
+    [source] (default ["<string>"]) names the input in error messages.
+    Line numbers in errors refer to the original text, also for the CQ
+    variant (the head is blanked, not cut).
+    @raise Failure on malformed input, with [source] in the message. *)
+val parse_string : ?source:string -> string -> Hd_hypergraph.Hypergraph.t
+
+(** [load_file path] is {!parse_string} on the file's contents with
+    [path] as the source.
+    @raise Failure on malformed input; [Sys_error] on unreadable
+    files. *)
+val load_file : string -> Hd_hypergraph.Hypergraph.t
+
+(** [name_of_path path] is the instance name of a corpus file: the
+    basename without its extension (["queries/q01.cq"] -> ["q01"]). *)
+val name_of_path : string -> string

@@ -1,0 +1,86 @@
+module Obs = Hd_obs.Obs
+module Mini = Hd_instances.Mini_corpus
+
+let c_cache_hits = Obs.Counter.make "corpus.cache_hits"
+let c_cache_misses = Obs.Counter.make "corpus.cache_misses"
+
+type entry = { collection : string; name : string; path : string }
+
+let instance_extensions = [ ".hg"; ".cq"; ".txt" ]
+
+let is_instance_file fname =
+  (not (String.length fname > 0 && fname.[0] = '.'))
+  && List.mem (Filename.extension fname) instance_extensions
+
+let scan root =
+  if not (Sys.file_exists root && Sys.is_directory root) then
+    raise (Sys_error (Printf.sprintf "%s: not a directory" root));
+  let entries = ref [] in
+  let rec walk dir collection =
+    Array.iter
+      (fun fname ->
+        let path = Filename.concat dir fname in
+        if Sys.is_directory path then begin
+          if not (String.length fname > 0 && fname.[0] = '.') then
+            walk path
+              (if collection = "" then fname
+               else Filename.concat collection fname)
+        end
+        else if is_instance_file fname then
+          entries :=
+            {
+              collection =
+                (if collection = "" then Filename.basename root
+                 else collection);
+              name = Filename.remove_extension fname;
+              path;
+            }
+            :: !entries)
+      (Sys.readdir dir)
+  in
+  walk root "";
+  List.sort
+    (fun a b ->
+      match compare a.collection b.collection with
+      | 0 -> compare a.name b.name
+      | c -> c)
+    !entries
+
+let bundled_collections () = Mini.collection_names ()
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir)
+  then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.is_directory dir -> ()
+    (* lost a race with a concurrent ensure: the directory exists now *)
+  end
+
+let ensure ~root collection =
+  match List.assoc_opt collection (Mini.collections ()) with
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Manifest.ensure: %S is not a bundled collection (bundled: %s)"
+           collection
+           (String.concat ", " (bundled_collections ())))
+  | Some files ->
+      let dir = Filename.concat root collection in
+      mkdir_p dir;
+      List.map
+        (fun (fname, text) ->
+          let path = Filename.concat dir fname in
+          if Sys.file_exists path then Obs.Counter.incr c_cache_hits
+          else begin
+            let oc = open_out_bin path in
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr oc)
+              (fun () -> output_string oc text);
+            Obs.Counter.incr c_cache_misses
+          end;
+          { collection; name = Filename.remove_extension fname; path })
+        files
+
+let ensure_all ~root =
+  List.concat_map (ensure ~root) (bundled_collections ())

@@ -1,0 +1,56 @@
+(** The corpus manifest: a local directory tree of instances keyed by
+    collection name, with a fetch-and-cache layer for the bundled
+    mini-corpus.
+
+    A corpus root looks like
+
+    {v
+    root/
+      csp-synth/   adder_01.hg bridge_02.hg ...
+      cq-mini/     path_04.cq triangle.cq ...
+      my-queries/  q001.cq ...
+    v}
+
+    — one sub-directory per collection, one file per instance
+    (extensions [.hg], [.cq] or [.txt]; anything else is ignored).
+    {!scan} turns such a tree into entries; {!ensure} materialises a
+    {e bundled} collection ({!Hd_instances.Mini_corpus}) into the tree
+    first, writing only the files that are missing.  Every file found
+    already on disk counts as [corpus.cache_hits], every file written
+    as [corpus.cache_misses] — the cache behaviour tests assert on
+    exactly these counters.  There is no network fetcher: unknown
+    collection names fail fast, and everything tests or CI need is
+    bundled. *)
+
+type entry = {
+  collection : string;  (** sub-directory (or root basename) *)
+  name : string;  (** file basename without extension *)
+  path : string;  (** path to the instance file *)
+}
+
+(** Extensions {!scan} accepts as instance files. *)
+val instance_extensions : string list
+
+(** [scan root] walks the directory tree under [root] and returns one
+    entry per instance file, sorted by [(collection, name)].  Files
+    directly under [root] form a collection named after [root]'s
+    basename; files in sub-directories use the relative directory path
+    as their collection name.
+    @raise Sys_error when [root] is not a readable directory. *)
+val scan : string -> entry list
+
+(** The bundled collection names ({!Hd_instances.Mini_corpus}). *)
+val bundled_collections : unit -> string list
+
+(** [ensure ~root collection] materialises the bundled [collection]
+    under [root/collection] — creating directories as needed, writing
+    only missing files — and returns its entries in bundled order.
+    Existing files are never rewritten (local edits survive), they
+    count as cache hits.
+    @raise Invalid_argument on a collection name that is not bundled,
+    listing the bundled ones. *)
+val ensure : root:string -> string -> entry list
+
+(** [ensure_all ~root] is {!ensure} over every bundled collection,
+    concatenated in bundled order. *)
+val ensure_all : root:string -> entry list

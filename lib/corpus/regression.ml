@@ -1,0 +1,99 @@
+module Json = Hd_obs.Obs.Json
+
+type failure = { collection : string; instance : string; message : string }
+
+let pp_failure fmt f =
+  Format.fprintf fmt "%s/%s: %s" f.collection f.instance f.message
+
+(* the fields of one instance row we gate on *)
+type key_row = {
+  width : int;
+  exact : bool;
+  seconds : float;
+}
+
+let corpus_section doc =
+  match Json.member "corpus" doc with
+  | Some section -> section
+  | None -> doc
+
+let rows_of doc =
+  match Json.member "instances" (corpus_section doc) with
+  | Some (Json.List rows) ->
+      List.filter_map
+        (fun row ->
+          match
+            ( Json.member "collection" row,
+              Json.member "instance" row,
+              Json.member "width" row,
+              Json.member "exact" row,
+              Json.member "seconds" row )
+          with
+          | ( Some (Json.String collection),
+              Some (Json.String instance),
+              Some (Json.Int width),
+              Some (Json.Bool exact),
+              Some seconds ) ->
+              let seconds =
+                match seconds with
+                | Json.Float s -> s
+                | Json.Int s -> float_of_int s
+                | _ -> 0.0
+              in
+              Some ((collection, instance), { width; exact; seconds })
+          | _ -> None)
+        rows
+  | _ ->
+      invalid_arg
+        "Regression: document has no corpus instance table \
+         (expected an \"instances\" list under a \"corpus\" section)"
+
+(* time regressions below this baseline wall clock are scheduling
+   noise, not signal *)
+let time_floor = 0.05
+
+let diff ?(check_times = false) ~baseline ~current () =
+  let base_rows = rows_of baseline in
+  let cur_rows = rows_of current in
+  let failures = ref [] in
+  let fail (collection, instance) message =
+    failures := { collection; instance; message } :: !failures
+  in
+  List.iter
+    (fun (key, (b : key_row)) ->
+      match List.assoc_opt key cur_rows with
+      | None ->
+          fail key
+            "missing from the current sweep (removed, renamed, or failed to \
+             parse)"
+      | Some c ->
+          if c.width > b.width then
+            fail key
+              (Printf.sprintf "width regressed: %d -> %d" b.width c.width)
+          else if b.exact && not c.exact then
+            fail key
+              (Printf.sprintf
+                 "exactness regressed: width %d was proved optimal, now only \
+                  an upper bound"
+                 b.width)
+          else if
+            check_times && b.seconds >= time_floor
+            && c.seconds > 2.0 *. b.seconds
+          then
+            fail key
+              (Printf.sprintf ">2x slowdown: %.3fs -> %.3fs" b.seconds
+                 c.seconds))
+    base_rows;
+  List.rev !failures
+
+let check_file ?check_times ~baseline_path current =
+  let ic = open_in_bin baseline_path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let baseline = Json.parse text in
+  match diff ?check_times ~baseline ~current () with
+  | [] -> Ok ()
+  | failures -> Error failures

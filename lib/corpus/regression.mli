@@ -1,0 +1,54 @@
+(** The corpus regression gate: diff a fresh sweep against a committed
+    baseline and fail on quality or performance regressions.
+
+    The gate compares two [corpus] sections (the {!Sweep.to_json}
+    shape, or whole [BENCH_report.json] documents containing one) by
+    [(collection, instance)] and reports a failure when, for an
+    instance present in the baseline:
+
+    - it disappeared from the current sweep (or newly failed to
+      parse);
+    - its width (best upper bound) went {e up};
+    - the baseline proved optimality and the current sweep no longer
+      does;
+    - with [~check_times:true], its wall clock more than doubled —
+      small absolute times (under 50 ms in the baseline) are exempt,
+      they are dominated by scheduling noise.
+
+    Instances only present in the current sweep are fine (the corpus
+    grew).  Width and exactness checks are machine-independent under
+    deterministic (state-capped) budgets, which is how the committed
+    baseline and the CI gate run; time checks are meant for
+    same-machine comparisons — see {e docs/BENCHMARKING.md}. *)
+
+type failure = {
+  collection : string;
+  instance : string;
+  message : string;  (** human-readable, includes both values *)
+}
+
+val pp_failure : Format.formatter -> failure -> unit
+
+(** [diff ~baseline ~current] compares two corpus sections (either a
+    {!Sweep.to_json} value or any JSON object with a ["corpus"]
+    member).  [check_times] defaults to [false]: widths and exactness
+    only.
+    @raise Invalid_argument when either document has no recognisable
+    corpus instance table. *)
+val diff :
+  ?check_times:bool ->
+  baseline:Hd_obs.Obs.Json.t ->
+  current:Hd_obs.Obs.Json.t ->
+  unit ->
+  failure list
+
+(** [check_file ~baseline_path current] reads and parses the baseline
+    file, then {!diff}s: [Ok ()] when nothing regressed.
+    @raise Sys_error on unreadable files; [Invalid_argument] on
+    documents without a corpus table
+    @raise Hd_obs.Obs.Json.Parse_error on malformed baseline JSON *)
+val check_file :
+  ?check_times:bool ->
+  baseline_path:string ->
+  Hd_obs.Obs.Json.t ->
+  (unit, failure list) result

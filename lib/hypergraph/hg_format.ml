@@ -108,7 +108,12 @@ let parse_string ?(source = "<string>") text =
     (fun i name -> vertex_names.(n - 1 - i) <- name)
     !var_order;
   let edge_names = Array.of_list (List.map fst atoms) in
-  Hypergraph.create ~vertex_names ~edge_names ~n (List.map snd atoms)
+  (* attribute construction-time rejections (Hypergraph.create's
+     Invalid_argument) to the instance too: a corpus sweep over
+     thousands of files must be able to say *which* file was bad *)
+  try Hypergraph.create ~vertex_names ~edge_names ~n (List.map snd atoms)
+  with Invalid_argument msg ->
+    failwith (Printf.sprintf "Hg_format: %s: %s" source msg)
 
 let parse_file path =
   let ic = open_in_bin path in

@@ -9,8 +9,11 @@
     multiple lines.  Variable names are interned in order of first
     appearance.
 
-    Malformed input raises [Failure] with the source name and the line
-    number of the offending token.  Empty edge bodies ([name()]), which
+    Malformed input raises [Failure] whose message always names the
+    source (the file path, for {!parse_file}) and, for scan/parse
+    errors, the line number of the offending token — so a corpus sweep
+    over many files produces attributable logs.  Empty edge bodies
+    ([name()]), which
     some HyperBench exports contain, are tolerated and skipped: an
     empty hyperedge constrains nothing and {!Hypergraph.create} would
     reject it. *)

@@ -21,8 +21,8 @@ val bridge : int -> Hd_hypergraph.Hypergraph.t
 val clique : int -> Hd_hypergraph.Hypergraph.t
 
 (** [grid2d k] is a k x (k/2) torus with one ternary hyperedge per
-    vertex ({v, right v, down v}): |V| = |H| = k^2 / 2, matching
-    grid2d_k (200/200 at k = 20). *)
+    vertex (the vertex, its right neighbour, its down neighbour):
+    |V| = |H| = k^2 / 2, matching grid2d_k (200/200 at k = 20). *)
 val grid2d : int -> Hd_hypergraph.Hypergraph.t
 
 (** [grid3d k] is a k x k x (k/2) torus with one 4-ary hyperedge per
@@ -31,8 +31,8 @@ val grid2d : int -> Hd_hypergraph.Hypergraph.t
 val grid3d : int -> Hd_hypergraph.Hypergraph.t
 
 (** [circuit ~seed ~n_vars ~n_gates] is a random combinational circuit:
-    a DAG of 2-3-input gates, one hyperedge {inputs, output} per gate —
-    the ISCAS b*/c* regime. *)
+    a DAG of 2-3-input gates, one hyperedge (the gate's inputs plus its
+    output) per gate — the ISCAS b*/c* regime. *)
 val circuit : seed:int -> n_vars:int -> n_gates:int -> Hd_hypergraph.Hypergraph.t
 
 (** [by_name name] resolves a Table 7.1/8.1/9.1 instance name

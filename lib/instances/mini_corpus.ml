@@ -1,0 +1,181 @@
+(* The bundled mini-corpus.  Everything is rendered from deterministic
+   constructions — the parametric CSP families already in this library
+   and small generated conjunctive queries — so the corpus needs no
+   data files, no network, and no per-platform variation: same bytes
+   on every machine. *)
+
+module Hg = Hd_hypergraph.Hg_format
+
+(* ------------------------------------------------------------------ *)
+(* csp-synth: parametric CSP hypergraphs in the atom format            *)
+(* ------------------------------------------------------------------ *)
+
+let csp_synth () =
+  let render name h = (name ^ ".hg", Hg.to_string h) in
+  List.concat
+    [
+      List.map
+        (fun k -> render (Printf.sprintf "adder_%02d" k) (Hypergraphs.adder k))
+        [ 1; 2; 3; 4; 5; 6; 8; 10; 12; 15 ];
+      List.map
+        (fun k -> render (Printf.sprintf "bridge_%02d" k) (Hypergraphs.bridge k))
+        [ 1; 2; 3; 4; 5; 6; 8; 10 ];
+      (* clique_k has ghw = ceil(k/2): 12 and 16 land in the > 5
+         bucket, giving the coverage histogram its HyperBench-like
+         tail *)
+      List.map
+        (fun k -> render (Printf.sprintf "clique_%02d" k) (Hypergraphs.clique k))
+        [ 3; 4; 5; 6; 7; 8; 12; 16 ];
+      List.map
+        (fun k -> render (Printf.sprintf "grid2d_%02d" k) (Hypergraphs.grid2d k))
+        [ 2; 4; 6; 8 ];
+      List.map
+        (fun k -> render (Printf.sprintf "grid3d_%02d" k) (Hypergraphs.grid3d k))
+        [ 2; 4 ];
+      List.map
+        (fun i ->
+          let n_vars = 20 + (6 * i) and n_gates = 22 + (6 * i) in
+          render
+            (Printf.sprintf "circuit_%02d" i)
+            (Hypergraphs.circuit ~seed:(0xc0de + i) ~n_vars ~n_gates))
+        [ 0; 1; 2; 3; 4; 5 ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* cq-mini: conjunctive queries in datalog form                        *)
+(* ------------------------------------------------------------------ *)
+
+let atom name vars = Printf.sprintf "%s(%s)" name (String.concat "," vars)
+
+let rule ?(comment = "") head body =
+  let b = Buffer.create 256 in
+  if comment <> "" then Buffer.add_string b (Printf.sprintf "%% %s\n" comment);
+  Buffer.add_string b head;
+  Buffer.add_string b " :-\n  ";
+  Buffer.add_string b (String.concat ",\n  " body);
+  Buffer.add_string b ".\n";
+  Buffer.contents b
+
+let x i = Printf.sprintf "X%d" i
+
+let path k =
+  rule ~comment:(Printf.sprintf "length-%d path join" k)
+    (atom "ans" [ x 0; x k ])
+    (List.init k (fun i -> atom (Printf.sprintf "e%d" i) [ x i; x (i + 1) ]))
+
+let cycle k =
+  rule ~comment:(Printf.sprintf "%d-cycle" k)
+    (atom "ans" [ x 0 ])
+    (List.init k (fun i ->
+         atom (Printf.sprintf "e%d" i) [ x i; x ((i + 1) mod k) ]))
+
+let star k =
+  rule ~comment:(Printf.sprintf "%d-leaf star" k)
+    (atom "ans" [ "C" ])
+    (List.init k (fun i -> atom (Printf.sprintf "e%d" i) [ "C"; x i ]))
+
+let snowflake k =
+  (* a star whose every ray continues one more hop *)
+  rule ~comment:(Printf.sprintf "%d-ray snowflake" k)
+    (atom "ans" [ "C" ])
+    (List.concat
+       (List.init k (fun i ->
+            [
+              atom (Printf.sprintf "e%d" i) [ "C"; x i ];
+              atom (Printf.sprintf "f%d" i)
+                [ x i; Printf.sprintf "Y%d" i ];
+            ])))
+
+let grid_cq rows cols =
+  let v r c = Printf.sprintf "X%d_%d" r c in
+  let body = ref [] in
+  for r = rows - 1 downto 0 do
+    for c = cols - 1 downto 0 do
+      if c + 1 < cols then
+        body := atom (Printf.sprintf "h%d_%d" r c) [ v r c; v r (c + 1) ] :: !body;
+      if r + 1 < rows then
+        body := atom (Printf.sprintf "v%d_%d" r c) [ v r c; v (r + 1) c ] :: !body
+    done
+  done;
+  rule ~comment:(Printf.sprintf "%dx%d grid join" rows cols)
+    (atom "ans" [ v 0 0; v (rows - 1) (cols - 1) ])
+    !body
+
+let tree_cq depth =
+  (* complete binary join tree: parent-child edge atoms *)
+  let body = ref [] in
+  let n = (1 lsl depth) - 1 in
+  for i = n - 1 downto 1 do
+    body :=
+      atom (Printf.sprintf "e%d" i) [ x ((i - 1) / 2); x i ] :: !body
+  done;
+  rule ~comment:(Printf.sprintf "depth-%d binary tree" depth)
+    (atom "ans" [ x 0 ])
+    !body
+
+let triangle =
+  rule ~comment:"triangle join"
+    (atom "ans" [ "X"; "Y"; "Z" ])
+    [ atom "e" [ "X"; "Y" ]; atom "f" [ "Y"; "Z" ]; atom "g" [ "Z"; "X" ] ]
+
+let square_chord =
+  rule ~comment:"4-cycle with a chord (chordal, acyclic as a CQ)"
+    (atom "ans" [ "W"; "Y" ])
+    [
+      atom "e1" [ "W"; "X" ];
+      atom "e2" [ "X"; "Y" ];
+      atom "e3" [ "Y"; "Z" ];
+      atom "e4" [ "Z"; "W" ];
+      atom "d" [ "W"; "Y" ];
+    ]
+
+let wide k arity =
+  (* a ring of k wide atoms, consecutive atoms overlapping in two
+     variables — the high-arity regime of real HyperBench CQs *)
+  let vars_of i =
+    List.init arity (fun j -> x (((i * (arity - 2)) + j) mod (k * (arity - 2))))
+  in
+  rule ~comment:(Printf.sprintf "%d wide atoms of arity %d" k arity)
+    (atom "ans" [ x 0 ])
+    (List.init k (fun i -> atom (Printf.sprintf "r%d" i) (vars_of i)))
+
+let cq_mini () =
+  List.concat
+    [
+      List.map (fun k -> (Printf.sprintf "path_%02d.cq" k, path k))
+        [ 2; 3; 4; 6; 8; 10 ];
+      List.map (fun k -> (Printf.sprintf "cycle_%02d.cq" k, cycle k))
+        [ 3; 4; 5; 6; 8 ];
+      List.map (fun k -> (Printf.sprintf "star_%02d.cq" k, star k))
+        [ 3; 5; 8 ];
+      List.map (fun k -> (Printf.sprintf "snowflake_%02d.cq" k, snowflake k))
+        [ 2; 3 ];
+      [
+        ("grid_2x3.cq", grid_cq 2 3);
+        ("grid_3x3.cq", grid_cq 3 3);
+        ("tree_d3.cq", tree_cq 3);
+        ("triangle.cq", triangle);
+        ("square_chord.cq", square_chord);
+        ("wide_3x4.cq", wide 3 4);
+        ("wide_4x5.cq", wide 4 5);
+        ("wide_5x6.cq", wide 5 6);
+      ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+let collections_memo = ref None
+
+let collections () =
+  match !collections_memo with
+  | Some c -> c
+  | None ->
+      let c = [ ("csp-synth", csp_synth ()); ("cq-mini", cq_mini ()) ] in
+      collections_memo := Some c;
+      c
+
+let collection_names () = List.map fst (collections ())
+
+let total () =
+  List.fold_left (fun acc (_, files) -> acc + List.length files) 0
+    (collections ())

@@ -1,0 +1,37 @@
+(** The bundled offline mini-corpus: a HyperBench-style instance set
+    that ships with the library so corpus sweeps, tests and CI never
+    need the network.
+
+    HyperBench (arXiv:1811.08181) distributes ~3000 real-world
+    hypergraphs — conjunctive queries and CSPs — and reports that
+    [ghw <= 5] covers nearly every instance.  This module is the same
+    shape at 1/50 scale: two collections totalling 60+ instances,
+    rendered deterministically at first use from the parametric
+    families of {!Hypergraphs} and from generated conjunctive-query
+    texts.
+
+    - ["csp-synth"] — CSP hypergraphs in the [edge(v1,v2,...)] atom
+      format ([.hg] files): adder/bridge/clique/grid tori/circuit
+      families at small-to-medium sizes, including a few instances
+      whose ghw exceeds 5 so coverage histograms have a tail.
+    - ["cq-mini"] — conjunctive queries in datalog form
+      ([head :- body.], [.cq] files): paths, cycles, stars,
+      snowflakes, grids and wide-atom joins.
+
+    [Hd_corpus.Manifest] materialises these collections into an
+    on-disk corpus tree; they reach the solvers through
+    [Hd_corpus.Corpus.parse_string]. *)
+
+(** [collections ()] is the bundled corpus:
+    [(collection, [(filename, text)])].  Filenames carry their format
+    extension ([.hg] atoms, [.cq] datalog); texts are complete
+    instance files.  The result is deterministic — same instances,
+    same order, same bytes on every call. *)
+val collections : unit -> (string * (string * string) list) list
+
+(** [collection_names ()] lists the collection names, in order. *)
+val collection_names : unit -> string list
+
+(** [total ()] is the number of bundled instances over all
+    collections (>= 50). *)
+val total : unit -> int

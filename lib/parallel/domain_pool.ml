@@ -115,3 +115,33 @@ let shutdown pool =
 let with_pool ~domains f =
   let pool = create ~domains in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let map ?window pool f items =
+  let window =
+    match window with Some w -> max 1 w | None -> 2 * size pool
+  in
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let futs = Array.make n None in
+  let submitted = ref 0 in
+  (* keep at most [window] jobs in flight ahead of the await point:
+     corpus-scale inputs (thousands of items) never materialise a
+     thousand queued closures and their pending results at once *)
+  let fill upto =
+    while !submitted < upto do
+      let i = !submitted in
+      futs.(i) <- Some (submit pool (fun () -> f arr.(i)));
+      incr submitted
+    done
+  in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    fill (min n (i + window));
+    match futs.(i) with
+    | Some fut ->
+        let r = await fut in
+        futs.(i) <- None;
+        out := r :: !out
+    | None -> assert false
+  done;
+  List.rev !out

@@ -48,3 +48,13 @@ val shutdown : t -> unit
 val with_pool : domains:int -> (t -> 'a) -> 'a
 (** [with_pool ~domains f] runs [f] with a fresh pool and shuts it down
     afterwards, also on exceptions. *)
+
+val map : ?window:int -> t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f items] applies [f] to every item on the pool's worker
+    domains and returns the results in input order.  At most [window]
+    jobs (default [2 * size pool], at least 1) are in flight — queued
+    or running — ahead of the next result being awaited, so
+    corpus-scale item lists are streamed rather than enqueued whole.
+    [f] must be safe to run concurrently with itself.  If a job
+    raises, [map] re-raises that exception at the item's position in
+    order; jobs already submitted keep running. *)
