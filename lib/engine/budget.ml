@@ -11,10 +11,20 @@ type t = {
   time_limit : float option;
   max_states : int option;
   flag : bool Atomic.t;
+  (* sub-budgets carry their own flag and chain to the parent here:
+     cancelling one per-block sub-budget must not cancel the parent or
+     any sibling, while a parent cancel still reaches every child *)
+  parent : t option;
   inc : Incumbent.t option;
   (* nan until the first start/ticker; CAS so the earliest start wins
      when domains race *)
   started_at : float Atomic.t;
+  (* end of the current scheduler slice (nan: not sliced); one cell
+     shared by the whole sub-budget tree so a ticker anywhere in a
+     sliced solve yields — see step.ml *)
+  slice_end : float Atomic.t;
+  (* every sub ever created, so pause credits reach running subs *)
+  kids : t list Atomic.t;
 }
 
 let create ?time_limit ?max_states ?incumbent () =
@@ -22,8 +32,11 @@ let create ?time_limit ?max_states ?incumbent () =
     time_limit;
     max_states;
     flag = Atomic.make false;
+    parent = None;
     inc = incumbent;
     started_at = Atomic.make Float.nan;
+    slice_end = Atomic.make Float.nan;
+    kids = Atomic.make [];
   }
 
 let of_spec ?incumbent (s : spec) =
@@ -44,10 +57,13 @@ let elapsed b =
   let s = Atomic.get b.started_at in
   if Float.is_nan s then 0.0 else Clock.now () -. s
 
+(* clamped at 0: past the deadline, portfolio members and sub stages
+   created from this budget must see an empty share, not inherit a
+   [Some negative] limit that would never trip their tickers *)
 let remaining b =
   match b.time_limit with
   | None -> None
-  | Some limit -> Some (limit -. elapsed b)
+  | Some limit -> Some (Float.max 0.0 (limit -. elapsed b))
 
 let spec_of b = { time_limit = remaining b; max_states = b.max_states }
 
@@ -55,25 +71,59 @@ let cancel b =
   Atomic.set b.flag true;
   match b.inc with Some i -> Incumbent.cancel i | None -> ()
 
-let cancelled b =
+let rec cancelled b =
   Atomic.get b.flag
-  ||
-  match b.inc with
-  | Some i -> Incumbent.cancelled i || Incumbent.closed i
-  | None -> false
+  || (match b.inc with
+     | Some i -> Incumbent.cancelled i || Incumbent.closed i
+     | None -> false)
+  || (match b.parent with Some p -> cancelled p | None -> false)
+
+let rec push_kid parent child =
+  let cur = Atomic.get parent.kids in
+  if not (Atomic.compare_and_set parent.kids cur (child :: cur)) then
+    push_kid parent child
 
 let sub ?(stages = 1) b =
   let stages = max 1 stages in
-  {
-    time_limit =
-      (match remaining b with
-      | None -> None
-      | Some r -> Some (Float.max 0.0 r /. float_of_int stages));
-    max_states = b.max_states;
-    flag = b.flag;
-    inc = None;
-    started_at = Atomic.make Float.nan;
-  }
+  let child =
+    {
+      time_limit =
+        (match remaining b with
+        | None -> None
+        | Some r -> Some (r /. float_of_int stages));
+      max_states = b.max_states;
+      flag = Atomic.make false;
+      parent = Some b;
+      inc = None;
+      started_at = Atomic.make Float.nan;
+      slice_end = b.slice_end;
+      kids = Atomic.make [];
+    }
+  in
+  push_kid b child;
+  child
+
+(* ------------------------------------------------------------------ *)
+(* Time-slicing support (driven by Step)                               *)
+(* ------------------------------------------------------------------ *)
+
+type _ Effect.t += Slice_expired : unit Effect.t
+
+let begin_slice b ~until = Atomic.set b.slice_end until
+let end_slice b = Atomic.set b.slice_end Float.nan
+
+let rec credit_pause b seconds =
+  if seconds > 0.0 then begin
+    let rec bump () =
+      let s = Atomic.get b.started_at in
+      if
+        (not (Float.is_nan s))
+        && not (Atomic.compare_and_set b.started_at s (s +. seconds))
+      then bump ()
+    in
+    bump ();
+    List.iter (fun child -> credit_pause child seconds) (Atomic.get b.kids)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Amortized checking                                                  *)
@@ -126,6 +176,11 @@ let poll tk =
   if dt < poll_granularity then tk.stride <- min max_stride (tk.stride * 2)
   else tk.stride <- max 1 (tk.stride / 2);
   tk.credit <- tk.stride;
+  (* a nan slice_end (not sliced) compares false; the perform suspends
+     this very poll — the step runner resumes it after the park, and
+     the deadline verdict below is computed with the pre-park [now],
+     which the pause credit keeps approximately right *)
+  if now > Atomic.get tk.budget.slice_end then Effect.perform Slice_expired;
   match tk.budget.time_limit with
   | Some limit -> now -. Atomic.get tk.budget.started_at > limit
   | None -> false
@@ -140,7 +195,12 @@ let out_of_budget tk =
   let cancel_hit = cancelled b in
   let time_hit =
     match b.time_limit with
-    | None -> false
+    | None ->
+        (* still poll occasionally: an unlimited budget inside a sliced
+           solve must yield too *)
+        tk.credit <- tk.credit - 1;
+        if tk.credit <= 0 then ignore (poll tk);
+        false
     | Some _ ->
         tk.credit <- tk.credit - 1;
         if tk.credit <= 0 then poll tk else false

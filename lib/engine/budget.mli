@@ -57,26 +57,57 @@ val started : t -> bool
 val elapsed : t -> float
 
 (** Seconds left before the deadline ([None] when unlimited).  On an
-    unstarted budget this is the full limit; it may go negative once
-    the deadline has passed. *)
+    unstarted budget this is the full limit; clamped at [0.] once the
+    deadline has passed, so specs and sub-budgets derived after expiry
+    carry an empty share rather than a negative limit. *)
 val remaining : t -> float option
 
-(** [cancel b] trips the cancellation flag — shared with every
-    sub-budget — and cancels the attached incumbent, if any. *)
+(** [cancel b] trips [b]'s own cancellation flag — observed by every
+    sub-budget below it — and cancels the attached incumbent, if any.
+    Cancelling a sub-budget never cancels its parent or siblings. *)
 val cancel : t -> unit
 
-(** [cancelled b] holds after [cancel], and also when the attached
-    incumbent was cancelled or closed by another racer. *)
+(** [cancelled b] holds after [cancel b], after a cancel of any
+    ancestor budget, and when the attached incumbent was cancelled or
+    closed by another racer. *)
 val cancelled : t -> bool
 
 (** [sub ~stages b] is a child budget holding an equal share of [b]'s
     remaining time for the next of [stages] sequential stages.  Time a
     stage leaves unspent automatically rolls over: the next [sub] call
-    divides a larger remainder.  The child shares [b]'s cancellation
-    flag but {e not} its incumbent (bounds from one sub-problem must
-    not prune another); pass the work's own incumbent explicitly if it
-    has one.  The state cap is inherited as-is. *)
+    divides a larger remainder.  The child has its own cancellation
+    flag that ORs in [b]'s (a cancelled parent stops every child; a
+    cancelled child stops only itself) and does {e not} inherit [b]'s
+    incumbent (bounds from one sub-problem must not prune another);
+    pass the work's own incumbent explicitly if it has one.  The state
+    cap is inherited as-is. *)
 val sub : ?stages:int -> t -> t
+
+(** {2 Time-slicing support}
+
+    The hooks {!Step} drives; solver code never calls these.  While a
+    slice deadline is set (one cell shared by the whole sub-budget
+    tree), any ticker poll past the deadline performs [Slice_expired],
+    suspending the solve for the step runner to park and later
+    resume. *)
+
+(** Performed by a ticker poll when the current slice has expired.
+    Only ever performed while a slice deadline is set — i.e. under a
+    {!Step.slice} handler. *)
+type _ Effect.t += Slice_expired : unit Effect.t
+
+(** [begin_slice b ~until] arms the slice deadline (an absolute
+    {!Clock} time) for [b] and all its sub-budgets. *)
+val begin_slice : t -> until:float -> unit
+
+(** [end_slice b] disarms the slice deadline. *)
+val end_slice : t -> unit
+
+(** [credit_pause b seconds] shifts the start times of [b] and every
+    sub-budget [seconds] into the future, so time spent parked between
+    slices does not count against the deadline: sliced budgets measure
+    {e compute} time, not queue time. *)
+val credit_pause : t -> float -> unit
 
 (** {2 Amortized budget checking} *)
 

@@ -147,10 +147,15 @@ let hash s = Hashtbl.hash s.words
 (* FNV-1a over the elements in increasing order (iter is ordered), so
    the hash is canonical for the set's contents regardless of how the
    set was built.  The offset basis is the standard 64-bit one
-   truncated to OCaml's 63-bit native int; arithmetic wraps modulo the
-   native width and the final mask keeps the result non-negative. *)
+   (0xcbf29ce484222325) truncated to OCaml's 63-bit native int: bit 63
+   is dropped and bit 62 lands in the native sign bit, hence the [lor]
+   (the 64-bit literal itself does not fit in a native int).
+   Arithmetic wraps modulo the native width and the final mask keeps
+   the result non-negative. *)
+let fnv_offset_basis = 0xbf29ce484222325 lor (1 lsl 62)
+
 let fnv_hash s =
-  let h = ref 0xbf29ce484222325 in
+  let h = ref fnv_offset_basis in
   iter (fun i -> h := (!h lxor i) * 0x100000001b3) s;
   !h land max_int
 

@@ -78,9 +78,15 @@ val hash : t -> int
 
 (** [fnv_hash s] is an FNV-1a hash of the elements of [s] in increasing
     order — a canonical content hash used to key set-cover memo tables
-    on decomposition bags (docs/PERFORMANCE.md).  Always
-    non-negative. *)
+    on decomposition bags (docs/PERFORMANCE.md) and the hd_server
+    decomposition cache (docs/SERVER.md).  Always non-negative. *)
 val fnv_hash : t -> int
+
+(** The standard 64-bit FNV-1a offset basis [0xcbf29ce484222325]
+    truncated to OCaml's 63-bit native int — the seed of {!fnv_hash},
+    exported so derived canonical hashes (hd_server signatures) mix
+    from the same basis. *)
+val fnv_offset_basis : int
 
 (** [of_list n xs] is the set with capacity [n] containing [xs]. *)
 val of_list : int -> int list -> t

@@ -100,6 +100,38 @@ module Json = struct
     write buf ~level:0 t;
     Buffer.contents buf
 
+  (* single-line rendering for line-oriented protocols (hd_server) *)
+  let rec write_compact buf t =
+    match t with
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (float_literal f)
+    | String s -> escape buf s
+    | List items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ',';
+            write_compact buf item)
+          items;
+        Buffer.add_char buf ']'
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            escape buf k;
+            Buffer.add_char buf ':';
+            write_compact buf v)
+          fields;
+        Buffer.add_char buf '}'
+
+  let to_compact t =
+    let buf = Buffer.create 256 in
+    write_compact buf t;
+    Buffer.contents buf
+
   exception Parse_error of string
 
   (* A minimal recursive-descent parser, sufficient for the reports this
@@ -256,6 +288,48 @@ module Json = struct
   let member key = function
     | Obj fields -> List.assoc_opt key fields
     | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Event taps                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A tiny synchronous event bus: instrumented code emits named events
+   (the hd_server scheduler emits one per job slice), subscribers see
+   them in emission order with a global sequence number.  The
+   subscriber list is an immutable list in an Atomic — emit takes no
+   lock and calls the callbacks directly on the emitting domain, so
+   callbacks must be fast, domain-safe, and must not raise (exceptions
+   are swallowed).  Unlike counters, taps are NOT gated on [enabled]:
+   progress streaming works without --stats; with no subscribers an
+   emit is one atomic load. *)
+module Tap = struct
+  type event = { seq : int; name : string; data : Json.t }
+  type subscription = int
+
+  let subscribers : (int * (event -> unit)) list Atomic.t = Atomic.make []
+  let next_subscription = Atomic.make 0
+  let next_seq = Atomic.make 0
+
+  let rec update f =
+    let cur = Atomic.get subscribers in
+    if not (Atomic.compare_and_set subscribers cur (f cur)) then update f
+
+  let subscribe f =
+    let id = Atomic.fetch_and_add next_subscription 1 in
+    update (fun l -> (id, f) :: l);
+    id
+
+  let unsubscribe id = update (List.filter (fun (i, _) -> i <> id))
+  let active () = Atomic.get subscribers <> []
+
+  let emit name data =
+    match Atomic.get subscribers with
+    | [] -> ()
+    | subs ->
+        let seq = Atomic.fetch_and_add next_seq 1 in
+        let e = { seq; name; data } in
+        List.iter (fun (_, f) -> try f e with _ -> ()) subs
 end
 
 (* ------------------------------------------------------------------ *)

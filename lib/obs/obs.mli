@@ -63,6 +63,11 @@ module Json : sig
       Floats print with six decimals; non-finite floats print as
       [null]. *)
 
+  val to_compact : t -> string
+  (** [to_compact v] renders [v] on a single line with no spaces — the
+      wire form of line-oriented protocols (hd_server,
+      docs/SERVER.md). *)
+
   exception Parse_error of string
 
   val parse : string -> t
@@ -76,6 +81,39 @@ module Json : sig
   val member : string -> t -> t option
   (** [member key v] is field [key] of the object [v]; [None] when [v]
       is not an object or lacks the field. *)
+end
+
+(** {1 Event taps}
+
+    A synchronous process-wide event bus.  Instrumented code {!Tap.emit}s
+    named events carrying a JSON payload — the hd_server scheduler
+    emits one per job slice — and any number of subscribers observe
+    them in emission order.  Taps are {e not} gated on the global
+    enabled switch: with no subscribers an emit costs one atomic load,
+    so emission points can stay unconditional. *)
+
+module Tap : sig
+  type event = {
+    seq : int;  (** global emission sequence number *)
+    name : string;  (** dotted event name, e.g. ["server.slice"] *)
+    data : Json.t;  (** event payload *)
+  }
+
+  type subscription
+
+  val subscribe : (event -> unit) -> subscription
+  (** [subscribe f] registers [f] for every subsequent {!emit}.  [f]
+      runs synchronously on the emitting domain: it must be fast,
+      domain-safe, and not raise (exceptions are swallowed). *)
+
+  val unsubscribe : subscription -> unit
+
+  val active : unit -> bool
+  (** [active ()] holds while at least one subscriber is registered. *)
+
+  val emit : string -> Json.t -> unit
+  (** [emit name data] delivers an event to every subscriber; a no-op
+      (one atomic load) when there are none. *)
 end
 
 (** {1 Counters} *)

@@ -1,0 +1,120 @@
+module Obs = Hd_obs.Obs
+module Solver = Hd_engine.Solver
+
+let c_hits = Obs.Counter.make "server.cache_hits"
+let c_misses = Obs.Counter.make "server.cache_misses"
+let c_insertions = Obs.Counter.make "server.cache_insertions"
+let c_evictions = Obs.Counter.make "server.cache_evictions"
+
+type entry = {
+  solver : string;
+  kind : Solver.kind;
+  outcome : Solver.outcome;
+  ordering : int array option;
+  visited : int;
+  generated : int;
+  elapsed : float;
+}
+
+type slot = { entry : entry; mutable last_used : int }
+
+type t = {
+  m : Mutex.t;
+  table : (string, slot) Hashtbl.t;
+  capacity : int;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(capacity = 1024) () =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  {
+    m = Mutex.create ();
+    table = Hashtbl.create 64;
+    capacity;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+(* One slot per (width kind, canonical key): a ghw answer must not be
+   served for a tw query on the same instance. *)
+let slot_key kind key = Solver.kind_name kind ^ ":" ^ key
+
+let find t ~kind signature =
+  let k = slot_key kind (Signature.key signature) in
+  locked t (fun () ->
+      t.tick <- t.tick + 1;
+      match Hashtbl.find_opt t.table k with
+      | Some slot when (match slot.entry.outcome with
+                       | Solver.Exact _ -> true
+                       | Solver.Bounds _ -> false) ->
+          slot.last_used <- t.tick;
+          t.hits <- t.hits + 1;
+          Obs.Counter.incr c_hits;
+          Some slot.entry
+      | _ ->
+          (* a Bounds entry is deliberately a miss: re-solving may
+             tighten it, and [store] will replace the weaker slot *)
+          t.misses <- t.misses + 1;
+          Obs.Counter.incr c_misses;
+          None)
+
+(* Is [a] at least as good an answer as [b]?  Exact beats Bounds;
+   among Bounds, a smaller gap then a smaller ub wins. *)
+let at_least_as_good a b =
+  match (a, b) with
+  | Solver.Exact _, _ -> true
+  | Solver.Bounds _, Solver.Exact _ -> false
+  | Solver.Bounds x, Solver.Bounds y ->
+      let gx = x.ub - x.lb and gy = y.ub - y.lb in
+      gx < gy || (gx = gy && x.ub <= y.ub)
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k slot ->
+      match !victim with
+      | Some (_, age) when age <= slot.last_used -> ()
+      | _ -> victim := Some (k, slot.last_used))
+    t.table;
+  match !victim with
+  | Some (k, _) ->
+      Hashtbl.remove t.table k;
+      Obs.Counter.incr c_evictions
+  | None -> ()
+
+let store t ~kind signature entry =
+  let k = slot_key kind (Signature.key signature) in
+  locked t (fun () ->
+      t.tick <- t.tick + 1;
+      let keep =
+        match Hashtbl.find_opt t.table k with
+        | Some old -> not (at_least_as_good entry.outcome old.entry.outcome)
+        | None -> false
+      in
+      if not keep then begin
+        if not (Hashtbl.mem t.table k) && Hashtbl.length t.table >= t.capacity
+        then evict_lru t;
+        Hashtbl.replace t.table k { entry; last_used = t.tick };
+        Obs.Counter.incr c_insertions
+      end)
+
+let size t = locked t (fun () -> Hashtbl.length t.table)
+let hits t = locked t (fun () -> t.hits)
+let misses t = locked t (fun () -> t.misses)
+
+let stats t =
+  locked t (fun () ->
+      Obs.Json.Obj
+        [
+          ("size", Obs.Json.Int (Hashtbl.length t.table));
+          ("capacity", Obs.Json.Int t.capacity);
+          ("hits", Obs.Json.Int t.hits);
+          ("misses", Obs.Json.Int t.misses);
+        ])

@@ -1,0 +1,59 @@
+(** The hd_server decomposition cache: canonical signature -> solved
+    result.
+
+    Entries are keyed by (width {!Hd_engine.Solver.kind}, canonical
+    {!Signature.key}), so isomorphic-modulo-ordering resubmissions of
+    an instance hit the same slot while tw/ghw/hw answers stay
+    separate.  Witness orderings are stored in {e canonical} vertex
+    ids; callers map them through {!Signature.of_canonical} before
+    replaying them on a concrete submission.
+
+    Serving policy: only [Exact] outcomes are served.  A stored
+    [Bounds] entry counts as a {e miss} — the caller re-solves, and
+    {!store} replaces the slot if the new outcome is at least as good
+    (exact beats bounds; among bounds, narrower gap wins).  This keeps
+    the cache monotonically improving and means a served answer is
+    always a proved optimum.
+
+    Eviction is least-recently-used once [capacity] slots are filled.
+    All operations are mutex-protected and safe to call from scheduler
+    worker domains.
+
+    Counters (live regardless of the cache instance; see
+    docs/OBSERVABILITY.md): [server.cache_hits], [server.cache_misses],
+    [server.cache_insertions], [server.cache_evictions].  The
+    per-instance {!hits}/{!misses} accessors count even while hd_obs
+    recording is disabled. *)
+
+type entry = {
+  solver : string;  (** registry name of the solver that produced it *)
+  kind : Hd_engine.Solver.kind;
+  outcome : Hd_engine.Solver.outcome;
+  ordering : int array option;  (** witness, in canonical vertex ids *)
+  visited : int;
+  generated : int;
+  elapsed : float;  (** compute seconds of the original solve *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [create ~capacity ()] makes an empty cache holding at most
+    [capacity] (default 1024) entries.
+    @raise Invalid_argument when [capacity < 1]. *)
+
+val find : t -> kind:Hd_engine.Solver.kind -> Signature.t -> entry option
+(** [find t ~kind s] is the cached exact answer for [s]'s instance, or
+    [None] (counted as a miss) when absent or only bounded. *)
+
+val store : t -> kind:Hd_engine.Solver.kind -> Signature.t -> entry -> unit
+(** [store t ~kind s e] records [e], unless an at-least-as-good entry
+    already occupies the slot. *)
+
+val size : t -> int
+val hits : t -> int
+val misses : t -> int
+
+val stats : t -> Hd_obs.Obs.Json.t
+(** [stats t] is [{"size";"capacity";"hits";"misses"}] for the server's
+    [stats] response. *)

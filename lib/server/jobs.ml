@@ -1,0 +1,372 @@
+module Obs = Hd_obs.Obs
+module Solver = Hd_engine.Solver
+module Budget = Hd_engine.Budget
+module Step = Hd_engine.Step
+module Engine = Hd_engine.Engine
+module Incumbent = Hd_core.Incumbent
+module Domain_pool = Hd_parallel.Domain_pool
+
+let c_submitted = Obs.Counter.make "server.jobs_submitted"
+let c_completed = Obs.Counter.make "server.jobs_completed"
+let c_cancelled = Obs.Counter.make "server.jobs_cancelled"
+let c_failed = Obs.Counter.make "server.jobs_failed"
+let c_slices = Obs.Counter.make "server.slices"
+let c_parks = Obs.Counter.make "server.parks"
+
+let max_pending_events = 64
+
+type status =
+  | Queued
+  | Running
+  | Finished of Solver.result
+  | Cancelled of Solver.result option
+  | Failed of string
+
+type job = {
+  id : int;
+  label : string option;
+  solver : Solver.t;
+  signature : Signature.t;
+  inc : Incumbent.t;
+  budget : Budget.t;
+  step : Solver.result Step.t option;  (* [None] for cache-served jobs *)
+  cached : bool;
+  store_in_cache : bool;
+  mutable status : status;
+  mutable cancel_requested : bool;
+  mutable nslices : int;
+  mutable events : Obs.Json.t list;  (* newest first, capped *)
+  mutable n_events : int;
+}
+
+type t = {
+  pool : Domain_pool.t;
+  cache : Cache.t;
+  slice : float;
+  m : Mutex.t;
+  cond : Condition.t;
+  runnable : int Queue.t;
+  jobs : (int, job) Hashtbl.t;
+  mutable next_id : int;
+  mutable stopping : bool;
+  mutable workers : unit Domain_pool.future list;
+}
+
+type snapshot = {
+  id : int;
+  label : string option;
+  state : string;
+  cached : bool;
+  slices : int;
+  elapsed : float;
+  lb : int;
+  ub : int;
+  result : Solver.result option;
+  error : string option;
+  events : Obs.Json.t list;  (* oldest first; drained by the read *)
+}
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+(* --- snapshots (caller holds the lock) ---------------------------- *)
+
+let state_of (job : job) =
+  match job.status with
+  | Finished _ -> "done"
+  | Cancelled _ -> "cancelled"
+  | Failed _ -> "failed"
+  | Queued | Running ->
+      if job.cancel_requested then "cancelling"
+      else if job.nslices = 0 then "queued"
+      else "running"
+
+let terminal (job : job) =
+  match job.status with
+  | Finished _ | Cancelled _ | Failed _ -> true
+  | Queued | Running -> false
+
+let snapshot_locked (job : job) : snapshot =
+  let result =
+    match job.status with
+    | Finished r | Cancelled (Some r) -> Some r
+    | Cancelled None | Failed _ | Queued | Running -> None
+  in
+  let lb, ub =
+    match result with
+    | Some r -> Solver.bounds_of r.Solver.outcome
+    | None -> Incumbent.bounds job.inc
+  in
+  let events = List.rev job.events in
+  job.events <- [];
+  job.n_events <- 0;
+  {
+    id = job.id;
+    label = job.label;
+    state = state_of job;
+    cached = job.cached;
+    slices = job.nslices;
+    elapsed = Budget.elapsed job.budget;
+    lb;
+    ub;
+    result;
+    error = (match job.status with Failed msg -> Some msg | _ -> None);
+    events;
+  }
+
+let push_event (job : job) ev =
+  job.events <- ev :: job.events;
+  job.n_events <- job.n_events + 1;
+  if job.n_events > max_pending_events then begin
+    (* drop the oldest pending event; poll clients see a gap, never
+       unbounded growth *)
+    job.events <- List.filteri (fun i _ -> i < max_pending_events) job.events;
+    job.n_events <- max_pending_events
+  end
+
+(* --- the worker loop ---------------------------------------------- *)
+
+let slice_event (job : job) =
+  let lb, ub = Incumbent.bounds job.inc in
+  Obs.Json.Obj
+    [
+      ("job", Obs.Json.Int job.id);
+      ("slice", Obs.Json.Int job.nslices);
+      ("state", Obs.Json.String (state_of job));
+      ("elapsed", Obs.Json.Float (Budget.elapsed job.budget));
+      ("lb", Obs.Json.Int lb);
+      ("ub", Obs.Json.Int (if ub = max_int then -1 else ub));
+    ]
+
+let finish_locked t job (r : Solver.result) =
+  let exact = match r.Solver.outcome with
+    | Solver.Exact _ -> true
+    | Solver.Bounds _ -> false
+  in
+  if job.cancel_requested && not exact then begin
+    job.status <- Cancelled (Some r);
+    Obs.Counter.incr c_cancelled
+  end
+  else begin
+    job.status <- Finished r;
+    Obs.Counter.incr c_completed
+  end;
+  (* an exact answer is worth caching even if a cancel raced it *)
+  if job.store_in_cache && exact then
+    Cache.store t.cache ~kind:job.solver.Solver.kind job.signature
+      {
+        Cache.solver = job.solver.Solver.name;
+        kind = job.solver.Solver.kind;
+        outcome = r.Solver.outcome;
+        ordering =
+          Option.map (Signature.to_canonical job.signature) r.Solver.ordering;
+        visited = r.Solver.visited;
+        generated = r.Solver.generated;
+        elapsed = Budget.elapsed job.budget;
+      }
+
+let rec worker_loop t =
+  Mutex.lock t.m;
+  while Queue.is_empty t.runnable && not t.stopping do
+    Condition.wait t.cond t.m
+  done;
+  if Queue.is_empty t.runnable then Mutex.unlock t.m
+  else begin
+    let id = Queue.pop t.runnable in
+    let job = Hashtbl.find t.jobs id in
+    let step = Option.get job.step in
+    job.status <- Running;
+    Mutex.unlock t.m;
+    let verdict =
+      try `Out (Step.slice step ~seconds:t.slice)
+      with e -> `Err (Printexc.to_string e)
+    in
+    Obs.Counter.incr c_slices;
+    Mutex.lock t.m;
+    job.nslices <- job.nslices + 1;
+    (match verdict with
+    | `Out (Step.Done r) -> finish_locked t job r
+    | `Out Step.Yielded ->
+        Obs.Counter.incr c_parks;
+        job.status <- Queued;
+        Queue.push job.id t.runnable;
+        Condition.signal t.cond
+    | `Err msg ->
+        job.status <- Failed msg;
+        Obs.Counter.incr c_failed);
+    let ev = slice_event job in
+    push_event job ev;
+    Mutex.unlock t.m;
+    Obs.Tap.emit "server.slice" ev;
+    worker_loop t
+  end
+
+(* --- lifecycle ----------------------------------------------------- *)
+
+let create ?(workers = 2) ?(slice = 0.05) ~cache () =
+  if workers < 1 then invalid_arg "Jobs.create: workers must be >= 1";
+  if not (Float.is_finite slice) || slice < 0.0 then
+    invalid_arg "Jobs.create: slice must be a non-negative finite float";
+  let t =
+    {
+      pool = Domain_pool.create ~domains:workers;
+      cache;
+      slice;
+      m = Mutex.create ();
+      cond = Condition.create ();
+      runnable = Queue.create ();
+      jobs = Hashtbl.create 32;
+      next_id = 0;
+      stopping = false;
+      workers = [];
+    }
+  in
+  t.workers <-
+    List.init workers (fun _ -> Domain_pool.submit t.pool (fun () -> worker_loop t));
+  t
+
+let submit t ~solver ~spec ?seed ?label ?(use_cache = true) ~signature problem =
+  Obs.Counter.incr c_submitted;
+  locked t (fun () ->
+      if t.stopping then invalid_arg "Jobs.submit: scheduler is shut down";
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      let cached_entry =
+        if use_cache then Cache.find t.cache ~kind:solver.Solver.kind signature
+        else None
+      in
+      let job =
+        match cached_entry with
+        | Some e ->
+            let r =
+              {
+                Solver.outcome = e.Cache.outcome;
+                visited = e.Cache.visited;
+                generated = e.Cache.generated;
+                elapsed = e.Cache.elapsed;
+                ordering =
+                  Option.map (Signature.of_canonical signature) e.Cache.ordering;
+              }
+            in
+            Obs.Counter.incr c_completed;
+            {
+              id;
+              label;
+              solver;
+              signature;
+              inc = Incumbent.create ();
+              budget = Budget.create ();
+              step = None;
+              cached = true;
+              store_in_cache = false;
+              status = Finished r;
+              cancel_requested = false;
+              nslices = 0;
+              events = [];
+              n_events = 0;
+            }
+        | None ->
+            let inc = Incumbent.create () in
+            let budget = Budget.of_spec ~incumbent:inc spec in
+            let step =
+              Step.make budget (fun () -> Engine.run ?seed solver budget problem)
+            in
+            {
+              id;
+              label;
+              solver;
+              signature;
+              inc;
+              budget;
+              step = Some step;
+              cached = false;
+              store_in_cache = use_cache;
+              status = Queued;
+              cancel_requested = false;
+              nslices = 0;
+              events = [];
+              n_events = 0;
+            }
+      in
+      Hashtbl.replace t.jobs id job;
+      if not (terminal job) then begin
+        Queue.push id t.runnable;
+        Condition.signal t.cond
+      end;
+      snapshot_locked job)
+
+let poll t id =
+  locked t (fun () ->
+      Option.map snapshot_locked (Hashtbl.find_opt t.jobs id))
+
+let cancel t id =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.jobs id with
+      | None -> None
+      | Some job ->
+          if not (terminal job) then begin
+            job.cancel_requested <- true;
+            (* the budget trips the incumbent too; the next ticker poll
+               inside the running slice sees it and returns fast *)
+            Budget.cancel job.budget
+          end;
+          Some (snapshot_locked job))
+
+(* Waiting polls rather than subscribes: terminal transitions happen on
+   worker domains and a poll every 2ms is far below slice granularity. *)
+let wait t id ~timeout =
+  let deadline = Hd_engine.Clock.now () +. timeout in
+  let rec go () =
+    match poll t id with
+    | None -> None
+    | Some s ->
+        if s.state = "done" || s.state = "cancelled" || s.state = "failed"
+        then Some s
+        else if Hd_engine.Clock.now () >= deadline then Some s
+        else begin
+          Unix.sleepf 0.002;
+          go ()
+        end
+  in
+  go ()
+
+let stats t =
+  locked t (fun () ->
+      let queued = ref 0 and running = ref 0 and done_ = ref 0 in
+      let cancelled = ref 0 and failed = ref 0 in
+      Hashtbl.iter
+        (fun _ job ->
+          match job.status with
+          | Queued -> incr queued
+          | Running -> incr running
+          | Finished _ -> incr done_
+          | Cancelled _ -> incr cancelled
+          | Failed _ -> incr failed)
+        t.jobs;
+      Obs.Json.Obj
+        [
+          ("submitted", Obs.Json.Int t.next_id);
+          ("queued", Obs.Json.Int !queued);
+          ("running", Obs.Json.Int !running);
+          ("done", Obs.Json.Int !done_);
+          ("cancelled", Obs.Json.Int !cancelled);
+          ("failed", Obs.Json.Int !failed);
+          ("workers", Obs.Json.Int (Domain_pool.size t.pool));
+          ("slice", Obs.Json.Float t.slice);
+        ])
+
+let shutdown t =
+  locked t (fun () ->
+      if not t.stopping then begin
+        t.stopping <- true;
+        (* cancelled budgets make every parked job's next slice return
+           fast, so the drain below terminates promptly *)
+        Hashtbl.iter
+          (fun _ job -> if not (terminal job) then Budget.cancel job.budget)
+          t.jobs;
+        Condition.broadcast t.cond
+      end);
+  List.iter Domain_pool.await t.workers;
+  t.workers <- [];
+  Domain_pool.shutdown t.pool

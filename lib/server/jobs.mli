@@ -1,0 +1,94 @@
+(** The hd_server job scheduler: many concurrent solves time-sliced
+    over a small {!Hd_parallel.Domain_pool}.
+
+    Each submitted instance becomes a job wrapping an
+    [Engine.run] call in a resumable {!Hd_engine.Step.t}.  A fixed set
+    of worker loops (long-running pool jobs) round-robin a queue of
+    runnable job ids; each turn runs {e one} slice of one job — park on
+    [Budget.Slice_expired], requeue, move on — so two
+    in-flight jobs both make progress even on a single worker, and a
+    newly submitted job never waits behind an unbounded solve.  Parked
+    time is credited back to the job's budget, so a ["time_limit"]
+    bounds compute time, not queue time.
+
+    Submissions consult the {!Cache} first (unless [use_cache] is
+    false): a hit births the job already [done] with the cached result
+    — its ordering mapped into the submitting instance's vertex ids —
+    and a finished exact solve is stored back, with its ordering in
+    canonical ids.
+
+    Cancellation is cooperative: {!cancel} trips the job's budget, the
+    in-flight or next slice observes it and returns fast with the
+    bounds found so far.  Parked continuations are never dropped — a
+    cancelled job is always driven to completion, so no fiber leaks.
+
+    Every slice emits a ["server.slice"] {!Hd_obs.Obs.Tap} event and
+    appends it to the job's pending-event list (capped; oldest dropped)
+    drained by {!poll}.  Counters: [server.jobs_submitted],
+    [server.jobs_completed], [server.jobs_cancelled],
+    [server.jobs_failed], [server.slices], [server.parks]. *)
+
+type t
+
+type snapshot = {
+  id : int;
+  label : string option;
+  state : string;
+      (** ["queued"], ["running"], ["cancelling"], ["done"],
+          ["cancelled"], or ["failed"] *)
+  cached : bool;  (** served from the decomposition cache *)
+  slices : int;
+  elapsed : float;  (** compute seconds consumed so far *)
+  lb : int;
+  ub : int;  (** best bounds so far; [max_int] while unknown *)
+  result : Hd_engine.Solver.result option;
+  error : string option;
+  events : Hd_obs.Obs.Json.t list;
+      (** pending slice events, oldest first; reading a snapshot drains
+          them *)
+}
+
+val create : ?workers:int -> ?slice:float -> cache:Cache.t -> unit -> t
+(** [create ~workers ~slice ~cache ()] starts [workers] (default 2)
+    worker loops on a fresh domain pool, each running [slice] (default
+    0.05) seconds of one job per turn.  A zero slice yields on every
+    budget poll — maximal interleaving, used by the deterministic
+    scheduler tests.
+    @raise Invalid_argument when [workers < 1] or [slice] is negative
+    or not finite. *)
+
+val submit :
+  t ->
+  solver:Hd_engine.Solver.t ->
+  spec:Hd_engine.Budget.spec ->
+  ?seed:int ->
+  ?label:string ->
+  ?use_cache:bool ->
+  signature:Signature.t ->
+  Hd_engine.Solver.problem ->
+  snapshot
+(** [submit t ~solver ~spec ~signature problem] enqueues a solve and
+    returns its initial snapshot — already terminal ([state = "done"],
+    [cached = true]) on a cache hit.
+    @raise Invalid_argument after {!shutdown}. *)
+
+val poll : t -> int -> snapshot option
+(** [poll t id] is the job's current snapshot ([None] for unknown
+    ids), draining its pending events. *)
+
+val cancel : t -> int -> snapshot option
+(** [cancel t id] requests cooperative cancellation (no-op on terminal
+    jobs) and returns the post-request snapshot. *)
+
+val wait : t -> int -> timeout:float -> snapshot option
+(** [wait t id ~timeout] blocks — polling, not subscribing — until the
+    job is terminal or [timeout] seconds elapse, and returns the last
+    snapshot seen. *)
+
+val stats : t -> Hd_obs.Obs.Json.t
+(** Scheduler-level stats object for the server's [stats] response. *)
+
+val shutdown : t -> unit
+(** [shutdown t] cancels every live job, drains the workers (each
+    parked job is resumed once more so its continuation completes), and
+    shuts the domain pool down.  Idempotent. *)

@@ -1,0 +1,156 @@
+module Json = Hd_obs.Obs.Json
+module Solver = Hd_engine.Solver
+
+type source =
+  | Hypergraph_text of string
+  | Cq_text of string
+  | File of string
+
+type submit = {
+  source : source;
+  solver : string option;
+  time_limit : float option;
+  max_states : int option;
+  seed : int option;
+  label : string option;
+  use_cache : bool;
+  with_ordering : bool;
+}
+
+type request =
+  | Submit of submit
+  | Poll of int
+  | Wait of { job : int; timeout : float }
+  | Cancel of int
+  | Stats
+  | Solvers
+  | Shutdown
+
+(* --- field accessors --------------------------------------------- *)
+
+let str_field name j =
+  match Json.member name j with
+  | Some (Json.String s) -> Ok (Some s)
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" name)
+  | None -> Ok None
+
+let int_field name j =
+  match Json.member name j with
+  | Some (Json.Int i) -> Ok (Some i)
+  | Some _ -> Error (Printf.sprintf "field %S must be an integer" name)
+  | None -> Ok None
+
+let num_field name j =
+  match Json.member name j with
+  | Some (Json.Int i) -> Ok (Some (float_of_int i))
+  | Some (Json.Float f) -> Ok (Some f)
+  | Some _ -> Error (Printf.sprintf "field %S must be a number" name)
+  | None -> Ok None
+
+let bool_field ~default name j =
+  match Json.member name j with
+  | Some (Json.Bool b) -> Ok b
+  | Some _ -> Error (Printf.sprintf "field %S must be a boolean" name)
+  | None -> Ok default
+
+let ( let* ) = Result.bind
+
+let require_job j k =
+  let* job = int_field "job" j in
+  match job with
+  | Some id when id >= 0 -> k id
+  | Some _ -> Error "field \"job\" must be non-negative"
+  | None -> Error "missing field \"job\""
+
+let parse_submit j =
+  let* hg = str_field "hypergraph" j in
+  let* cq = str_field "cq" j in
+  let* file = str_field "file" j in
+  let* source =
+    match (hg, cq, file) with
+    | Some s, None, None -> Ok (Hypergraph_text s)
+    | None, Some s, None -> Ok (Cq_text s)
+    | None, None, Some s -> Ok (File s)
+    | None, None, None ->
+        Error "submit needs one of \"hypergraph\", \"cq\", \"file\""
+    | _ -> Error "submit takes only one of \"hypergraph\", \"cq\", \"file\""
+  in
+  let* solver = str_field "solver" j in
+  let* time_limit = num_field "time_limit" j in
+  let* max_states = int_field "max_states" j in
+  let* seed = int_field "seed" j in
+  let* label = str_field "label" j in
+  let* use_cache = bool_field ~default:true "cache" j in
+  let* with_ordering = bool_field ~default:false "ordering" j in
+  Ok
+    (Submit
+       {
+         source;
+         solver;
+         time_limit;
+         max_states;
+         seed;
+         label;
+         use_cache;
+         with_ordering;
+       })
+
+let parse line =
+  match Json.parse_opt line with
+  | None -> Error "malformed JSON"
+  | Some j -> (
+      match Json.member "op" j with
+      | Some (Json.String op) -> (
+          match op with
+          | "submit" -> parse_submit j
+          | "poll" -> require_job j (fun id -> Ok (Poll id))
+          | "cancel" -> require_job j (fun id -> Ok (Cancel id))
+          | "wait" ->
+              require_job j (fun id ->
+                  let* timeout = num_field "timeout" j in
+                  let timeout = Option.value ~default:60.0 timeout in
+                  if timeout < 0.0 then
+                    Error "field \"timeout\" must be non-negative"
+                  else Ok (Wait { job = id; timeout }))
+          | "stats" -> Ok Stats
+          | "solvers" -> Ok Solvers
+          | "shutdown" -> Ok Shutdown
+          | other -> Error (Printf.sprintf "unknown op %S" other))
+      | Some _ -> Error "field \"op\" must be a string"
+      | None -> Error "missing field \"op\"")
+
+(* --- response builders ------------------------------------------- *)
+
+let ok op fields = Json.Obj (("ok", Json.Bool true) :: ("op", Json.String op) :: fields)
+
+let error msg = Json.Obj [ ("ok", Json.Bool false); ("error", Json.String msg) ]
+
+let result_json ?(with_ordering = false) ~cached ~solver (r : Solver.result) =
+  let lb, ub = Solver.bounds_of r.outcome in
+  let base =
+    [
+      ( "outcome",
+        Json.String
+          (match r.outcome with Exact _ -> "exact" | Bounds _ -> "bounds") );
+      ("width", Json.Int (Solver.value r.outcome));
+      ("lb", Json.Int lb);
+      ("ub", Json.Int ub);
+      ("solver", Json.String solver);
+      ("visited", Json.Int r.visited);
+      ("generated", Json.Int r.generated);
+      ("elapsed", Json.Float r.elapsed);
+      ("cached", Json.Bool cached);
+    ]
+  in
+  let ordering =
+    match (with_ordering, r.ordering) with
+    | true, Some o ->
+        [ ("ordering", Json.List (Array.to_list (Array.map (fun v -> Json.Int v) o))) ]
+    | _ -> []
+  in
+  Json.Obj (base @ ordering)
+
+let write_line oc json =
+  output_string oc (Json.to_compact json);
+  output_char oc '\n';
+  flush oc

@@ -1,0 +1,63 @@
+(** The hd_server wire protocol: one JSON object per line, each
+    request answered by exactly one JSON line (docs/SERVER.md has the
+    full schema and transcript examples).
+
+    Requests are dispatched on their ["op"] field:
+    ["submit"], ["poll"], ["wait"], ["cancel"], ["stats"], ["solvers"],
+    ["shutdown"].  A submit carries its instance inline as hypergraph
+    text (["hypergraph"]), conjunctive-query text (["cq"]), or a server-
+    side file path (["file"]) — exactly one of the three.  Responses
+    always carry ["ok"]: [true] with op-specific fields, or [false]
+    with an ["error"] string (a protocol error never kills the
+    connection). *)
+
+type source =
+  | Hypergraph_text of string  (** inline [Hg_format] text *)
+  | Cq_text of string  (** inline conjunctive-query text *)
+  | File of string  (** server-side path; [.cq] parses as a query *)
+
+type submit = {
+  source : source;
+  solver : string option;  (** registry name; server default if absent *)
+  time_limit : float option;  (** seconds of {e compute} time *)
+  max_states : int option;
+  seed : int option;
+  label : string option;  (** echoed back in poll responses *)
+  use_cache : bool;  (** ["cache"], default [true] *)
+  with_ordering : bool;  (** ["ordering"], default [false] *)
+}
+
+type request =
+  | Submit of submit
+  | Poll of int
+  | Wait of { job : int; timeout : float }
+      (** block until the job is terminal or [timeout] seconds pass *)
+  | Cancel of int
+  | Stats
+  | Solvers
+  | Shutdown
+
+val parse : string -> (request, string) result
+(** [parse line] parses one request line; [Error] carries the message
+    to send back in an error response. *)
+
+val ok : string -> (string * Hd_obs.Obs.Json.t) list -> Hd_obs.Obs.Json.t
+(** [ok op fields] is [{"ok":true,"op":op,...fields}]. *)
+
+val error : string -> Hd_obs.Obs.Json.t
+(** [error msg] is [{"ok":false,"error":msg}]. *)
+
+val result_json :
+  ?with_ordering:bool ->
+  cached:bool ->
+  solver:string ->
+  Hd_engine.Solver.result ->
+  Hd_obs.Obs.Json.t
+(** [result_json ~cached ~solver r] renders a solver result for the
+    wire: outcome, width, bounds, search counts, elapsed compute
+    seconds, and (when [with_ordering], default false) the witness
+    ordering in the submitting instance's vertex ids. *)
+
+val write_line : out_channel -> Hd_obs.Obs.Json.t -> unit
+(** [write_line oc j] writes [j] compactly, newline-terminates, and
+    flushes — the one framing primitive both server and tests use. *)

@@ -1,0 +1,223 @@
+module Obs = Hd_obs.Obs
+module Json = Obs.Json
+module Solver = Hd_engine.Solver
+module Budget = Hd_engine.Budget
+
+let c_requests = Obs.Counter.make "server.requests"
+let c_errors = Obs.Counter.make "server.protocol_errors"
+
+type config = {
+  workers : int;
+  slice : float;
+  cache_capacity : int;
+  default_solver : string;
+  default_time_limit : float option;
+  default_max_states : int option;
+}
+
+let default_config =
+  {
+    workers = 2;
+    slice = 0.05;
+    cache_capacity = 1024;
+    default_solver = "bb-ghw";
+    default_time_limit = Some 30.0;
+    default_max_states = None;
+  }
+
+let ensure_registry () =
+  Hd_search.Solvers.ensure ();
+  Hd_ga.Solvers.ensure ()
+
+(* --- loading problems --------------------------------------------- *)
+
+let has_suffix suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.sub s (l - ls) ls = suffix
+
+let load_problem (source : Protocol.source) =
+  try
+    let h =
+      match source with
+      | Protocol.Hypergraph_text text ->
+          Hd_hypergraph.Hg_format.parse_string ~source:"submit" text
+      | Protocol.Cq_text text ->
+          Hd_query.Cq.hypergraph
+            (Hd_query.Cq.parse_string ~source:"submit" text)
+      | Protocol.File path ->
+          if has_suffix ".cq" path then
+            Hd_query.Cq.hypergraph (Hd_query.Cq.parse_file path)
+          else Hd_hypergraph.Hg_format.parse_file path
+    in
+    Ok h
+  with
+  | Failure msg | Invalid_argument msg -> Error msg
+  | Sys_error msg -> Error msg
+
+(* --- responses ----------------------------------------------------- *)
+
+let snapshot_fields ?(with_ordering = false) (s : Jobs.snapshot) =
+  let base =
+    [
+      ("job", Json.Int s.id);
+      ("state", Json.String s.state);
+      ("cached", Json.Bool s.cached);
+      ("slices", Json.Int s.slices);
+      ("elapsed", Json.Float s.elapsed);
+      ("lb", Json.Int s.lb);
+      ("ub", Json.Int (if s.ub = max_int then -1 else s.ub));
+    ]
+  in
+  let label =
+    match s.label with Some l -> [ ("label", Json.String l) ] | None -> []
+  in
+  let result =
+    match s.result with
+    | Some r ->
+        [
+          ( "result",
+            Protocol.result_json ~with_ordering ~cached:s.cached
+              ~solver:"" r );
+        ]
+    | None -> []
+  in
+  let error =
+    match s.error with Some e -> [ ("error", Json.String e) ] | None -> []
+  in
+  base @ label @ result @ error
+
+(* The solver name is threaded separately because a snapshot does not
+   carry it; patch it into the rendered result. *)
+let snapshot_fields_with ~solver ?with_ordering s =
+  List.map
+    (function
+      | ("result", Json.Obj fields) ->
+          ( "result",
+            Json.Obj
+              (List.map
+                 (function
+                   | ("solver", Json.String _) ->
+                       ("solver", Json.String solver)
+                   | f -> f)
+                 fields) )
+      | f -> f)
+    (snapshot_fields ?with_ordering s)
+
+type outcome = [ `Eof | `Shutdown ]
+
+type session = {
+  config : config;
+  cache : Cache.t;
+  jobs : Jobs.t;
+  (* per-job rendering context: solver name, ordering flag *)
+  meta : (int, string * bool) Hashtbl.t;
+}
+
+let handle_submit session (s : Protocol.submit) =
+  let name = Option.value ~default:session.config.default_solver s.solver in
+  match Solver.find name with
+  | None ->
+      Protocol.error
+        (Printf.sprintf "unknown solver %S (try op \"solvers\")" name)
+  | Some solver -> (
+      match load_problem s.source with
+      | Error msg -> Protocol.error msg
+      | Ok h ->
+          let signature = Signature.of_hypergraph h in
+          let spec =
+            {
+              Budget.time_limit =
+                (match s.time_limit with
+                | Some _ as t -> t
+                | None -> session.config.default_time_limit);
+              max_states =
+                (match s.max_states with
+                | Some _ as m -> m
+                | None -> session.config.default_max_states);
+            }
+          in
+          let snap =
+            Jobs.submit session.jobs ~solver ~spec ?seed:s.seed
+              ?label:s.label ~use_cache:s.use_cache ~signature
+              (Solver.Hypergraph h)
+          in
+          Hashtbl.replace session.meta snap.Jobs.id (name, s.with_ordering);
+          Protocol.ok "submit"
+            (("hash", Json.String (Printf.sprintf "%016x" (Signature.hash signature)))
+            :: snapshot_fields_with ~solver:name ~with_ordering:s.with_ordering
+                 snap))
+
+let render_snapshot session op = function
+  | None -> Protocol.error "unknown job id"
+  | Some snap ->
+      let solver, with_ordering =
+        Option.value ~default:("", false)
+          (Hashtbl.find_opt session.meta snap.Jobs.id)
+      in
+      Protocol.ok op (snapshot_fields_with ~solver ~with_ordering snap)
+
+let handle session req =
+  match req with
+  | Protocol.Submit s -> (handle_submit session s, false)
+  | Protocol.Poll id -> (render_snapshot session "poll" (Jobs.poll session.jobs id), false)
+  | Protocol.Wait { job; timeout } ->
+      (render_snapshot session "wait" (Jobs.wait session.jobs job ~timeout), false)
+  | Protocol.Cancel id ->
+      (render_snapshot session "cancel" (Jobs.cancel session.jobs id), false)
+  | Protocol.Stats ->
+      let counters =
+        Obs.Counter.all ()
+        |> List.filter_map (fun c ->
+               let n = Obs.Counter.name c in
+               if
+                 String.length n >= 7
+                 && (String.sub n 0 7 = "server." || String.sub n 0 7 = "engine.")
+               then Some (n, Json.Int (Obs.Counter.value c))
+               else None)
+        |> List.sort compare
+      in
+      ( Protocol.ok "stats"
+          [
+            ("jobs", Jobs.stats session.jobs);
+            ("cache", Cache.stats session.cache);
+            ("counters", Json.Obj counters);
+          ],
+        false )
+  | Protocol.Solvers ->
+      let solvers =
+        Solver.all ()
+        |> List.map (fun (s : Solver.t) ->
+               Json.Obj
+                 [
+                   ("name", Json.String s.name);
+                   ("kind", Json.String (Solver.kind_name s.kind));
+                   ("doc", Json.String s.doc);
+                 ])
+      in
+      (Protocol.ok "solvers" [ ("solvers", Json.List solvers) ], false)
+  | Protocol.Shutdown -> (Protocol.ok "shutdown" [], true)
+
+let serve ?(config = default_config) ic oc =
+  ensure_registry ();
+  let cache = Cache.create ~capacity:config.cache_capacity () in
+  let jobs =
+    Jobs.create ~workers:config.workers ~slice:config.slice ~cache ()
+  in
+  let session = { config; cache; jobs; meta = Hashtbl.create 32 } in
+  let rec loop () : outcome =
+    match input_line ic with
+    | exception End_of_file -> `Eof
+    | line when String.trim line = "" -> loop ()
+    | line -> (
+        Obs.Counter.incr c_requests;
+        match Protocol.parse line with
+        | Error msg ->
+            Obs.Counter.incr c_errors;
+            Protocol.write_line oc (Protocol.error msg);
+            loop ()
+        | Ok req ->
+            let resp, quit = handle session req in
+            Protocol.write_line oc resp;
+            if quit then `Shutdown else loop ())
+  in
+  Fun.protect ~finally:(fun () -> Jobs.shutdown jobs) loop

@@ -1,0 +1,130 @@
+module Hypergraph = Hd_hypergraph.Hypergraph
+module Bitset = Hd_graph.Bitset
+
+type t = {
+  hash : int;
+  key : string;
+  canon_of_orig : int array;
+  orig_of_canon : int array;
+}
+
+let fnv_prime = 0x100000001b3
+let mix h x = ((h lxor x) * fnv_prime) land max_int
+
+(* Rank-normalise [colors] in place (distinct values -> 0..k-1 in value
+   order) and return k.  Keeps refinement hashes from growing and makes
+   the fixpoint test a plain count comparison. *)
+let normalize colors =
+  let sorted = Array.copy colors in
+  Array.sort compare sorted;
+  let rank = Hashtbl.create 16 in
+  let k = ref 0 in
+  Array.iter
+    (fun c ->
+      if not (Hashtbl.mem rank c) then begin
+        Hashtbl.add rank c !k;
+        incr k
+      end)
+    sorted;
+  Array.iteri (fun i c -> colors.(i) <- Hashtbl.find rank c) colors;
+  !k
+
+let max_rounds = 8
+
+let of_hypergraph h =
+  let n = Hypergraph.n_vertices h in
+  let m = Hypergraph.n_edges h in
+  let edges = Array.init m (fun e -> Hypergraph.edge h e) in
+  let incident = Array.init n (fun v -> Hypergraph.incident h v) in
+  let degrees = Array.map List.length incident in
+  (* --- colour refinement (1-WL on the incidence structure) -------- *)
+  let color = Array.copy degrees in
+  let distinct = ref (normalize color) in
+  let rounds = ref 0 in
+  let stable = ref (!distinct = n) in
+  while (not !stable) && !rounds < max_rounds do
+    incr rounds;
+    (* an edge's signature: its size and the sorted multiset of its
+       members' colours — invariant under edge and vertex reordering *)
+    let esig =
+      Array.map
+        (fun vs ->
+          let cs = Array.map (fun v -> color.(v)) vs in
+          Array.sort compare cs;
+          Array.fold_left mix
+            (mix Bitset.fnv_offset_basis (Array.length vs))
+            cs)
+        edges
+    in
+    let next =
+      Array.init n (fun v ->
+          let sigs =
+            List.sort compare (List.map (fun e -> esig.(e)) incident.(v))
+          in
+          List.fold_left mix
+            (mix Bitset.fnv_offset_basis color.(v))
+            sigs)
+    in
+    Array.blit next 0 color 0 n;
+    let k = normalize color in
+    (* refinement is monotone (the new colour mixes in the old), so no
+       growth means a fixpoint; hash collisions could only merge
+       classes, which the same test catches *)
+    if k <= !distinct || k = n then stable := true;
+    distinct := k
+  done;
+  (* --- canonical labelling ---------------------------------------- *)
+  (* stable colour order; ties broken by original index, which keeps
+     the labelling deterministic (identical submissions always collide)
+     and sound — the key below spells out the whole relabelled edge
+     list, so equal keys really are isomorphic instances *)
+  let orig_of_canon = Array.init n Fun.id in
+  Array.sort
+    (fun a b ->
+      match compare color.(a) color.(b) with 0 -> compare a b | c -> c)
+    orig_of_canon;
+  let canon_of_orig = Array.make n 0 in
+  Array.iteri (fun i v -> canon_of_orig.(v) <- i) orig_of_canon;
+  let cedges =
+    Array.to_list edges
+    |> List.map (fun vs ->
+           List.sort compare
+             (Array.to_list (Array.map (fun v -> canon_of_orig.(v)) vs)))
+    |> List.sort compare
+  in
+  (* --- key and hash ------------------------------------------------ *)
+  let sorted_degrees = Array.copy degrees in
+  Array.sort compare sorted_degrees;
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "v%d;e%d;d[" n m);
+  Array.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (string_of_int d))
+    sorted_degrees;
+  Buffer.add_string buf "];";
+  List.iter
+    (fun vs ->
+      Buffer.add_char buf '(';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (string_of_int v))
+        vs;
+      Buffer.add_char buf ')')
+    cedges;
+  let key = Buffer.contents buf in
+  let hash = ref (mix (mix Bitset.fnv_offset_basis n) m) in
+  Array.iter (fun d -> hash := mix !hash d) sorted_degrees;
+  List.iter
+    (fun vs ->
+      let bs = Bitset.create n in
+      List.iter (Bitset.add bs) vs;
+      hash := mix !hash (Bitset.fnv_hash bs))
+    cedges;
+  { hash = !hash; key; canon_of_orig; orig_of_canon }
+
+let hash t = t.hash
+let key t = t.key
+let to_canonical t ordering = Array.map (fun v -> t.canon_of_orig.(v)) ordering
+let of_canonical t ordering = Array.map (fun c -> t.orig_of_canon.(c)) ordering

@@ -1,0 +1,49 @@
+(** Canonical hypergraph signatures for the hd_server decomposition
+    cache.
+
+    [of_hypergraph] relabels an instance into a canonical form that is
+    stable under vertex renaming and edge reordering (up to the
+    colour-refinement limit below), so that resubmissions of the same
+    instance — possibly parsed from a differently-ordered file — map to
+    the same cache entry.
+
+    The canonical labelling comes from colour refinement (1-WL on the
+    incidence structure): vertices start coloured by degree, then
+    rounds mix each vertex's colour with the sorted signatures of its
+    incident edges until a fixpoint.  Vertices are ordered by final
+    colour, ties broken by original index; the {!key} spells out the
+    full relabelled, sorted edge list.
+
+    Soundness: equal keys imply isomorphic instances — the key is the
+    entire canonical edge list, not a hash — so a cache backed by
+    {!key} can never serve a wrong answer.  Completeness is best-effort:
+    two isomorphic instances whose symmetry defeats colour refinement
+    (the tie-break falls back to input order) may get different keys and
+    merely miss the cache.  {!hash} is a 63-bit FNV-style fold over the
+    canonical form ({!Hd_graph.Bitset.fnv_hash} of each canonical edge)
+    for cheap bucketing; only {!key} decides equality. *)
+
+type t = {
+  hash : int;  (** 63-bit non-negative hash of the canonical form *)
+  key : string;  (** canonical form; equal keys <=> same cached slot *)
+  canon_of_orig : int array;  (** original vertex id -> canonical id *)
+  orig_of_canon : int array;  (** canonical id -> original vertex id *)
+}
+
+val of_hypergraph : Hd_hypergraph.Hypergraph.t -> t
+(** [of_hypergraph h] computes the canonical signature of [h].  Pure;
+    cost is a handful of refinement rounds over the incidence lists. *)
+
+val hash : t -> int
+val key : t -> string
+
+val to_canonical : t -> int array -> int array
+(** [to_canonical t ordering] maps an array of original vertex ids
+    (e.g. a solver's elimination-ordering witness) into canonical ids,
+    the form stored in the cache. *)
+
+val of_canonical : t -> int array -> int array
+(** [of_canonical t ordering] maps a cached canonical ordering back
+    into {e this} instance's vertex ids — the step that lets a witness
+    computed for one submission be replayed on an isomorphic later
+    one. *)

@@ -110,6 +110,53 @@ let test_ticker_cancellation_counter () =
   check_int "counted once" (before + 1) (counter ());
   Obs.disable ()
 
+let test_budget_remaining_clamped () =
+  (* regression: past the deadline, [remaining] (and the spec derived
+     from it) used to go negative, so a sub-budget cut after expiry got
+     a *negative* time limit — later arithmetic treated it as slack *)
+  let b = B.create ~time_limit:0.01 () in
+  B.start b;
+  Unix.sleepf 0.03;
+  (match B.remaining b with
+  | Some r -> check "remaining clamped at 0" true (r = 0.0)
+  | None -> Alcotest.fail "timed budget must report remaining time");
+  (match (B.spec_of b).B.time_limit with
+  | Some t -> check "spec_of clamped at 0" true (t = 0.0)
+  | None -> Alcotest.fail "timed budget must report a spec limit");
+  (* unstarted budgets still report the full limit *)
+  let fresh = B.create ~time_limit:5.0 () in
+  check "unstarted reports full limit" true (B.remaining fresh = Some 5.0)
+
+let test_budget_sub_own_cancel_flag () =
+  (* regression: sub-budgets used to share the parent's cancellation
+     cell outright, so cancelling one block's budget killed its
+     siblings and the rest of the split was skipped *)
+  let b = B.create () in
+  let s1 = B.sub b in
+  let s2 = B.sub b in
+  B.cancel s1;
+  check "cancelled sub is cancelled" true (B.cancelled s1);
+  check "sibling unaffected" false (B.cancelled s2);
+  check "parent unaffected" false (B.cancelled b);
+  B.cancel b;
+  check "parent cancel reaches all subs" true
+    (B.cancelled s1 && B.cancelled s2);
+  (* end to end: block solving still succeeds after a sibling cancel —
+     two triangles joined at a cut vertex split into two blocks, each
+     solved under its own sub of the same parent *)
+  ensure_registry ();
+  let g =
+    Graph.of_edges 5 [ (0, 1); (1, 2); (0, 2); (2, 3); (3, 4); (2, 4) ]
+  in
+  let parent = B.create () in
+  B.cancel (B.sub parent);
+  let r =
+    Engine.run_by_name "bb-tw" parent (S.Graph g)
+  in
+  (match r.S.outcome with
+  | S.Exact w -> check_int "two triangles: tw 2 after sibling cancel" 2 w
+  | S.Bounds _ -> Alcotest.fail "uncancelled blocks must still solve exactly")
+
 let test_spec_equation () =
   (* Search_types.budget is literally Budget.spec: the historical
      record syntax keeps working across the whole search layer *)
@@ -319,6 +366,17 @@ let prop_blocks_equal_mono_ghw =
     (fun seed ->
       ensure_registry ();
       let core = Hd_instances.Graphs.random_gnp ~seed ~n:5 ~p:0.6 in
+      (* of_graph gives one 2-vertex hyperedge per graph edge, so an
+         isolated vertex would lie in no hyperedge — not a valid ghw
+         instance (bb-ghw rejects it by contract); skip those samples *)
+      let no_isolated g =
+        let ok = ref true in
+        for v = 0 to Graph.n g - 1 do
+          if Graph.neighbors g v = [] then ok := false
+        done;
+        !ok
+      in
+      QCheck.assume (no_isolated core);
       let chain = Hd_instances.Graphs.chain ~copies:2 core in
       let run ?blocks g =
         value_of
@@ -347,6 +405,93 @@ let test_local_search_clock_starts_at_run () =
   check "steps ran after the sleep" true (r.Hd_ga.Local_search.steps > 0);
   check "elapsed excludes pre-run time" true
     (r.Hd_ga.Local_search.elapsed < 0.2)
+
+(* ------------------------------------------------------------------ *)
+(* Step: run-for-a-slice / park / resume                               *)
+(* ------------------------------------------------------------------ *)
+
+module Step = Hd_engine.Step
+
+(* a budgeted computation that polls its ticker [polls] times; with a
+   zero-length slice every actual clock read yields, so it needs
+   several slices to finish *)
+let polling_computation b polls =
+  let tk = B.ticker b in
+  let work = ref 0 in
+  for _ = 1 to polls do
+    incr work;
+    B.check tk
+  done;
+  !work
+
+let test_step_yields_then_finishes () =
+  let b = B.create () in
+  let step = Step.make b (fun () -> polling_computation b 50_000) in
+  check "fresh step not finished" false (Step.finished step);
+  (match Step.slice step ~seconds:0.0 with
+  | Step.Yielded -> ()
+  | Step.Done _ -> Alcotest.fail "a zero slice must park the computation");
+  check "parked, not finished" false (Step.finished step);
+  let v = Step.run_to_completion ~seconds:0.0 step in
+  check_int "result survives parking" 50_000 v;
+  check "finished" true (Step.finished step);
+  check "resumed over several slices" true (Step.slices step >= 2);
+  (match Step.slice step ~seconds:0.0 with
+  | Step.Done v' -> check_int "done result cached" 50_000 v'
+  | Step.Yielded -> Alcotest.fail "a finished step must return Done")
+
+let test_step_credits_parked_time () =
+  (* a sliced budget's deadline measures compute time: parking for
+     longer than the whole time limit must not expire it *)
+  let b = B.create ~time_limit:10.0 () in
+  let step = Step.make b (fun () -> polling_computation b 50_000) in
+  (match Step.slice step ~seconds:0.0 with
+  | Step.Yielded -> ()
+  | Step.Done _ -> Alcotest.fail "expected a yield");
+  Unix.sleepf 0.05;
+  let v = Step.run_to_completion ~seconds:0.0 step in
+  check_int "finished despite the pause" 50_000 v;
+  check "park time not billed" true (B.elapsed b < 0.04)
+
+let test_step_cancel_while_parked () =
+  (* cancelling a parked job must not drop its continuation: the next
+     slice resumes it, the poll observes the cancel, and the
+     computation returns what it has *)
+  let b = B.create () in
+  let step =
+    Step.make b (fun () ->
+        let tk = B.ticker b in
+        let n = ref 0 in
+        while (not (B.out_of_budget tk)) && !n < 1_000_000 do
+          incr n
+        done;
+        !n)
+  in
+  (match Step.slice step ~seconds:0.0 with
+  | Step.Yielded -> ()
+  | Step.Done _ -> Alcotest.fail "expected a yield");
+  B.cancel b;
+  let n = Step.run_to_completion ~seconds:0.0 step in
+  check "cancelled promptly after resume" true (n < 1_000_000)
+
+let test_step_slices_whole_engine_run () =
+  (* the integration the server relies on: Engine.run (with block
+     splitting and sub-budgets) parks and resumes transparently,
+     because every sub shares the root's slice deadline cell *)
+  ensure_registry ();
+  (* grids are heuristically closed for bb-tw (root lb = min-fill ub),
+     which would finish without a single ticker poll; the GA polls on
+     every fitness evaluation, so a state cap guarantees a long,
+     poll-dense run that must park many times under zero-length
+     slices *)
+  let g = Graph.grid 4 4 in
+  let b = B.create ~max_states:2000 () in
+  let solver = Option.get (S.find "ga-tw") in
+  let step = Step.make b (fun () -> Engine.run ~seed:1 solver b (S.Graph g)) in
+  let r = Step.run_to_completion ~seconds:0.0 step in
+  let lb, ub = S.bounds_of r.S.outcome in
+  check "bounds sane" true (0 <= lb && lb <= ub && ub <= 15);
+  check "solve actually got sliced" true (Step.slices step >= 2)
 
 (* ------------------------------------------------------------------ *)
 (* Timing-source invariant: the wall clock lives in lib/engine only    *)
@@ -405,6 +550,10 @@ let () =
         [
           Alcotest.test_case "starts on run" `Quick test_budget_starts_on_run;
           Alcotest.test_case "sub rollover" `Quick test_budget_sub_rollover;
+          Alcotest.test_case "remaining clamped at 0" `Quick
+            test_budget_remaining_clamped;
+          Alcotest.test_case "sub owns its cancel flag" `Quick
+            test_budget_sub_own_cancel_flag;
           Alcotest.test_case "max states" `Quick test_ticker_max_states;
           Alcotest.test_case "expired deadline" `Quick
             test_ticker_expired_deadline;
@@ -432,6 +581,17 @@ let () =
           Alcotest.test_case "chain tw + counters" `Slow test_blocks_chain_tw;
           QCheck_alcotest.to_alcotest prop_blocks_equal_mono_tw;
           QCheck_alcotest.to_alcotest prop_blocks_equal_mono_ghw;
+        ] );
+      ( "step",
+        [
+          Alcotest.test_case "yield, park, resume" `Quick
+            test_step_yields_then_finishes;
+          Alcotest.test_case "parked time credited" `Quick
+            test_step_credits_parked_time;
+          Alcotest.test_case "cancel while parked" `Quick
+            test_step_cancel_while_parked;
+          Alcotest.test_case "slices a whole Engine.run" `Quick
+            test_step_slices_whole_engine_run;
         ] );
       ( "local search",
         [

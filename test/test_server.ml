@@ -1,0 +1,475 @@
+(* hd_server: canonical signatures, the decomposition cache, the wire
+   protocol, the time-sliced job scheduler, and the serve loop.
+
+   The scheduler tests run with [slice = 0.0] — every actual clock read
+   inside a solve yields — which makes the park/resume machinery fire
+   deterministically instead of depending on wall-clock timing. *)
+
+module Graph = Hd_graph.Graph
+module Hypergraph = Hd_hypergraph.Hypergraph
+module Hg_format = Hd_hypergraph.Hg_format
+module B = Hd_engine.Budget
+module S = Hd_engine.Solver
+module Obs = Hd_obs.Obs
+module J = Obs.Json
+module Signature = Hd_server.Signature
+module Cache = Hd_server.Cache
+module Protocol = Hd_server.Protocol
+module Jobs = Hd_server.Jobs
+module Server = Hd_server.Server
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let ensure_registry () = Server.ensure_registry ()
+
+(* the 4-cycle of test/corpus_golden/good.hg, and the same instance
+   with every vertex renamed and the edges reshuffled *)
+let cycle4_a = "e1(a,b), e2(b,c), e3(c,d), e4(d,a)."
+let cycle4_b = "p1(w,x), p2(y,z), p3(x,y), p4(z,w)."
+let path4 = "e1(a,b), e2(b,c), e3(c,d)."
+
+let hg text = Hg_format.parse_string text
+let sig_of text = Signature.of_hypergraph (hg text)
+
+(* --- JSON plumbing ------------------------------------------------- *)
+
+let jget j name =
+  match J.member name j with
+  | Some v -> v
+  | None -> Alcotest.failf "missing field %S in %s" name (J.to_compact j)
+
+let jint j name =
+  match jget j name with
+  | J.Int i -> i
+  | v -> Alcotest.failf "field %S not an int: %s" name (J.to_compact v)
+
+let jstr j name =
+  match jget j name with
+  | J.String s -> s
+  | v -> Alcotest.failf "field %S not a string: %s" name (J.to_compact v)
+
+let jbool j name =
+  match jget j name with
+  | J.Bool b -> b
+  | v -> Alcotest.failf "field %S not a bool: %s" name (J.to_compact v)
+
+(* ------------------------------------------------------------------ *)
+(* Signature                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_signature_invariant_under_relabeling () =
+  let sa = sig_of cycle4_a and sb = sig_of cycle4_b in
+  check_str "equal canonical keys" (Signature.key sa) (Signature.key sb);
+  check_int "equal hashes" (Signature.hash sa) (Signature.hash sb);
+  check "hash is 63-bit non-negative" true (Signature.hash sa >= 0)
+
+let test_signature_separates_instances () =
+  let sa = sig_of cycle4_a and sp = sig_of path4 in
+  check "cycle and path keys differ" true
+    (Signature.key sa <> Signature.key sp)
+
+let test_signature_permutations_invert () =
+  let s = sig_of cycle4_a in
+  let n = Array.length s.Signature.canon_of_orig in
+  check_int "square permutation arrays" n
+    (Array.length s.Signature.orig_of_canon);
+  let ordering = Array.init n (fun i -> n - 1 - i) in
+  let roundtrip =
+    Signature.of_canonical s (Signature.to_canonical s ordering)
+  in
+  check "of_canonical inverts to_canonical" true (roundtrip = ordering);
+  (* canon_of_orig really is a permutation *)
+  let seen = Array.make n false in
+  Array.iter (fun c -> seen.(c) <- true) s.Signature.canon_of_orig;
+  check "bijective relabeling" true (Array.for_all Fun.id seen)
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let entry ?ordering outcome =
+  {
+    Cache.solver = "bb-ghw";
+    kind = S.Ghw;
+    outcome;
+    ordering;
+    visited = 1;
+    generated = 1;
+    elapsed = 0.001;
+  }
+
+let test_cache_serves_exact_only () =
+  let c = Cache.create ~capacity:8 () in
+  let sa = sig_of cycle4_a and sp = sig_of path4 in
+  check "empty cache misses" true (Cache.find c ~kind:S.Ghw sa = None);
+  Cache.store c ~kind:S.Ghw sa (entry (S.Exact 2));
+  (match Cache.find c ~kind:S.Ghw sa with
+  | Some e -> check "exact entry served" true (e.Cache.outcome = S.Exact 2)
+  | None -> Alcotest.fail "stored exact entry must hit");
+  check "other kind is a distinct slot" true
+    (Cache.find c ~kind:S.Tw sa = None);
+  (* a bounds entry is deliberately a miss, and a later exact solve
+     replaces it *)
+  Cache.store c ~kind:S.Ghw sp (entry (S.Bounds { lb = 1; ub = 3 }));
+  check "bounds entry not served" true (Cache.find c ~kind:S.Ghw sp = None);
+  Cache.store c ~kind:S.Ghw sp (entry (S.Exact 1));
+  check "exact replaces bounds" true
+    (match Cache.find c ~kind:S.Ghw sp with
+    | Some e -> e.Cache.outcome = S.Exact 1
+    | None -> false);
+  (* a worse answer must not clobber a better one *)
+  Cache.store c ~kind:S.Ghw sp (entry (S.Bounds { lb = 0; ub = 9 }));
+  check "bounds does not clobber exact" true
+    (match Cache.find c ~kind:S.Ghw sp with
+    | Some e -> e.Cache.outcome = S.Exact 1
+    | None -> false);
+  check "hits counted" true (Cache.hits c >= 3);
+  check "misses counted" true (Cache.misses c >= 3)
+
+let test_cache_lru_eviction () =
+  let c = Cache.create ~capacity:2 () in
+  let s1 = sig_of cycle4_a and s2 = sig_of path4 in
+  let s3 = sig_of "t1(a,b), t2(b,c), t3(a,c)." in
+  Cache.store c ~kind:S.Ghw s1 (entry (S.Exact 2));
+  Cache.store c ~kind:S.Ghw s2 (entry (S.Exact 1));
+  ignore (Cache.find c ~kind:S.Ghw s1);
+  (* s2 is now least recently used; inserting s3 evicts it *)
+  Cache.store c ~kind:S.Ghw s3 (entry (S.Exact 1));
+  check_int "capacity respected" 2 (Cache.size c);
+  check "recently used entry kept" true
+    (Cache.find c ~kind:S.Ghw s1 <> None);
+  check "LRU entry evicted" true (Cache.find c ~kind:S.Ghw s2 = None)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_protocol_parse () =
+  (match Protocol.parse {|{"op":"submit","hypergraph":"e(a,b)."}|} with
+  | Ok (Protocol.Submit s) ->
+      check "inline hypergraph source" true
+        (s.Protocol.source = Protocol.Hypergraph_text "e(a,b).");
+      check "cache defaults on" true s.Protocol.use_cache;
+      check "ordering defaults off" false s.Protocol.with_ordering
+  | _ -> Alcotest.fail "well-formed submit must parse");
+  (match
+     Protocol.parse
+       {|{"op":"submit","cq":"ans() :- r(X,Y).","solver":"det-k","time_limit":2,"cache":false}|}
+   with
+  | Ok (Protocol.Submit s) ->
+      check "cq source" true
+        (s.Protocol.source = Protocol.Cq_text "ans() :- r(X,Y).");
+      check "solver carried" true (s.Protocol.solver = Some "det-k");
+      check "int time limit accepted as number" true
+        (s.Protocol.time_limit = Some 2.0);
+      check "cache off" false s.Protocol.use_cache
+  | _ -> Alcotest.fail "cq submit must parse");
+  (match Protocol.parse {|{"op":"wait","job":3}|} with
+  | Ok (Protocol.Wait { job = 3; timeout }) ->
+      check "default timeout" true (timeout = 60.0)
+  | _ -> Alcotest.fail "wait must parse");
+  let is_error s =
+    match Protocol.parse s with Error _ -> true | Ok _ -> false
+  in
+  check "malformed json rejected" true (is_error "not json");
+  check "missing op rejected" true (is_error {|{"job":1}|});
+  check "unknown op rejected" true (is_error {|{"op":"frobnicate"}|});
+  check "two sources rejected" true
+    (is_error {|{"op":"submit","hypergraph":"e(a,b).","file":"x.hg"}|});
+  check "sourceless submit rejected" true (is_error {|{"op":"submit"}|});
+  check "poll without job rejected" true (is_error {|{"op":"poll"}|});
+  check "negative job rejected" true (is_error {|{"op":"poll","job":-1}|})
+
+(* ------------------------------------------------------------------ *)
+(* Jobs: slicing, interleaving, cancellation, cache hits               *)
+(* ------------------------------------------------------------------ *)
+
+(* a poll-dense instance: the GA checks its budget on every fitness
+   evaluation, so a state cap gives a long run with many yields *)
+let ga_spec = { B.time_limit = Some 30.0; max_states = Some 1500 }
+
+let grid_hg rows cols = Hypergraph.of_graph (Graph.grid rows cols)
+
+let submit_hg jobs ~solver ~spec ?(use_cache = false) h =
+  Jobs.submit jobs ~solver ~spec ~use_cache
+    ~signature:(Signature.of_hypergraph h) (S.Hypergraph h)
+
+let terminal (s : Jobs.snapshot) =
+  s.Jobs.state = "done" || s.Jobs.state = "cancelled"
+  || s.Jobs.state = "failed"
+
+let test_jobs_two_jobs_interleave_on_one_worker () =
+  ensure_registry ();
+  let solver = Option.get (S.find "ga-ghw") in
+  let cache = Cache.create () in
+  let jobs = Jobs.create ~workers:1 ~slice:0.0 ~cache () in
+  Fun.protect ~finally:(fun () -> Jobs.shutdown jobs) @@ fun () ->
+  let trace = Atomic.make [] in
+  let sub =
+    Obs.Tap.subscribe (fun ev ->
+        if ev.Obs.Tap.name = "server.slice" then begin
+          let id = jint ev.Obs.Tap.data "job" in
+          let rec push () =
+            let cur = Atomic.get trace in
+            if not (Atomic.compare_and_set trace cur (id :: cur)) then push ()
+          in
+          push ()
+        end)
+  in
+  let a = submit_hg jobs ~solver ~spec:ga_spec (grid_hg 4 4) in
+  let b = submit_hg jobs ~solver ~spec:ga_spec (grid_hg 3 5) in
+  let sa = Option.get (Jobs.wait jobs a.Jobs.id ~timeout:60.0) in
+  let sb = Option.get (Jobs.wait jobs b.Jobs.id ~timeout:60.0) in
+  Obs.Tap.unsubscribe sub;
+  check_str "job a done" "done" sa.Jobs.state;
+  check_str "job b done" "done" sb.Jobs.state;
+  check "job a was sliced" true (sa.Jobs.slices >= 2);
+  check "job b was sliced" true (sb.Jobs.slices >= 2);
+  (* with one worker and zero-length slices the scheduler must
+     round-robin: some slice of b lands between two slices of a *)
+  let tr = List.rev (Atomic.get trace) in
+  let rec interleaved seen_a = function
+    | [] -> false
+    | id :: rest ->
+        if id = b.Jobs.id && seen_a then List.mem a.Jobs.id rest
+        else interleaved (seen_a || id = a.Jobs.id) rest
+  in
+  check "slices interleave across jobs" true (interleaved false tr);
+  (* progress events were delivered to the poll stream too *)
+  check "slice events drained by wait/poll" true
+    (List.length sa.Jobs.events > 0 || sa.Jobs.slices > 0)
+
+(* a hypergraph far too hard to solve exactly: 40 vertices in a
+   connectivity cycle plus 50 pseudorandom triples *)
+let hard_instance () =
+  let buf = Buffer.create 2048 in
+  for v = 0 to 39 do
+    Buffer.add_string buf (Printf.sprintf "c%d(v%d,v%d),\n" v v ((v + 1) mod 40))
+  done;
+  let state = ref 12345 in
+  let next m =
+    state := (!state * 1103515245) + 12345;
+    (!state lsr 16) mod m
+  in
+  for e = 0 to 49 do
+    let a = next 40 in
+    let b = (a + 1 + next 38) mod 40 in
+    let c = (b + 1 + next 37) mod 40 in
+    if a <> b && b <> c && a <> c then
+      Buffer.add_string buf (Printf.sprintf "r%d(v%d,v%d,v%d),\n" e a b c)
+  done;
+  Buffer.add_string buf "tail(v0,v1).";
+  hg (Buffer.contents buf)
+
+let test_jobs_cancel_inflight () =
+  ensure_registry ();
+  let solver = Option.get (S.find "bb-ghw") in
+  let cache = Cache.create () in
+  let jobs = Jobs.create ~workers:1 ~slice:0.0 ~cache () in
+  Fun.protect ~finally:(fun () -> Jobs.shutdown jobs) @@ fun () ->
+  let spec = { B.time_limit = None; max_states = None } in
+  let s0 =
+    submit_hg jobs ~solver ~spec (hard_instance ())
+  in
+  check_str "starts queued" "queued" s0.Jobs.state;
+  (* let it get some slices in, then cancel *)
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec spin () =
+    let s = Option.get (Jobs.poll jobs s0.Jobs.id) in
+    if s.Jobs.slices >= 2 || Unix.gettimeofday () > deadline then s
+    else begin
+      Unix.sleepf 0.002;
+      spin ()
+    end
+  in
+  let running = spin () in
+  check "got sliced before cancel" true (running.Jobs.slices >= 1);
+  ignore (Jobs.cancel jobs s0.Jobs.id);
+  let final = Option.get (Jobs.wait jobs s0.Jobs.id ~timeout:30.0) in
+  check_str "cancel lands" "cancelled" final.Jobs.state;
+  check "terminal" true (terminal final);
+  (* the parked continuation was resumed, not dropped: the solver
+     returned a result carrying the bounds it had *)
+  check "cancelled job still reports a result" true
+    (final.Jobs.result <> None)
+
+let test_jobs_cache_hit_on_isomorphic_resubmit () =
+  ensure_registry ();
+  let solver = Option.get (S.find "bb-ghw") in
+  let cache = Cache.create () in
+  let jobs = Jobs.create ~workers:2 ~slice:0.01 ~cache () in
+  Fun.protect ~finally:(fun () -> Jobs.shutdown jobs) @@ fun () ->
+  let spec = { B.time_limit = Some 20.0; max_states = None } in
+  let first =
+    submit_hg jobs ~solver ~spec ~use_cache:true (hg cycle4_a)
+  in
+  let s1 = Option.get (Jobs.wait jobs first.Jobs.id ~timeout:30.0) in
+  check_str "first solve done" "done" s1.Jobs.state;
+  check "first solve not cached" false s1.Jobs.cached;
+  let w1 =
+    match s1.Jobs.result with
+    | Some r -> S.value r.S.outcome
+    | None -> Alcotest.fail "finished job must carry a result"
+  in
+  (* the same instance with renamed vertices and shuffled edges is
+     answered from the cache, without running a solver *)
+  let second =
+    submit_hg jobs ~solver ~spec ~use_cache:true (hg cycle4_b)
+  in
+  check_str "resubmit already done" "done" second.Jobs.state;
+  check "resubmit served from cache" true second.Jobs.cached;
+  check_int "resubmit ran no slices" 0 second.Jobs.slices;
+  (match second.Jobs.result with
+  | Some r ->
+      check_int "cached width equals solved width" w1 (S.value r.S.outcome);
+      (match r.S.ordering with
+      | Some o ->
+          let sorted = Array.copy o in
+          Array.sort compare sorted;
+          check "cached witness remapped to a permutation" true
+            (sorted = Array.init (Array.length o) Fun.id)
+      | None -> ())
+  | None -> Alcotest.fail "cached job must carry a result");
+  check "cache counted the hit" true (Cache.hits cache >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* The serve loop, end to end over a pipe pair                         *)
+(* ------------------------------------------------------------------ *)
+
+let with_server ~config f =
+  let req_r, req_w = Unix.pipe () in
+  let resp_r, resp_w = Unix.pipe () in
+  let server_ic = Unix.in_channel_of_descr req_r in
+  let server_oc = Unix.out_channel_of_descr resp_w in
+  let server =
+    Domain.spawn (fun () ->
+        let outcome = Server.serve ~config server_ic server_oc in
+        close_out_noerr server_oc;
+        outcome)
+  in
+  let to_server = Unix.out_channel_of_descr req_w in
+  let from_server = Unix.in_channel_of_descr resp_r in
+  let send line =
+    output_string to_server line;
+    output_char to_server '\n';
+    flush to_server
+  in
+  let recv () = J.parse (input_line from_server) in
+  let result = f send recv in
+  close_out_noerr to_server;
+  let outcome = Domain.join server in
+  close_in_noerr from_server;
+  (result, outcome)
+
+let test_serve_transcript () =
+  Obs.enable ();
+  let config =
+    {
+      Server.default_config with
+      Server.workers = 2;
+      slice = 0.01;
+      default_time_limit = Some 20.0;
+    }
+  in
+  let hits_before =
+    Obs.Counter.value (Obs.Counter.make "server.cache_hits")
+  in
+  let (), outcome =
+    with_server ~config (fun send recv ->
+        (* submit, then wait for the result *)
+        send
+          (Printf.sprintf
+             {|{"op":"submit","hypergraph":"%s","solver":"bb-ghw","ordering":true}|}
+             cycle4_a);
+        let r1 = recv () in
+        check "submit ok" true (jbool r1 "ok");
+        let job1 = jint r1 "job" in
+        send (Printf.sprintf {|{"op":"wait","job":%d,"timeout":30}|} job1);
+        let r2 = recv () in
+        check_str "first solve done" "done" (jstr r2 "state");
+        check "first solve not cached" false (jbool r2 "cached");
+        let res1 = jget r2 "result" in
+        check_str "exact outcome" "exact" (jstr res1 "outcome");
+        let width1 = jint res1 "width" in
+        check_int "4-cycle ghw" 2 width1;
+        check_str "solver echoed" "bb-ghw" (jstr res1 "solver");
+        (* protocol errors do not kill the session *)
+        send "this is not json";
+        let e1 = recv () in
+        check "protocol error flagged" false (jbool e1 "ok");
+        send {|{"op":"poll","job":999}|};
+        let e2 = recv () in
+        check "unknown job flagged" false (jbool e2 "ok");
+        (* resubmit the renamed instance: answered from the cache *)
+        send
+          (Printf.sprintf
+             {|{"op":"submit","hypergraph":"%s","solver":"bb-ghw","ordering":true}|}
+             cycle4_b);
+        let r3 = recv () in
+        check "resubmit ok" true (jbool r3 "ok");
+        check_str "resubmit already done" "done" (jstr r3 "state");
+        check "resubmit cached" true (jbool r3 "cached");
+        let res2 = jget r3 "result" in
+        check_int "cached width matches" width1 (jint res2 "width");
+        (match jget res2 "ordering" with
+        | J.List l -> check_int "witness covers the instance" 4 (List.length l)
+        | _ -> Alcotest.fail "cached result must carry the ordering");
+        (* stats reflect the hit *)
+        send {|{"op":"stats"}|};
+        let st = recv () in
+        let cache = jget st "cache" in
+        check "stats: cache hit recorded" true (jint cache "hits" >= 1);
+        let counters = jget st "counters" in
+        check "stats: server.cache_hits counter" true
+          (jint counters "server.cache_hits" > hits_before);
+        check "stats: slices counted" true
+          (jint counters "server.slices" >= 1);
+        (* clean shutdown *)
+        send {|{"op":"shutdown"}|};
+        let bye = recv () in
+        check "shutdown acknowledged" true (jbool bye "ok"))
+  in
+  check "serve returned Shutdown" true (outcome = `Shutdown)
+
+let test_serve_eof_closes () =
+  let config = { Server.default_config with Server.workers = 1 } in
+  let (), outcome = with_server ~config (fun _send _recv -> ()) in
+  check "serve returned Eof on closed stream" true (outcome = `Eof)
+
+let () =
+  Alcotest.run "hd_server"
+    [
+      ( "signature",
+        [
+          Alcotest.test_case "invariant under relabeling" `Quick
+            test_signature_invariant_under_relabeling;
+          Alcotest.test_case "separates instances" `Quick
+            test_signature_separates_instances;
+          Alcotest.test_case "permutations invert" `Quick
+            test_signature_permutations_invert;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "serves exact only" `Quick
+            test_cache_serves_exact_only;
+          Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
+        ] );
+      ( "protocol",
+        [ Alcotest.test_case "parse" `Quick test_protocol_parse ] );
+      ( "jobs",
+        [
+          Alcotest.test_case "two jobs interleave on one worker" `Slow
+            test_jobs_two_jobs_interleave_on_one_worker;
+          Alcotest.test_case "cancel in flight" `Slow
+            test_jobs_cancel_inflight;
+          Alcotest.test_case "cache hit on isomorphic resubmit" `Slow
+            test_jobs_cache_hit_on_isomorphic_resubmit;
+        ] );
+      ( "serve",
+        [
+          Alcotest.test_case "transcript" `Slow test_serve_transcript;
+          Alcotest.test_case "eof" `Quick test_serve_eof_closes;
+        ] );
+    ]
