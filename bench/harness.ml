@@ -123,6 +123,8 @@ let engine_section : Obs.Json.t option ref = ref None
 let set_engine_section j = engine_section := Some j
 let corpus_section : Obs.Json.t option ref = ref None
 let set_corpus_section j = corpus_section := Some j
+let widths_section : Obs.Json.t option ref = ref None
+let set_widths_section j = widths_section := Some j
 
 (* nonzero when a gating check failed (the corpus regression diff);
    main exits with it after the report is written *)
@@ -148,8 +150,11 @@ let write_bench_report ?(path = "BENCH_report.json") () =
       @ (match !engine_section with
         | Some j -> [ ("engine", j) ]
         | None -> [])
-      @ match !corpus_section with
+      @ (match !corpus_section with
         | Some j -> [ ("corpus", j) ]
+        | None -> [])
+      @ match !widths_section with
+        | Some j -> [ ("widths", j) ]
         | None -> [])
   in
   let oc = open_out path in

@@ -643,9 +643,9 @@ let extension_hw scale =
         let rng = Random.State.make [| 1 |] in
         let sigma = Hd_core.Ordering_heuristics.min_fill_hypergraph rng h in
         let ws = Hd_core.Eval.of_hypergraph h in
-        Hd_core.Eval.fhw_width ws sigma
+        Hd_lp.Rat.to_string (Hd_core.Eval.fhw_width_q ws sigma)
       in
-      Printf.printf "%-12s %4d %4d | %6s %10s %8.2f %7.2fs\n" name
+      Printf.printf "%-12s %4d %4d | %6s %10s %8s %7.2fs\n" name
         (Hypergraph.n_vertices h) (Hypergraph.n_edges h) hw_result
         (outcome_string ghw.St.outcome) fhw secs)
     [ "adder_15"; "adder_25"; "adder_50"; "bridge_15"; "clique_10" ]
@@ -1048,6 +1048,79 @@ let corpus scale =
             failures;
           exit_code := 3)
 
+(* the full width ladder -- tw / ghw / fhw (exact rational) / hw --
+   side by side on the smallest corpus instances, recorded as
+   BENCH_report.json's "widths" section (schema hd_lp/widths/1).
+   CI smokes this under a -states budget so the numbers are
+   machine-independent *)
+let widths scale =
+  header "Widths -- tw / ghw / fhw / hw ladder on the smallest corpus instances";
+  Hd_search.Solvers.ensure ();
+  let entries = Hd_corpus.Manifest.ensure_all ~root:"_corpus" in
+  let loaded, _skipped = Hd_corpus.Sweep.load entries in
+  let smallest =
+    let weight h = Hypergraph.n_vertices h + Hypergraph.n_edges h in
+    List.sort (fun (_, a) (_, b) -> compare (weight a) (weight b)) loaded
+    |> List.filteri (fun i _ -> i < 3)
+  in
+  Printf.printf "%-20s %4s %4s | %8s %8s %10s %8s | %8s\n" "instance" "V" "H"
+    "tw" "ghw" "fhw" "hw" "time";
+  let rows =
+    List.map
+      (fun ((e : Hd_corpus.Manifest.entry), h) ->
+        let problem = Hd_engine.Solver.Hypergraph h in
+        let run name =
+          Hd_engine.Engine.run_by_name ~seed:1 name
+            (Hd_engine.Budget.of_spec (budget scale))
+            problem
+        in
+        let started = Hd_engine.Clock.now () in
+        let tw = run "astar-tw" in
+        let ghw = run "bb-ghw" in
+        let fhw = Hd_search.Bb_fhw.solve ~budget:(budget scale) ~seed:1 h in
+        let hw = run "hw-det-k" in
+        let secs = Hd_engine.Clock.now () -. started in
+        let fhw_str, fhw_exact =
+          match fhw.Hd_search.Bb_fhw.outcome_q with
+          | Hd_search.Bb_fhw.Exact_q q -> (Hd_lp.Rat.to_string q ^ "*", true)
+          | Hd_search.Bb_fhw.Bounds_q { lb; ub } ->
+              ( Printf.sprintf "[%s,%s]" (Hd_lp.Rat.to_string lb)
+                  (Hd_lp.Rat.to_string ub),
+                false )
+        in
+        let hw_str =
+          match hw.Hd_engine.Solver.outcome with
+          | Hd_engine.Solver.Exact w -> Printf.sprintf "%d*" w
+          | Hd_engine.Solver.Bounds _ -> "t/o"
+        in
+        let name = e.Hd_corpus.Manifest.collection ^ "/" ^ e.Hd_corpus.Manifest.name in
+        Printf.printf "%-20s %4d %4d | %8s %8s %10s %8s | %7.2fs\n" name
+          (Hypergraph.n_vertices h) (Hypergraph.n_edges h)
+          (outcome_string tw.Hd_engine.Solver.outcome)
+          (outcome_string ghw.Hd_engine.Solver.outcome)
+          fhw_str hw_str secs;
+        Obs.Json.Obj
+          [
+            ("instance", Obs.Json.String name);
+            ("vertices", Obs.Json.Int (Hypergraph.n_vertices h));
+            ("edges", Obs.Json.Int (Hypergraph.n_edges h));
+            ("tw", Obs.Json.String (outcome_string tw.Hd_engine.Solver.outcome));
+            ( "ghw",
+              Obs.Json.String (outcome_string ghw.Hd_engine.Solver.outcome) );
+            ("fhw", Obs.Json.String fhw_str);
+            ("fhw_exact", Obs.Json.Bool fhw_exact);
+            ("hw", Obs.Json.String hw_str);
+            ("seconds", Obs.Json.Float secs);
+          ])
+      smallest
+  in
+  set_widths_section
+    (Obs.Json.Obj
+       [
+         ("schema", Obs.Json.String "hd_lp/widths/1");
+         ("instances", Obs.Json.List rows);
+       ])
+
 (* ------------------------------------------------------------------ *)
 (* Command line                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -1075,6 +1148,7 @@ let experiments scale =
     ("ordering", fun () -> ordering scale);
     ("engine", fun () -> engine scale);
     ("corpus", fun () -> corpus scale);
+    ("widths", fun () -> widths scale);
     ("parallel", fun () -> parallel scale);
     ("query", fun () -> query scale);
     ("micro", fun () -> micro ());

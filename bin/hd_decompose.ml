@@ -112,7 +112,9 @@ let run input method_ ~jobs ~portfolio ~solvers time_limit seed population
           Hd_ga.Ga_engine.time_limit;
         }
       in
-      let is_tw = ref true in
+      (* what the witness ordering (if any) should be evaluated as:
+         bags for tw, exact covers for ghw, exact LP covers for fhw *)
+      let wkind = ref `Tw in
       let ordering =
         match solvers with
         | _ :: _ as names -> (
@@ -130,13 +132,18 @@ let run input method_ ~jobs ~portfolio ~solvers time_limit seed population
                   (String.concat ", " missing)
                   (String.concat ", " (Hd_engine.Solver.names ()));
                 exit 2);
-            is_tw :=
+            let all_of k =
               List.for_all
                 (fun n ->
                   match Hd_engine.Solver.find n with
-                  | Some s -> s.Hd_engine.Solver.kind = Hd_engine.Solver.Tw
+                  | Some s -> s.Hd_engine.Solver.kind = k
                   | None -> false)
-                names;
+                names
+            in
+            wkind :=
+              if all_of Hd_engine.Solver.Tw then `Tw
+              else if all_of Hd_engine.Solver.Fhw then `Fhw
+              else `Ghw;
             let problem =
               match data with
               | G g -> Hd_engine.Solver.Graph g
@@ -164,7 +171,7 @@ let run input method_ ~jobs ~portfolio ~solvers time_limit seed population
                 (Hd_parallel.Portfolio.solve_tw ~jobs
                    ~budget:(budget time_limit) ~seed g)
           | H h ->
-              is_tw := false;
+              wkind := `Ghw;
               report_portfolio "portfolio-ghw"
                 (Hd_parallel.Portfolio.solve_ghw ~jobs
                    ~budget:(budget time_limit) ~seed h)
@@ -177,19 +184,19 @@ let run input method_ ~jobs ~portfolio ~solvers time_limit seed population
             report_search "BB-tw"
               (Hd_search.Bb_tw.solve ~budget:(budget time_limit) ~seed g)
         | `Astar_ghw ->
-            is_tw := false;
+            wkind := `Ghw;
             report_search "A*-ghw"
               (Hd_search.Astar_ghw.solve ~budget:(budget time_limit) ~seed h)
         | `Bb_ghw ->
-            is_tw := false;
+            wkind := `Ghw;
             report_search "BB-ghw"
               (Hd_search.Bb_ghw.solve ~budget:(budget time_limit) ~seed h)
         | `Ga_tw -> report_ga "GA-tw" (Hd_ga.Ga_tw.run ga_config g)
         | `Ga_ghw ->
-            is_tw := false;
+            wkind := `Ghw;
             report_ga "GA-ghw" (Hd_ga.Ga_ghw.run ga_config h)
         | `Saiga ->
-            is_tw := false;
+            wkind := `Ghw;
             let config =
               {
                 (Hd_ga.Saiga_ghw.default_config
@@ -234,20 +241,41 @@ let run input method_ ~jobs ~portfolio ~solvers time_limit seed population
             report_search "A*-tw+preprocess"
               (Hd_search.Preprocess.treewidth_with_preprocessing
                  ~budget:(budget time_limit) ~seed g)
+        | `Fhw ->
+            wkind := `Fhw;
+            let r = Hd_search.Bb_fhw.solve ~budget:(budget time_limit) ~seed h in
+            (match r.Hd_search.Bb_fhw.outcome_q with
+            | Hd_search.Bb_fhw.Exact_q q ->
+                Format.printf "BB-fhw: fhw = %s (exact)  (visited %d, generated %d, %.2fs)@."
+                  (Hd_lp.Rat.to_string q) r.Hd_search.Bb_fhw.visited
+                  r.Hd_search.Bb_fhw.generated r.Hd_search.Bb_fhw.elapsed
+            | Hd_search.Bb_fhw.Bounds_q { lb; ub } ->
+                Format.printf "BB-fhw: fhw in [%s, %s]  (visited %d, generated %d, %.2fs)@."
+                  (Hd_lp.Rat.to_string lb) (Hd_lp.Rat.to_string ub)
+                  r.Hd_search.Bb_fhw.visited r.Hd_search.Bb_fhw.generated
+                  r.Hd_search.Bb_fhw.elapsed);
+            r.Hd_search.Bb_fhw.ordering
         | `Hw ->
-            is_tw := false;
+            wkind := `Ghw;
             (try
                let w, hd =
                  Hd_search.Det_k_decomp.hypertree_width ?time_limit h
                in
                Format.printf "det-k-decomp: hypertree width %d (valid %b)@." w
                  (Hd_search.Det_k_decomp.valid h hd);
-               if print_decomposition then Format.printf "%a@." (Ghd.pp h) hd
+               if print_decomposition then Format.printf "%a@." (Ghd.pp h) hd;
+               match output with
+               | Some path ->
+                   Hd_core.Ghd_io.write_file path
+                     ~n_vertices:(Hypergraph.n_vertices h)
+                     ~n_edges:(Hypergraph.n_edges h) hd;
+                   Format.printf "wrote %s (.ghd format)@." path
+               | None -> ()
              with Hd_search.Det_k_decomp.Timeout ->
                Format.printf "det-k-decomp: time limit exceeded@.");
             None
         | `Analyze ->
-            is_tw := false;
+            wkind := `Ghw;
             let report =
               Hd_search.Widths.analyze
                 ?time_limit:(Option.map (fun t -> t) time_limit)
@@ -265,26 +293,40 @@ let run input method_ ~jobs ~portfolio ~solvers time_limit seed population
       in
       match ordering with
       | None -> ()
-      | Some sigma ->
-          if !is_tw then begin
-            let td = Td.of_ordering g sigma in
-            Format.printf "witness tree decomposition: width %d, valid %b@."
-              (Td.width td) (Td.valid_for_graph g td);
-            if print_decomposition then Format.printf "%a@." Td.pp td;
-            match output with
-            | Some path ->
-                Hd_core.Td_io.write_file path ~n_vertices:(Graph.n g)
-                  (Td.simplify td);
-                Format.printf "wrote %s (PACE .td format)@." path
-            | None -> ()
-          end
-          else begin
-            let ghd = Ghd.of_ordering h sigma ~cover:`Exact in
-            Format.printf
-              "witness generalized hypertree decomposition: width %d, valid %b@."
-              (Ghd.width ghd) (Ghd.valid h ghd);
-            if print_decomposition then Format.printf "%a@." (Ghd.pp h) ghd
-          end)
+      | Some sigma -> (
+          match !wkind with
+          | `Tw -> (
+              let td = Td.of_ordering g sigma in
+              Format.printf "witness tree decomposition: width %d, valid %b@."
+                (Td.width td) (Td.valid_for_graph g td);
+              if print_decomposition then Format.printf "%a@." Td.pp td;
+              match output with
+              | Some path ->
+                  Hd_core.Td_io.write_file path ~n_vertices:(Graph.n g)
+                    (Td.simplify td);
+                  Format.printf "wrote %s (PACE .td format)@." path
+              | None -> ())
+          | `Fhw -> (
+              (* the exact rational lives in the witness ordering: the
+                 registry only carries its ceiling *)
+              let ws = Hd_core.Eval.of_hypergraph h in
+              let q = Hd_core.Eval.fhw_width_q ws sigma in
+              Format.printf
+                "witness ordering: exact fractional width %s (fhw <= %s)@."
+                (Hd_lp.Rat.to_string q) (Hd_lp.Rat.to_string q);
+              match output with
+              | Some path ->
+                  let td = Td.of_ordering g sigma in
+                  Hd_core.Td_io.write_file path ~n_vertices:(Graph.n g)
+                    (Td.simplify td);
+                  Format.printf "wrote %s (PACE .td format)@." path
+              | None -> ())
+          | `Ghw ->
+              let ghd = Ghd.of_ordering h sigma ~cover:`Exact in
+              Format.printf
+                "witness generalized hypertree decomposition: width %d, valid %b@."
+                (Ghd.width ghd) (Ghd.valid h ghd);
+              if print_decomposition then Format.printf "%a@." (Ghd.pp h) ghd))
 
 open Cmdliner
 
@@ -316,6 +358,7 @@ let method_ =
       ("min-fill", `Min_fill);
       ("sa", `Sa);
       ("preprocess", `Preprocess);
+      ("fhw", `Fhw);
       ("hw", `Hw);
       ("analyze", `Analyze);
       ("bounds", `Bounds);
@@ -411,12 +454,27 @@ let main instance instance_pos graph_file hypergraph_file method_ jobs
     print_decomposition list_flag list_solvers_flag output stats =
   if list_solvers_flag then begin
     ensure_registry ();
+    (* grouped by the width measure each solver optimises *)
+    let all = Hd_engine.Solver.all () in
     List.iter
-      (fun (s : Hd_engine.Solver.t) ->
-        Printf.printf "  %-16s %-3s  %s\n" s.Hd_engine.Solver.name
-          (Hd_engine.Solver.kind_name s.Hd_engine.Solver.kind)
-          s.Hd_engine.Solver.doc)
-      (Hd_engine.Solver.all ())
+      (fun kind ->
+        match
+          List.filter (fun s -> s.Hd_engine.Solver.kind = kind) all
+        with
+        | [] -> ()
+        | members ->
+            Printf.printf "%s:\n" (Hd_engine.Solver.kind_name kind);
+            List.iter
+              (fun (s : Hd_engine.Solver.t) ->
+                Printf.printf "  %-16s %s\n" s.Hd_engine.Solver.name
+                  s.Hd_engine.Solver.doc)
+              members)
+      [
+        Hd_engine.Solver.Tw;
+        Hd_engine.Solver.Ghw;
+        Hd_engine.Solver.Fhw;
+        Hd_engine.Solver.Hw;
+      ]
   end
   else if list_flag then begin
     print_endline "graphs:";

@@ -10,6 +10,11 @@ module Obs = Hd_obs.Obs
 let c_memo_hits = Obs.Counter.make "setcover.memo_hits"
 let c_memo_misses = Obs.Counter.make "setcover.memo_misses"
 
+(* The fractional (LP) memo reports separately: its entries are exact
+   rationals, not integral cover sizes, and live in their own table. *)
+let c_lp_memo_hits = Obs.Counter.make "lp.memo_hits"
+let c_lp_memo_misses = Obs.Counter.make "lp.memo_misses"
+
 (* Bags keyed by content: canonical FNV over the sorted vertices, full
    equality on collision.  One table per workspace — workspaces are
    never shared across domains (see hd_parallel), so the memo needs no
@@ -34,6 +39,11 @@ type t = {
   bag : Bitset.t; (* scratch bag for set covering *)
   greedy_memo : int Bag_tbl.t; (* bag -> greedy cover size *)
   exact_memo : int Bag_tbl.t; (* bag -> optimal cover size *)
+  (* bag -> exact rho*.  A separate, Rat-valued table: integral and
+     fractional cover costs must never share memo entries — the same
+     bag legitimately has rho* < exact cover size (triangle: 3/2 vs
+     2), so a shared int table would corrupt one mode or the other. *)
+  frac_memo : Hd_lp.Rat.t Bag_tbl.t;
 }
 
 let make n base hypergraph =
@@ -49,11 +59,13 @@ let make n base hypergraph =
     bag = Bitset.create (max n 1);
     greedy_memo = Bag_tbl.create 512;
     exact_memo = Bag_tbl.create 512;
+    frac_memo = Bag_tbl.create 512;
   }
 
 let reset_memo t =
   Bag_tbl.reset t.greedy_memo;
-  Bag_tbl.reset t.exact_memo
+  Bag_tbl.reset t.exact_memo;
+  Bag_tbl.reset t.frac_memo
 
 (* memoise [cover] on bag contents: the same bag recurs massively both
    within one ordering's evaluation (bags of near-identical suffixes)
@@ -204,25 +216,46 @@ let ghw_width_exact ?cache t sigma =
           (memoized t.exact_memo (fun universe ->
                Set_cover.exact_size { universe; hypergraph = h }))
 
-let fhw_width t sigma =
+(* as [memoized], but for the Rat-valued LP memo with its own counters *)
+let memoized_frac table cover universe =
+  match Bag_tbl.find_opt table universe with
+  | Some w ->
+      Obs.Counter.incr c_lp_memo_hits;
+      w
+  | None ->
+      Obs.Counter.incr c_lp_memo_misses;
+      let w = cover universe in
+      Bag_tbl.add table (Bitset.copy universe) w;
+      w
+
+let fhw_width_q t sigma =
+  let module Rat = Hd_lp.Rat in
   let h = hypergraph_exn t in
   reset t sigma;
-  let width = ref 0.0 in
-  for i = t.n - 1 downto 0 do
-    let v = sigma.(i) in
+  let width = ref Rat.zero in
+  let i = ref (t.n - 1) in
+  (* a bag at step i has at most i + 1 vertices, and rho* never exceeds
+     the bag size, so once width >= i + 1 no later bag can raise it *)
+  while !i >= 0 && Rat.compare_int !width (!i + 1) < 0 do
+    let v = sigma.(!i) in
     let members = ref [] in
-    let _size = scan t i v ~collect:(fun x -> members := x :: !members) in
+    let _size = scan t !i v ~collect:(fun x -> members := x :: !members) in
     Bitset.clear t.bag;
     Bitset.add t.bag v;
     List.iter (Bitset.add t.bag) !members;
     let rho =
-      Hd_setcover.Fractional.cover_value
-        { Set_cover.universe = t.bag; hypergraph = h }
+      memoized_frac t.frac_memo
+        (fun universe ->
+          Hd_setcover.Fractional.cover_value { Set_cover.universe; hypergraph = h })
+        t.bag
     in
-    if rho > !width then width := rho;
-    propagate t !members
+    if Rat.compare rho !width > 0 then width := rho;
+    propagate t !members;
+    decr i
   done;
   !width
+
+let fhw_width t sigma = Hd_lp.Rat.to_float (fhw_width_q t sigma)
 
 let weighted_width t ~domain_sizes sigma =
   if Array.length domain_sizes <> t.n then

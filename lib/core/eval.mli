@@ -54,11 +54,18 @@ val ghw_width_exact :
     unaffected. *)
 val reset_memo : t -> unit
 
-(** [fhw_width t sigma] is the width of [sigma] under fractional edge
+(** [fhw_width_q t sigma] is the width of [sigma] under fractional edge
     covers: the largest fractional cover number rho* over the bags of
-    the ordering's tree decomposition — an upper-bound witness for the
-    fractional hypertree width, with [fhw_width <= ghw_width_exact]
-    pointwise. *)
+    the ordering's tree decomposition — an exact rational, an
+    upper-bound witness for the fractional hypertree width, with
+    [fhw_width_q <= ghw_width_exact] pointwise.  rho* values are
+    memoised per workspace in a table separate from the integral
+    covers (counters [lp.memo_hits]/[lp.memo_misses]); integral and
+    fractional costs never share entries. *)
+val fhw_width_q : t -> Ordering.t -> Hd_lp.Rat.t
+
+(** [fhw_width t sigma] is [Rat.to_float (fhw_width_q t sigma)] — for
+    display and legacy call sites only. *)
 val fhw_width : t -> Ordering.t -> float
 
 (** [weighted_width t ~domain_sizes sigma] is the triangulation weight

@@ -183,7 +183,7 @@ let reroot bg sigma ~attach =
 let trivial_ub (s : Solver.t) p =
   match s.Solver.kind with
   | Solver.Tw -> max 0 (Solver.n_vertices p - 1)
-  | Solver.Ghw | Solver.Hw ->
+  | Solver.Ghw | Solver.Fhw | Solver.Hw ->
       max 1 (Hypergraph.n_edges (Solver.hypergraph_of p))
 
 let solve ?(split_blocks = true) ?seed (s : Solver.t) (b : Budget.t) p =

@@ -11,7 +11,7 @@ type result = {
   ordering : int array option;
 }
 
-type kind = Tw | Ghw | Hw
+type kind = Tw | Ghw | Fhw | Hw
 type problem = Graph of Graph.t | Hypergraph of Hypergraph.t
 
 type t = {
@@ -39,7 +39,7 @@ let all () =
       List.filter_map (fun n -> Hashtbl.find_opt registry n) !order)
 
 let names () = List.map (fun s -> s.name) (all ())
-let kind_name = function Tw -> "tw" | Ghw -> "ghw" | Hw -> "hw"
+let kind_name = function Tw -> "tw" | Ghw -> "ghw" | Fhw -> "fhw" | Hw -> "hw"
 let primal_of = function Graph g -> g | Hypergraph h -> Hypergraph.primal h
 
 let hypergraph_of = function

@@ -30,8 +30,13 @@ type result = {
           one was reached *)
 }
 
-(** The width notion a solver optimises. *)
-type kind = Tw | Ghw | Hw
+(** The width notion a solver optimises.  [Fhw] solvers optimise the
+    exact rational fractional hypertree width but report
+    [ceil (fhw)] through the int-valued {!result} — sound under the
+    max-combining of {!Blocks} since [ceil (max a b) = max (ceil a)
+    (ceil b)]; the exact rational is recovered from the witness
+    ordering via [Hd_core.Eval.fhw_width_q]. *)
+type kind = Tw | Ghw | Fhw | Hw
 
 type problem =
   | Graph of Hd_graph.Graph.t

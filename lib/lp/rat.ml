@@ -1,0 +1,86 @@
+(* Exact rational numbers over Bigint, always normalised: positive
+   denominator, gcd(|num|, den) = 1, zero represented as 0/1.  Every
+   comparison is exact cross-multiplication — no float ever enters a
+   decision path built on this module. *)
+
+type t = { num : Bigint.t; den : Bigint.t }
+
+let zero = { num = Bigint.zero; den = Bigint.one }
+let one = { num = Bigint.one; den = Bigint.one }
+
+let make_big num den =
+  let s = Bigint.sign den in
+  if s = 0 then invalid_arg "Rat.make: zero denominator";
+  let num, den = if s < 0 then (Bigint.neg num, Bigint.neg den) else (num, den) in
+  if Bigint.is_zero num then zero
+  else begin
+    let g = Bigint.gcd num den in
+    let num, _ = Bigint.divmod num g in
+    let den, _ = Bigint.divmod den g in
+    { num; den }
+  end
+
+let make num den = make_big (Bigint.of_int num) (Bigint.of_int den)
+let of_int v = { num = Bigint.of_int v; den = Bigint.one }
+let num v = v.num
+let den v = v.den
+let is_integer v = Bigint.equal v.den Bigint.one
+let sign v = Bigint.sign v.num
+let neg v = { v with num = Bigint.neg v.num }
+
+let add a b =
+  make_big
+    (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den))
+    (Bigint.mul a.den b.den)
+
+let sub a b = add a (neg b)
+let mul a b = make_big (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
+
+let inv v =
+  if Bigint.is_zero v.num then raise Division_by_zero;
+  make_big v.den v.num
+
+let div a b = mul a (inv b)
+
+let compare a b =
+  Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+
+let equal a b = Bigint.equal a.num b.num && Bigint.equal a.den b.den
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+let compare_int v k = compare v (of_int k)
+
+(* floor for a positive-denominator fraction: truncated division is
+   floor for non-negative numerators; negative numerators with a
+   remainder round one further down *)
+let floor_big v =
+  let q, r = Bigint.divmod v.num v.den in
+  if Bigint.sign v.num >= 0 || Bigint.is_zero r then q
+  else Bigint.sub q Bigint.one
+
+let ceil_big v = Bigint.neg (floor_big (neg v))
+
+let to_int_exn what big =
+  match Bigint.to_int_opt big with
+  | Some i -> i
+  | None -> invalid_arg (what ^ ": out of native int range")
+
+let floor v = to_int_exn "Rat.floor" (floor_big v)
+let ceil v = to_int_exn "Rat.ceil" (ceil_big v)
+let to_float v = Bigint.to_float v.num /. Bigint.to_float v.den
+
+let to_string v =
+  if is_integer v then Bigint.to_string v.num
+  else Bigint.to_string v.num ^ "/" ^ Bigint.to_string v.den
+
+let of_string s =
+  match String.index_opt s '/' with
+  | None -> make_big (Bigint.of_string (String.trim s)) Bigint.one
+  | Some i ->
+      make_big
+        (Bigint.of_string (String.trim (String.sub s 0 i)))
+        (Bigint.of_string
+           (String.trim (String.sub s (i + 1) (String.length s - i - 1))))
+
+let hash v = (Bigint.hash v.num * 31) + Bigint.hash v.den
+let pp ppf v = Format.pp_print_string ppf (to_string v)

@@ -1,0 +1,181 @@
+(* Exact two-phase primal simplex over dense Rat tableaus.
+
+   Minimises c.x subject to A x >= b, x >= 0 — the shape of the
+   fractional-edge-cover LP (one >= 1 row per vertex of a bag, one
+   column per candidate hyperedge).  Both the entering and the leaving
+   choice follow Bland's smallest-index rule, so the method terminates
+   on every input without any perturbation; all zero tests are exact,
+   so the reported optimum is the true rational optimum, not a
+   float-epsilon approximation. *)
+
+module Obs = Hd_obs.Obs
+
+let c_solves = Obs.Counter.make "lp.solves"
+let c_pivots = Obs.Counter.make "lp.pivots"
+
+type outcome =
+  | Optimal of { value : Rat.t; solution : Rat.t array }
+  | Infeasible
+  | Unbounded
+
+(* Tableau layout: [m] constraint rows and one objective row (last);
+   columns are the structural variables, surplus variables, artificial
+   variables, and the right-hand side (last).  [basis.(row)] is the
+   variable currently basic in that row. *)
+type tableau = {
+  rows : Rat.t array array;
+  basis : int array;
+  m : int;
+  cols : int; (* total variable columns, excluding the rhs *)
+}
+
+let pivot t ~row ~col =
+  Obs.Counter.incr c_pivots;
+  let width = t.cols + 1 in
+  let scale = t.rows.(row).(col) in
+  for j = 0 to width - 1 do
+    t.rows.(row).(j) <- Rat.div t.rows.(row).(j) scale
+  done;
+  for i = 0 to t.m do
+    if i <> row then begin
+      let factor = t.rows.(i).(col) in
+      if Rat.sign factor <> 0 then
+        for j = 0 to width - 1 do
+          t.rows.(i).(j) <-
+            Rat.sub t.rows.(i).(j) (Rat.mul factor t.rows.(row).(j))
+        done
+    end
+  done;
+  t.basis.(row) <- col
+
+(* Bland's rule: entering variable = smallest index with negative
+   reduced cost; leaving row = exact minimum ratio, ties broken by the
+   smallest basic-variable index.  Guarantees termination. *)
+let rec iterate t ~allowed =
+  let objective = t.rows.(t.m) in
+  let entering = ref (-1) in
+  (try
+     for j = 0 to t.cols - 1 do
+       if allowed j && Rat.sign objective.(j) < 0 then begin
+         entering := j;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  if !entering < 0 then `Optimal
+  else begin
+    let col = !entering in
+    let best_row = ref (-1) and best_ratio = ref Rat.zero in
+    for i = 0 to t.m - 1 do
+      let coeff = t.rows.(i).(col) in
+      if Rat.sign coeff > 0 then begin
+        let ratio = Rat.div t.rows.(i).(t.cols) coeff in
+        let better =
+          !best_row < 0
+          ||
+          let c = Rat.compare ratio !best_ratio in
+          c < 0 || (c = 0 && t.basis.(i) < t.basis.(!best_row))
+        in
+        if better then begin
+          best_ratio := ratio;
+          best_row := i
+        end
+      end
+    done;
+    if !best_row < 0 then `Unbounded
+    else begin
+      pivot t ~row:!best_row ~col;
+      iterate t ~allowed
+    end
+  end
+
+let minimize ~objective ~constraints ~bounds =
+  Obs.Counter.incr c_solves;
+  let m = Array.length constraints in
+  let n = Array.length objective in
+  if Array.length bounds <> m then
+    invalid_arg "Simplex.minimize: bounds length mismatch";
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then
+        invalid_arg "Simplex.minimize: constraint arity mismatch")
+    constraints;
+  Array.iter
+    (fun b ->
+      if Rat.sign b < 0 then invalid_arg "Simplex.minimize: negative bound")
+    bounds;
+  (* columns: n structural, m surplus, m artificial *)
+  let cols = n + m + m in
+  let rows = Array.make_matrix (m + 1) (cols + 1) Rat.zero in
+  let basis = Array.make m 0 in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      rows.(i).(j) <- constraints.(i).(j)
+    done;
+    rows.(i).(n + i) <- Rat.of_int (-1);
+    (* surplus *)
+    rows.(i).(n + m + i) <- Rat.one;
+    (* artificial *)
+    rows.(i).(cols) <- bounds.(i);
+    basis.(i) <- n + m + i
+  done;
+  let t = { rows; basis; m; cols } in
+  (* phase 1: minimise the sum of artificials.  The objective row must
+     be expressed over the current (artificial) basis: subtract each
+     constraint row. *)
+  for j = 0 to cols do
+    let s = ref Rat.zero in
+    for i = 0 to m - 1 do
+      s := Rat.add !s rows.(i).(j)
+    done;
+    rows.(m).(j) <-
+      (if j >= n + m && j < cols then Rat.sub Rat.one !s else Rat.neg !s)
+  done;
+  (match iterate t ~allowed:(fun _ -> true) with
+  | `Unbounded -> assert false (* phase 1 is bounded below by 0 *)
+  | `Optimal -> ());
+  let phase1_value = Rat.neg rows.(m).(cols) in
+  if Rat.sign phase1_value > 0 then Infeasible
+  else begin
+    (* drive any residual artificial variables out of the basis *)
+    for i = 0 to m - 1 do
+      if t.basis.(i) >= n + m then begin
+        let found = ref false in
+        for j = 0 to n + m - 1 do
+          if (not !found) && Rat.sign rows.(i).(j) <> 0 then begin
+            pivot t ~row:i ~col:j;
+            found := true
+          end
+        done
+        (* a row with no pivotable column is all-zero: redundant *)
+      end
+    done;
+    (* phase 2 objective over the current basis *)
+    for j = 0 to cols do
+      rows.(m).(j) <- (if j < n then objective.(j) else Rat.zero)
+    done;
+    rows.(m).(cols) <- Rat.zero;
+    for i = 0 to m - 1 do
+      let b = t.basis.(i) in
+      if b < n then begin
+        let factor = rows.(m).(b) in
+        if Rat.sign factor <> 0 then
+          for j = 0 to cols do
+            rows.(m).(j) <- Rat.sub rows.(m).(j) (Rat.mul factor rows.(i).(j))
+          done
+      end
+    done;
+    let artificial_banned j = j < n + m in
+    match iterate t ~allowed:artificial_banned with
+    | `Unbounded -> Unbounded
+    | `Optimal ->
+        let solution = Array.make n Rat.zero in
+        for i = 0 to m - 1 do
+          if t.basis.(i) < n then solution.(t.basis.(i)) <- rows.(i).(cols)
+        done;
+        let value = ref Rat.zero in
+        for j = 0 to n - 1 do
+          value := Rat.add !value (Rat.mul objective.(j) solution.(j))
+        done;
+        Optimal { value = !value; solution }
+  end

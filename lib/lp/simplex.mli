@@ -1,0 +1,27 @@
+(** Exact rational linear programming.
+
+    A dense two-phase primal simplex over {!Rat} tableaus, specialised
+    to the covering shape [min c.x  s.t.  A x >= b, x >= 0].  Entering
+    and leaving variables both follow Bland's smallest-index rule, so
+    the method terminates on every input (no cycling, no
+    perturbation); all arithmetic is exact, so [Optimal] carries the
+    true rational optimum.  This is the fractional-edge-cover oracle
+    behind the [fhw-*] solvers (see {e docs/WIDTHS.md}).
+
+    Counters: [lp.solves], [lp.pivots]. *)
+
+type outcome =
+  | Optimal of { value : Rat.t; solution : Rat.t array }
+  | Infeasible
+  | Unbounded
+
+(** [minimize ~objective ~constraints ~bounds] solves
+    [min objective . x] subject to [constraints.(i) . x >= bounds.(i)]
+    for every row [i] and [x >= 0].
+    @raise Invalid_argument on mismatched dimensions or a negative
+    bound. *)
+val minimize :
+  objective:Rat.t array ->
+  constraints:Rat.t array array ->
+  bounds:Rat.t array ->
+  outcome

@@ -1,0 +1,46 @@
+(** Branch and bound for exact fractional hypertree width.
+
+    The BB-ghw search tree with every integral set cover replaced by
+    the exact rational LP optimum rho* ({!Hd_setcover.Fractional}):
+    the minimum over elimination orderings of the maximum bag rho*
+    equals fhw, because rho* is monotone under bag inclusion, so the
+    ordering characterisation of ghw carries over unchanged.  All
+    pruning decisions compare exact {!Hd_lp.Rat} values.
+
+    Lower bounds use the fractional k-set-cover argument: a clique
+    minor of [c] vertices forces a bag whose fractional cover weighs
+    at least [c/k] when hyperedges have at most [k] vertices. *)
+
+type outcome_q =
+  | Exact_q of Hd_lp.Rat.t  (** the exact fractional hypertree width *)
+  | Bounds_q of { lb : Hd_lp.Rat.t; ub : Hd_lp.Rat.t }
+      (** budget exhausted: fhw lies in [[lb, ub]]; [ub] is witnessed
+          by [ordering] *)
+
+type result_q = {
+  outcome_q : outcome_q;
+  visited : int;
+  generated : int;
+  elapsed : float;
+  ordering : int array option;
+      (** an elimination ordering whose maximum bag rho* equals the
+          reported upper bound *)
+}
+
+(** [solve h] computes the exact fhw of [h] (every vertex must lie in
+    some hyperedge).  Budgets behave as in {!Bb_ghw.solve}; the shared
+    int {!Hd_core.Incumbent} (when [within] carries one) receives
+    [ceil] of the rational bounds. *)
+val solve :
+  ?budget:Search_types.budget ->
+  ?within:Hd_engine.Budget.t ->
+  ?seed:int ->
+  Hd_hypergraph.Hypergraph.t ->
+  result_q
+
+(** [to_engine_result r] is [r] with rational bounds collapsed to
+    their ceilings — the registry-facing view.  Sound under the
+    engine's max-combining of block results since
+    [ceil (max a b) = max (ceil a) (ceil b)]; the exact rational is
+    recovered from [r.ordering] via {!Hd_core.Eval.fhw_width_q}. *)
+val to_engine_result : result_q -> Hd_engine.Solver.result

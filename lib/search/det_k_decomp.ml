@@ -92,7 +92,23 @@ let decide ?within h ~k =
         let separator = Bitset.create m in
         List.iter (Bitset.add separator) lambda;
         let separator_vars = vertices_of_edges h separator ~n in
-        if not (Bitset.subset connector separator_vars) then None
+        (* descent: unless the component holds nothing beyond the
+           connector, some separator edge must reach into it — a
+           separator seeing only connector vertices leaves the
+           component in one piece, so the progress check below would
+           reject it anyway after the (expensive) component split *)
+        let descends =
+          Bitset.subset comp_vars connector
+          || List.exists
+               (fun e ->
+                 Array.exists
+                   (fun v ->
+                     Bitset.mem comp_vars v && not (Bitset.mem connector v))
+                   (Hypergraph.edge h e))
+               lambda
+        in
+        if not (Bitset.subset connector separator_vars) || not descends then
+          None
         else begin
           (* chi respects the descendant condition: only vertices the
              subtree can still see *)
@@ -145,19 +161,38 @@ let decide ?within h ~k =
             end;
             if slots > 0 then
               for i = start to Array.length candidate_array - 1 do
+                (* at large k the loop visits C(m, k) subsets between
+                   recursive calls — check the clock here too, not just
+                   at decompose entries *)
+                check_deadline ();
                 let e = candidate_array.(i) in
-                let added = ref [] in
-                Array.iter
-                  (fun v ->
-                    if Bitset.mem connector v && not (Bitset.mem covered v)
-                    then begin
-                      Bitset.add covered v;
-                      added := v :: !added
-                    end)
-                  (Hypergraph.edge h e);
-                enumerate (i + 1) (e :: chosen) (slots - 1)
-                  (Bitset.subset connector covered);
-                List.iter (Bitset.remove covered) !added
+                (* useless-edge pruning: an edge covering no
+                   still-uncovered connector vertex and disjoint from
+                   the component only wastes a slot — its vertices
+                   influence neither chi nor the component split, so
+                   every separator using it has a sub-separator
+                   without it that this enumeration also visits *)
+                let useful =
+                  Array.exists
+                    (fun v ->
+                      Bitset.mem comp_vars v
+                      || (Bitset.mem connector v && not (Bitset.mem covered v)))
+                    (Hypergraph.edge h e)
+                in
+                if useful then begin
+                  let added = ref [] in
+                  Array.iter
+                    (fun v ->
+                      if Bitset.mem connector v && not (Bitset.mem covered v)
+                      then begin
+                        Bitset.add covered v;
+                        added := v :: !added
+                      end)
+                    (Hypergraph.edge h e);
+                  enumerate (i + 1) (e :: chosen) (slots - 1)
+                    (Bitset.subset connector covered);
+                  List.iter (Bitset.remove covered) !added
+                end
               done
           in
           enumerate 0 [] k (Bitset.is_empty connector);
@@ -244,5 +279,8 @@ let descendant_condition_holds h ghd =
     Bitset.subset lambda_vars (Td.bag td p) && check (p + 1)
   in
   check 0
+
+(* the literature's other name for condition 4 *)
+let special_condition_holds = descendant_condition_holds
 
 let valid h hd = Ghd.valid h hd && descendant_condition_holds h hd

@@ -54,5 +54,10 @@ val hypertree_width :
     occurring in [p]'s subtree is contained in [chi p]. *)
 val descendant_condition_holds : Hd_hypergraph.Hypergraph.t -> Hd_core.Ghd.t -> bool
 
+(** The literature's other name for the descendant condition —
+    [special_condition_holds = descendant_condition_holds].  This is
+    the check [hd_validate] runs on [.ghd] witnesses. *)
+val special_condition_holds : Hd_hypergraph.Hypergraph.t -> Hd_core.Ghd.t -> bool
+
 (** [valid h hd] checks all four hypertree decomposition conditions. *)
 val valid : Hd_hypergraph.Hypergraph.t -> t -> bool

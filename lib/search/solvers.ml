@@ -34,6 +34,12 @@ let ghw_width rng p sigma =
   let ws = Hd_core.Eval.of_hypergraph (S.hypergraph_of p) in
   Hd_core.Eval.ghw_width ~rng ws sigma
 
+(* fhw is rational; the int-valued registry carries its ceiling (the
+   exact value is recovered from the witness via Eval.fhw_width_q) *)
+let fhw_width_ceil _rng p sigma =
+  let ws = Hd_core.Eval.of_hypergraph (S.hypergraph_of p) in
+  Hd_lp.Rat.ceil (Hd_core.Eval.fhw_width_q ws sigma)
+
 let det_k ?seed b p =
   ignore seed;
   let h = S.hypergraph_of p in
@@ -108,6 +114,18 @@ let ensure () =
       (heuristic ~default_seed:0x3f4 ~width:ghw_width (fun rng p ->
            Hd_core.Ordering_heuristics.min_fill_hypergraph rng
              (S.hypergraph_of p)));
+    register ~name:"fhw-bb" ~kind:S.Fhw
+      ~doc:"branch and bound for exact fractional hypertree width (LP covers)"
+      (fun ?seed b p ->
+        Bb_fhw.to_engine_result (Bb_fhw.solve ~within:b ?seed (S.hypergraph_of p)));
+    register ~name:"fhw-min-fill" ~kind:S.Fhw
+      ~doc:"min-fill ordering with exact LP covers (upper bound only)"
+      (heuristic ~default_seed:0x3f5 ~width:fhw_width_ceil (fun rng p ->
+           Hd_core.Ordering_heuristics.min_fill_hypergraph rng
+             (S.hypergraph_of p)));
+    register ~name:"hw-det-k" ~kind:S.Hw
+      ~doc:"det-k-decomp: exact hypertree width (Gottlob & Samer)" det_k;
+    (* historical name, same solver *)
     register ~name:"det-k" ~kind:S.Hw
-      ~doc:"det-k-decomp: exact hypertree width (Gottlob & Samer)" det_k
+      ~doc:"alias of hw-det-k (kept for scripts)" det_k
   end

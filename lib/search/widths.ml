@@ -1,4 +1,5 @@
 module Hypergraph = Hd_hypergraph.Hypergraph
+module Rat = Hd_lp.Rat
 open Search_types
 
 type report = {
@@ -8,6 +9,8 @@ type report = {
   acyclic : bool;
   tw : outcome;
   ghw : outcome;
+  fhw : Rat.t;
+  fhw_exact : bool;
   hw : int option;
   fhw_upper : float;
 }
@@ -19,7 +22,7 @@ let analyze ?(time_limit = 10.0) ?(seed = 1) h =
   (* the ladder stages run under [sub]-budgets of one common clock:
      each takes an equal share of the time *remaining*, so whatever an
      early stage leaves unspent (an instant tw on a small kernel, say)
-     rolls over to the harder ghw/hw questions instead of being
+     rolls over to the harder ghw/fhw/hw questions instead of being
      discarded *)
   let total = Hd_engine.Budget.create ~time_limit () in
   Hd_engine.Budget.start total;
@@ -28,18 +31,22 @@ let analyze ?(time_limit = 10.0) ?(seed = 1) h =
       (Hd_engine.Budget.sub ~stages total)
       p
   in
-  let tw = (stage "astar-tw" 3 (Hd_engine.Solver.Graph primal)).outcome in
-  let ghw = (stage "bb-ghw" 2 (Hd_engine.Solver.Hypergraph h)).outcome in
+  let tw = (stage "astar-tw" 4 (Hd_engine.Solver.Graph primal)).outcome in
+  let ghw = (stage "bb-ghw" 3 (Hd_engine.Solver.Hypergraph h)).outcome in
+  (* fhw natively, not through the int registry: the exact rational is
+     the point of the exercise *)
+  let fhw, fhw_exact =
+    match
+      (Bb_fhw.solve ~within:(Hd_engine.Budget.sub ~stages:2 total) ~seed h)
+        .outcome_q
+    with
+    | Bb_fhw.Exact_q q -> (q, true)
+    | Bb_fhw.Bounds_q { ub; _ } -> (ub, false)
+  in
   let hw =
-    match (stage "det-k" 1 (Hd_engine.Solver.Hypergraph h)).outcome with
+    match (stage "hw-det-k" 1 (Hd_engine.Solver.Hypergraph h)).outcome with
     | Exact w -> Some w
     | Bounds _ -> None
-  in
-  let fhw_upper =
-    let rng = Random.State.make [| seed |] in
-    let sigma = Hd_core.Ordering_heuristics.min_fill_hypergraph rng h in
-    let ws = Hd_core.Eval.of_hypergraph h in
-    Hd_core.Eval.fhw_width ws sigma
   in
   {
     n_vertices = Hypergraph.n_vertices h;
@@ -48,8 +55,10 @@ let analyze ?(time_limit = 10.0) ?(seed = 1) h =
     acyclic;
     tw;
     ghw;
+    fhw;
+    fhw_exact;
     hw;
-    fhw_upper;
+    fhw_upper = Rat.to_float fhw;
   }
 
 let pp ppf r =
@@ -58,9 +67,10 @@ let pp ppf r =
      alpha-acyclic: %b@,\
      treewidth:     %a@,\
      ghw:           %a@,\
-     hw:            %s@,\
-     fhw:           <= %.3f@]"
+     fhw:           %s%a@,\
+     hw:            %s@]"
     r.n_vertices r.n_hyperedges r.primal_edges r.acyclic pp_outcome r.tw
     pp_outcome r.ghw
+    (if r.fhw_exact then "" else "<= ")
+    Rat.pp r.fhw
     (match r.hw with Some w -> string_of_int w | None -> "(timeout)")
-    r.fhw_upper

@@ -1,7 +1,7 @@
 (** One-call width analysis of a hypergraph.
 
     Runs the whole ladder — acyclicity, treewidth, generalized
-    hypertree width, hypertree width, fractional cover upper bound —
+    hypertree width, fractional hypertree width, hypertree width —
     each under a share of a common time budget, and reports every
     number with its certainty.  This is the "question and answer"
     entry point: which width notions make this instance tractable, and
@@ -14,10 +14,15 @@ type report = {
   acyclic : bool;  (** alpha-acyclic (GYO) — equivalent to ghw = 1 *)
   tw : Search_types.outcome;  (** treewidth via A*-tw *)
   ghw : Search_types.outcome;  (** generalized hypertree width via BB-ghw *)
+  fhw : Hd_lp.Rat.t;
+      (** fractional hypertree width via BB-fhw: the exact rational
+          value when [fhw_exact], otherwise the best witnessed upper
+          bound *)
+  fhw_exact : bool;
   hw : int option;  (** hypertree width via det-k-decomp, [None] on timeout *)
   fhw_upper : float;
-      (** fractional-cover width of a min-fill ordering: an fhw upper
-          bound *)
+      (** [Rat.to_float fhw] — kept for historical call sites; use
+          [fhw] for decisions *)
 }
 
 (** [analyze ?time_limit ?seed h] computes the report; [time_limit]

@@ -1,28 +1,36 @@
 module Bitset = Hd_graph.Bitset
 module Hypergraph = Hd_hypergraph.Hypergraph
+module Rat = Hd_lp.Rat
+module Obs = Hd_obs.Obs
 
-let cover problem =
-  let { Set_cover.universe; hypergraph } = problem in
+let c_oracle = Obs.Counter.make "lp.oracle_calls"
+
+let candidate_edges { Set_cover.universe; hypergraph } =
   Bitset.iter
     (fun v ->
       if Hypergraph.incident hypergraph v = [] then
         invalid_arg "Fractional.cover: vertex lies in no hyperedge")
     universe;
   let vertices = Bitset.elements universe in
-  if vertices = [] then (0.0, [])
+  let seen = Hashtbl.create 16 in
+  let candidates =
+    List.concat_map (fun v -> Hypergraph.incident hypergraph v) vertices
+    |> List.filter (fun e ->
+           if Hashtbl.mem seen e then false
+           else begin
+             Hashtbl.add seen e ();
+             true
+           end)
+    |> Array.of_list
+  in
+  (vertices, candidates)
+
+let cover problem =
+  Obs.Counter.incr c_oracle;
+  let { Set_cover.hypergraph; _ } = problem in
+  let vertices, candidates = candidate_edges problem in
+  if vertices = [] then (Rat.zero, [])
   else begin
-    (* candidate edges: those meeting the bag *)
-    let seen = Hashtbl.create 16 in
-    let candidates =
-      List.concat_map (fun v -> Hypergraph.incident hypergraph v) vertices
-      |> List.filter (fun e ->
-             if Hashtbl.mem seen e then false
-             else begin
-               Hashtbl.add seen e ();
-               true
-             end)
-      |> Array.of_list
-    in
     let n = Array.length candidates in
     let m = List.length vertices in
     let constraints =
@@ -32,26 +40,42 @@ let cover problem =
              Array.map
                (fun e ->
                  if Array.exists (( = ) v) (Hypergraph.edge hypergraph e) then
-                   1.0
-                 else 0.0)
+                   Rat.one
+                 else Rat.zero)
                candidates)
            vertices)
     in
     match
-      Simplex.minimize ~objective:(Array.make n 1.0) ~constraints
-        ~bounds:(Array.make m 1.0)
+      Hd_lp.Simplex.minimize
+        ~objective:(Array.make n Rat.one)
+        ~constraints
+        ~bounds:(Array.make m Rat.one)
     with
-    | Simplex.Optimal { value; solution } ->
+    | Hd_lp.Simplex.Optimal { value; solution } ->
         let weights =
-          Array.to_list
-            (Array.mapi (fun j e -> (e, solution.(j))) candidates)
-          |> List.filter (fun (_, w) -> w > 1e-9)
+          Array.to_list (Array.mapi (fun j e -> (e, solution.(j))) candidates)
+          |> List.filter (fun (_, w) -> Rat.sign w > 0)
         in
         (value, weights)
-    | Simplex.Infeasible | Simplex.Unbounded ->
+    | Hd_lp.Simplex.Infeasible | Hd_lp.Simplex.Unbounded ->
         (* cannot happen: weight 1 on every candidate is feasible and
            the objective is bounded below by 0 *)
         assert false
   end
 
 let cover_value problem = fst (cover problem)
+
+let verify { Set_cover.universe; hypergraph } weights =
+  List.for_all (fun (_, w) -> Rat.sign w >= 0) weights
+  && Bitset.for_all
+       (fun v ->
+         let received =
+           List.fold_left
+             (fun acc (e, w) ->
+               if Array.exists (( = ) v) (Hypergraph.edge hypergraph e) then
+                 Rat.add acc w
+               else acc)
+             Rat.zero weights
+         in
+         Rat.compare_int received 1 >= 0)
+       universe

@@ -1,4 +1,4 @@
-(** Fractional edge covers.
+(** Exact fractional edge covers.
 
     Relaxing the set cover integrality gives the fractional cover
     number rho*(bag): assign a weight in [0, 1] to every hyperedge so
@@ -6,14 +6,24 @@
     weight sum.  Replacing exact covers with rho* in the width of an
     ordering yields the fractional hypertree width, the third width
     measure of the hypertree decomposition literature, with
-    fhw <= ghw <= hw. *)
+    fhw <= ghw <= hw.
 
-(** [cover_value problem] is rho* of the bag, computed by the simplex
-    method on the covering LP.
+    All values are exact rationals computed by {!Hd_lp.Simplex}; no
+    float ever enters a decision path.  Counter: [lp.oracle_calls]. *)
+
+(** [cover_value problem] is rho* of the bag, the exact optimum of the
+    covering LP.
     @raise Invalid_argument when some bag vertex lies in no
     hyperedge. *)
-val cover_value : Set_cover.problem -> float
+val cover_value : Set_cover.problem -> Hd_lp.Rat.t
 
 (** [cover problem] also returns the per-hyperedge weights (paired
-    with hyperedge indices; only candidates touching the bag appear). *)
-val cover : Set_cover.problem -> float * (int * float) list
+    with hyperedge indices; only candidates with positive weight
+    appear). *)
+val cover : Set_cover.problem -> Hd_lp.Rat.t * (int * Hd_lp.Rat.t) list
+
+(** [verify problem weights] checks, in exact arithmetic, that
+    [weights] is a feasible fractional cover: every weight is
+    non-negative and every universe vertex receives total weight at
+    least 1.  Used by [hd_validate] to audit witnesses. *)
+val verify : Set_cover.problem -> (int * Hd_lp.Rat.t) list -> bool

@@ -430,6 +430,30 @@ let test_setcover_memo_hits () =
   check "reset_memo forces recomputation" true
     (counter "setcover.memo_misses" > misses_after_first)
 
+let test_memo_no_integral_frac_collision () =
+  (* regression: integral and fractional cover costs must live in
+     separate memo tables.  On the triangle the bag {0,1,2} costs 2
+     integral edges but only 3/2 fractionally — a shared table keyed
+     on the bag alone would let whichever mode ran first poison the
+     other.  Interleave the two modes on one workspace and re-check. *)
+  with_obs @@ fun () ->
+  let h = Hypergraph.create ~n:3 [ [ 0; 1 ]; [ 1; 2 ]; [ 0; 2 ] ] in
+  let ws = Eval.of_hypergraph h in
+  let sigma = Ordering.identity 3 in
+  let half3 = Hd_lp.Rat.make 3 2 in
+  check_int "ghw first" 2 (Eval.ghw_width_exact ws sigma);
+  check "fhw after ghw" true
+    (Hd_lp.Rat.equal half3 (Eval.fhw_width_q ws sigma));
+  check_int "ghw after fhw (memoised)" 2 (Eval.ghw_width_exact ws sigma);
+  check "fhw again (memoised)" true
+    (Hd_lp.Rat.equal half3 (Eval.fhw_width_q ws sigma));
+  let misses = counter "lp.memo_misses" in
+  check "fractional memo populated" true (misses > 0);
+  ignore (Eval.fhw_width_q ws sigma);
+  check "repeat fhw hits the fractional memo" true
+    (counter "lp.memo_hits" > 0);
+  check_int "repeat fhw adds no misses" misses (counter "lp.memo_misses")
+
 let () =
   Alcotest.run "core"
     [
@@ -468,7 +492,11 @@ let () =
               prop_incremental_min_degree_identical;
             ] );
       ( "fractional",
-        [ Alcotest.test_case "K6 fhw" `Quick test_fhw_clique ] );
+        [
+          Alcotest.test_case "K6 fhw" `Quick test_fhw_clique;
+          Alcotest.test_case "integral/fractional memo separation" `Quick
+            test_memo_no_integral_frac_collision;
+        ] );
       ( "simplify",
         [
           Alcotest.test_case "path" `Quick test_simplify_path;

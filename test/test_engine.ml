@@ -268,7 +268,9 @@ let test_all_solvers_sound_under_tiny_budget () =
   List.iter
     (fun (s : S.t) ->
       let problem =
-        match s.S.kind with S.Tw -> S.Graph g | S.Ghw | S.Hw -> S.Hypergraph h
+        match s.S.kind with
+        | S.Tw -> S.Graph g
+        | S.Ghw | S.Fhw | S.Hw -> S.Hypergraph h
       in
       let r, secs =
         Hd_engine.Clock.time @@ fun () ->

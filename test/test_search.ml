@@ -282,6 +282,152 @@ let test_descendant_condition_detects () =
   check "ghds remain valid" true !ok
 
 
+(* --- BB-fhw: exact fractional hypertree width --- *)
+
+module Bb_fhw = Hd_search.Bb_fhw
+module Rat = Hd_lp.Rat
+
+let exact_q_of (r : Bb_fhw.result_q) =
+  match r.Bb_fhw.outcome_q with
+  | Bb_fhw.Exact_q q -> q
+  | Bb_fhw.Bounds_q { lb; ub } ->
+      Alcotest.failf "expected exact fhw, got [%s,%s]" (Rat.to_string lb)
+        (Rat.to_string ub)
+
+(* exhaustive fhw: min over all orderings of the max bag rho* (tiny n);
+   one shared workspace so the LP memo amortises across orderings *)
+let brute_force_fhw h =
+  let n = Hypergraph.n_vertices h in
+  let ws = Eval.of_hypergraph h in
+  let best = ref None in
+  let sigma = Array.init n Fun.id in
+  let rec permute k =
+    if k = n then begin
+      let w = Eval.fhw_width_q ws sigma in
+      match !best with
+      | Some b when Rat.compare b w <= 0 -> ()
+      | _ -> best := Some w
+    end
+    else
+      for i = k to n - 1 do
+        let t = sigma.(k) in
+        sigma.(k) <- sigma.(i);
+        sigma.(i) <- t;
+        permute (k + 1);
+        let t = sigma.(k) in
+        sigma.(k) <- sigma.(i);
+        sigma.(i) <- t
+      done
+  in
+  permute 0;
+  Option.get !best
+
+let test_fhw_triangle () =
+  (* the separating instance: fhw = 3/2 strictly below ghw = hw = 2 *)
+  let h = Hypergraph.create ~n:3 [ [ 0; 1 ]; [ 1; 2 ]; [ 0; 2 ] ] in
+  let r = Bb_fhw.solve ~seed:1 h in
+  check "triangle fhw = 3/2" true (Rat.equal (Rat.make 3 2) (exact_q_of r));
+  check_int "triangle ghw = 2" 2 (exact_of (Bb_ghw.solve h));
+  (* the registry view reports the ceiling *)
+  Hd_search.Solvers.ensure ();
+  let via_registry =
+    Hd_engine.Engine.run_by_name ~seed:1 "fhw-bb"
+      (Hd_engine.Budget.create ())
+      (Hd_engine.Solver.Hypergraph h)
+  in
+  check_int "registry reports ceil(3/2) = 2" 2
+    (match via_registry.Hd_engine.Solver.outcome with
+    | Hd_engine.Solver.Exact w -> w
+    | Hd_engine.Solver.Bounds _ -> -1);
+  (* the exact rational is recoverable from the witness ordering *)
+  match r.Bb_fhw.ordering with
+  | None -> Alcotest.fail "expected a witness ordering"
+  | Some sigma ->
+      let ws = Eval.of_hypergraph h in
+      check "witness realises 3/2" true
+        (Rat.equal (Rat.make 3 2) (Eval.fhw_width_q ws sigma))
+
+let prop_fhw_bb_matches_brute =
+  QCheck.Test.make ~count:20 ~name:"BB-fhw = brute force (n<=5)"
+    QCheck.(make QCheck.Gen.(pair (2 -- 5) int))
+    (fun (n, seed) ->
+      let h = random_hypergraph seed ~n in
+      Rat.equal (exact_q_of (Bb_fhw.solve ~seed:1 h)) (brute_force_fhw h))
+
+let prop_width_hierarchy =
+  (* fhw <= ghw <= hw <= 3*ghw + 1 (the last from Adler, Gottlob &
+     Grohe via the paper's Section 9 discussion) *)
+  QCheck.Test.make ~count:20 ~name:"fhw <= ghw <= hw <= 3*ghw + 1"
+    QCheck.(make QCheck.Gen.(pair (2 -- 6) int))
+    (fun (n, seed) ->
+      let h = random_hypergraph seed ~n in
+      let fhw = exact_q_of (Bb_fhw.solve ~seed:1 h) in
+      let ghw = exact_of (Bb_ghw.solve h) in
+      let hw, hd = Dkd.hypertree_width h in
+      Rat.compare_int fhw ghw <= 0
+      && ghw <= hw
+      && hw <= (3 * ghw) + 1
+      && Dkd.valid h hd)
+
+(* --- .ghd witnesses: round-trip and corruption rejection --- *)
+
+let test_ghd_io_roundtrip () =
+  let h = Hypergraph.create ~n:6 [ [ 0; 1; 2 ]; [ 0; 4; 5 ]; [ 2; 3; 4 ] ] in
+  let w, hd = Dkd.hypertree_width h in
+  let text =
+    Hd_core.Ghd_io.to_string ~n_vertices:6
+      ~n_edges:(Hypergraph.n_edges h) hd
+  in
+  let hd2 = Hd_core.Ghd_io.parse_string text in
+  check "roundtrip ghd valid" true (Ghd.valid h hd2);
+  check "roundtrip special condition" true (Dkd.special_condition_holds h hd2);
+  check_int "roundtrip width" w (Ghd.width hd2)
+
+let test_ghd_corrupted_witness_rejected () =
+  (* in-memory corruption: replace a bag's lambda with an edge that
+     does not cover it — condition 3 must fail *)
+  let h = Hypergraph.create ~n:6 [ [ 0; 1; 2 ]; [ 0; 4; 5 ]; [ 2; 3; 4 ] ] in
+  let _, hd = Dkd.hypertree_width h in
+  let bad_lambda = Array.copy hd.Ghd.lambda in
+  (* find a node whose bag edge 1 ({0,4,5}) cannot cover *)
+  let victim =
+    let td = hd.Ghd.td in
+    let rec find i =
+      if i >= Hd_core.Tree_decomposition.n_nodes td then
+        Alcotest.fail "no corruptible node"
+      else
+        let bag = Hd_core.Tree_decomposition.bag td i in
+        if
+          Hd_graph.Bitset.exists
+            (fun v -> not (List.mem v [ 0; 4; 5 ]))
+            bag
+        then i
+        else find (i + 1)
+    in
+    find 0
+  in
+  bad_lambda.(victim) <- [| 1 |];
+  let corrupted = Ghd.make ~td:hd.Ghd.td ~lambda:bad_lambda in
+  check "corrupted lambda rejected" false (Ghd.valid h corrupted);
+  (* a GHD that satisfies conditions 1-3 but violates the descendant
+     condition: path hypergraph {0,1},{1,2}; the root's lambda reaches
+     vertex 2, which lives in the subtree but not in the root's bag *)
+  let p = Hypergraph.create ~n:3 [ [ 0; 1 ]; [ 1; 2 ] ] in
+  let td =
+    Hd_core.Tree_decomposition.make
+      ~bags:
+        [|
+          Hd_graph.Bitset.of_list 3 [ 0; 1 ];
+          Hd_graph.Bitset.of_list 3 [ 1; 2 ];
+        |]
+      ~parent:[| -1; 0 |]
+  in
+  let sneaky = Ghd.make ~td ~lambda:[| [| 0; 1 |]; [| 1 |] |] in
+  check "sneaky ghd passes conditions 1-3" true (Ghd.valid p sneaky);
+  check "sneaky ghd fails the special condition" false
+    (Dkd.special_condition_holds p sneaky);
+  check "Dkd.valid rejects it" false (Dkd.valid p sneaky)
+
 (* --- preprocessing --- *)
 
 module Prep = Hd_search.Preprocess
@@ -530,6 +676,16 @@ let () =
         ] );
       ( "widths",
         [ Alcotest.test_case "analyze" `Quick test_widths_analyze ] );
+      ( "bb-fhw",
+        [ Alcotest.test_case "triangle 3/2" `Quick test_fhw_triangle ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_fhw_bb_matches_brute; prop_width_hierarchy ] );
+      ( "ghd io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_ghd_io_roundtrip;
+          Alcotest.test_case "corrupted witnesses rejected" `Quick
+            test_ghd_corrupted_witness_rejected;
+        ] );
       ( "obs",
         [
           Alcotest.test_case "deterministic counters" `Quick

@@ -168,18 +168,22 @@ let test_simplex_redundant_rows () =
   in
   Alcotest.(check (float 1e-6)) "redundant" 2.0 (optimal_value outcome)
 
-(* --- fractional covers --- *)
+(* --- fractional covers (exact rational) --- *)
+
+module Rat = Hd_lp.Rat
+
+let rat = Alcotest.testable Rat.pp Rat.equal
 
 let test_fractional_triangle_gap () =
-  (* the triangle: integral cover 2, fractional 1.5 *)
+  (* the triangle: integral cover 2, fractional exactly 3/2 *)
   let p =
     problem ~n:3 ~edges:[ [ 0; 1 ]; [ 1; 2 ]; [ 0; 2 ] ] ~universe:[ 0; 1; 2 ]
   in
-  Alcotest.(check (float 1e-6)) "rho*" 1.5 (Fractional.cover_value p);
+  Alcotest.check rat "rho*" (Rat.make 3 2) (Fractional.cover_value p);
   check_int "integral" 2 (List.length (Set_cover.exact p))
 
 let test_fractional_clique () =
-  (* K6 as binary edges: rho* of all six vertices = 3 *)
+  (* K6 as binary edges: rho* of all six vertices = exactly 3 *)
   let edges = ref [] in
   for u = 0 to 5 do
     for v = u + 1 to 5 do
@@ -187,13 +191,26 @@ let test_fractional_clique () =
     done
   done;
   let p = problem ~n:6 ~edges:!edges ~universe:[ 0; 1; 2; 3; 4; 5 ] in
-  Alcotest.(check (float 1e-6)) "K6 rho*" 3.0 (Fractional.cover_value p)
+  Alcotest.check rat "K6 rho*" (Rat.of_int 3) (Fractional.cover_value p)
 
 let test_fractional_single_edge () =
   let p = problem ~n:4 ~edges:[ [ 0; 1; 2; 3 ] ] ~universe:[ 0; 1; 2; 3 ] in
-  Alcotest.(check (float 1e-6)) "one edge" 1.0 (Fractional.cover_value p);
+  Alcotest.check rat "one edge" Rat.one (Fractional.cover_value p);
   let p0 = problem ~n:4 ~edges:[ [ 0 ] ] ~universe:[] in
-  Alcotest.(check (float 1e-6)) "empty bag" 0.0 (Fractional.cover_value p0)
+  Alcotest.check rat "empty bag" Rat.zero (Fractional.cover_value p0)
+
+let test_fractional_verify_rejects () =
+  (* verify must reject short weight and negative weight vectors *)
+  let p =
+    problem ~n:3 ~edges:[ [ 0; 1 ]; [ 1; 2 ]; [ 0; 2 ] ] ~universe:[ 0; 1; 2 ]
+  in
+  let _, weights = Fractional.cover p in
+  Alcotest.(check bool) "optimal cover verifies" true (Fractional.verify p weights);
+  let short = [ (0, Rat.make 1 2); (1, Rat.make 1 2); (2, Rat.make 1 4) ] in
+  Alcotest.(check bool) "deficient cover rejected" false (Fractional.verify p short);
+  let negative = [ (0, Rat.of_int 2); (1, Rat.of_int 2); (2, Rat.make (-1) 2) ] in
+  Alcotest.(check bool) "negative weight rejected" false
+    (Fractional.verify p negative)
 
 let prop_fractional_bounds =
   QCheck.Test.make ~count:120
@@ -213,24 +230,14 @@ let prop_fractional_bounds =
       in
       let p = { Set_cover.universe = Bitset.of_list n universe; hypergraph = h } in
       let rho, weights = Fractional.cover p in
-      let integral = float_of_int (List.length (Set_cover.exact p)) in
-      let k = float_of_int (Hypergraph.max_edge_size h) in
-      let lower = float_of_int (List.length universe) /. k in
-      (* feasibility: every universe vertex receives total weight 1 *)
-      let feasible =
-        List.for_all
-          (fun v ->
-            let total =
-              List.fold_left
-                (fun acc (e, w) ->
-                  if Array.exists (( = ) v) (Hypergraph.edge h e) then acc +. w
-                  else acc)
-                0.0 weights
-            in
-            total >= 1.0 -. 1e-6)
-          universe
+      let integral = Rat.of_int (List.length (Set_cover.exact p)) in
+      let lower =
+        Rat.make (List.length universe) (max 1 (Hypergraph.max_edge_size h))
       in
-      rho <= integral +. 1e-6 && rho >= lower -. 1e-6 && feasible)
+      (* all comparisons exact: no epsilons anywhere *)
+      Rat.compare rho integral <= 0
+      && Rat.compare rho lower >= 0
+      && Fractional.verify p weights)
 
 let () =
   Alcotest.run "setcover"
@@ -256,6 +263,7 @@ let () =
           Alcotest.test_case "triangle gap" `Quick test_fractional_triangle_gap;
           Alcotest.test_case "clique" `Quick test_fractional_clique;
           Alcotest.test_case "single edge" `Quick test_fractional_single_edge;
+          Alcotest.test_case "verify rejects" `Quick test_fractional_verify_rejects;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
