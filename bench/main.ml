@@ -928,12 +928,157 @@ let query scale =
           ])
       queries
   in
+  (* the per-query sweep above materialized bags through both code
+     paths, so the cardinality histograms must have observations --
+     their absence from BENCH_report.json was a recording bug once *)
+  let assert_histogram name =
+    let h = Obs.Histogram.make name in
+    if Obs.Histogram.count h = 0 then
+      failwith (Printf.sprintf "histogram %s is empty in the query experiment"
+                  name)
+  in
+  assert_histogram "query.relation_size";
+  assert_histogram "query.bag_size";
+  (* batch workload: N conjunctive queries over the one instance,
+     row-at-a-time baseline (independent plans, per-tuple Hashtbl
+     probes) vs the columnar engine (selection vectors, radix
+     partitioning) sharing one decomposition per isomorphism class of
+     cyclic query structure -- the hd_query --batch / server "bulk"
+     execution strategy.  The acceptance gate: columnar must at least
+     halve the wall time or the counter-attributed per-tuple probes. *)
+  let module Sig = Hd_server.Signature in
+  let batch_texts =
+    (* renamed isomorphic copies, so plan sharing has real work to do *)
+    List.concat
+      [
+        List.init 6 (fun i ->
+            Printf.sprintf "t%d(A,B,C) :- e(A,B), e(B,C), e(C,A)." i);
+        List.init 6 (fun i ->
+            Printf.sprintf "c%d(W,X,Y,Z) :- e(W,X), e(X,Y), e(Y,Z), e(Z,W)."
+              i);
+        List.init 4 (fun i -> Printf.sprintf "h%d(X,Z) :- e(X,Y), e(Y,Z)." i);
+        List.init 4 (fun i -> Printf.sprintf "v%d(X,Z) :- e(X,Y), e(Z,Y)." i);
+      ]
+  in
+  let batch =
+    List.mapi (fun i t -> Cq.parse_string ~source:(Printf.sprintf "b%d" i) t)
+      batch_texts
+  in
+  let nq = List.length batch in
+  let counter name = Obs.Counter.value (Obs.Counter.make name) in
+  let deltas names f =
+    let before = List.map counter names in
+    let result, secs = time f in
+    let after = List.map counter names in
+    (result, secs, List.map2 (fun n (b, a) -> (n, a - b)) names
+                     (List.combine before after))
+  in
+  let row_names =
+    [
+      "query.hash_probes"; "query.join_tuples"; "query.reduce_semijoins";
+      "query.bag_tuples";
+    ]
+  in
+  let col_names =
+    [
+      "query.radix_probes"; "query.radix_join_tuples";
+      "query.reduce_semijoins"; "query.selvec_semijoins";
+      "query.selvec_kept_rows"; "query.radix_bucket_skips";
+      "query.bag_tuples";
+    ]
+  in
+  (* row baseline: the status quo ante -- every query plans and
+     evaluates independently, row-at-a-time *)
+  let row_counts, row_secs, row_deltas =
+    deltas row_names (fun () ->
+        List.map (fun q -> (Y.run ~engine:Y.Rows ~mode:Y.Count db q).Y.count)
+          batch)
+  in
+  (* columnar: orderings shared per canonical signature, exactly as
+     hd_query --batch and the server bulk op do *)
+  let orderings : (string, int array) Hashtbl.t = Hashtbl.create 16 in
+  let decompositions = ref 0 and shared = ref 0 in
+  let col_counts, col_secs, col_deltas =
+    deltas col_names (fun () ->
+        List.map
+          (fun q ->
+            let ordering =
+              match Cq.hypergraph q with
+              | exception Invalid_argument _ -> None
+              | h ->
+                  if Hd_hypergraph.Acyclicity.is_acyclic h then None
+                  else
+                    let s = Sig.of_hypergraph h in
+                    (match Hashtbl.find_opt orderings (Sig.key s) with
+                    | Some canon ->
+                        incr shared;
+                        Some (Sig.of_canonical s canon)
+                    | None ->
+                        let sigma =
+                          Y.ordering_for ~method_:Y.Auto ~jobs:1 ~seed:42
+                            ~time_limit:scale.time_limit h
+                        in
+                        incr decompositions;
+                        Hashtbl.replace orderings (Sig.key s)
+                          (Sig.to_canonical s sigma);
+                        Some sigma)
+            in
+            (Y.run ~engine:Y.Columnar ?ordering ~mode:Y.Count db q).Y.count)
+          batch)
+  in
+  if row_counts <> col_counts then
+    failwith "batch workload: row and columnar answer counts differ";
+  let probes_row = List.assoc "query.hash_probes" row_deltas in
+  let probes_col = List.assoc "query.radix_probes" col_deltas in
+  let wall_speedup = row_secs /. (max 1e-9 col_secs) in
+  let probe_ratio =
+    float_of_int probes_row /. float_of_int (max 1 probes_col)
+  in
+  Printf.printf
+    "\nbatch: %d queries (%d decompositions computed, %d shared)\n" nq
+    !decompositions !shared;
+  Printf.printf "%-10s | %9s %12s %12s\n" "engine" "seconds" "probes"
+    "join tuples";
+  Printf.printf "%-10s | %8.3fs %12d %12d\n" "rows" row_secs probes_row
+    (List.assoc "query.join_tuples" row_deltas);
+  Printf.printf "%-10s | %8.3fs %12d %12d\n" "columnar" col_secs probes_col
+    (List.assoc "query.radix_join_tuples" col_deltas);
+  Printf.printf "wall speedup %.2fx, probe ratio %.2fx\n" wall_speedup
+    probe_ratio;
+  let gate_pass = probe_ratio >= 2.0 || wall_speedup >= 2.0 in
+  if not gate_pass then begin
+    Printf.printf
+      "FAIL: columnar engine is not >=2x better than rows on wall time or \
+       probes\n";
+    exit_code := 1
+  end;
+  let json_counts ds = List.map (fun (n, v) -> (n, Obs.Json.Int v)) ds in
   set_query_section
     (Obs.Json.Obj
        [
          ("vertices", Obs.Json.Int n);
          ("edge_tuples", Obs.Json.Int m);
          ("instances", Obs.Json.List entries);
+         ( "batch",
+           Obs.Json.Obj
+             [
+               ("queries", Obs.Json.Int nq);
+               ("answers", Obs.Json.Int (List.fold_left ( + ) 0 col_counts));
+               ("decompositions", Obs.Json.Int !decompositions);
+               ("shared_plans", Obs.Json.Int !shared);
+               ( "rows",
+                 Obs.Json.Obj
+                   (("seconds", Obs.Json.Float row_secs)
+                   :: json_counts row_deltas) );
+               ( "columnar",
+                 Obs.Json.Obj
+                   (("seconds", Obs.Json.Float col_secs)
+                   :: json_counts col_deltas) );
+               ("wall_speedup", Obs.Json.Float wall_speedup);
+               ("probe_ratio", Obs.Json.Float probe_ratio);
+               ( "gate",
+                 Obs.Json.String (if gate_pass then "pass" else "fail") );
+             ] );
        ])
 
 (* monolithic vs decompose-by-blocks solving through the engine: the

@@ -5,19 +5,17 @@
 module Cq = Hd_query.Cq
 module Db = Hd_query.Db
 module Y = Hd_query.Yannakakis
+module Sig = Hd_server.Signature
 
 let load_query ~query_file ~query_string =
   match (query_file, query_string) with
   | Some path, None -> Cq.parse_file path
   | None, Some text -> Cq.parse_string text
   | _ ->
-      prerr_endline "hd_query: give exactly one of QUERY or --expr";
+      prerr_endline "hd_query: give exactly one of QUERY, --expr or --batch";
       exit 2
 
-let run query_file query_string data mode method_ jobs seed time_limit limit
-    brute stats =
-  if stats <> None then Hd_obs.Obs.enable ();
-  let q = load_query ~query_file ~query_string in
+let load_db data =
   let db = Db.create () in
   List.iter
     (fun path ->
@@ -28,6 +26,109 @@ let run query_file query_string data mode method_ jobs seed time_limit limit
     prerr_endline "hd_query: no relations loaded (give --data DIR or files)";
     exit 2
   end;
+  db
+
+(* batch evaluation: parse every rule of the file, share one
+   decomposition per isomorphism class of cyclic query structure
+   (canonical signatures, orderings replayed through the canonical
+   relabelling), report per-query and amortised timings *)
+let run_batch batch_file data mode method_ engine jobs seed time_limit limit =
+  let qs = Cq.parse_multi_file batch_file in
+  if qs = [] then begin
+    prerr_endline "hd_query: --batch file contains no rules";
+    exit 2
+  end;
+  let db = load_db data in
+  (* canonical signature key -> ordering in canonical vertex ids *)
+  let orderings : (string, int array) Hashtbl.t = Hashtbl.create 16 in
+  let decompositions = ref 0 and reused = ref 0 in
+  let decomp_secs = ref 0.0 in
+  let total, total_secs =
+    Hd_engine.Clock.time @@ fun () ->
+    List.fold_left
+      (fun (i, acc) q ->
+        let ordering =
+          match Cq.hypergraph q with
+          | exception Invalid_argument _ -> None
+          | h ->
+              if
+                method_ = Y.Auto
+                && Hd_hypergraph.Acyclicity.is_acyclic h
+              then None
+              else begin
+                let s = Sig.of_hypergraph h in
+                match Hashtbl.find_opt orderings (Sig.key s) with
+                | Some canon ->
+                    incr reused;
+                    Some (Sig.of_canonical s canon)
+                | None ->
+                    let sigma, secs =
+                      Hd_engine.Clock.time @@ fun () ->
+                      Y.ordering_for ~method_ ~jobs ~seed ~time_limit h
+                    in
+                    incr decompositions;
+                    decomp_secs := !decomp_secs +. secs;
+                    Hashtbl.replace orderings (Sig.key s)
+                      (Sig.to_canonical s sigma);
+                    Some sigma
+              end
+        in
+        let r, elapsed =
+          Hd_engine.Clock.time @@ fun () ->
+          Y.run ~engine ~method_ ~jobs ~seed ~time_limit ?ordering ~mode db q
+        in
+        let s = r.Y.stats in
+        Printf.printf "[%d] %s  (%s, width %d, %.3fs%s)\n" i
+          (match mode with
+          | Y.Answers -> Printf.sprintf "%d answers" r.Y.count
+          | Y.Count -> Printf.sprintf "count %d" r.Y.count
+          | Y.Boolean -> Printf.sprintf "boolean %b" r.Y.nonempty)
+          (if s.Y.acyclic then "acyclic" else "GHD")
+          s.Y.width elapsed
+          (match ordering with Some _ -> ", shared plan" | None -> "");
+        (if mode = Y.Answers then
+           let sorted = List.sort compare r.Y.answers in
+           let shown =
+             match limit with
+             | Some k -> List.filteri (fun j _ -> j < k) sorted
+             | None -> sorted
+           in
+           List.iter
+             (fun row ->
+               print_endline ("    " ^ String.concat "," (Array.to_list row)))
+             shown);
+        (i + 1, acc + r.Y.count))
+      (0, 0) qs
+  in
+  let n, _ = total in
+  Printf.eprintf
+    "hd_query: batch of %d queries in %.3fs (%.1fms/query amortised); %d \
+     decompositions computed (%.3fs), %d shared\n"
+    n total_secs
+    (1000.0 *. total_secs /. float_of_int (max 1 n))
+    !decompositions !decomp_secs !reused
+
+let run query_file query_string batch data mode method_ engine jobs seed
+    time_limit limit brute stats =
+  if stats <> None then Hd_obs.Obs.enable ();
+  match batch with
+  | Some batch_file ->
+      if query_file <> None || query_string <> None || brute then begin
+        prerr_endline
+          "hd_query: --batch excludes QUERY, --expr and --brute-force";
+        exit 2
+      end;
+      run_batch batch_file data mode method_ engine jobs seed time_limit limit;
+      (match stats with
+      | Some path -> (
+          try Hd_obs.Obs.write_report path
+          with Sys_error msg ->
+            prerr_endline ("hd_query: --stats: " ^ msg);
+            exit 2)
+      | None -> ())
+  | None ->
+  let q = load_query ~query_file ~query_string in
+  let db = load_db data in
   let print_truncated answers =
     let sorted = List.sort compare answers in
     let shown =
@@ -55,7 +156,7 @@ let run query_file query_string data mode method_ jobs seed time_limit limit
   else begin
     let r, elapsed =
       Hd_engine.Clock.time @@ fun () ->
-      Y.run ~method_ ~jobs ~seed ~time_limit ~mode db q
+      Y.run ~engine ~method_ ~jobs ~seed ~time_limit ~mode db q
     in
     (match mode with
     | Y.Answers -> print_truncated r.Y.answers
@@ -98,6 +199,27 @@ let query_string =
     value
     & opt (some string) None
     & info [ "e"; "expr" ] ~docv:"RULE" ~doc:"Inline query text instead of a file.")
+
+let batch =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "batch" ] ~docv:"FILE"
+        ~doc:
+          "Batch evaluation: $(docv) holds many '.'-terminated rules. \
+           Queries with isomorphic cyclic structure share one \
+           decomposition (canonical-signature matching); per-query and \
+           amortised timings are reported.")
+
+let engine =
+  Arg.(
+    value
+    & opt (enum [ ("columnar", Y.Columnar); ("rows", Y.Rows) ]) Y.Columnar
+    & info [ "engine" ]
+        ~doc:
+          "Execution kernel: $(b,columnar) (vector-at-a-time, selection \
+           vectors, radix partitioning; the default) or $(b,rows) (the \
+           row-at-a-time reference).")
 
 let data =
   Arg.(
@@ -196,7 +318,7 @@ let cmd =
   Cmd.v
     (Cmd.info "hd_query" ~doc ~man)
     Term.(
-      const run $ query_file $ query_string $ data $ mode $ method_ $ jobs
-      $ seed $ time_limit $ limit $ brute $ stats)
+      const run $ query_file $ query_string $ batch $ data $ mode $ method_
+      $ engine $ jobs $ seed $ time_limit $ limit $ brute $ stats)
 
 let () = exit (Cmd.eval cmd)

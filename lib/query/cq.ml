@@ -74,14 +74,14 @@ let is_variable_name s =
 
 let term_of_ident s = if is_variable_name s then Var s else Const s
 
-let parse_string ?(source = "<query>") text =
+(* parse one rule off the token stream, returning the remainder *)
+let parse_rule ~source tokens =
   let fail line msg =
     failwith (Printf.sprintf "Cq: %s, line %d: %s" source line msg)
   in
   let last_line tokens =
     match List.rev tokens with (_, l) :: _ -> l | [] -> 1
   in
-  let tokens = tokenize ~fail text in
   (* atom := ident LPAREN [term {COMMA term}] RPAREN *)
   let parse_atom tokens =
     match tokens with
@@ -132,9 +132,6 @@ let parse_string ?(source = "<query>") text =
     | (_, line) :: _ -> fail line "expected ',' or '.' after an atom"
   in
   let body, rest = parse_body tokens [] in
-  (match rest with
-  | [] -> ()
-  | (_, line) :: _ -> fail line "trailing input after the final '.'");
   (* head safety: head terms must be variables occurring in the body *)
   let body_vars = Hashtbl.create 16 in
   List.iter
@@ -158,16 +155,40 @@ let parse_string ?(source = "<query>") text =
               (Printf.sprintf "head argument %S must be a variable" c))
       head_atom.args
   in
-  { head_pred = head_atom.pred; head; body }
+  ({ head_pred = head_atom.pred; head; body }, rest)
 
-let parse_file path =
-  let ic = open_in_bin path in
-  let text =
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
+let parse_multi_string ?(source = "<query>") text =
+  let fail line msg =
+    failwith (Printf.sprintf "Cq: %s, line %d: %s" source line msg)
   in
-  parse_string ~source:path text
+  let rec go tokens acc =
+    match tokens with
+    | [] -> List.rev acc
+    | _ ->
+        let q, rest = parse_rule ~source tokens in
+        go rest (q :: acc)
+  in
+  go (tokenize ~fail text) []
+
+let parse_string ?(source = "<query>") text =
+  let fail line msg =
+    failwith (Printf.sprintf "Cq: %s, line %d: %s" source line msg)
+  in
+  let q, rest = parse_rule ~source (tokenize ~fail text) in
+  (match rest with
+  | [] -> ()
+  | (_, line) :: _ -> fail line "trailing input after the final '.'");
+  q
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_multi_file path = parse_multi_string ~source:path (read_file path)
+
+let parse_file path = parse_string ~source:path (read_file path)
 
 let atom_vars a =
   let seen = Hashtbl.create 8 in

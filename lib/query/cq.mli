@@ -30,6 +30,17 @@ val parse_string : ?source:string -> string -> t
 (** [parse_file path] is {!parse_string} on the file's contents. *)
 val parse_file : string -> t
 
+(** [parse_multi_string ?source text] parses a sequence of rules — a
+    batch workload, one ['.']-terminated rule after another (comments
+    and whitespace between rules as usual).  Empty input is the empty
+    batch.
+    @raise Failure as {!parse_string}. *)
+val parse_multi_string : ?source:string -> string -> t list
+
+(** [parse_multi_file path] is {!parse_multi_string} on the file's
+    contents. *)
+val parse_multi_file : string -> t list
+
 (** [variables q] lists the distinct body variables in first-occurrence
     order — the vertex numbering used by {!hypergraph}. *)
 val variables : t -> string array

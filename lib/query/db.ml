@@ -1,9 +1,25 @@
+module Obs = Hd_obs.Obs
+
+(* batch workloads re-derive the same atom relations (same predicate,
+   same constant/repetition pattern, same variable numbering) for
+   every query of the batch; the per-atom cache makes those re-uses
+   O(1) *)
+let c_atom_cache_hits = Obs.Counter.make "query.atom_cache_hits"
+let c_atom_cache_misses = Obs.Counter.make "query.atom_cache_misses"
+
 type t = {
   intern : Intern.t;
   rels : (string, Qrelation.t) Hashtbl.t;
+  (* atom signature -> filtered/projected relation; flushed on add *)
+  atom_cache : (string, Qrelation.t) Hashtbl.t;
 }
 
-let create () = { intern = Intern.create (); rels = Hashtbl.create 16 }
+let create () =
+  {
+    intern = Intern.create ();
+    rels = Hashtbl.create 16;
+    atom_cache = Hashtbl.create 32;
+  }
 
 let interner db = db.intern
 
@@ -15,6 +31,7 @@ let relation_names db =
 let base_scope k = Array.init k Fun.id
 
 let add db ~name rows =
+  Hashtbl.reset db.atom_cache;
   let interned =
     List.map (fun row -> Array.map (Intern.intern db.intern) row) rows
   in
@@ -96,7 +113,29 @@ let load_dir db dir =
       then load_file db (Filename.concat dir entry))
     entries
 
-let relation_for_atom db ~var_id (atom : Cq.atom) =
+(* the derived relation is a function of the predicate and the
+   argument shape alone: constants by interned id, variables by their
+   assigned scope id (repetitions included) *)
+let atom_cache_key db ~var_id (atom : Cq.atom) =
+  let buf = Buffer.create 32 in
+  Buffer.add_string buf atom.Cq.pred;
+  Array.iter
+    (fun term ->
+      Buffer.add_char buf '|';
+      match term with
+      | Cq.Const c ->
+          Buffer.add_char buf 'c';
+          Buffer.add_string buf
+            (match Intern.find db.intern c with
+            | Some v -> string_of_int v
+            | None -> "?")
+      | Cq.Var v ->
+          Buffer.add_char buf 'v';
+          Buffer.add_string buf (string_of_int (var_id v)))
+    atom.Cq.args;
+  Buffer.contents buf
+
+let relation_for_atom_uncached db ~var_id (atom : Cq.atom) =
   let base =
     match find db atom.Cq.pred with
     | Some r -> r
@@ -148,5 +187,17 @@ let relation_for_atom db ~var_id (atom : Cq.atom) =
       out := Array.map (fun j -> Qrelation.get base i j) var_cols :: !out
   done;
   Qrelation.make ~scope !out
+
+let relation_for_atom db ~var_id atom =
+  let key = atom_cache_key db ~var_id atom in
+  match Hashtbl.find_opt db.atom_cache key with
+  | Some r ->
+      Obs.Counter.incr c_atom_cache_hits;
+      r
+  | None ->
+      Obs.Counter.incr c_atom_cache_misses;
+      let r = relation_for_atom_uncached db ~var_id atom in
+      Hashtbl.replace db.atom_cache key r;
+      r
 
 let decode db row = Array.map (Intern.name db.intern) row

@@ -8,6 +8,11 @@ let c_join_tuples = Obs.Counter.make "query.join_tuples"
 let c_semijoins = Obs.Counter.make "query.semijoins"
 let c_semijoin_kept = Obs.Counter.make "query.semijoin_kept_tuples"
 let c_index_builds = Obs.Counter.make "query.index_builds"
+
+(* per-tuple Hashtbl probes on the row-at-a-time path: each one hashes
+   a boxed int-array key; the columnar engine's equivalent work shows
+   up under query.radix_probes instead (see Colexec) *)
+let c_hash_probes = Obs.Counter.make "query.hash_probes"
 let h_relation_size = Obs.Histogram.make "query.relation_size"
 
 type t = {
@@ -31,6 +36,8 @@ let arity r = Array.length r.scope
 let cardinality r = r.n
 let is_empty r = r.n = 0
 let get r i j = r.cols.(j).(i)
+let col r j = r.cols.(j)
+let columns r = r.cols
 let row r i = Array.map (fun col -> col.(i)) r.cols
 
 let rows r =
@@ -46,6 +53,12 @@ let of_rows_unchecked ~scope rows ~n =
         cols.(j).(i) <- row.(j)
       done)
     rows;
+  Obs.Histogram.observe h_relation_size n;
+  { scope; cols; n; indexes = [] }
+
+(* columns assumed equal-length, rows distinct; scope not revalidated —
+   the columnar kernel's materialisation entry point *)
+let of_columns_unchecked ~scope cols ~n =
   Obs.Histogram.observe h_relation_size n;
   { scope; cols; n; indexes = [] }
 
@@ -98,6 +111,7 @@ let index_on r positions =
       table
 
 let matching r ~on key =
+  Obs.Counter.incr c_hash_probes;
   match Hashtbl.find_opt (index_on r on) key with
   | Some rows -> rows
   | None -> []
@@ -132,6 +146,7 @@ let join a b =
   let out = ref [] in
   let n = ref 0 in
   for i = 0 to a.n - 1 do
+    Obs.Counter.incr c_hash_probes;
     match Hashtbl.find_opt index (key_at a pa i) with
     | None -> ()
     | Some bs ->
@@ -173,6 +188,7 @@ let semijoin a b =
   let keep = ref [] in
   let n = ref 0 in
   for i = a.n - 1 downto 0 do
+    Obs.Counter.incr c_hash_probes;
     if Hashtbl.mem index (key_at a pa i) then begin
       keep := i :: !keep;
       incr n

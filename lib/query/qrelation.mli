@@ -21,6 +21,13 @@ type t
     attributes. *)
 val make : scope:int array -> int array list -> t
 
+(** [of_columns_unchecked ~scope cols ~n] wraps already-columnar data:
+    [cols.(j).(i)] is row [i], column [j], rows assumed distinct,
+    every column of length [n], [scope] assumed duplicate-free.  The
+    columnar kernel's ({!Colexec}) materialisation entry point — the
+    arrays are adopted, not copied, and must not be mutated after. *)
+val of_columns_unchecked : scope:int array -> int array array -> n:int -> t
+
 val scope : t -> int array
 val arity : t -> int
 val cardinality : t -> int
@@ -28,6 +35,13 @@ val is_empty : t -> bool
 
 (** [get r i j] is column [j] of row [i]. *)
 val get : t -> int -> int -> int
+
+(** [col r j] is column [j]'s backing array — flat access for the
+    columnar kernel.  Do not mutate. *)
+val col : t -> int -> int array
+
+(** [columns r] is the full column-major storage.  Do not mutate. *)
+val columns : t -> int array array
 
 (** [row r i] is row [i] as a fresh array. *)
 val row : t -> int -> int array

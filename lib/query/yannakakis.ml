@@ -15,11 +15,17 @@ let c_reduce_semijoins = Obs.Counter.make "query.reduce_semijoins"
 let c_enum_rows = Obs.Counter.make "query.enum_rows"
 let c_enum_dead_ends = Obs.Counter.make "query.enum_dead_ends"
 let c_answers = Obs.Counter.make "query.answers"
+
+(* row-engine probe attribution; shares the registry slot with
+   Qrelation's handle *)
+let c_hash_probes = Obs.Counter.make "query.hash_probes"
 let h_bag_size = Obs.Histogram.make "query.bag_size"
 
 type mode = Answers | Count | Boolean
 
 type method_ = Auto | Min_fill | Bb_ghw | Portfolio
+
+type engine = Columnar | Rows
 
 type stats = {
   acyclic : bool;
@@ -99,61 +105,75 @@ let ordering_for ~method_ ~jobs ~seed ~time_limit h =
       | Some sigma -> sigma
       | None -> min_fill ())
 
+let observe_bag r =
+  Obs.Counter.add c_bag_tuples (Qrelation.cardinality r);
+  Obs.Histogram.observe h_bag_size (Qrelation.cardinality r)
+
 (* materialise one relation per GHD node: join the lambda-label atom
    relations, project onto the bag.  Completion (Lemma 2) guarantees
    every atom is enforced unprojected at some node. *)
-let materialize_ghd ghd atom_rels =
+let materialize_ghd ~engine ghd atom_rels =
   Obs.with_span "query.materialize" @@ fun () ->
   let td = ghd.Ghd.td in
   let n_nodes = Td.n_nodes td in
   let rels =
     Array.init n_nodes (fun p ->
         let lambda = ghd.Ghd.lambda.(p) in
-        let joined =
-          match Array.to_list lambda with
-          | [] -> Qrelation.make ~scope:[||] [ [||] ]
-          | e :: rest ->
-              List.fold_left
-                (fun acc e' -> Qrelation.join acc atom_rels.(e'))
-                atom_rels.(e) rest
-        in
         let chi = Array.of_list (Bitset.elements (Td.bag td p)) in
-        let r = Qrelation.project joined chi in
-        Obs.Counter.add c_bag_tuples (Qrelation.cardinality r);
-        Obs.Histogram.observe h_bag_size (Qrelation.cardinality r);
+        let r =
+          match (engine, Array.to_list lambda) with
+          | _, [] -> Qrelation.make ~scope:[||] [ [||] ]
+          | Columnar, es ->
+              Colexec.join_project
+                (List.map (fun e -> atom_rels.(e)) es)
+                ~scope:chi
+          | Rows, e :: rest ->
+              let joined =
+                List.fold_left
+                  (fun acc e' -> Qrelation.join acc atom_rels.(e'))
+                  atom_rels.(e) rest
+              in
+              Qrelation.project joined chi
+        in
+        observe_bag r;
         r)
   in
   { rels; parent = td.Td.parent }
 
-let plan ~method_ ~jobs ~seed ~time_limit h atom_rels =
+let plan ~engine ~method_ ~jobs ~seed ~time_limit ~ordering h atom_rels =
   Obs.with_span "query.plan" @@ fun () ->
   let acyclic_tree () =
     match Acyclicity.join_tree h with
     | Some parent ->
-        Array.iter
-          (fun (r : Qrelation.t) ->
-            Obs.Counter.add c_bag_tuples (Qrelation.cardinality r);
-            Obs.Histogram.observe h_bag_size (Qrelation.cardinality r))
-          atom_rels;
+        Array.iter observe_bag atom_rels;
         Some ({ rels = Array.copy atom_rels; parent }, 1, true)
     | None -> None
   in
   let ghd_plan () =
-      let sigma =
-        Obs.with_span "query.decompose" @@ fun () ->
-        ordering_for ~method_ ~jobs ~seed ~time_limit h
-      in
-      let ghd = Ghd.of_ordering h sigma ~cover:`Exact in
-      let ghd = Ghd.complete h ghd in
-      (materialize_ghd ghd atom_rels, Ghd.width ghd, false)
+    let sigma =
+      (* a caller-supplied ordering (batch evaluation, server bulk
+         submit) skips the per-query decomposition search entirely *)
+      match ordering with
+      | Some sigma -> sigma
+      | None ->
+          Obs.with_span "query.decompose" @@ fun () ->
+          ordering_for ~method_ ~jobs ~seed ~time_limit h
+    in
+    let ghd = Ghd.of_ordering h sigma ~cover:`Exact in
+    let ghd = Ghd.complete h ghd in
+    (materialize_ghd ~engine ghd atom_rels, Ghd.width ghd, false)
   in
   match method_ with
   | Auto -> (
       match acyclic_tree () with Some t -> t | None -> ghd_plan ())
   | Min_fill | Bb_ghw | Portfolio -> ghd_plan ()
 
+let shared_vars sa sb =
+  Array.of_list
+    (List.filter (fun v -> Array.exists (( = ) v) sb) (Array.to_list sa))
+
 (* ------------------------------------------------------------------ *)
-(* Semijoin reduction                                                  *)
+(* Row engine: materialised semijoin reduction                         *)
 (* ------------------------------------------------------------------ *)
 
 (* bottom-up pass; raises Empty_result as soon as any relation empties *)
@@ -187,17 +207,10 @@ let reduce_top_down t ~semijoins =
     end
   done
 
-(* ------------------------------------------------------------------ *)
-(* Counting without materialisation                                    *)
-(* ------------------------------------------------------------------ *)
-
-let shared_vars sa sb =
-  Array.of_list
-    (List.filter (fun v -> Array.exists (( = ) v) sb) (Array.to_list sa))
-
 (* number of distinct full assignments admitted by the (reduced) tree:
    per-node weights accumulated children-first, one hash lookup per
-   parent tuple and child *)
+   parent tuple and child.  The scratch table and probe key are hoisted
+   and reused — the per-tuple path allocates only on insertion. *)
 let count_assignments t =
   let m = Array.length t.rels in
   let children = Array.make m [] in
@@ -205,6 +218,7 @@ let count_assignments t =
     (fun i p -> if p <> -1 then children.(p) <- i :: children.(p))
     t.parent;
   let weights = Array.make m [||] in
+  let sums : (int array, int) Hashtbl.t = Hashtbl.create 256 in
   Array.iter
     (fun i ->
       let r = t.rels.(i) in
@@ -215,17 +229,22 @@ let count_assignments t =
           let shared = shared_vars (Qrelation.scope r) (Qrelation.scope rc) in
           let pr = Qrelation.positions r shared in
           let pc = Qrelation.positions rc shared in
-          let sums = Hashtbl.create (max 16 (Qrelation.cardinality rc)) in
+          let k = Array.length shared in
+          Hashtbl.reset sums;
           Array.iteri
             (fun j wj ->
               let key = Array.map (fun p -> Qrelation.get rc j p) pc in
-              Hashtbl.replace sums key
-                (wj + Option.value (Hashtbl.find_opt sums key) ~default:0))
+              Obs.Counter.incr c_hash_probes;
+              let prev = try Hashtbl.find sums key with Not_found -> 0 in
+              Hashtbl.replace sums key (wj + prev))
             weights.(c);
+          let key = Array.make k 0 in
           for j = 0 to Qrelation.cardinality r - 1 do
-            let key = Array.map (fun p -> Qrelation.get r j p) pr in
-            w.(j) <-
-              w.(j) * Option.value (Hashtbl.find_opt sums key) ~default:0
+            for x = 0 to k - 1 do
+              key.(x) <- Qrelation.get r j pr.(x)
+            done;
+            Obs.Counter.incr c_hash_probes;
+            w.(j) <- w.(j) * (try Hashtbl.find sums key with Not_found -> 0)
           done)
         children.(i);
       weights.(i) <- w)
@@ -237,10 +256,6 @@ let count_assignments t =
         total := !total * Array.fold_left ( + ) 0 weights.(i))
     t.parent;
   !total
-
-(* ------------------------------------------------------------------ *)
-(* Backtrack-free enumeration                                          *)
-(* ------------------------------------------------------------------ *)
 
 (* visit every full assignment of the reduced tree in depth-first
    pre-order; on a fully reduced tree every row extends, so the work is
@@ -281,6 +296,7 @@ let enumerate t ~n_vars ~on_solution =
     else begin
       let r, shared, index, fresh = info.(k) in
       let key = Array.map (fun v -> env.(v)) shared in
+      Obs.Counter.incr c_hash_probes;
       match Hashtbl.find_opt index key with
       | None -> Obs.Counter.incr c_enum_dead_ends
       | Some row_ids ->
@@ -297,13 +313,160 @@ let enumerate t ~n_vars ~on_solution =
   go 0
 
 (* ------------------------------------------------------------------ *)
+(* Columnar engine: selection vectors over immutable bags              *)
+(* ------------------------------------------------------------------ *)
+
+(* the live selection per node; bags themselves are never rewritten *)
+type colstate = { tree : tree; sels : Colexec.sel array }
+
+let col_semijoin st ~probe:i ~build:c =
+  let r = st.tree.rels.(i) and rc = st.tree.rels.(c) in
+  let shared = shared_vars (Qrelation.scope r) (Qrelation.scope rc) in
+  st.sels.(i) <-
+    Colexec.semijoin
+      ~probe:(r, st.sels.(i), Qrelation.positions r shared)
+      ~build:(rc, st.sels.(c), Qrelation.positions rc shared)
+
+let col_reduce_bottom_up st ~semijoins =
+  let order = bottom_up_order st.tree.parent in
+  Array.iter
+    (fun sel -> if Array.length sel = 0 then raise Empty_result)
+    st.sels;
+  Array.iter
+    (fun i ->
+      let p = st.tree.parent.(i) in
+      if p <> -1 then begin
+        col_semijoin st ~probe:p ~build:i;
+        incr semijoins;
+        Obs.Counter.incr c_reduce_semijoins;
+        if Array.length st.sels.(p) = 0 then raise Empty_result
+      end)
+    order
+
+let col_reduce_top_down st ~semijoins =
+  let order = bottom_up_order st.tree.parent in
+  for k = Array.length order - 1 downto 0 do
+    let i = order.(k) in
+    let p = st.tree.parent.(i) in
+    if p <> -1 then begin
+      col_semijoin st ~probe:i ~build:p;
+      incr semijoins;
+      Obs.Counter.incr c_reduce_semijoins
+    end
+  done
+
+let col_surviving st = Array.fold_left (fun acc s -> acc + Array.length s) 0 st.sels
+
+(* weighted counting over selection slots: weights.(i).(s) counts the
+   full assignments below node i extending selection slot s *)
+let col_count_assignments st =
+  let t = st.tree in
+  let m = Array.length t.rels in
+  let children = Array.make m [] in
+  Array.iteri
+    (fun i p -> if p <> -1 then children.(p) <- i :: children.(p))
+    t.parent;
+  let weights = Array.make m [||] in
+  Array.iter
+    (fun i ->
+      let r = t.rels.(i) in
+      let sel = st.sels.(i) in
+      let w = Array.make (Array.length sel) 1 in
+      List.iter
+        (fun c ->
+          let rc = t.rels.(c) in
+          let shared = shared_vars (Qrelation.scope r) (Qrelation.scope rc) in
+          let pr = Qrelation.positions r shared in
+          let pc = Qrelation.positions rc shared in
+          let ks =
+            Colexec.Keysum.build rc ~pos:pc ~sel:st.sels.(c)
+              ~weights:weights.(c)
+          in
+          let k = Array.length shared in
+          let key = Array.make k 0 in
+          for s = 0 to Array.length sel - 1 do
+            let row = sel.(s) in
+            for x = 0 to k - 1 do
+              key.(x) <- Qrelation.get r row pr.(x)
+            done;
+            w.(s) <- w.(s) * Colexec.Keysum.find ks key
+          done)
+        children.(i);
+      weights.(i) <- w)
+    (bottom_up_order t.parent);
+  let total = ref 1 in
+  Array.iteri
+    (fun i p ->
+      if p = -1 then total := !total * Array.fold_left ( + ) 0 weights.(i))
+    t.parent;
+  !total
+
+(* backtrack-free enumeration over selection vectors: per node a
+   chained int-hash Index of the surviving rows on the parent-shared
+   columns, probed with a reused scratch key; fresh variables are read
+   straight out of the base columns (late materialisation) *)
+let col_enumerate st ~n_vars ~on_solution =
+  Obs.with_span "query.enumerate" @@ fun () ->
+  let t = st.tree in
+  let order =
+    let o = bottom_up_order t.parent in
+    Array.init (Array.length o) (fun k -> o.(Array.length o - 1 - k))
+  in
+  let m = Array.length order in
+  let info =
+    Array.map
+      (fun i ->
+        let r = t.rels.(i) in
+        let sc = Qrelation.scope r in
+        let parent_scope =
+          if t.parent.(i) = -1 then [||]
+          else Qrelation.scope t.rels.(t.parent.(i))
+        in
+        let shared = shared_vars sc parent_scope in
+        let index =
+          Colexec.Index.build r
+            ~pos:(Qrelation.positions r shared)
+            ~sel:st.sels.(i)
+        in
+        let fresh =
+          Array.of_list
+            (List.filter_map
+               (fun j ->
+                 let v = sc.(j) in
+                 if Array.exists (( = ) v) shared then None
+                 else Some (Qrelation.col r j, v))
+               (List.init (Array.length sc) Fun.id))
+        in
+        (shared, index, fresh, Array.make (Array.length shared) 0))
+      order
+  in
+  let env = Array.make (max 1 n_vars) (-1) in
+  let rec go k =
+    if k = m then on_solution env
+    else begin
+      let shared, index, fresh, key = info.(k) in
+      for x = 0 to Array.length shared - 1 do
+        key.(x) <- env.(shared.(x))
+      done;
+      let any = ref false in
+      Colexec.Index.iter index key (fun rid ->
+          any := true;
+          Obs.Counter.incr c_enum_rows;
+          Array.iter (fun (colv, v) -> env.(v) <- colv.(rid)) fresh;
+          go (k + 1));
+      if not !any then Obs.Counter.incr c_enum_dead_ends
+    end
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
 (* The engine                                                          *)
 (* ------------------------------------------------------------------ *)
 
 let empty_result mode stats = { mode; answers = []; count = 0; nonempty = false; stats }
 
-let run ?(method_ = Auto) ?(jobs = 1) ?(seed = 42) ?(time_limit = 10.0) ~mode
-    db q =
+let run ?(engine = Columnar) ?(method_ = Auto) ?(jobs = 1) ?(seed = 42)
+    ?(time_limit = 10.0) ?ordering ~mode db q =
   Obs.with_span "query.run" @@ fun () ->
   let vars = Cq.variables q in
   let n_vars = Array.length vars in
@@ -346,52 +509,52 @@ let run ?(method_ = Auto) ?(jobs = 1) ?(seed = 42) ?(time_limit = 10.0) ~mode
         (List.map (fun a -> Db.relation_for_atom db ~var_id a) proper)
     in
     let tree, width, acyclic =
-      plan ~method_ ~jobs ~seed ~time_limit h atom_rels
+      plan ~engine ~method_ ~jobs ~seed ~time_limit ~ordering h atom_rels
     in
     let bags = Array.length tree.rels in
     let tuples_materialized = total_tuples tree.rels in
     let semijoins = ref 0 in
-    let stats_now () =
+    let head_covers_all =
+      let covered = Array.make n_vars false in
+      Array.iter (fun v -> covered.(v) <- true) head_ids;
+      Array.for_all Fun.id covered
+    in
+    let stats_now tuples_after_reduction =
       {
         acyclic;
         width;
         bags;
         tuples_materialized;
-        tuples_after_reduction = total_tuples tree.rels;
+        tuples_after_reduction;
         semijoins = !semijoins;
       }
     in
-    try
-      Obs.with_span "query.reduce" (fun () ->
-          reduce_bottom_up tree ~semijoins;
-          if mode <> Boolean then reduce_top_down tree ~semijoins);
+    (* mode dispatch shared by both engines once reduction is done *)
+    let finish ~stats ~count_all ~enum =
       match mode with
       | Boolean ->
-          { mode; answers = []; count = 1; nonempty = true; stats = stats_now () }
-      | Count
-        when (let covered = Array.make n_vars false in
-              Array.iter (fun v -> covered.(v) <- true) head_ids;
-              Array.for_all Fun.id covered) ->
+          { mode; answers = []; count = 1; nonempty = true; stats = stats () }
+      | Count when head_covers_all ->
           (* the head covers every variable: distinct answers are in
              bijection with full assignments — count by weights, no
              materialisation *)
-          let count = count_assignments tree in
+          let count = count_all () in
           Obs.Counter.add c_answers count;
-          { mode; answers = []; count; nonempty = count > 0; stats = stats_now () }
+          { mode; answers = []; count; nonempty = count > 0; stats = stats () }
       | Count ->
           (* a genuine projection: enumerate and count distinct heads *)
           let seen = Hashtbl.create 256 in
-          enumerate tree ~n_vars ~on_solution:(fun env ->
+          enum (fun env ->
               let proj = Array.map (fun v -> env.(v)) head_ids in
               if not (Hashtbl.mem seen proj) then begin
                 Hashtbl.add seen proj ();
                 Obs.Counter.incr c_answers
               end);
           let count = Hashtbl.length seen in
-          { mode; answers = []; count; nonempty = count > 0; stats = stats_now () }
+          { mode; answers = []; count; nonempty = count > 0; stats = stats () }
       | Answers ->
           let seen = Hashtbl.create 256 in
-          enumerate tree ~n_vars ~on_solution:(fun env ->
+          enum (fun env ->
               let proj = Array.map (fun v -> env.(v)) head_ids in
               if not (Hashtbl.mem seen proj) then begin
                 Hashtbl.add seen proj ();
@@ -405,8 +568,31 @@ let run ?(method_ = Auto) ?(jobs = 1) ?(seed = 42) ?(time_limit = 10.0) ~mode
             answers;
             count = Hashtbl.length seen;
             nonempty = answers <> [];
-            stats = stats_now ();
+            stats = stats ();
           }
-    with Empty_result ->
-      empty_result mode (stats_now ())
+    in
+    match engine with
+    | Rows -> (
+        try
+          Obs.with_span "query.reduce" (fun () ->
+              reduce_bottom_up tree ~semijoins;
+              if mode <> Boolean then reduce_top_down tree ~semijoins);
+          finish
+            ~stats:(fun () -> stats_now (total_tuples tree.rels))
+            ~count_all:(fun () -> count_assignments tree)
+            ~enum:(fun f -> enumerate tree ~n_vars ~on_solution:f)
+        with Empty_result -> empty_result mode (stats_now (total_tuples tree.rels)))
+    | Columnar -> (
+        let st =
+          { tree; sels = Array.map Colexec.all_rows tree.rels }
+        in
+        try
+          Obs.with_span "query.reduce" (fun () ->
+              col_reduce_bottom_up st ~semijoins;
+              if mode <> Boolean then col_reduce_top_down st ~semijoins);
+          finish
+            ~stats:(fun () -> stats_now (col_surviving st))
+            ~count_all:(fun () -> col_count_assignments st)
+            ~enum:(fun f -> col_enumerate st ~n_vars ~on_solution:f)
+        with Empty_result -> empty_result mode (stats_now (col_surviving st)))
   end

@@ -34,6 +34,14 @@ type method_ =
   | Bb_ghw  (** always decompose, branch-and-bound ghw ordering *)
   | Portfolio  (** always decompose, parallel portfolio ordering *)
 
+type engine =
+  | Columnar
+      (** vector-at-a-time over selection vectors and radix-partitioned
+          int-hash probes ({!Colexec}); the default *)
+  | Rows
+      (** the retained row-at-a-time reference: materialised semijoins
+          over boxed-key [Hashtbl] indexes *)
+
 type stats = {
   acyclic : bool;  (** answered via the GYO join tree *)
   width : int;  (** 1 when acyclic, else the GHD width of the plan *)
@@ -54,18 +62,37 @@ type result = {
   stats : stats;
 }
 
-(** [run ~mode db q] answers [q] over [db].  [jobs] sizes the
-    [Portfolio] race; [seed] and [time_limit] parameterise the
-    decomposition search ([time_limit] bounds only that search, not
-    evaluation).
+(** [run ~mode db q] answers [q] over [db].  [engine] picks the
+    execution kernel (default [Columnar]; [Rows] is the reference the
+    test suite cross-checks against).  [jobs] sizes the [Portfolio]
+    race; [seed] and [time_limit] parameterise the decomposition search
+    ([time_limit] bounds only that search, not evaluation).  [ordering]
+    supplies an elimination ordering computed elsewhere — batch
+    evaluation and the server's bulk submit share one decomposition
+    across many isomorphic queries this way; it is ignored on the
+    acyclic [Auto] path, which needs no decomposition.
     @raise Failure on relations missing from [db] or arity
     mismatches. *)
 val run :
+  ?engine:engine ->
   ?method_:method_ ->
   ?jobs:int ->
   ?seed:int ->
   ?time_limit:float ->
+  ?ordering:int array ->
   mode:mode ->
   Db.t ->
   Cq.t ->
   result
+
+(** [ordering_for ~method_ ~jobs ~seed ~time_limit h] is the
+    elimination ordering [run] would search for on the GHD path —
+    exposed so batch drivers can compute it once per structure and
+    replay it via [?ordering]. *)
+val ordering_for :
+  method_:method_ ->
+  jobs:int ->
+  seed:int ->
+  time_limit:float ->
+  Hd_hypergraph.Hypergraph.t ->
+  int array

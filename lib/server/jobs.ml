@@ -331,6 +331,25 @@ let wait t id ~timeout =
   in
   go ()
 
+(* submit-and-wait for batch drivers (the bulk op): one call resolves
+   a decomposition for an instance, serving isomorphic repeats from
+   the cache.  Returns the terminal snapshot plus the witness ordering
+   already mapped into the submitting instance's vertex ids. *)
+let resolve_ordering t ~solver ~spec ?seed ?label ?(use_cache = true)
+    ~timeout ~signature problem =
+  let snap =
+    submit t ~solver ~spec ?seed ?label ~use_cache ~signature problem
+  in
+  let snap =
+    match snap.state with
+    | "done" | "cancelled" | "failed" -> snap
+    | _ -> ( match wait t snap.id ~timeout with Some s -> s | None -> snap)
+  in
+  let ordering =
+    match snap.result with Some r -> r.Solver.ordering | None -> None
+  in
+  (snap, ordering)
+
 let stats t =
   locked t (fun () ->
       let queued = ref 0 and running = ref 0 and done_ = ref 0 in

@@ -85,6 +85,26 @@ val wait : t -> int -> timeout:float -> snapshot option
     job is terminal or [timeout] seconds elapse, and returns the last
     snapshot seen. *)
 
+val resolve_ordering :
+  t ->
+  solver:Hd_engine.Solver.t ->
+  spec:Hd_engine.Budget.spec ->
+  ?seed:int ->
+  ?label:string ->
+  ?use_cache:bool ->
+  timeout:float ->
+  signature:Signature.t ->
+  Hd_engine.Solver.problem ->
+  snapshot * int array option
+(** [resolve_ordering t ~solver ~spec ~timeout ~signature problem]
+    submits, waits (up to [timeout] seconds) for the terminal
+    snapshot, and returns it together with the witness ordering in the
+    submitting instance's vertex ids when the solve produced one.  The
+    server's bulk op calls this once per cyclic query: the first
+    member of an isomorphism class solves and populates the
+    {!Cache}; every later member is answered from it instantly
+    ([cached = true], zero slices). *)
+
 val stats : t -> Hd_obs.Obs.Json.t
 (** Scheduler-level stats object for the server's [stats] response. *)
 

@@ -17,8 +17,21 @@ type submit = {
   with_ordering : bool;
 }
 
+type bulk = {
+  cqs : string list;
+  data : string list;
+  mode : string;
+  bulk_solver : string option;
+  bulk_time_limit : float option;
+  bulk_max_states : int option;
+  bulk_seed : int option;
+  bulk_use_cache : bool;
+  answer_limit : int option;
+}
+
 type request =
   | Submit of submit
+  | Bulk of bulk
   | Poll of int
   | Wait of { job : int; timeout : float }
   | Cancel of int
@@ -52,6 +65,20 @@ let bool_field ~default name j =
   | Some (Json.Bool b) -> Ok b
   | Some _ -> Error (Printf.sprintf "field %S must be a boolean" name)
   | None -> Ok default
+
+(* a list of strings; a bare string is the singleton list *)
+let str_list_field name j =
+  match Json.member name j with
+  | Some (Json.String s) -> Ok (Some [ s ])
+  | Some (Json.List items) ->
+      let rec go acc = function
+        | [] -> Ok (Some (List.rev acc))
+        | Json.String s :: rest -> go (s :: acc) rest
+        | _ -> Error (Printf.sprintf "field %S must list strings" name)
+      in
+      go [] items
+  | Some _ -> Error (Printf.sprintf "field %S must be a list of strings" name)
+  | None -> Ok None
 
 let ( let* ) = Result.bind
 
@@ -95,6 +122,46 @@ let parse_submit j =
          with_ordering;
        })
 
+let parse_bulk j =
+  let* cqs = str_list_field "cqs" j in
+  let* cqs =
+    match cqs with
+    | Some (_ :: _ as l) -> Ok l
+    | Some [] | None -> Error "bulk needs a non-empty \"cqs\" list"
+  in
+  let* data = str_list_field "data" j in
+  let data = Option.value ~default:[] data in
+  let* mode = str_field "mode" j in
+  let mode = Option.value ~default:"count" mode in
+  let* () =
+    match mode with
+    | "answers" | "count" | "boolean" -> Ok ()
+    | m ->
+        Error
+          (Printf.sprintf
+             "field \"mode\" must be \"answers\", \"count\" or \"boolean\" \
+              (got %S)" m)
+  in
+  let* bulk_solver = str_field "solver" j in
+  let* bulk_time_limit = num_field "time_limit" j in
+  let* bulk_max_states = int_field "max_states" j in
+  let* bulk_seed = int_field "seed" j in
+  let* bulk_use_cache = bool_field ~default:true "cache" j in
+  let* answer_limit = int_field "limit" j in
+  Ok
+    (Bulk
+       {
+         cqs;
+         data;
+         mode;
+         bulk_solver;
+         bulk_time_limit;
+         bulk_max_states;
+         bulk_seed;
+         bulk_use_cache;
+         answer_limit;
+       })
+
 let parse line =
   match Json.parse_opt line with
   | None -> Error "malformed JSON"
@@ -103,6 +170,7 @@ let parse line =
       | Some (Json.String op) -> (
           match op with
           | "submit" -> parse_submit j
+          | "bulk" -> parse_bulk j
           | "poll" -> require_job j (fun id -> Ok (Poll id))
           | "cancel" -> require_job j (fun id -> Ok (Cancel id))
           | "wait" ->

@@ -3,8 +3,8 @@
     full schema and transcript examples).
 
     Requests are dispatched on their ["op"] field:
-    ["submit"], ["poll"], ["wait"], ["cancel"], ["stats"], ["solvers"],
-    ["shutdown"].  A submit carries its instance inline as hypergraph
+    ["submit"], ["bulk"], ["poll"], ["wait"], ["cancel"], ["stats"],
+    ["solvers"], ["shutdown"].  A submit carries its instance inline as hypergraph
     text (["hypergraph"]), conjunctive-query text (["cq"]), or a server-
     side file path (["file"]) — exactly one of the three.  Responses
     always carry ["ok"]: [true] with op-specific fields, or [false]
@@ -27,8 +27,31 @@ type submit = {
   with_ordering : bool;  (** ["ordering"], default [false] *)
 }
 
+(** One request, N conjunctive queries over one relational instance:
+    the server loads [data] once, resolves one decomposition per
+    isomorphism class of cyclic query structure (through the
+    {!Cache}), and answers every query with the columnar engine.
+    Fields: ["cqs"] (list of rule texts, required), ["data"] (CSV/TSV
+    files or directories, server-side paths), ["mode"]
+    (["answers"]/["count"]/["boolean"], default ["count"]),
+    ["solver"], ["time_limit"], ["max_states"], ["seed"], ["cache"]
+    (default [true]), ["limit"] (answers returned per query in
+    ["answers"] mode). *)
+type bulk = {
+  cqs : string list;
+  data : string list;
+  mode : string;
+  bulk_solver : string option;
+  bulk_time_limit : float option;
+  bulk_max_states : int option;
+  bulk_seed : int option;
+  bulk_use_cache : bool;
+  answer_limit : int option;
+}
+
 type request =
   | Submit of submit
+  | Bulk of bulk
   | Poll of int
   | Wait of { job : int; timeout : float }
       (** block until the job is terminal or [timeout] seconds pass *)

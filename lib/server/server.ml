@@ -6,6 +6,12 @@ module Budget = Hd_engine.Budget
 let c_requests = Obs.Counter.make "server.requests"
 let c_errors = Obs.Counter.make "server.protocol_errors"
 
+(* the bulk op: N CQs amortised over one decomposition per structure *)
+let c_bulk_requests = Obs.Counter.make "server.bulk_requests"
+let c_bulk_queries = Obs.Counter.make "server.bulk_queries"
+let c_bulk_decompositions = Obs.Counter.make "server.bulk_decompositions"
+let c_bulk_cached = Obs.Counter.make "server.bulk_cached_decompositions"
+
 type config = {
   workers : int;
   slice : float;
@@ -147,6 +153,154 @@ let handle_submit session (s : Protocol.submit) =
             :: snapshot_fields_with ~solver:name ~with_ordering:s.with_ordering
                  snap))
 
+(* --- bulk: N CQs over one shared instance -------------------------- *)
+
+let mode_of_string = function
+  | "answers" -> Hd_query.Yannakakis.Answers
+  | "count" -> Hd_query.Yannakakis.Count
+  | _ -> Hd_query.Yannakakis.Boolean
+
+let handle_bulk session (b : Protocol.bulk) =
+  let module Y = Hd_query.Yannakakis in
+  let module Cq = Hd_query.Cq in
+  Obs.Counter.incr c_bulk_requests;
+  let solver_name =
+    Option.value ~default:session.config.default_solver b.bulk_solver
+  in
+  match Solver.find solver_name with
+  | None ->
+      Protocol.error
+        (Printf.sprintf "unknown solver %S (try op \"solvers\")" solver_name)
+  | Some solver -> (
+      if b.data = [] then Protocol.error "bulk needs \"data\" paths"
+      else
+        try
+          let started = Hd_engine.Clock.now () in
+          let db = Hd_query.Db.create () in
+          List.iter
+            (fun path ->
+              if Sys.is_directory path then Hd_query.Db.load_dir db path
+              else Hd_query.Db.load_file db path)
+            b.data;
+          let queries =
+            List.mapi
+              (fun i text ->
+                try Cq.parse_string ~source:(Printf.sprintf "cqs[%d]" i) text
+                with Failure msg -> failwith msg)
+              b.cqs
+          in
+          let spec =
+            {
+              Budget.time_limit =
+                (match b.bulk_time_limit with
+                | Some _ as t -> t
+                | None -> session.config.default_time_limit);
+              max_states =
+                (match b.bulk_max_states with
+                | Some _ as m -> m
+                | None -> session.config.default_max_states);
+            }
+          in
+          let wait_timeout =
+            match spec.Budget.time_limit with
+            | Some t -> (2.0 *. t) +. 60.0
+            | None -> 600.0
+          in
+          let mode = mode_of_string b.mode in
+          let decompositions = ref 0 and cache_hits = ref 0 in
+          let results =
+            List.mapi
+              (fun i q ->
+                Obs.Counter.incr c_bulk_queries;
+                (* one decomposition per cyclic structure, via the
+                   canonical-signature cache: the first member of an
+                   isomorphism class solves, later members are served
+                   cached with the ordering remapped to their ids *)
+                let ordering, job_fields =
+                  match Cq.hypergraph q with
+                  | exception Invalid_argument _ -> (None, [])
+                  | h ->
+                      if Hd_hypergraph.Acyclicity.is_acyclic h then (None, [])
+                      else begin
+                        let signature = Signature.of_hypergraph h in
+                        let snap, ordering =
+                          Jobs.resolve_ordering session.jobs ~solver ~spec
+                            ?seed:b.bulk_seed
+                            ~label:(Printf.sprintf "bulk[%d]" i)
+                            ~use_cache:b.bulk_use_cache ~timeout:wait_timeout
+                            ~signature (Solver.Hypergraph h)
+                        in
+                        if snap.Jobs.cached then begin
+                          incr cache_hits;
+                          Obs.Counter.incr c_bulk_cached
+                        end
+                        else begin
+                          incr decompositions;
+                          Obs.Counter.incr c_bulk_decompositions
+                        end;
+                        ( ordering,
+                          [
+                            ("job", Json.Int snap.Jobs.id);
+                            ("cached", Json.Bool snap.Jobs.cached);
+                          ] )
+                      end
+                in
+                let r, elapsed =
+                  Hd_engine.Clock.time @@ fun () ->
+                  Y.run ?seed:b.bulk_seed ?ordering ~mode db q
+                in
+                let answers =
+                  match mode with
+                  | Y.Answers ->
+                      let shown =
+                        match b.answer_limit with
+                        | Some k ->
+                            List.filteri (fun j _ -> j < k)
+                              (List.sort compare r.Y.answers)
+                        | None -> List.sort compare r.Y.answers
+                      in
+                      [
+                        ( "answers",
+                          Json.List
+                            (List.map
+                               (fun row ->
+                                 Json.List
+                                   (Array.to_list
+                                      (Array.map
+                                         (fun s -> Json.String s)
+                                         row)))
+                               shown) );
+                      ]
+                  | Y.Count | Y.Boolean -> []
+                in
+                Json.Obj
+                  ([
+                     ("query", Json.Int i);
+                     ("head", Json.String q.Cq.head_pred);
+                     ("count", Json.Int r.Y.count);
+                     ("nonempty", Json.Bool r.Y.nonempty);
+                     ("width", Json.Int r.Y.stats.Y.width);
+                     ( "plan",
+                       Json.String
+                         (if r.Y.stats.Y.acyclic then "acyclic" else "ghd") );
+                     ("elapsed", Json.Float elapsed);
+                   ]
+                  @ job_fields @ answers))
+              queries
+          in
+          Protocol.ok "bulk"
+            [
+              ("mode", Json.String b.mode);
+              ("queries", Json.List results);
+              ("n", Json.Int (List.length results));
+              ("decompositions", Json.Int !decompositions);
+              ("cache_hits", Json.Int !cache_hits);
+              ("elapsed", Json.Float (Hd_engine.Clock.now () -. started));
+            ]
+        with
+        | Failure msg -> Protocol.error msg
+        | Sys_error msg -> Protocol.error msg)
+
 let render_snapshot session op = function
   | None -> Protocol.error "unknown job id"
   | Some snap ->
@@ -159,6 +313,7 @@ let render_snapshot session op = function
 let handle session req =
   match req with
   | Protocol.Submit s -> (handle_submit session s, false)
+  | Protocol.Bulk b -> (handle_bulk session b, false)
   | Protocol.Poll id -> (render_snapshot session "poll" (Jobs.poll session.jobs id), false)
   | Protocol.Wait { job; timeout } ->
       (render_snapshot session "wait" (Jobs.wait session.jobs job ~timeout), false)

@@ -6,8 +6,12 @@
     connection stays responsive while solves are in flight — submit
     returns immediately with a job id, poll/wait/cancel manage it,
     repeat submissions of isomorphic-modulo-ordering instances are
-    answered from the {!Cache}.  See docs/SERVER.md for the protocol
-    reference and a worked transcript.
+    answered from the {!Cache}.  The ["bulk"] op answers N conjunctive
+    queries over one relational instance in a single request: one
+    decomposition per isomorphism class of cyclic query structure
+    (resolved through the cache), every query evaluated by the
+    columnar Yannakakis engine.  See docs/SERVER.md for the protocol
+    reference and worked transcripts.
 
     The loop is single-connection by design (stdin/stdout of the
     [hd_server] binary, or a pipe pair in tests); concurrency lives in

@@ -351,34 +351,263 @@ let test_two_relations () =
   modes_agree db (Cq.parse_string "ans(X,Y) :- r(X,Z), s(Z,Y).")
 
 (* ------------------------------------------------------------------ *)
+(* Columnar kernel (Colexec)                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Cx = Hd_query.Colexec
+
+(* decode a selection vector into the selected rows, for comparison
+   against the row-engine algebra *)
+let rows_of_sel r sel =
+  Array.to_list
+    (Array.map
+       (fun i ->
+         Array.init (Array.length (Qrelation.scope r)) (Qrelation.get r i))
+       sel)
+
+let test_colexec_semijoin () =
+  let a = qr [| 0; 1 |] [ [| 1; 2 |]; [| 1; 3 |]; [| 2; 3 |] ] in
+  let b = qr [| 1; 2 |] [ [| 2; 5 |]; [| 3; 6 |] ] in
+  (* shared attribute 1 = a's column 1 = b's column 0: the selection
+     must pick exactly the rows the row-engine semijoin keeps *)
+  let sel =
+    Cx.semijoin
+      ~probe:(a, Cx.all_rows a, [| 1 |])
+      ~build:(b, Cx.all_rows b, [| 0 |])
+  in
+  check "matches row semijoin" true
+    (sorted (rows_of_sel a sel)
+    = sorted (Qrelation.rows (Qrelation.semijoin a b)));
+  (* the base relation is untouched: selection vectors only *)
+  check_int "base unchanged" 3 (Qrelation.cardinality a);
+  (* restricting the build selection restricts the survivors *)
+  let bsel = Cx.semijoin ~probe:(b, Cx.all_rows b, [| 0 |])
+               ~build:(qr [| 1 |] [ [| 2 |] ], [| 0 |], [| 0 |]) in
+  let sel2 =
+    Cx.semijoin ~probe:(a, Cx.all_rows a, [| 1 |]) ~build:(b, bsel, [| 0 |])
+  in
+  check "restricted build" true
+    (sorted (rows_of_sel a sel2) = sorted [ [| 1; 2 |] ])
+
+let test_colexec_edge_cases () =
+  let a = qr [| 0; 1 |] [ [| 1; 2 |]; [| 2; 3 |] ] in
+  (* empty probe relation *)
+  let e = qr [| 0; 1 |] [] in
+  check_int "empty probe" 0
+    (Array.length
+       (Cx.semijoin ~probe:(e, Cx.all_rows e, [| 1 |])
+          ~build:(a, Cx.all_rows a, [| 0 |])));
+  (* empty build side drops everything *)
+  check_int "empty build" 0
+    (Array.length
+       (Cx.semijoin ~probe:(a, Cx.all_rows a, [| 1 |])
+          ~build:(e, Cx.all_rows e, [| 0 |])));
+  (* disjoint scopes: the key is empty -- a nonempty build keeps all
+     rows, an empty selection keeps none (cartesian semantics) *)
+  let c = qr [| 7 |] [ [| 9 |]; [| 8 |] ] in
+  check_int "disjoint nonempty keeps all" 2
+    (Array.length
+       (Cx.semijoin ~probe:(a, Cx.all_rows a, [||])
+          ~build:(c, Cx.all_rows c, [||])));
+  check_int "disjoint empty selection drops all" 0
+    (Array.length
+       (Cx.semijoin ~probe:(a, Cx.all_rows a, [||]) ~build:(c, [||], [||])));
+  (* all-duplicate keys on both sides: one bucket holds everything *)
+  let dup rows = qr [| 0; 1 |] (List.init rows (fun i -> [| 7; i |])) in
+  let d1 = dup 40 and d2 = dup 17 in
+  check_int "all-duplicate keys" 40
+    (Array.length
+       (Cx.semijoin
+          ~probe:(d1, Cx.all_rows d1, [| 0 |])
+          ~build:(d2, Cx.all_rows d2, [| 0 |])));
+  (* single-row relations (directory at its minimum size) *)
+  let s1 = qr [| 0 |] [ [| 5 |] ] in
+  check_int "singleton hit" 1
+    (Array.length
+       (Cx.semijoin ~probe:(s1, Cx.all_rows s1, [| 0 |])
+          ~build:(s1, Cx.all_rows s1, [| 0 |])))
+
+let test_colexec_join_project () =
+  let a = qr [| 0; 1 |] [ [| 1; 2 |]; [| 1; 3 |]; [| 2; 3 |] ] in
+  let b = qr [| 1; 2 |] [ [| 2; 5 |]; [| 3; 6 |] ] in
+  let j = Cx.join_project [ a; b ] ~scope:[| 0; 1; 2 |] in
+  check "join matches rows engine" true
+    (sorted (Qrelation.rows j) = sorted (Qrelation.rows (Qrelation.join a b)));
+  (* projection dedups *)
+  let p = Cx.join_project [ a; b ] ~scope:[| 0 |] in
+  check "project dedups" true
+    (sorted (Qrelation.rows p) = sorted [ [| 1 |]; [| 2 |] ]);
+  (* disjoint scopes: cartesian product *)
+  let c = qr [| 7 |] [ [| 9 |]; [| 8 |] ] in
+  check_int "cartesian" 6
+    (Qrelation.cardinality (Cx.join_project [ a; c ] ~scope:[| 0; 1; 7 |]));
+  (* empty operand *)
+  check "empty operand" true
+    (Qrelation.is_empty
+       (Cx.join_project [ a; qr [| 1; 2 |] [] ] ~scope:[| 0; 1 |]));
+  check "empty list rejected" true
+    (match Cx.join_project [] ~scope:[| 0 |] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_colexec_index_keysum () =
+  let r = qr [| 0; 1 |] [ [| 1; 2 |]; [| 1; 3 |]; [| 2; 3 |]; [| 1; 4 |] ] in
+  let sel = Cx.all_rows r in
+  let idx = Cx.Index.build r ~pos:[| 0 |] ~sel in
+  let hits key =
+    let acc = ref [] in
+    Cx.Index.iter idx key (fun row -> acc := row :: !acc);
+    List.length !acc
+  in
+  check_int "key 1" 3 (hits [| 1 |]);
+  check_int "key 2" 1 (hits [| 2 |]);
+  check_int "missing key" 0 (hits [| 99 |]);
+  (* Keysum: weights accumulate per distinct key *)
+  let ks =
+    Cx.Keysum.build r ~pos:[| 0 |] ~sel
+      ~weights:(Array.init (Array.length sel) (fun s -> s + 1))
+  in
+  (* selection slots 0,1,3 carry key 1 with weights 1,2,4 *)
+  check_int "keysum 1" 7 (Cx.Keysum.find ks [| 1 |]);
+  check_int "keysum 2" 3 (Cx.Keysum.find ks [| 2 |]);
+  check_int "keysum missing" 0 (Cx.Keysum.find ks [| 42 |])
+
+(* columnar and row engines agree with brute force -- same answer
+   multiset, same query.answers counter -- on random cyclic and
+   acyclic query shapes *)
+let prop_columnar_matches_rows =
+  let queries =
+    [
+      (* cyclic *)
+      triangle_q;
+      Cq.parse_string "ans(W,X,Y,Z) :- e(W,X), e(X,Y), e(Y,Z), e(Z,W).";
+      Cq.parse_string "ans(X,Y,Z) :- e(X,Y), e(Y,Z), e(Z,X), e(X,Z).";
+      (* acyclic *)
+      two_hop_q;
+      Cq.parse_string "ans(X,Z) :- e(X,Y), e(Z,Y).";
+      Cq.parse_string "ans(X) :- e(a,X).";
+    ]
+  in
+  QCheck.Test.make ~count:40 ~name:"columnar = rows = brute force"
+    QCheck.(make QCheck.Gen.(pair (2 -- 6) int))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| n; seed; 7 |] in
+      let m = 1 + Random.State.int rng 14 in
+      let edges =
+        List.init m (fun _ ->
+            ( Printf.sprintf "v%d" (Random.State.int rng n),
+              Printf.sprintf "v%d" (Random.State.int rng n) ))
+      in
+      let db = db_of_edges edges in
+      let value name = Obs.Counter.value (Obs.Counter.make name) in
+      List.for_all
+        (fun q ->
+          let expected = sorted (Bf.answers db q) in
+          Obs.enable ();
+          Obs.reset ();
+          let col = Y.run ~engine:Y.Columnar ~mode:Y.Answers db q in
+          let col_ctr = value "query.answers" in
+          Obs.reset ();
+          let row = Y.run ~engine:Y.Rows ~mode:Y.Answers db q in
+          let row_ctr = value "query.answers" in
+          Obs.disable ();
+          sorted col.Y.answers = expected
+          && sorted row.Y.answers = expected
+          && col.Y.count = List.length expected
+          && row.Y.count = col.Y.count
+          && col_ctr = row_ctr
+          && (Y.run ~engine:Y.Columnar ~mode:Y.Count db q).Y.count
+             = (Y.run ~engine:Y.Rows ~mode:Y.Count db q).Y.count
+          && (Y.run ~engine:Y.Columnar ~mode:Y.Boolean db q).Y.nonempty
+             = (expected <> []))
+        queries)
+
+(* ------------------------------------------------------------------ *)
+(* Multi-rule parsing (the --batch / bulk input format)                *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_multi () =
+  let qs =
+    Cq.parse_multi_string
+      "t(X,Y,Z) :- e(X,Y), e(Y,Z), e(Z,X).\n\
+       % a comment between rules\n\
+       h(X,Z) :- e(X,Y), e(Y,Z).\n\
+       ok() :- e(a,b)."
+  in
+  check_int "three rules" 3 (List.length qs);
+  Alcotest.(check (list string)) "heads" [ "t"; "h"; "ok" ]
+    (List.map (fun q -> q.Cq.head_pred) qs);
+  check_int "empty input" 0 (List.length (Cq.parse_multi_string ""));
+  check_int "only comments" 0
+    (List.length (Cq.parse_multi_string "% nothing\n% here\n"));
+  (* errors in a later rule are still reported with a position *)
+  (match Cq.parse_multi_string "a(X) :- e(X,Y).\nb(X) :- e(X" with
+  | _ -> Alcotest.fail "expected a parse failure"
+  | exception Failure msg -> check "position" true (contains msg "line 2"));
+  (* single-rule parse still rejects trailing input *)
+  (match Cq.parse_string "a(X) :- e(X,Y). b(X) :- e(X,Y)." with
+  | _ -> Alcotest.fail "expected trailing-input failure"
+  | exception Failure msg -> check "trailing" true (contains msg "trailing"))
+
+(* ------------------------------------------------------------------ *)
+(* Db atom-relation cache                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_atom_cache () =
+  let db = db_of_edges (triangle_plus_chain 3) in
+  let value name = Obs.Counter.value (Obs.Counter.make name) in
+  Obs.enable ();
+  Obs.reset ();
+  let r1 = Y.run ~mode:Y.Count db triangle_q in
+  let misses1 = value "query.atom_cache_misses" in
+  let hits1 = value "query.atom_cache_hits" in
+  (* the same query again: every atom relation comes from the cache *)
+  let r2 = Y.run ~mode:Y.Count db triangle_q in
+  let misses2 = value "query.atom_cache_misses" in
+  let hits2 = value "query.atom_cache_hits" in
+  check_int "same count" r1.Y.count r2.Y.count;
+  check "first run misses" true (misses1 > 0);
+  check_int "second run misses nothing" misses1 misses2;
+  check "second run hits" true (hits2 > hits1);
+  (* mutating the db flushes the cache *)
+  Db.add db ~name:"e" [ [| "x"; "y" |] ];
+  let (_ : Y.result) = Y.run ~mode:Y.Count db triangle_q in
+  let misses3 = value "query.atom_cache_misses" in
+  Obs.disable ();
+  check "add flushes cache" true (misses3 > misses2)
+
+(* ------------------------------------------------------------------ *)
 (* Observability: enumeration is backtrack-free after reduction        *)
 (* ------------------------------------------------------------------ *)
 
 let test_enumeration_no_dead_work () =
   (* only 3 answers (the rotations of the one triangle), but a long
      pendant chain inflates the raw e relation and hence the
-     unreduced bags *)
+     unreduced bags -- both engines must enumerate backtrack-free *)
   let db = db_of_edges (triangle_plus_chain 40) in
-  Obs.enable ();
-  Obs.reset ();
-  let r = Y.run ~mode:Y.Answers db triangle_q in
-  let value name = Obs.Counter.value (Obs.Counter.make name) in
-  let dead = value "query.enum_dead_ends" in
-  let rows = value "query.enum_rows" in
-  Obs.disable ();
-  check_int "three triangles" 3 r.Y.count;
-  check "semijoins ran" true (r.Y.stats.Y.semijoins > 0);
-  check "reduction shrank the bags" true
-    (r.Y.stats.Y.tuples_after_reduction < r.Y.stats.Y.tuples_materialized);
-  (* full reduction makes enumeration backtrack-free: no probe misses *)
-  check_int "no dead ends" 0 dead;
-  (* and the tuple-producing work is bounded by answers x bags, never
-     by the (much larger) non-answer intermediate tuples *)
-  check "enum work bounded by answers"
-    true
-    (rows <= r.Y.count * r.Y.stats.Y.bags);
-  check "enum work independent of chain length" true
-    (rows < r.Y.stats.Y.tuples_materialized)
+  List.iter
+    (fun engine ->
+      Obs.enable ();
+      Obs.reset ();
+      let r = Y.run ~engine ~mode:Y.Answers db triangle_q in
+      let value name = Obs.Counter.value (Obs.Counter.make name) in
+      let dead = value "query.enum_dead_ends" in
+      let rows = value "query.enum_rows" in
+      Obs.disable ();
+      check_int "three triangles" 3 r.Y.count;
+      check "semijoins ran" true (r.Y.stats.Y.semijoins > 0);
+      check "reduction shrank the bags" true
+        (r.Y.stats.Y.tuples_after_reduction < r.Y.stats.Y.tuples_materialized);
+      (* full reduction makes enumeration backtrack-free: no probe
+         misses *)
+      check_int "no dead ends" 0 dead;
+      (* and the tuple-producing work is bounded by answers x bags,
+         never by the (much larger) non-answer intermediate tuples *)
+      check "enum work bounded by answers" true
+        (rows <= r.Y.count * r.Y.stats.Y.bags);
+      check "enum work independent of chain length" true
+        (rows < r.Y.stats.Y.tuples_materialized))
+    [ Y.Columnar; Y.Rows ]
 
 let () =
   Alcotest.run "query"
@@ -387,6 +616,7 @@ let () =
         [
           Alcotest.test_case "basics" `Quick test_parse_basics;
           Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "multi-rule batches" `Quick test_parse_multi;
           Alcotest.test_case "hypergraph extraction" `Quick
             test_hypergraph_extraction;
         ] );
@@ -404,7 +634,20 @@ let () =
         [
           Alcotest.test_case "load csv/tsv" `Quick test_db_load;
           Alcotest.test_case "errors" `Quick test_db_load_errors;
+          Alcotest.test_case "atom-relation cache" `Quick test_atom_cache;
         ] );
+      ( "colexec",
+        [
+          Alcotest.test_case "selection-vector semijoin" `Quick
+            test_colexec_semijoin;
+          Alcotest.test_case "radix edge cases" `Quick test_colexec_edge_cases;
+          Alcotest.test_case "join-project materialisation" `Quick
+            test_colexec_join_project;
+          Alcotest.test_case "index and keysum" `Quick
+            test_colexec_index_keysum;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_columnar_matches_rows ]
+      );
       ( "yannakakis",
         [
           Alcotest.test_case "triangle (cyclic), all modes" `Quick

@@ -182,6 +182,35 @@ let test_protocol_parse () =
   check "poll without job rejected" true (is_error {|{"op":"poll"}|});
   check "negative job rejected" true (is_error {|{"op":"poll","job":-1}|})
 
+let test_protocol_parse_bulk () =
+  (match
+     Protocol.parse
+       {|{"op":"bulk","cqs":["a(X) :- e(X,Y)."],"data":"dir","mode":"answers","limit":5}|}
+   with
+  | Ok (Protocol.Bulk b) ->
+      check_int "one cq" 1 (List.length b.Protocol.cqs);
+      check "bare data string is a singleton" true (b.Protocol.data = [ "dir" ]);
+      check_str "mode carried" "answers" b.Protocol.mode;
+      check "limit carried" true (b.Protocol.answer_limit = Some 5);
+      check "cache defaults on" true b.Protocol.bulk_use_cache
+  | _ -> Alcotest.fail "well-formed bulk must parse");
+  (match Protocol.parse {|{"op":"bulk","cqs":["a(X) :- e(X,Y)."]}|} with
+  | Ok (Protocol.Bulk b) ->
+      check_str "mode defaults to count" "count" b.Protocol.mode;
+      check "data may be absent at parse time" true (b.Protocol.data = [])
+  | _ -> Alcotest.fail "dataless bulk parses (server rejects later)");
+  let is_error s =
+    match Protocol.parse s with Error _ -> true | Ok _ -> false
+  in
+  check "missing cqs rejected" true (is_error {|{"op":"bulk","data":"d"}|});
+  check "empty cqs rejected" true
+    (is_error {|{"op":"bulk","cqs":[],"data":"d"}|});
+  check "bad mode rejected" true
+    (is_error
+       {|{"op":"bulk","cqs":["a(X) :- e(X,Y)."],"data":"d","mode":"frobnicate"}|});
+  check "non-string cq rejected" true
+    (is_error {|{"op":"bulk","cqs":[3],"data":"d"}|})
+
 (* ------------------------------------------------------------------ *)
 (* Jobs: slicing, interleaving, cancellation, cache hits               *)
 (* ------------------------------------------------------------------ *)
@@ -433,6 +462,100 @@ let test_serve_transcript () =
   in
   check "serve returned Shutdown" true (outcome = `Shutdown)
 
+(* the bulk op end to end: N isomorphic cyclic queries over one CSV
+   instance share exactly one decomposition through the cache, and the
+   answer counts match the in-process brute-force oracle *)
+let test_serve_bulk () =
+  ensure_registry ();
+  let dir = Filename.temp_file "hd_bulk_test" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun entry -> Sys.remove (Filename.concat dir entry))
+        (Sys.readdir dir);
+      Unix.rmdir dir)
+  @@ fun () ->
+  let oc = open_out (Filename.concat dir "e.csv") in
+  output_string oc "a,b\nb,c\nc,a\nb,d\nd,e\ne,b\nc,d\nd,a\n";
+  close_out oc;
+  (* expected counts from the brute-force oracle *)
+  let db = Hd_query.Db.create () in
+  Hd_query.Db.load_dir db dir;
+  let tri_n =
+    Hd_query.Brute_force.count db
+      (Hd_query.Cq.parse_string "t(X,Y,Z) :- e(X,Y), e(Y,Z), e(Z,X).")
+  in
+  let hop_n =
+    Hd_query.Brute_force.count db
+      (Hd_query.Cq.parse_string "h(X,Z) :- e(X,Y), e(Y,Z).")
+  in
+  Obs.enable ();
+  let value name = Obs.Counter.value (Obs.Counter.make name) in
+  let decomp0 = value "server.bulk_decompositions" in
+  let cached0 = value "server.bulk_cached_decompositions" in
+  let config =
+    {
+      Server.default_config with
+      Server.workers = 2;
+      slice = 0.01;
+      default_time_limit = Some 20.0;
+    }
+  in
+  let (), outcome =
+    with_server ~config (fun send recv ->
+        (* a bulk without data is an error, not a dead session *)
+        send {|{"op":"bulk","cqs":["t(X,Y,Z) :- e(X,Y), e(Y,Z), e(Z,X)."]}|};
+        check "dataless bulk flagged" false (jbool (recv ()) "ok");
+        (* three isomorphic triangles (renamed variables) + one
+           acyclic two-hop, one request *)
+        send
+          (Printf.sprintf
+             {|{"op":"bulk","cqs":["t1(X,Y,Z) :- e(X,Y), e(Y,Z), e(Z,X).","t2(A,B,C) :- e(A,B), e(B,C), e(C,A).","t3(P,Q,R) :- e(P,Q), e(Q,R), e(R,P).","h(X,Z) :- e(X,Y), e(Y,Z)."],"data":"%s","mode":"count"}|}
+             dir);
+        let r = recv () in
+        check "bulk ok" true (jbool r "ok");
+        check_int "four queries answered" 4 (jint r "n");
+        (* the acceptance criterion: one decomposition for the whole
+           isomorphism class, the rest served from the cache *)
+        check_int "exactly one decomposition" 1 (jint r "decompositions");
+        check_int "two cache hits" 2 (jint r "cache_hits");
+        (match jget r "queries" with
+        | J.List qs ->
+            check_int "per-query entries" 4 (List.length qs);
+            List.iteri
+              (fun i q ->
+                check_int "query index echoed" i (jint q "query");
+                if i < 3 then begin
+                  check_int "triangle count" tri_n (jint q "count");
+                  check_str "ghd plan" "ghd" (jstr q "plan");
+                  check "cached iff not first of its class" true
+                    (jbool q "cached" = (i > 0))
+                end
+                else begin
+                  check_int "two-hop count" hop_n (jint q "count");
+                  check_str "acyclic plan" "acyclic" (jstr q "plan")
+                end)
+              qs
+        | _ -> Alcotest.fail "queries must be a list");
+        (* the stats counters attribute the sharing *)
+        send {|{"op":"stats"}|};
+        let st = recv () in
+        let counters = jget st "counters" in
+        check "bulk requests counted" true
+          (jint counters "server.bulk_requests" >= 1);
+        check_int "one bulk decomposition" (decomp0 + 1)
+          (jint counters "server.bulk_decompositions");
+        check_int "two bulk cached decompositions" (cached0 + 2)
+          (jint counters "server.bulk_cached_decompositions");
+        check "server cache hits recorded" true
+          (jint counters "server.cache_hits" >= 2);
+        send {|{"op":"shutdown"}|};
+        check "shutdown acknowledged" true (jbool (recv ()) "ok"))
+  in
+  check "serve returned Shutdown" true (outcome = `Shutdown)
+
 let test_serve_eof_closes () =
   let config = { Server.default_config with Server.workers = 1 } in
   let (), outcome = with_server ~config (fun _send _recv -> ()) in
@@ -457,7 +580,10 @@ let () =
           Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
         ] );
       ( "protocol",
-        [ Alcotest.test_case "parse" `Quick test_protocol_parse ] );
+        [
+          Alcotest.test_case "parse" `Quick test_protocol_parse;
+          Alcotest.test_case "parse bulk" `Quick test_protocol_parse_bulk;
+        ] );
       ( "jobs",
         [
           Alcotest.test_case "two jobs interleave on one worker" `Slow
@@ -470,6 +596,7 @@ let () =
       ( "serve",
         [
           Alcotest.test_case "transcript" `Slow test_serve_transcript;
+          Alcotest.test_case "bulk transcript" `Slow test_serve_bulk;
           Alcotest.test_case "eof" `Quick test_serve_eof_closes;
         ] );
     ]
