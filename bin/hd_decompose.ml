@@ -58,7 +58,8 @@ let report_portfolio label (r : Hd_parallel.Portfolio.t) =
 
 let ensure_registry () =
   Hd_search.Solvers.ensure ();
-  Hd_ga.Solvers.ensure ()
+  Hd_ga.Solvers.ensure ();
+  Hd_parallel.Par_solvers.ensure ()
 
 (* --corpus DIR: sweep every instance file under DIR (or materialise a
    bundled collection by name) instead of decomposing one input *)
@@ -100,6 +101,14 @@ let run input method_ ~jobs ~portfolio ~solvers time_limit seed population
       prerr_endline ("hd_decompose: " ^ msg);
       exit 2
   | Ok data -> (
+      (* -j sizes the shared work-stealing scheduler (before first
+         use) and lets Engine.run fork biconnected blocks through it;
+         the -par solver variants pick the same instance up *)
+      if jobs > 1 then begin
+        Hd_parallel.Scheduler.set_default_workers (jobs - 1);
+        Hd_parallel.Scheduler.install_engine_runner
+          (Hd_parallel.Scheduler.shared ())
+      end;
       let g = primal_of data in
       let h = hypergraph_of data in
       Format.printf "input: %d vertices, %d hyperedges (primal: %d edges)@."

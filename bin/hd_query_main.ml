@@ -32,6 +32,16 @@ let load_db data =
    decomposition per isomorphism class of cyclic query structure
    (canonical signatures, orderings replayed through the canonical
    relabelling), report per-query and amortised timings *)
+(* -j > 1: size the shared work-stealing scheduler once and run the
+   columnar passes partitioned-parallel on it (results are
+   byte-identical to -j 1) *)
+let par_of_jobs jobs =
+  if jobs > 1 then begin
+    Hd_parallel.Scheduler.set_default_workers (jobs - 1);
+    Some (Hd_parallel.Scheduler.shared ())
+  end
+  else None
+
 let run_batch batch_file data mode method_ engine jobs seed time_limit limit =
   let qs = Cq.parse_multi_file batch_file in
   if qs = [] then begin
@@ -39,6 +49,7 @@ let run_batch batch_file data mode method_ engine jobs seed time_limit limit =
     exit 2
   end;
   let db = load_db data in
+  let par = par_of_jobs jobs in
   (* canonical signature key -> ordering in canonical vertex ids *)
   let orderings : (string, int array) Hashtbl.t = Hashtbl.create 16 in
   let decompositions = ref 0 and reused = ref 0 in
@@ -75,7 +86,8 @@ let run_batch batch_file data mode method_ engine jobs seed time_limit limit =
         in
         let r, elapsed =
           Hd_engine.Clock.time @@ fun () ->
-          Y.run ~engine ~method_ ~jobs ~seed ~time_limit ?ordering ~mode db q
+          Y.run ~engine ~method_ ~jobs ~seed ~time_limit ?ordering ?par ~mode
+            db q
         in
         let s = r.Y.stats in
         Printf.printf "[%d] %s  (%s, width %d, %.3fs%s)\n" i
@@ -156,7 +168,8 @@ let run query_file query_string batch data mode method_ engine jobs seed
   else begin
     let r, elapsed =
       Hd_engine.Clock.time @@ fun () ->
-      Y.run ~engine ~method_ ~jobs ~seed ~time_limit ~mode db q
+      Y.run ~engine ~method_ ~jobs ~seed ~time_limit ?par:(par_of_jobs jobs)
+        ~mode db q
     in
     (match mode with
     | Y.Answers -> print_truncated r.Y.answers

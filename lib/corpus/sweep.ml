@@ -114,7 +114,7 @@ let solve_instance ~roster ~budget ~seed (collection, name, h) =
     seconds;
   }
 
-let sweep_loaded ?(jobs = 1) ?window ?(roster = default_roster)
+let sweep_loaded ?(jobs = 1) ?(roster = default_roster)
     ?(budget = default_budget) ?(seed = 1) ?(skipped = []) instances =
   if roster = [] then invalid_arg "Sweep.sweep_loaded: empty roster";
   ensure_registries ();
@@ -130,13 +130,14 @@ let sweep_loaded ?(jobs = 1) ?window ?(roster = default_roster)
     if jobs <= 1 then List.map solve instances
     else
       Hd_parallel.Domain_pool.with_pool ~domains:jobs (fun pool ->
-          Hd_parallel.Domain_pool.map ?window pool solve instances)
+          (* window derivation lives in Domain_pool.default_window *)
+          Hd_parallel.Domain_pool.map pool solve instances)
   in
   { roster; jobs = max 1 jobs; budget; rows; skipped }
 
-let sweep ?jobs ?window ?roster ?budget ?seed entries =
+let sweep ?jobs ?roster ?budget ?seed entries =
   let loaded, skipped = load entries in
-  sweep_loaded ?jobs ?window ?roster ?budget ?seed ~skipped
+  sweep_loaded ?jobs ?roster ?budget ?seed ~skipped
     (List.map
        (fun ((e : Manifest.entry), h) -> (e.Manifest.collection, e.Manifest.name, h))
        loaded)

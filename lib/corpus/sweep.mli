@@ -85,7 +85,6 @@ val load :
 (** [sweep entries] is {!load} then {!sweep_loaded}. *)
 val sweep :
   ?jobs:int ->
-  ?window:int ->
   ?roster:string list ->
   ?budget:Hd_engine.Budget.spec ->
   ?seed:int ->
@@ -94,15 +93,14 @@ val sweep :
 
 (** [sweep_loaded instances] sweeps already-loaded instances
     [(collection, name, hypergraph)].  [jobs] (default 1) > 1 fans
-    instances out over that many worker domains, at most [window]
-    (default [2 * jobs]) in flight; [roster] defaults to
-    {!default_roster} (unknown names raise [Invalid_argument] before
-    any work runs); [budget] (default 5 s, no state cap) is the
-    per-instance spec; [seed] (default 1) seeds every solver run
-    identically. *)
+    instances out over that many worker domains, with the in-flight
+    window derived once in {!Hd_parallel.Domain_pool.default_window};
+    [roster] defaults to {!default_roster} (unknown names raise
+    [Invalid_argument] before any work runs); [budget] (default 5 s,
+    no state cap) is the per-instance spec; [seed] (default 1) seeds
+    every solver run identically. *)
 val sweep_loaded :
   ?jobs:int ->
-  ?window:int ->
   ?roster:string list ->
   ?budget:Hd_engine.Budget.spec ->
   ?seed:int ->

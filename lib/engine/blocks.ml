@@ -186,6 +186,103 @@ let trivial_ub (s : Solver.t) p =
   | Solver.Ghw | Solver.Fhw | Solver.Hw ->
       max 1 (Hypergraph.n_edges (Solver.hypergraph_of p))
 
+(* Fork the per-block solves through the installed Exec runner.  Each
+   task gets its own scratch arrays and an equal-share sub-budget
+   (created up front: under state-only budgets these are identical to
+   the sequential path's, so results match it exactly; under time
+   budgets the shares are remaining/nb instead of the sequential
+   decreasing split).  The combine pass below mirrors the sequential
+   one, walking blocks in index order so stitching is deterministic
+   regardless of which domain solved what. *)
+let solve_par (r : Exec.runner) ?seed (s : Solver.t) (b : Budget.t) p g bls =
+  let (combined : Solver.result), secs =
+    Clock.time @@ fun () ->
+    let n = Graph.n g in
+    let bls = Array.of_list bls in
+    let nb = Array.length bls in
+    Obs.Counter.add c_blocks nb;
+    let subs = Array.map (fun _ -> Budget.sub ~stages:nb b) bls in
+    let results = Array.make nb None in
+    r.Exec.run_all
+      (List.init nb (fun i () ->
+           if not (Budget.cancelled b) then
+             Step.unsliced @@ fun () ->
+             let bl = bls.(i) in
+             let local = Array.make n (-1) in
+             Array.iteri (fun j v -> local.(v) <- j) bl.vertices;
+             let bg = induced_with_local g bl local in
+             let subp =
+               match p with
+               | Solver.Graph _ -> Solver.Graph bg
+               | Solver.Hypergraph h ->
+                   Solver.Hypergraph (induced_hypergraph h bl local)
+             in
+             results.(i) <- Some (bg, s.Solver.run ?seed subs.(i) subp)));
+    let visited = ref 0 and generated = ref 0 in
+    let lb = ref 0 and ub = ref 0 in
+    let all_exact = ref true in
+    let complete = ref true in
+    let sigma = ref (Some (Array.make n (-1))) in
+    let pos = ref (n - 1) in
+    Array.iteri
+      (fun i bl ->
+        match results.(i) with
+        | None ->
+            complete := false;
+            all_exact := false;
+            sigma := None
+        | Some (bg, res) ->
+            visited := !visited + res.Solver.visited;
+            generated := !generated + res.Solver.generated;
+            let l, u = Solver.bounds_of res.Solver.outcome in
+            lb := max !lb l;
+            ub := max !ub u;
+            (match res.Solver.outcome with
+            | Solver.Exact _ -> ()
+            | Solver.Bounds _ -> all_exact := false);
+            (match (res.Solver.ordering, !sigma) with
+            | Some bsigma, Some out
+              when Array.length bsigma = Array.length bl.vertices ->
+                let bsigma =
+                  if bl.attach >= 0 then reroot bg bsigma ~attach:bl.attach
+                  else bsigma
+                in
+                let stop = if bl.attach >= 0 then 1 else 0 in
+                for j = Array.length bsigma - 1 downto stop do
+                  out.(!pos) <- bl.vertices.(bsigma.(j));
+                  decr pos
+                done
+            | _ -> sigma := None))
+      bls;
+    if !pos >= 0 then sigma := None;
+    let ordering = !sigma in
+    let outcome =
+      if not !complete then begin
+        let fallback = max !lb (trivial_ub s p) in
+        Solver.Bounds { lb = !lb; ub = fallback }
+      end
+      else if !all_exact && !lb = !ub then Solver.Exact !ub
+      else Solver.Bounds { lb = min !lb !ub; ub = !ub }
+    in
+    (match Budget.incumbent b with
+    | None -> ()
+    | Some inc ->
+        (match (outcome, ordering) with
+        | (Solver.Exact w | Solver.Bounds { ub = w; _ }), Some wit ->
+            ignore (Incumbent.offer_ub inc ~witness:wit w)
+        | _ -> ());
+        let l, _ = Solver.bounds_of outcome in
+        ignore (Incumbent.raise_lb inc l));
+    {
+      Solver.outcome;
+      visited = !visited;
+      generated = !generated;
+      elapsed = 0.0;
+      ordering;
+    }
+  in
+  { combined with Solver.elapsed = secs }
+
 let solve ?(split_blocks = true) ?seed (s : Solver.t) (b : Budget.t) p =
   Budget.start b;
   let g = Solver.primal_of p in
@@ -194,6 +291,13 @@ let solve ?(split_blocks = true) ?seed (s : Solver.t) (b : Budget.t) p =
   | [] | [ _ ] ->
       Obs.Counter.incr c_block_skips;
       s.Solver.run ?seed b p
+  | bls when Exec.current () <> None && not (Budget.in_slice b) ->
+      (* a runner is installed and no slice deadline is armed on this
+         budget tree: blocks may leave this domain.  Inside a sliced
+         solve (the server's jobs) the sequential path below runs —
+         the Slice_expired handler lives on the slicing domain. *)
+      let r = Option.get (Exec.current ()) in
+      solve_par r ?seed s b p g bls
   | bls ->
       let (combined : Solver.result), secs =
         Clock.time @@ fun () ->

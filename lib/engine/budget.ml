@@ -111,6 +111,7 @@ type _ Effect.t += Slice_expired : unit Effect.t
 
 let begin_slice b ~until = Atomic.set b.slice_end until
 let end_slice b = Atomic.set b.slice_end Float.nan
+let in_slice b = not (Float.is_nan (Atomic.get b.slice_end))
 
 let rec credit_pause b seconds =
   if seconds > 0.0 then begin

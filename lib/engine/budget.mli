@@ -103,6 +103,13 @@ val begin_slice : t -> until:float -> unit
 (** [end_slice b] disarms the slice deadline. *)
 val end_slice : t -> unit
 
+(** [in_slice b] is true while a slice deadline is armed on [b] (or
+    anywhere in its sub-budget tree — the cell is shared).  Parallel
+    layers check this before forking: a solve running under a
+    {!Step.slice} must stay on its own domain, because the
+    [Slice_expired] handler lives there. *)
+val in_slice : t -> bool
+
 (** [credit_pause b seconds] shifts the start times of [b] and every
     sub-budget [seconds] into the future, so time spent parked between
     slices does not count against the deadline: sliced budgets measure

@@ -67,6 +67,21 @@ let slice t ~seconds =
               Effect.Deep.continue k ()
           | Completed _ | Poisoned _ -> assert false)
 
+let unsliced f =
+  Effect.Deep.match_with f ()
+    {
+      Effect.Deep.retc = Fun.id;
+      exnc = raise;
+      effc =
+        (fun (type b) (eff : b Effect.t) ->
+          match eff with
+          | Budget.Slice_expired ->
+              Some
+                (fun (k : (b, _) Effect.Deep.continuation) ->
+                  Effect.Deep.continue k ())
+          | _ -> None);
+    }
+
 let rec run_to_completion ?(seconds = 0.05) t =
   match slice t ~seconds with
   | Done v -> v

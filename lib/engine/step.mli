@@ -50,3 +50,12 @@ val result : 'a t -> 'a option
 (** [run_to_completion ~seconds t] slices until done — a sequential
     driver for tests and simple callers. *)
 val run_to_completion : ?seconds:float -> 'a t -> 'a
+
+(** [unsliced f] runs [f ()] under a handler that resumes
+    {!Budget.Slice_expired} immediately instead of parking.  Scheduler
+    workers wrap foreign solver tasks in this: a task forked off a
+    sliced solve may poll a budget whose slice deadline is armed on
+    another domain, and without a handler that perform would be an
+    unhandled effect.  Inside [unsliced] the budget's time and state
+    limits still apply — only the yield is neutralised. *)
+val unsliced : (unit -> 'a) -> 'a

@@ -1,0 +1,70 @@
+(* Chase–Lev deque over per-slot atomics; see deque.mli for the
+   memory-model argument.  Indices grow without bound and are masked
+   into the buffer; [bottom] is owner-written, [top] is CAS'd by
+   thieves (and by the owner for the last-element race). *)
+
+type 'a t = {
+  slots : 'a option Atomic.t array;
+  mask : int;
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+}
+
+let create capacity =
+  if capacity < 1 then invalid_arg "Deque.create: capacity must be >= 1";
+  let cap = ref 1 in
+  while !cap < capacity do
+    cap := !cap * 2
+  done;
+  {
+    slots = Array.init !cap (fun _ -> Atomic.make None);
+    mask = !cap - 1;
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+  }
+
+let length t = max 0 (Atomic.get t.bottom - Atomic.get t.top)
+
+let push t x =
+  let b = Atomic.get t.bottom in
+  let tp = Atomic.get t.top in
+  if b - tp > t.mask then `Full
+  else begin
+    Atomic.set t.slots.(b land t.mask) (Some x);
+    Atomic.set t.bottom (b + 1);
+    `Ok
+  end
+
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if b < tp then begin
+    (* empty: restore bottom *)
+    Atomic.set t.bottom tp;
+    None
+  end
+  else if b > tp then
+    (* more than one element: the owner owns the bottom slot outright *)
+    Atomic.exchange t.slots.(b land t.mask) None
+  else begin
+    (* exactly one element left: race the thieves for it via [top] *)
+    let won = Atomic.compare_and_set t.top tp (tp + 1) in
+    Atomic.set t.bottom (tp + 1);
+    if won then Atomic.exchange t.slots.(b land t.mask) None else None
+  end
+
+let steal t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if tp >= b then None
+  else begin
+    (* read before the CAS; a successful CAS proves the read was the
+       live element (the owner cannot have wrapped onto this slot: a
+       push overlapping logical index [tp] would require [top > tp]
+       first, which would make our CAS fail).  The slot is deliberately
+       not cleared — a late clear could destroy a value the owner
+       pushed a lap later; the stale [Some] is overwritten then. *)
+    let x = Atomic.get t.slots.(tp land t.mask) in
+    if Atomic.compare_and_set t.top tp (tp + 1) then x else None
+  end

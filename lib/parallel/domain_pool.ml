@@ -116,9 +116,14 @@ let with_pool ~domains f =
   let pool = create ~domains in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
 
+(* the one place the in-flight window is derived from the pool size:
+   two queued jobs per worker keeps every domain busy across awaits
+   without materialising corpus-scale queues *)
+let default_window pool = max 1 (2 * size pool)
+
 let map ?window pool f items =
   let window =
-    match window with Some w -> max 1 w | None -> 2 * size pool
+    match window with Some w -> max 1 w | None -> default_window pool
   in
   let arr = Array.of_list items in
   let n = Array.length arr in

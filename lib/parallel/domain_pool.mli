@@ -49,10 +49,15 @@ val with_pool : domains:int -> (t -> 'a) -> 'a
 (** [with_pool ~domains f] runs [f] with a fresh pool and shuts it down
     afterwards, also on exceptions. *)
 
+val default_window : t -> int
+(** The canonical in-flight window for {!map}: [2 * size pool], at
+    least 1.  Every streaming-map call site shares this single
+    derivation; override [?window] only in tests. *)
+
 val map : ?window:int -> t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map pool f items] applies [f] to every item on the pool's worker
     domains and returns the results in input order.  At most [window]
-    jobs (default [2 * size pool], at least 1) are in flight — queued
+    jobs (default {!default_window}) are in flight — queued
     or running — ahead of the next result being awaited, so
     corpus-scale item lists are streamed rather than enqueued whole.
     [f] must be safe to run concurrently with itself.  If a job

@@ -1,0 +1,47 @@
+(** Hash-distributed A* — HDA-star — for exact treewidth and ghw.
+
+    The open list is partitioned across W workers (the {!Scheduler}'s
+    domains plus the calling one) by owner-computes hashing: a state
+    belongs to worker [Bitset.fnv_hash (eliminated set) mod W], so
+    duplicate elimination sets always land on the same worker and its
+    local [seen] table deduplicates them without any shared structure.
+    Generated states owned elsewhere travel in batches over SPSC
+    {!Ring}s; a full ring degrades gracefully — the sender keeps the
+    state locally, which costs dedup precision, never soundness.
+    Bounds flow through one shared {!Hd_core.Incumbent}: every worker
+    prunes on the best global upper bound the moment it is published.
+
+    Workers register themselves as they come online (a busy shared
+    pool may start them late) and states are only ever routed to live
+    workers, so the search makes progress from the first worker
+    onward.  Termination is all-idle detection: when every live worker
+    is idle, no message is in flight and nothing changed during the
+    check, the frontier is exhausted and the incumbent upper bound is
+    the exact width.  On budget exhaustion the result degrades to the
+    incumbent bounds, exactly like the sequential A*.
+
+    With a sequential scheduler (0 workers) the solve runs entirely on
+    the calling domain and is deterministic for a fixed seed.
+
+    Counters: [hdastar.messages] (states shipped cross-worker),
+    [hdastar.batches] (ring pushes), [hdastar.ring_full] (local
+    fallbacks), plus the shared [search.*] family. *)
+
+val solve_tw :
+  ?sched:Scheduler.t ->
+  ?within:Hd_engine.Budget.t ->
+  ?seed:int ->
+  Hd_graph.Graph.t ->
+  Hd_engine.Solver.result
+(** Exact treewidth by distributed best-first search over elimination
+    prefixes — the parallel counterpart of [Astar_tw.solve].  [sched]
+    defaults to {!Scheduler.shared}. *)
+
+val solve_ghw :
+  ?sched:Scheduler.t ->
+  ?within:Hd_engine.Budget.t ->
+  ?seed:int ->
+  Hd_hypergraph.Hypergraph.t ->
+  Hd_engine.Solver.result
+(** Exact generalized hypertree width, the parallel counterpart of
+    [Astar_ghw.solve].  Each worker keeps its own cover oracle. *)

@@ -1,0 +1,25 @@
+module S = Hd_engine.Solver
+
+let registered = ref false
+
+let ensure () =
+  if not !registered then begin
+    registered := true;
+    S.register
+      {
+        S.name = "astar-tw-par";
+        kind = S.Tw;
+        doc = "hash-distributed parallel A* treewidth (HDA* on the scheduler)";
+        run =
+          (fun ?seed b p -> Hdastar.solve_tw ~within:b ?seed (S.primal_of p));
+      };
+    S.register
+      {
+        S.name = "astar-ghw-par";
+        kind = S.Ghw;
+        doc = "hash-distributed parallel A* ghw (HDA* on the scheduler)";
+        run =
+          (fun ?seed b p ->
+            Hdastar.solve_ghw ~within:b ?seed (S.hypergraph_of p));
+      }
+  end

@@ -1,0 +1,9 @@
+(** Registry entries for the parallel solver variants.
+
+    {!ensure} registers [astar-tw-par] and [astar-ghw-par] — the
+    {!Hdastar} hash-distributed searches running on
+    {!Scheduler.shared} — into the {!Hd_engine.Solver} registry, so
+    portfolios, the bench harness, the server and the CLI can name
+    them like any sequential solver.  Idempotent. *)
+
+val ensure : unit -> unit

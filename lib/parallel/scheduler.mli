@@ -1,0 +1,92 @@
+(** The shared work-stealing task scheduler.
+
+    One instance owns a fixed set of worker domains, each draining its
+    own {!Deque} (LIFO for the owner, stolen FIFO by idle peers) plus a
+    global FIFO injector queue for external submissions and
+    fairness-sensitive resubmissions.  Every parallel layer in the tree
+    — biconnected block solves ({!Hd_engine.Exec}), the HDA* [-par]
+    solvers ({!Hdastar}), partitioned columnar query passes
+    ({!Hd_query.Colexec}) and the server's time-sliced jobs
+    ([Server.Jobs]) — submits plain closures here, so they all share
+    one domain pool and never oversubscribe the machine.
+
+    Two task shapes cover all of them: a plain [unit -> unit] closure
+    ({!spawn} / {!inject}), and a resumable turn ({!resume}) that
+    re-enqueues itself at the back of the injector while it returns
+    [`Again] — the building block for one-[Step.slice]-per-turn jobs.
+
+    [workers = 0] is the deterministic sequential mode: {!run_all}
+    runs its closures inline, in list order, on the calling domain —
+    byte-identical to a plain [List.iter].
+
+    Counters: [parallel.tasks] (closures executed), [parallel.steals]
+    (successful deque steals), [parallel.park_ns] (cumulative
+    nanoseconds workers and joiners spent parked).  A ["scheduler"]
+    {!Hd_obs.Obs.Tap} stream reports [spawn]/[park]/[resume] events;
+    see docs/OBSERVABILITY.md. *)
+
+type t
+
+val create : ?workers:int -> unit -> t
+(** [create ~workers ()] spawns [workers] domains (default
+    [Domain.recommended_domain_count () - 1], clamped at 0).  With
+    [workers = 0] no domain is spawned and every submission runs on
+    the caller at the next join point. *)
+
+val size : t -> int
+(** Number of worker domains (0 in sequential mode). *)
+
+val shutdown : t -> unit
+(** Drain outstanding tasks, then join every worker.  Idempotent.
+    Tasks injected after shutdown raise [Invalid_argument]. *)
+
+val with_scheduler : ?workers:int -> (t -> 'a) -> 'a
+(** [create] / run / [shutdown], exception-safe. *)
+
+val spawn : t -> (unit -> unit) -> unit
+(** Submit a closure.  From a worker of [t] it lands on that worker's
+    own deque (LIFO, cache-warm, stealable); from any other domain it
+    goes to the injector.  A closure that raises does not kill the
+    worker: the exception is dropped after a ["scheduler"] Tap event —
+    fork/join callers should use {!run_all}, which re-raises. *)
+
+val inject : t -> (unit -> unit) -> unit
+(** Submit at the back of the global FIFO regardless of the calling
+    domain — round-robin fairness for peers such as job slices. *)
+
+val resume : t -> (unit -> [ `Again | `Done ]) -> unit
+(** [resume t turn] injects a task that runs [turn ()] once per
+    scheduling turn and re-injects itself while the result is
+    [`Again]: the resumable-[Step]-slice task shape. *)
+
+val run_all : t -> (unit -> unit) list -> unit
+(** Structured fork/join.  Runs every closure to completion before
+    returning; the calling domain helps (executes pending tasks, its
+    own children first) instead of blocking, so nested [run_all] from
+    inside a task cannot deadlock.  If closures raised, the first one
+    (in list order) is re-raised after all have finished.  With
+    [workers = 0] this is exactly [List.iter (fun f -> f ())]. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Fork/join map preserving order ({!run_all} underneath). *)
+
+val on_worker : t -> bool
+(** Whether the calling domain is one of [t]'s workers. *)
+
+val default_workers : unit -> int
+(** The process-wide worker-count default used by {!shared}:
+    initially [Domain.recommended_domain_count () - 1]. *)
+
+val set_default_workers : int -> unit
+(** Override {!default_workers} (clamped at 0) — the [-j] flag calls
+    this with [jobs - 1] {e before} the first {!shared} use; later
+    calls do not resize an already-created shared scheduler. *)
+
+val shared : unit -> t
+(** The lazily-created process-wide scheduler, used by solvers that
+    receive no explicit instance (the registered [-par] variants).  It
+    is never shut down. *)
+
+val install_engine_runner : t -> unit
+(** Point {!Hd_engine.Exec} at [t]: [Engine.run] block solves fork
+    through {!run_all} from then on.  [Exec.clear] undoes it. *)

@@ -20,6 +20,42 @@ type sel = int array
 
 let all_rows r = Array.init (Qrelation.cardinality r) Fun.id
 
+(* ------------------------------------------------------------------ *)
+(* Partitioned-parallel probe loops                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Sched = Hd_parallel.Scheduler
+
+(* Chunk boundaries are a function of the probe count and the grain
+   alone — never of the worker count or the interleaving — and chunk
+   outputs are concatenated in chunk order, so a parallel pass is
+   byte-identical to the sequential scan at any [-j].  The grain is a
+   process-wide knob only so tests can force multi-chunk runs on tiny
+   inputs. *)
+let default_grain = 2048
+let grain_cell = Atomic.make default_grain
+let set_grain g = Atomic.set grain_cell (max 1 g)
+let grain () = Atomic.get grain_cell
+
+(* [chunked par n scan] runs [scan lo hi] over deterministic chunks of
+   [0, n) and returns the per-chunk results in chunk order.  Falls back
+   to one inline chunk when [par] is absent, sequential, or the input
+   is below the grain. *)
+let chunked (par : Sched.t option) n (scan : int -> int -> 'a) : 'a array =
+  let g = grain () in
+  match par with
+  | Some s when Sched.size s > 0 && n > g ->
+      let nc = (n + g - 1) / g in
+      let out = Array.make nc None in
+      Sched.run_all s
+        (List.init nc (fun c () ->
+             let lo = c * g in
+             out.(c) <- Some (scan lo (min n (lo + g)))));
+      Array.map
+        (function Some v -> v | None -> failwith "Colexec.chunked: lost chunk")
+        out
+  | _ -> [| scan 0 n |]
+
 (* Multiplicative mixing over the key columns.  Only [bucket_of] needs
    a non-negative value; full hashes are compared raw (deterministic
    native-int wraparound). *)
@@ -129,34 +165,45 @@ let[@inline] cols_equal_at (acols : int array array) i (bcols : int array array)
 (* Selection-vector semijoin                                           *)
 (* ------------------------------------------------------------------ *)
 
-let semijoin ~probe:(ra, sela, pa) ~build:(rb, selb, pb) =
+let semijoin ?par ~probe:(ra, sela, pa) ~build:(rb, selb, pb) () =
   Obs.Counter.incr c_selvec_semijoins;
-  let out = Ivec.create ~capacity:(max 16 (Array.length sela)) () in
-  if Array.length selb > 0 then begin
-    let part = partition rb pb selb in
-    let acols = cols_at ra pa and bcols = cols_at rb pb in
-    let probe_cols = Qrelation.columns ra in
-    for s = 0 to Array.length sela - 1 do
-      let i = sela.(s) in
-      let h = hash_cols probe_cols pa i in
-      let b = bucket_of h part.mask in
-      let lo = part.starts.(b) and hi = part.starts.(b + 1) in
-      if lo = hi then Obs.Counter.incr c_radix_bucket_skips
-      else begin
-        Obs.Counter.incr c_radix_probes;
-        let e = ref lo in
-        let hit = ref false in
-        while (not !hit) && !e < hi do
-          if part.hashes.(!e) = h && cols_equal_at acols i bcols part.rows.(!e)
-          then hit := true
-          else incr e
+  let result =
+    if Array.length selb = 0 then [||]
+    else begin
+      let part = partition rb pb selb in
+      let acols = cols_at ra pa and bcols = cols_at rb pb in
+      let probe_cols = Qrelation.columns ra in
+      let scan lo hi =
+        let out = Ivec.create ~capacity:(max 16 (hi - lo)) () in
+        for s = lo to hi - 1 do
+          let i = sela.(s) in
+          let h = hash_cols probe_cols pa i in
+          let b = bucket_of h part.mask in
+          let lo' = part.starts.(b) and hi' = part.starts.(b + 1) in
+          if lo' = hi' then Obs.Counter.incr c_radix_bucket_skips
+          else begin
+            Obs.Counter.incr c_radix_probes;
+            let e = ref lo' in
+            let hit = ref false in
+            while (not !hit) && !e < hi' do
+              if
+                part.hashes.(!e) = h
+                && cols_equal_at acols i bcols part.rows.(!e)
+              then hit := true
+              else incr e
+            done;
+            if !hit then Ivec.push out i
+          end
         done;
-        if !hit then Ivec.push out i
-      end
-    done
-  end;
-  Obs.Counter.add c_selvec_kept (Ivec.length out);
-  Ivec.to_array out
+        Ivec.to_array out
+      in
+      match chunked par (Array.length sela) scan with
+      | [| one |] -> one
+      | many -> Array.concat (Array.to_list many)
+    end
+  in
+  Obs.Counter.add c_selvec_kept (Array.length result);
+  result
 
 (* ------------------------------------------------------------------ *)
 (* Multiway join + projection (bag materialisation)                    *)
@@ -191,7 +238,7 @@ let shared_attrs sa sb =
 
 let cols_at_mat a pos = Array.map (fun p -> a.cols.(p)) pos
 
-let join_mat a (b : Qrelation.t) =
+let join_mat ?par a (b : Qrelation.t) =
   let b_scope = Qrelation.scope b in
   let shared = shared_attrs a.scope b_scope in
   let pa = mat_positions a.scope shared in
@@ -209,41 +256,56 @@ let join_mat a (b : Qrelation.t) =
   let part = partition b pb (all_rows b) in
   let acols = cols_at_mat a pa and bcols = cols_at b pb in
   let bp_cols = cols_at b b_priv in
-  (* pairs of matching (left row, right row), found radix-wise *)
-  let li = Ivec.create () and ri = Ivec.create () in
-  for i = 0 to a.n - 1 do
-    let h = hash_cols a.cols pa i in
-    let bkt = bucket_of h part.mask in
-    let lo = part.starts.(bkt) and hi = part.starts.(bkt + 1) in
-    if lo = hi then Obs.Counter.incr c_radix_bucket_skips
-    else begin
-      Obs.Counter.incr c_radix_probes;
-      for e = lo to hi - 1 do
-        if part.hashes.(e) = h && cols_equal_at acols i bcols part.rows.(e)
-        then begin
-          Ivec.push li i;
-          Ivec.push ri part.rows.(e)
-        end
-      done
-    end
-  done;
-  let n = Ivec.length li in
-  Obs.Counter.add c_radix_join_tuples n;
-  let cols =
-    Array.init (ka + kp) (fun j ->
-        let col = Array.make n 0 in
-        (if j < ka then
-           let src = a.cols.(j) in
-           for t = 0 to n - 1 do
-             col.(t) <- src.(Ivec.get li t)
-           done
-         else
-           let src = bp_cols.(j - ka) in
-           for t = 0 to n - 1 do
-             col.(t) <- src.(Ivec.get ri t)
-           done);
-        col)
+  (* pairs of matching (left row, right row), found radix-wise over
+     deterministic probe chunks *)
+  let scan lo0 hi0 =
+    let li = Ivec.create () and ri = Ivec.create () in
+    for i = lo0 to hi0 - 1 do
+      let h = hash_cols a.cols pa i in
+      let bkt = bucket_of h part.mask in
+      let lo = part.starts.(bkt) and hi = part.starts.(bkt + 1) in
+      if lo = hi then Obs.Counter.incr c_radix_bucket_skips
+      else begin
+        Obs.Counter.incr c_radix_probes;
+        for e = lo to hi - 1 do
+          if part.hashes.(e) = h && cols_equal_at acols i bcols part.rows.(e)
+          then begin
+            Ivec.push li i;
+            Ivec.push ri part.rows.(e)
+          end
+        done
+      end
+    done;
+    (Ivec.to_array li, Ivec.to_array ri)
   in
+  let pairs = chunked par a.n scan in
+  let li = Array.concat (Array.to_list (Array.map fst pairs)) in
+  let ri = Array.concat (Array.to_list (Array.map snd pairs)) in
+  let n = Array.length li in
+  Obs.Counter.add c_radix_join_tuples n;
+  (* column materialisation: one independent gather per output column *)
+  let cols = Array.make (ka + kp) [||] in
+  let fill j =
+    let col = Array.make n 0 in
+    (if j < ka then
+       let src = a.cols.(j) in
+       for t = 0 to n - 1 do
+         col.(t) <- src.(li.(t))
+       done
+     else
+       let src = bp_cols.(j - ka) in
+       for t = 0 to n - 1 do
+         col.(t) <- src.(ri.(t))
+       done);
+    cols.(j) <- col
+  in
+  (match par with
+  | Some s when Sched.size s > 0 && ka + kp > 1 && n > grain () ->
+      Sched.run_all s (List.init (ka + kp) (fun j () -> fill j))
+  | _ ->
+      for j = 0 to ka + kp - 1 do
+        fill j
+      done);
   { scope = out_scope; cols; n }
 
 (* dedup-project [m] onto [attrs] via an open chained hash over the
@@ -287,11 +349,11 @@ let project_mat m attrs =
   in
   Qrelation.of_columns_unchecked ~scope:(Array.copy attrs) cols ~n
 
-let join_project rels ~scope =
+let join_project ?par rels ~scope =
   match rels with
   | [] -> invalid_arg "Colexec.join_project: no relations"
   | r :: rest ->
-      let m = List.fold_left join_mat (mat_of_relation r) rest in
+      let m = List.fold_left (join_mat ?par) (mat_of_relation r) rest in
       project_mat m scope
 
 (* ------------------------------------------------------------------ *)

@@ -30,25 +30,46 @@ type sel = int array
 (** [all_rows r] selects every row of [r]. *)
 val all_rows : Qrelation.t -> sel
 
-(** [semijoin ~probe:(a, sa, pa) ~build:(b, sb, pb)] is the selection
-    of [sa]'s rows whose values at columns [pa] match some [sb] row of
-    [b] at columns [pb].  [pa] and [pb] must list the shared attributes
-    in the same order.  The build side is radix-partitioned once;
-    probing allocates nothing per row. *)
+(** [semijoin ?par ~probe:(a, sa, pa) ~build:(b, sb, pb) ()] is the
+    selection of [sa]'s rows whose values at columns [pa] match some
+    [sb] row of [b] at columns [pb].  [pa] and [pb] must list the
+    shared attributes in the same order.  The build side is
+    radix-partitioned once; probing allocates nothing per row.
+
+    With [par] the probe side is scanned in parallel chunks on the
+    scheduler.  Chunk boundaries depend only on the probe count and
+    {!set_grain}, and chunk outputs concatenate in chunk order, so the
+    result is byte-identical to the sequential scan at any worker
+    count. *)
 val semijoin :
+  ?par:Hd_parallel.Scheduler.t ->
   probe:Qrelation.t * sel * int array ->
   build:Qrelation.t * sel * int array ->
+  unit ->
   sel
 
-(** [join_project rels ~scope] is the natural join of [rels] projected
-    (with dedup) onto [scope] — bag materialisation.  Joins are
-    radix-partitioned hash joins building columnar intermediates; the
-    projection dedups through an open chained int-hash, never boxing a
-    key.
+(** [join_project ?par rels ~scope] is the natural join of [rels]
+    projected (with dedup) onto [scope] — bag materialisation.  Joins
+    are radix-partitioned hash joins building columnar intermediates;
+    the projection dedups through an open chained int-hash, never
+    boxing a key.  [par] parallelises the probe and column-gather
+    loops exactly as in {!semijoin} (the dedup projection stays
+    sequential — its chained hash is order-sensitive).
     @raise Invalid_argument on an empty relation list;
     @raise Not_found when [scope] mentions an attribute absent from
     every relation. *)
-val join_project : Qrelation.t list -> scope:int array -> Qrelation.t
+val join_project :
+  ?par:Hd_parallel.Scheduler.t ->
+  Qrelation.t list ->
+  scope:int array ->
+  Qrelation.t
+
+(** [set_grain g] sets the minimum per-chunk probe count for the
+    parallel paths (default 2048); tests lower it to force multi-chunk
+    runs on small inputs. *)
+val set_grain : int -> unit
+
+val default_grain : int
 
 (** Chained int-hash index over a selection, keyed on a column subset:
     the backbone of backtrack-free enumeration over selection

@@ -112,7 +112,7 @@ let observe_bag r =
 (* materialise one relation per GHD node: join the lambda-label atom
    relations, project onto the bag.  Completion (Lemma 2) guarantees
    every atom is enforced unprojected at some node. *)
-let materialize_ghd ~engine ghd atom_rels =
+let materialize_ghd ?par ~engine ghd atom_rels =
   Obs.with_span "query.materialize" @@ fun () ->
   let td = ghd.Ghd.td in
   let n_nodes = Td.n_nodes td in
@@ -124,7 +124,7 @@ let materialize_ghd ~engine ghd atom_rels =
           match (engine, Array.to_list lambda) with
           | _, [] -> Qrelation.make ~scope:[||] [ [||] ]
           | Columnar, es ->
-              Colexec.join_project
+              Colexec.join_project ?par
                 (List.map (fun e -> atom_rels.(e)) es)
                 ~scope:chi
           | Rows, e :: rest ->
@@ -140,7 +140,7 @@ let materialize_ghd ~engine ghd atom_rels =
   in
   { rels; parent = td.Td.parent }
 
-let plan ~engine ~method_ ~jobs ~seed ~time_limit ~ordering h atom_rels =
+let plan ?par ~engine ~method_ ~jobs ~seed ~time_limit ~ordering h atom_rels =
   Obs.with_span "query.plan" @@ fun () ->
   let acyclic_tree () =
     match Acyclicity.join_tree h with
@@ -161,7 +161,7 @@ let plan ~engine ~method_ ~jobs ~seed ~time_limit ~ordering h atom_rels =
     in
     let ghd = Ghd.of_ordering h sigma ~cover:`Exact in
     let ghd = Ghd.complete h ghd in
-    (materialize_ghd ~engine ghd atom_rels, Ghd.width ghd, false)
+    (materialize_ghd ?par ~engine ghd atom_rels, Ghd.width ghd, false)
   in
   match method_ with
   | Auto -> (
@@ -319,15 +319,16 @@ let enumerate t ~n_vars ~on_solution =
 (* the live selection per node; bags themselves are never rewritten *)
 type colstate = { tree : tree; sels : Colexec.sel array }
 
-let col_semijoin st ~probe:i ~build:c =
+let col_semijoin ?par st ~probe:i ~build:c =
   let r = st.tree.rels.(i) and rc = st.tree.rels.(c) in
   let shared = shared_vars (Qrelation.scope r) (Qrelation.scope rc) in
   st.sels.(i) <-
-    Colexec.semijoin
+    Colexec.semijoin ?par
       ~probe:(r, st.sels.(i), Qrelation.positions r shared)
       ~build:(rc, st.sels.(c), Qrelation.positions rc shared)
+      ()
 
-let col_reduce_bottom_up st ~semijoins =
+let col_reduce_bottom_up ?par st ~semijoins =
   let order = bottom_up_order st.tree.parent in
   Array.iter
     (fun sel -> if Array.length sel = 0 then raise Empty_result)
@@ -336,20 +337,20 @@ let col_reduce_bottom_up st ~semijoins =
     (fun i ->
       let p = st.tree.parent.(i) in
       if p <> -1 then begin
-        col_semijoin st ~probe:p ~build:i;
+        col_semijoin ?par st ~probe:p ~build:i;
         incr semijoins;
         Obs.Counter.incr c_reduce_semijoins;
         if Array.length st.sels.(p) = 0 then raise Empty_result
       end)
     order
 
-let col_reduce_top_down st ~semijoins =
+let col_reduce_top_down ?par st ~semijoins =
   let order = bottom_up_order st.tree.parent in
   for k = Array.length order - 1 downto 0 do
     let i = order.(k) in
     let p = st.tree.parent.(i) in
     if p <> -1 then begin
-      col_semijoin st ~probe:i ~build:p;
+      col_semijoin ?par st ~probe:i ~build:p;
       incr semijoins;
       Obs.Counter.incr c_reduce_semijoins
     end
@@ -466,7 +467,7 @@ let col_enumerate st ~n_vars ~on_solution =
 let empty_result mode stats = { mode; answers = []; count = 0; nonempty = false; stats }
 
 let run ?(engine = Columnar) ?(method_ = Auto) ?(jobs = 1) ?(seed = 42)
-    ?(time_limit = 10.0) ?ordering ~mode db q =
+    ?(time_limit = 10.0) ?ordering ?par ~mode db q =
   Obs.with_span "query.run" @@ fun () ->
   let vars = Cq.variables q in
   let n_vars = Array.length vars in
@@ -509,7 +510,7 @@ let run ?(engine = Columnar) ?(method_ = Auto) ?(jobs = 1) ?(seed = 42)
         (List.map (fun a -> Db.relation_for_atom db ~var_id a) proper)
     in
     let tree, width, acyclic =
-      plan ~engine ~method_ ~jobs ~seed ~time_limit ~ordering h atom_rels
+      plan ?par ~engine ~method_ ~jobs ~seed ~time_limit ~ordering h atom_rels
     in
     let bags = Array.length tree.rels in
     let tuples_materialized = total_tuples tree.rels in
@@ -588,8 +589,8 @@ let run ?(engine = Columnar) ?(method_ = Auto) ?(jobs = 1) ?(seed = 42)
         in
         try
           Obs.with_span "query.reduce" (fun () ->
-              col_reduce_bottom_up st ~semijoins;
-              if mode <> Boolean then col_reduce_top_down st ~semijoins);
+              col_reduce_bottom_up ?par st ~semijoins;
+              if mode <> Boolean then col_reduce_top_down ?par st ~semijoins);
           finish
             ~stats:(fun () -> stats_now (col_surviving st))
             ~count_all:(fun () -> col_count_assignments st)

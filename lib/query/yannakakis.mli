@@ -70,7 +70,10 @@ type result = {
     supplies an elimination ordering computed elsewhere — batch
     evaluation and the server's bulk submit share one decomposition
     across many isomorphic queries this way; it is ignored on the
-    acyclic [Auto] path, which needs no decomposition.
+    acyclic [Auto] path, which needs no decomposition.  [par] runs the
+    columnar semijoin, join-probe and column-gather loops
+    partitioned-parallel on the given scheduler; results are
+    byte-identical to the sequential run (see {!Colexec.semijoin}).
     @raise Failure on relations missing from [db] or arity
     mismatches. *)
 val run :
@@ -80,6 +83,7 @@ val run :
   ?seed:int ->
   ?time_limit:float ->
   ?ordering:int array ->
+  ?par:Hd_parallel.Scheduler.t ->
   mode:mode ->
   Db.t ->
   Cq.t ->

@@ -4,7 +4,7 @@ module Budget = Hd_engine.Budget
 module Step = Hd_engine.Step
 module Engine = Hd_engine.Engine
 module Incumbent = Hd_core.Incumbent
-module Domain_pool = Hd_parallel.Domain_pool
+module Scheduler = Hd_parallel.Scheduler
 
 let c_submitted = Obs.Counter.make "server.jobs_submitted"
 let c_completed = Obs.Counter.make "server.jobs_completed"
@@ -40,16 +40,13 @@ type job = {
 }
 
 type t = {
-  pool : Domain_pool.t;
+  sched : Scheduler.t;
   cache : Cache.t;
   slice : float;
   m : Mutex.t;
-  cond : Condition.t;
-  runnable : int Queue.t;
   jobs : (int, job) Hashtbl.t;
   mutable next_id : int;
   mutable stopping : bool;
-  mutable workers : unit Domain_pool.future list;
 }
 
 type snapshot = {
@@ -166,41 +163,41 @@ let finish_locked t job (r : Solver.result) =
         elapsed = Budget.elapsed job.budget;
       }
 
-let rec worker_loop t =
-  Mutex.lock t.m;
-  while Queue.is_empty t.runnable && not t.stopping do
-    Condition.wait t.cond t.m
-  done;
-  if Queue.is_empty t.runnable then Mutex.unlock t.m
-  else begin
-    let id = Queue.pop t.runnable in
-    let job = Hashtbl.find t.jobs id in
-    let step = Option.get job.step in
-    job.status <- Running;
-    Mutex.unlock t.m;
-    let verdict =
-      try `Out (Step.slice step ~seconds:t.slice)
-      with e -> `Err (Printexc.to_string e)
-    in
-    Obs.Counter.incr c_slices;
-    Mutex.lock t.m;
-    job.nslices <- job.nslices + 1;
-    (match verdict with
-    | `Out (Step.Done r) -> finish_locked t job r
-    | `Out Step.Yielded ->
-        Obs.Counter.incr c_parks;
-        job.status <- Queued;
-        Queue.push job.id t.runnable;
-        Condition.signal t.cond
-    | `Err msg ->
-        job.status <- Failed msg;
-        Obs.Counter.incr c_failed);
-    let ev = slice_event job in
-    push_event job ev;
-    Mutex.unlock t.m;
-    Obs.Tap.emit "server.slice" ev;
-    worker_loop t
-  end
+(* one scheduling turn = one slice of one job; returning [`Again]
+   re-enqueues the job at the back of the scheduler's injector FIFO, so
+   in-flight jobs round-robin exactly as the old dedicated worker loops
+   did, but on the same domains every other parallel layer uses *)
+let turn t (job : job) =
+  let step = Option.get job.step in
+  locked t (fun () -> job.status <- Running);
+  let verdict =
+    try `Out (Step.slice step ~seconds:t.slice)
+    with e -> `Err (Printexc.to_string e)
+  in
+  Obs.Counter.incr c_slices;
+  let again, ev =
+    locked t (fun () ->
+        job.nslices <- job.nslices + 1;
+        let again =
+          match verdict with
+          | `Out (Step.Done r) ->
+              finish_locked t job r;
+              false
+          | `Out Step.Yielded ->
+              Obs.Counter.incr c_parks;
+              job.status <- Queued;
+              true
+          | `Err msg ->
+              job.status <- Failed msg;
+              Obs.Counter.incr c_failed;
+              false
+        in
+        let ev = slice_event job in
+        push_event job ev;
+        (again, ev))
+  in
+  Obs.Tap.emit "server.slice" ev;
+  if again then `Again else `Done
 
 (* --- lifecycle ----------------------------------------------------- *)
 
@@ -208,23 +205,17 @@ let create ?(workers = 2) ?(slice = 0.05) ~cache () =
   if workers < 1 then invalid_arg "Jobs.create: workers must be >= 1";
   if not (Float.is_finite slice) || slice < 0.0 then
     invalid_arg "Jobs.create: slice must be a non-negative finite float";
-  let t =
-    {
-      pool = Domain_pool.create ~domains:workers;
-      cache;
-      slice;
-      m = Mutex.create ();
-      cond = Condition.create ();
-      runnable = Queue.create ();
-      jobs = Hashtbl.create 32;
-      next_id = 0;
-      stopping = false;
-      workers = [];
-    }
-  in
-  t.workers <-
-    List.init workers (fun _ -> Domain_pool.submit t.pool (fun () -> worker_loop t));
-  t
+  {
+    sched = Scheduler.create ~workers ();
+    cache;
+    slice;
+    m = Mutex.create ();
+    jobs = Hashtbl.create 32;
+    next_id = 0;
+    stopping = false;
+  }
+
+let scheduler t = t.sched
 
 let submit t ~solver ~spec ?seed ?label ?(use_cache = true) ~signature problem =
   Obs.Counter.incr c_submitted;
@@ -290,10 +281,7 @@ let submit t ~solver ~spec ?seed ?label ?(use_cache = true) ~signature problem =
             }
       in
       Hashtbl.replace t.jobs id job;
-      if not (terminal job) then begin
-        Queue.push id t.runnable;
-        Condition.signal t.cond
-      end;
+      if not (terminal job) then Scheduler.resume t.sched (fun () -> turn t job);
       snapshot_locked job)
 
 let poll t id =
@@ -371,7 +359,7 @@ let stats t =
           ("done", Obs.Json.Int !done_);
           ("cancelled", Obs.Json.Int !cancelled);
           ("failed", Obs.Json.Int !failed);
-          ("workers", Obs.Json.Int (Domain_pool.size t.pool));
+          ("workers", Obs.Json.Int (Scheduler.size t.sched));
           ("slice", Obs.Json.Float t.slice);
         ])
 
@@ -380,12 +368,11 @@ let shutdown t =
       if not t.stopping then begin
         t.stopping <- true;
         (* cancelled budgets make every parked job's next slice return
-           fast, so the drain below terminates promptly *)
+           fast, so the scheduler's drain-on-shutdown terminates
+           promptly; re-injected turns keep running until they report
+           [`Done], so no continuation is ever dropped *)
         Hashtbl.iter
           (fun _ job -> if not (terminal job) then Budget.cancel job.budget)
-          t.jobs;
-        Condition.broadcast t.cond
+          t.jobs
       end);
-  List.iter Domain_pool.await t.workers;
-  t.workers <- [];
-  Domain_pool.shutdown t.pool
+  Scheduler.shutdown t.sched

@@ -1,15 +1,19 @@
-(** The hd_server job scheduler: many concurrent solves time-sliced
-    over a small {!Hd_parallel.Domain_pool}.
+(** The hd_server job runner: many concurrent solves time-sliced over
+    a {!Hd_parallel.Scheduler}.
 
-    Each submitted instance becomes a job wrapping an
-    [Engine.run] call in a resumable {!Hd_engine.Step.t}.  A fixed set
-    of worker loops (long-running pool jobs) round-robin a queue of
-    runnable job ids; each turn runs {e one} slice of one job — park on
-    [Budget.Slice_expired], requeue, move on — so two
-    in-flight jobs both make progress even on a single worker, and a
-    newly submitted job never waits behind an unbounded solve.  Parked
-    time is credited back to the job's budget, so a ["time_limit"]
-    bounds compute time, not queue time.
+    Each submitted instance becomes a job wrapping an [Engine.run]
+    call in a resumable {!Hd_engine.Step.t}, submitted to the
+    scheduler as a resumable turn ({!Hd_parallel.Scheduler.resume}).
+    Each turn runs {e one} slice of one job — park on
+    [Budget.Slice_expired], re-enqueue at the back of the scheduler's
+    FIFO, move on — so two in-flight jobs both make progress even on a
+    single worker, and a newly submitted job never waits behind an
+    unbounded solve.  Parked time is credited back to the job's
+    budget, so a ["time_limit"] bounds compute time, not queue time.
+    Because the jobs share the scheduler's domains with every other
+    parallel layer, a bulk query evaluation can hand the same instance
+    to [Yannakakis.run ?par] (see {!scheduler}) without
+    oversubscribing the machine.
 
     Submissions consult the {!Cache} first (unless [use_cache] is
     false): a hit births the job already [done] with the cached result
@@ -49,13 +53,17 @@ type snapshot = {
 }
 
 val create : ?workers:int -> ?slice:float -> cache:Cache.t -> unit -> t
-(** [create ~workers ~slice ~cache ()] starts [workers] (default 2)
-    worker loops on a fresh domain pool, each running [slice] (default
-    0.05) seconds of one job per turn.  A zero slice yields on every
-    budget poll — maximal interleaving, used by the deterministic
-    scheduler tests.
+(** [create ~workers ~slice ~cache ()] starts a fresh
+    [workers]-domain (default 2) work-stealing scheduler; each job
+    turn runs [slice] (default 0.05) seconds of one job.  A zero slice
+    yields on every budget poll — maximal interleaving, used by the
+    deterministic scheduler tests.
     @raise Invalid_argument when [workers < 1] or [slice] is negative
     or not finite. *)
+
+val scheduler : t -> Hd_parallel.Scheduler.t
+(** The underlying scheduler, so request handlers (bulk query
+    evaluation) can run their own parallel work on the same domains. *)
 
 val submit :
   t ->
@@ -109,6 +117,6 @@ val stats : t -> Hd_obs.Obs.Json.t
 (** Scheduler-level stats object for the server's [stats] response. *)
 
 val shutdown : t -> unit
-(** [shutdown t] cancels every live job, drains the workers (each
-    parked job is resumed once more so its continuation completes), and
-    shuts the domain pool down.  Idempotent. *)
+(** [shutdown t] cancels every live job and shuts the scheduler down;
+    its drain resumes each parked job until its continuation completes,
+    so no fiber leaks.  Idempotent. *)

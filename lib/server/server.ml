@@ -247,7 +247,12 @@ let handle_bulk session (b : Protocol.bulk) =
                 in
                 let r, elapsed =
                   Hd_engine.Clock.time @@ fun () ->
-                  Y.run ?seed:b.bulk_seed ?ordering ~mode db q
+                  (* evaluation shares the jobs scheduler's domains:
+                     columnar passes run partitioned-parallel without
+                     oversubscribing the serve loop *)
+                  Y.run ?seed:b.bulk_seed ?ordering
+                    ~par:(Jobs.scheduler session.jobs)
+                    ~mode db q
                 in
                 let answers =
                   match mode with

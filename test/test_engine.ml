@@ -390,6 +390,65 @@ let prop_blocks_equal_mono_ghw =
       run chain = solo && run ~blocks:false chain = solo)
 
 (* ------------------------------------------------------------------ *)
+(* Blocks through the work-stealing scheduler                          *)
+(* ------------------------------------------------------------------ *)
+
+let scheduler_runner s =
+  { Hd_engine.Exec.run_all = (fun fns -> Hd_parallel.Scheduler.run_all s fns) }
+
+let test_blocks_parallel_identical () =
+  (* with a scheduler runner installed, Engine.run forks the
+     biconnected blocks as concurrent tasks — and the full result
+     (outcome, stitched witness, state counts) is byte-identical to the
+     sequential driver, the -j1 acceptance bar of the refactor *)
+  ensure_registry ();
+  let chain = Hd_instances.Graphs.chain ~copies:3 (Hd_instances.Graphs.queen 4) in
+  let solve budget () =
+    Engine.run_by_name ~seed:1 "bb-tw" (budget ()) (S.Graph chain)
+  in
+  let compare_runs budget =
+    let seq = solve budget () in
+    let par =
+      Hd_parallel.Scheduler.with_scheduler ~workers:2 (fun s ->
+          Hd_engine.Exec.with_runner (scheduler_runner s) (solve budget))
+    in
+    check "outcome identical" true (par.S.outcome = seq.S.outcome);
+    check "witness identical" true (par.S.ordering = seq.S.ordering);
+    check_int "visited identical" seq.S.visited par.S.visited;
+    check_int "generated identical" seq.S.generated par.S.generated
+  in
+  compare_runs (fun () -> B.create ());
+  (* also under a state-capped budget: the equal upfront sub shares
+     make the parallel split deterministic there too *)
+  compare_runs (fun () -> B.create ~max_states:200_000 ())
+
+let test_blocks_cancel_under_runner () =
+  (* the PR 7 sibling-cancel regression, now through the scheduler:
+     cancelling one sub of the parent budget must not leak into the
+     concurrently-forked block solves *)
+  ensure_registry ();
+  let g =
+    Graph.of_edges 5 [ (0, 1); (1, 2); (0, 2); (2, 3); (3, 4); (4, 2) ]
+  in
+  Hd_parallel.Scheduler.with_scheduler ~workers:2 (fun s ->
+      Hd_engine.Exec.with_runner (scheduler_runner s) (fun () ->
+          let parent = B.create () in
+          B.cancel (B.sub parent);
+          let r = Engine.run_by_name ~seed:1 "bb-tw" parent (S.Graph g) in
+          (match r.S.outcome with
+          | S.Exact w ->
+              check_int "two triangles: tw 2 under concurrent blocks" 2 w
+          | S.Bounds _ ->
+              Alcotest.fail "sibling cancel must not kill concurrent blocks");
+          (* a cancelled parent, by contrast, reaches every forked task *)
+          let dead = B.create () in
+          B.cancel dead;
+          let r = Engine.run_by_name ~seed:1 "bb-tw" dead (S.Graph g) in
+          match r.S.outcome with
+          | S.Exact _ -> Alcotest.fail "cancelled parent must not prove exactness"
+          | S.Bounds _ -> ()))
+
+(* ------------------------------------------------------------------ *)
 (* Local search: the clock starts at run, not before                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -583,6 +642,10 @@ let () =
           Alcotest.test_case "chain tw + counters" `Slow test_blocks_chain_tw;
           QCheck_alcotest.to_alcotest prop_blocks_equal_mono_tw;
           QCheck_alcotest.to_alcotest prop_blocks_equal_mono_ghw;
+          Alcotest.test_case "parallel blocks byte-identical" `Slow
+            test_blocks_parallel_identical;
+          Alcotest.test_case "cancel isolation under scheduler" `Quick
+            test_blocks_cancel_under_runner;
         ] );
       ( "step",
         [

@@ -200,6 +200,275 @@ let test_pool_invalid () =
      with Invalid_argument _ -> true)
 
 (* ------------------------------------------------------------------ *)
+(* Work-stealing deque                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Deque = Hd_parallel.Deque
+module Sched = Hd_parallel.Scheduler
+module Hdastar = Hd_parallel.Hdastar
+module Budget = Hd_engine.Budget
+
+let test_deque_owner_order () =
+  let d = Deque.create 8 in
+  check "pop on empty" true (Deque.pop d = None);
+  check "steal on empty" true (Deque.steal d = None);
+  List.iter (fun i -> check "push ok" true (Deque.push d i = `Ok)) [ 1; 2; 3; 4 ];
+  check_int "length" 4 (Deque.length d);
+  check "owner pops LIFO" true (Deque.pop d = Some 4);
+  check "thief steals FIFO" true (Deque.steal d = Some 1);
+  check "steal next oldest" true (Deque.steal d = Some 2);
+  check "pop the rest" true (Deque.pop d = Some 3);
+  check "drained" true (Deque.pop d = None)
+
+let test_deque_full () =
+  let d = Deque.create 2 in
+  check "push 1" true (Deque.push d 1 = `Ok);
+  check "push 2" true (Deque.push d 2 = `Ok);
+  check "push on full reports" true (Deque.push d 3 = `Full);
+  check "pop frees a slot" true (Deque.pop d = Some 2);
+  check "push after pop" true (Deque.push d 3 = `Ok);
+  check "capacity 0 rejected" true
+    (try
+       ignore (Deque.create 0);
+       false
+     with Invalid_argument _ -> true)
+
+(* the owner pushes, pops and overflows while three thieves hammer the
+   top: every element must be consumed exactly once, whichever side
+   wins each race *)
+let test_deque_steal_hammer () =
+  let n = 50_000 in
+  let d = Deque.create 1024 in
+  let seen = Array.init n (fun _ -> Atomic.make 0) in
+  let consumed = Atomic.make 0 in
+  let dup = Atomic.make false in
+  let eat v =
+    if Atomic.fetch_and_add seen.(v) 1 <> 0 then Atomic.set dup true;
+    Atomic.incr consumed
+  in
+  let stop = Atomic.make false in
+  let thief () =
+    while not (Atomic.get stop) do
+      match Deque.steal d with
+      | Some v -> eat v
+      | None -> Domain.cpu_relax ()
+    done;
+    let rec drain () =
+      match Deque.steal d with
+      | Some v ->
+          eat v;
+          drain ()
+      | None -> ()
+    in
+    drain ()
+  in
+  let thieves = Array.init 3 (fun _ -> Domain.spawn thief) in
+  for i = 0 to n - 1 do
+    (match Deque.push d i with
+    | `Ok -> ()
+    | `Full -> (
+        (* drain one slot, as the scheduler's injector overflow would *)
+        (match Deque.pop d with Some v -> eat v | None -> ());
+        match Deque.push d i with `Ok -> () | `Full -> eat i));
+    if i land 7 = 0 then
+      match Deque.pop d with Some v -> eat v | None -> ()
+  done;
+  let rec drain () =
+    match Deque.pop d with
+    | Some v ->
+        eat v;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Atomic.set stop true;
+  Array.iter Domain.join thieves;
+  check "no element consumed twice" false (Atomic.get dup);
+  check_int "every element consumed exactly once" n (Atomic.get consumed)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_sched_sequential_inline () =
+  Sched.with_scheduler ~workers:0 (fun s ->
+      check_int "no workers" 0 (Sched.size s);
+      let order = ref [] in
+      Sched.run_all s (List.init 5 (fun i () -> order := i :: !order));
+      check "workers:0 runs in list order" true
+        (List.rev !order = [ 0; 1; 2; 3; 4 ]);
+      let sq = Sched.map_array s (fun x -> x * x) (Array.init 10 Fun.id) in
+      check "map_array preserves order" true
+        (sq = Array.init 10 (fun i -> i * i)))
+
+(* ISSUE acceptance: fork/join through the scheduler is deterministic —
+   map_array at 0 workers and at 3 workers both agree with Array.map on
+   arbitrary inputs *)
+let test_sched_qcheck_determinism () =
+  Sched.with_scheduler ~workers:3 (fun par ->
+      Sched.with_scheduler ~workers:0 (fun seq ->
+          let t =
+            QCheck.Test.make ~count:50 ~name:"fork/join determinism"
+              QCheck.(list small_int)
+              (fun xs ->
+                let arr = Array.of_list xs in
+                let f x = (x * 31) lxor (x asr 2) in
+                let expected = Array.map f arr in
+                Sched.map_array seq f arr = expected
+                && Sched.map_array par f arr = expected)
+          in
+          QCheck.Test.check_exn t))
+
+(* nested run_all from inside tasks: the joining worker helps instead
+   of deadlocking, and every leaf runs exactly once *)
+let test_sched_nested_tree_sum () =
+  Sched.with_scheduler ~workers:3 (fun s ->
+      let total = Atomic.make 0 in
+      let rec go lo hi =
+        if hi - lo <= 16 then
+          for i = lo to hi - 1 do
+            ignore (Atomic.fetch_and_add total i)
+          done
+        else
+          let mid = (lo + hi) / 2 in
+          Sched.run_all s [ (fun () -> go lo mid); (fun () -> go mid hi) ]
+      in
+      go 0 10_000;
+      check_int "nested run_all sums every leaf" (10_000 * 9_999 / 2)
+        (Atomic.get total))
+
+exception Task_boom of int
+
+let test_sched_exceptions () =
+  Sched.with_scheduler ~workers:2 (fun s ->
+      let ran_b = Atomic.make false in
+      check "first failing task in list order re-raised" true
+        (try
+           Sched.run_all s
+             [
+               (fun () -> raise (Task_boom 1));
+               (fun () -> Atomic.set ran_b true);
+               (fun () -> raise (Task_boom 3));
+             ];
+           false
+         with
+        | Task_boom 1 -> true
+        | Task_boom _ -> false);
+      check "siblings still ran" true (Atomic.get ran_b);
+      (* the pool survives a failing batch *)
+      let r = Sched.map_array s (fun x -> x + 1) [| 41 |] in
+      check_int "scheduler survives the failure" 42 r.(0))
+
+let test_sched_resume_turns () =
+  Sched.with_scheduler ~workers:1 (fun s ->
+      let turns = Atomic.make 0 in
+      let finished = Atomic.make false in
+      Sched.resume s (fun () ->
+          if Atomic.fetch_and_add turns 1 < 4 then `Again
+          else begin
+            Atomic.set finished true;
+            `Done
+          end);
+      let tries = ref 0 in
+      while (not (Atomic.get finished)) && !tries < 5_000 do
+        incr tries;
+        Unix.sleepf 0.001
+      done;
+      check "resumable task completed" true (Atomic.get finished);
+      check_int "ran once per turn" 5 (Atomic.get turns))
+
+(* the PR 7 budget regression, now through the scheduler: cancelling
+   one task's sub-budget must reach neither its sibling nor the
+   parent *)
+let test_sched_cancel_isolation () =
+  Sched.with_scheduler ~workers:2 (fun s ->
+      let parent = Budget.create () in
+      let subs = Array.init 2 (fun _ -> Budget.sub ~stages:2 parent) in
+      let sibling_survived = Atomic.make false in
+      Sched.run_all s
+        [
+          (fun () -> Budget.cancel subs.(0));
+          (fun () ->
+            for _ = 1 to 1_000 do
+              Domain.cpu_relax ()
+            done;
+            if not (Budget.cancelled subs.(1)) then
+              Atomic.set sibling_survived true);
+        ];
+      check "cancelled sub is cancelled" true (Budget.cancelled subs.(0));
+      check "sibling budget survives" true (Atomic.get sibling_survived);
+      check "parent not cancelled" false (Budget.cancelled parent);
+      (* and top-down still propagates: cancelling the parent reaches
+         the surviving child *)
+      Budget.cancel parent;
+      check "parent cancel reaches children" true (Budget.cancelled subs.(1)))
+
+(* ------------------------------------------------------------------ *)
+(* Hash-distributed A-star                                             *)
+(* ------------------------------------------------------------------ *)
+
+let exact_of name (r : St.result) =
+  match r.St.outcome with
+  | St.Exact w -> w
+  | St.Bounds { lb; ub } ->
+      Alcotest.failf "%s: expected exact, got [%d,%d]" name lb ub
+
+(* ISSUE acceptance: the distributed search proves the same optimum as
+   the sequential A*, at 0 workers (deterministic inline mode) and at
+   2 workers, and its witness actually achieves the width *)
+let test_hdastar_tw_matches_seq () =
+  List.iter
+    (fun name ->
+      let g = graph name in
+      let expected = exact_of name (Hd_search.Astar_tw.solve ~seed:3 g) in
+      Sched.with_scheduler ~workers:0 (fun s ->
+          let r = Hdastar.solve_tw ~sched:s ~seed:3 g in
+          check_int (name ^ " hdastar j1 width") expected (exact_of name r);
+          match r.St.ordering with
+          | Some sigma ->
+              let ws = Hd_core.Eval.of_graph g in
+              check_int
+                (name ^ " witness achieves width")
+                expected
+                (Hd_core.Eval.tw_width ws sigma)
+          | None -> Alcotest.failf "%s: no witness ordering" name);
+      Sched.with_scheduler ~workers:2 (fun s ->
+          check_int (name ^ " hdastar j3 width") expected
+            (exact_of name (Hdastar.solve_tw ~sched:s ~seed:3 g))))
+    [ "grid4"; "myciel3"; "grid5" ]
+
+let test_hdastar_ghw_matches_seq () =
+  let h = hypergraph "adder_15" in
+  let expected = exact_of "adder_15" (Hd_search.Astar_ghw.solve ~seed:5 h) in
+  check_int "adder_15 seq ghw" 2 expected;
+  Sched.with_scheduler ~workers:0 (fun s ->
+      check_int "adder_15 hdastar j1" expected
+        (exact_of "adder_15" (Hdastar.solve_ghw ~sched:s ~seed:5 h)));
+  Sched.with_scheduler ~workers:2 (fun s ->
+      check_int "adder_15 hdastar j3" expected
+        (exact_of "adder_15" (Hdastar.solve_ghw ~sched:s ~seed:5 h)))
+
+(* on an exhausted state budget the distributed search degrades to the
+   incumbent bounds, like the sequential solver *)
+let test_hdastar_budget_bounds () =
+  let g = graph "queen5_5" in
+  Sched.with_scheduler ~workers:2 (fun s ->
+      let b = Budget.create ~max_states:50 () in
+      let r = Hdastar.solve_tw ~sched:s ~within:b ~seed:1 g in
+      match r.St.outcome with
+      | St.Bounds { lb; ub } ->
+          check "bounds sane" true (lb <= ub);
+          check "ub from a real ordering" true (ub <= 24)
+      | St.Exact _ -> Alcotest.fail "50 states cannot close queen5_5")
+
+let test_par_solvers_registered () =
+  Hd_parallel.Par_solvers.ensure ();
+  Hd_parallel.Par_solvers.ensure ();
+  let module S = Hd_engine.Solver in
+  check "astar-tw-par registered" true (S.find "astar-tw-par" <> None);
+  check "astar-ghw-par registered" true (S.find "astar-ghw-par" <> None)
+
+(* ------------------------------------------------------------------ *)
 (* Portfolio                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -272,6 +541,35 @@ let () =
           Alcotest.test_case "exceptions" `Quick test_pool_exception;
           Alcotest.test_case "cancel" `Quick test_pool_cancel;
           Alcotest.test_case "invalid size" `Quick test_pool_invalid;
+        ] );
+      ( "deque",
+        [
+          Alcotest.test_case "owner order" `Quick test_deque_owner_order;
+          Alcotest.test_case "full / overflow" `Quick test_deque_full;
+          Alcotest.test_case "steal hammer" `Quick test_deque_steal_hammer;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "sequential inline mode" `Quick
+            test_sched_sequential_inline;
+          Alcotest.test_case "qcheck fork/join determinism" `Quick
+            test_sched_qcheck_determinism;
+          Alcotest.test_case "nested tree sum" `Quick test_sched_nested_tree_sum;
+          Alcotest.test_case "exception re-raise" `Quick test_sched_exceptions;
+          Alcotest.test_case "resumable turns" `Quick test_sched_resume_turns;
+          Alcotest.test_case "cancel isolation" `Quick
+            test_sched_cancel_isolation;
+        ] );
+      ( "hdastar",
+        [
+          Alcotest.test_case "tw matches sequential" `Slow
+            test_hdastar_tw_matches_seq;
+          Alcotest.test_case "ghw matches sequential" `Slow
+            test_hdastar_ghw_matches_seq;
+          Alcotest.test_case "budget degrades to bounds" `Quick
+            test_hdastar_budget_bounds;
+          Alcotest.test_case "par solvers registered" `Quick
+            test_par_solvers_registered;
         ] );
       ( "portfolio",
         [

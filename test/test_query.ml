@@ -374,6 +374,7 @@ let test_colexec_semijoin () =
     Cx.semijoin
       ~probe:(a, Cx.all_rows a, [| 1 |])
       ~build:(b, Cx.all_rows b, [| 0 |])
+      ()
   in
   check "matches row semijoin" true
     (sorted (rows_of_sel a sel)
@@ -382,9 +383,9 @@ let test_colexec_semijoin () =
   check_int "base unchanged" 3 (Qrelation.cardinality a);
   (* restricting the build selection restricts the survivors *)
   let bsel = Cx.semijoin ~probe:(b, Cx.all_rows b, [| 0 |])
-               ~build:(qr [| 1 |] [ [| 2 |] ], [| 0 |], [| 0 |]) in
+               ~build:(qr [| 1 |] [ [| 2 |] ], [| 0 |], [| 0 |]) () in
   let sel2 =
-    Cx.semijoin ~probe:(a, Cx.all_rows a, [| 1 |]) ~build:(b, bsel, [| 0 |])
+    Cx.semijoin ~probe:(a, Cx.all_rows a, [| 1 |]) ~build:(b, bsel, [| 0 |]) ()
   in
   check "restricted build" true
     (sorted (rows_of_sel a sel2) = sorted [ [| 1; 2 |] ])
@@ -396,22 +397,22 @@ let test_colexec_edge_cases () =
   check_int "empty probe" 0
     (Array.length
        (Cx.semijoin ~probe:(e, Cx.all_rows e, [| 1 |])
-          ~build:(a, Cx.all_rows a, [| 0 |])));
+          ~build:(a, Cx.all_rows a, [| 0 |]) ()));
   (* empty build side drops everything *)
   check_int "empty build" 0
     (Array.length
        (Cx.semijoin ~probe:(a, Cx.all_rows a, [| 1 |])
-          ~build:(e, Cx.all_rows e, [| 0 |])));
+          ~build:(e, Cx.all_rows e, [| 0 |]) ()));
   (* disjoint scopes: the key is empty -- a nonempty build keeps all
      rows, an empty selection keeps none (cartesian semantics) *)
   let c = qr [| 7 |] [ [| 9 |]; [| 8 |] ] in
   check_int "disjoint nonempty keeps all" 2
     (Array.length
        (Cx.semijoin ~probe:(a, Cx.all_rows a, [||])
-          ~build:(c, Cx.all_rows c, [||])));
+          ~build:(c, Cx.all_rows c, [||]) ()));
   check_int "disjoint empty selection drops all" 0
     (Array.length
-       (Cx.semijoin ~probe:(a, Cx.all_rows a, [||]) ~build:(c, [||], [||])));
+       (Cx.semijoin ~probe:(a, Cx.all_rows a, [||]) ~build:(c, [||], [||]) ()));
   (* all-duplicate keys on both sides: one bucket holds everything *)
   let dup rows = qr [| 0; 1 |] (List.init rows (fun i -> [| 7; i |])) in
   let d1 = dup 40 and d2 = dup 17 in
@@ -419,13 +420,13 @@ let test_colexec_edge_cases () =
     (Array.length
        (Cx.semijoin
           ~probe:(d1, Cx.all_rows d1, [| 0 |])
-          ~build:(d2, Cx.all_rows d2, [| 0 |])));
+          ~build:(d2, Cx.all_rows d2, [| 0 |]) ()));
   (* single-row relations (directory at its minimum size) *)
   let s1 = qr [| 0 |] [ [| 5 |] ] in
   check_int "singleton hit" 1
     (Array.length
        (Cx.semijoin ~probe:(s1, Cx.all_rows s1, [| 0 |])
-          ~build:(s1, Cx.all_rows s1, [| 0 |])))
+          ~build:(s1, Cx.all_rows s1, [| 0 |]) ()))
 
 let test_colexec_join_project () =
   let a = qr [| 0; 1 |] [ [| 1; 2 |]; [| 1; 3 |]; [| 2; 3 |] ] in
@@ -471,6 +472,55 @@ let test_colexec_index_keysum () =
   check_int "keysum 1" 7 (Cx.Keysum.find ks [| 1 |]);
   check_int "keysum 2" 3 (Cx.Keysum.find ks [| 2 |]);
   check_int "keysum missing" 0 (Cx.Keysum.find ks [| 42 |])
+
+(* ISSUE acceptance: the partitioned-parallel columnar passes are
+   byte-identical to the sequential ones — chunk boundaries depend only
+   on the probe count and the grain, outputs concatenate in chunk
+   order.  The grain is forced tiny so even these small relations run
+   multi-chunk. *)
+let test_colexec_parallel_identical () =
+  Fun.protect
+    ~finally:(fun () -> Cx.set_grain Cx.default_grain)
+    (fun () ->
+      Cx.set_grain 8;
+      Hd_parallel.Scheduler.with_scheduler ~workers:3 (fun s ->
+          let rng = Random.State.make [| 11 |] in
+          let rows n k =
+            List.init n (fun _ ->
+                Array.init k (fun _ -> Random.State.int rng 40))
+          in
+          let a = qr [| 0; 1 |] (rows 300 2) in
+          let b = qr [| 1; 2 |] (rows 200 2) in
+          let seq_sel =
+            Cx.semijoin
+              ~probe:(a, Cx.all_rows a, [| 1 |])
+              ~build:(b, Cx.all_rows b, [| 0 |])
+              ()
+          in
+          let par_sel =
+            Cx.semijoin ~par:s
+              ~probe:(a, Cx.all_rows a, [| 1 |])
+              ~build:(b, Cx.all_rows b, [| 0 |])
+              ()
+          in
+          check "parallel semijoin byte-identical" true (seq_sel = par_sel);
+          let seq_j = Cx.join_project [ a; b ] ~scope:[| 0; 2 |] in
+          let par_j = Cx.join_project ~par:s [ a; b ] ~scope:[| 0; 2 |] in
+          check "parallel join-project byte-identical" true
+            (Qrelation.rows seq_j = Qrelation.rows par_j);
+          (* end to end through Yannakakis: same answers, same counts,
+             same reduction stats *)
+          let db = db_of_edges (triangle_plus_chain 60) in
+          List.iter
+            (fun q ->
+              let seq_r = Y.run ~mode:Y.Answers db q in
+              let par_r = Y.run ~par:s ~mode:Y.Answers db q in
+              check_answers "parallel answers identical"
+                (sorted seq_r.Y.answers) (sorted par_r.Y.answers);
+              check_int "parallel count identical" seq_r.Y.count par_r.Y.count;
+              check "parallel stats identical" true
+                (seq_r.Y.stats = par_r.Y.stats))
+            [ triangle_q; two_hop_q ]))
 
 (* columnar and row engines agree with brute force -- same answer
    multiset, same query.answers counter -- on random cyclic and
@@ -645,6 +695,8 @@ let () =
             test_colexec_join_project;
           Alcotest.test_case "index and keysum" `Quick
             test_colexec_index_keysum;
+          Alcotest.test_case "parallel passes byte-identical" `Quick
+            test_colexec_parallel_identical;
         ]
         @ List.map QCheck_alcotest.to_alcotest [ prop_columnar_matches_rows ]
       );
